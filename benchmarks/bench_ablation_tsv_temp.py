@@ -1,0 +1,63 @@
+"""Ablation: TSV density's effect on the temperature profile (§IV-C).
+
+The paper justifies the homogeneous-TSV model by observing that even at
+1-2% density the effect on the temperature profile is limited to a few
+degrees. This bench sweeps the density through the full thermal model
+on EXP-1 and EXP-3 steady states under full load.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.floorplan.experiments import build_experiment
+from repro.thermal.model import ThermalModel
+from repro.thermal.tsv import joint_resistivity
+
+from benchmarks.conftest import emit
+
+DENSITIES = (0.0, 0.005, 0.01, 0.02)
+
+
+def peak_for(exp_id, density):
+    config = replace(
+        build_experiment(exp_id),
+        interlayer_resistivity=joint_resistivity(density),
+    )
+    model = ThermalModel(config, nrows=6, ncols=6)
+    powers = {
+        name: 4.0 if model.unit_kind(name).value == "core" else 1.0
+        for name in model.unit_names
+    }
+    steady = model.steady_state(powers)
+    return max(steady.values()) - 273.15
+
+
+def build_table():
+    rows = []
+    for exp_id in (1, 3):
+        base = peak_for(exp_id, 0.0)
+        for density in DENSITIES:
+            peak = peak_for(exp_id, density)
+            rows.append(
+                [f"EXP{exp_id}", f"{density * 100:.1f}%",
+                 round(peak, 2), round(base - peak, 3)]
+            )
+    return rows
+
+
+def test_ablation_tsv_density_effect(benchmark, results_dir):
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    text = format_table(
+        ["stack", "d_TSV", "peak C", "reduction vs no-TSV (C)"],
+        rows,
+        title="Ablation — TSV density effect on the steady-state peak",
+    )
+    emit(results_dir, "ablation_tsv_temp", text)
+
+    # Denser vias always help, but only by a few degrees (paper §IV-C).
+    for row in rows:
+        assert 0.0 <= row[3] < 5.0
+    exp3_reductions = [row[3] for row in rows if row[0] == "EXP3"]
+    assert exp3_reductions == sorted(exp3_reductions)

@@ -1,0 +1,29 @@
+"""Figure 1 regeneration: the EXP-1..4 floorplans, rendered as ASCII.
+
+Legend: ``C`` core, ``$`` L2 bank, ``x`` crossbar, ``-`` misc logic.
+"""
+
+from repro.floorplan.experiments import build_experiment
+
+from benchmarks.conftest import emit
+
+
+def render_all():
+    blocks = []
+    for exp_id in (1, 2, 3, 4):
+        config = build_experiment(exp_id)
+        blocks.append(f"=== EXP-{exp_id}: {config.description} ===")
+        for index, plan in enumerate(config.layers):
+            position = "adjacent to heat sink" if index == 0 else f"tier {index}"
+            blocks.append(f"-- layer {index} ({position}): {plan.name}")
+            blocks.append(plan.to_ascii(cols=44, rows=8))
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+def test_fig1_floorplans(benchmark, results_dir):
+    art = benchmark.pedantic(render_all, rounds=1, iterations=1)
+    emit(results_dir, "fig1_floorplans", art)
+
+    assert "EXP-1" in art and "EXP-4" in art
+    assert "C" in art and "$" in art and "x" in art

@@ -1,0 +1,55 @@
+"""Figure 2 regeneration: interlayer resistivity vs TSV density.
+
+The paper examines via densities up to ~2% (10 um vias, 10 um keep-out)
+and settles on 1024 vias (< 1% area overhead, > 8 vias/mm²) for a joint
+resistivity of ~0.23 mK/W.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.floorplan.ultrasparc import LAYER_AREA_M2
+from repro.thermal.tsv import (
+    area_overhead,
+    default_density_sweep,
+    joint_resistivity,
+    joint_resistivity_for_via_count,
+    vias_per_mm2,
+)
+
+from benchmarks.conftest import emit
+
+
+def build_series():
+    rows = [
+        [f"{density * 100:.2f}%", round(joint_resistivity(density), 4)]
+        for density in default_density_sweep(n_points=11)
+    ]
+    return rows
+
+
+def test_fig2_tsv_resistivity(benchmark, results_dir):
+    rows = benchmark.pedantic(build_series, rounds=1, iterations=1)
+
+    paper_rho = joint_resistivity_for_via_count(1024, LAYER_AREA_M2)
+    footer = [
+        "",
+        "Paper operating point (1024 vias on 115 mm2):",
+        f"  joint resistivity : {paper_rho:.4f} mK/W (paper: 0.23)",
+        f"  area overhead     : {100 * area_overhead(1024, LAYER_AREA_M2):.2f}% (paper: <1%)",
+        f"  via density       : {vias_per_mm2(1024, LAYER_AREA_M2):.1f} vias/mm2 (paper: >8)",
+    ]
+    text = (
+        format_table(
+            ["d_TSV", "joint resistivity (mK/W)"],
+            rows,
+            title="Figure 2 — effect of vias on interface material resistivity",
+        )
+        + "\n".join(footer)
+    )
+    emit(results_dir, "fig2_tsv_resistivity", text)
+
+    values = [row[1] for row in rows]
+    assert values[0] == pytest.approx(0.25)
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    assert paper_rho == pytest.approx(0.23, abs=0.01)

@@ -1,0 +1,81 @@
+"""Figure 3 regeneration: thermal hot spots (without DPM) + performance.
+
+For every policy and every EXP configuration: the percentage of time
+spent above 85 C, plus the performance line (job completion delay
+normalized to Default, 1.0 = no overhead).
+
+Expected shape (paper §V-B):
+
+- Default/adaptive-only rows carry the most hot spots on the 4-tier
+  stacks; the hybrid policies the fewest among high-throughput options,
+- the 2-tier stacks operate below the threshold (our calibration runs
+  them cooler than the paper's testbed — see EXPERIMENTS.md),
+- the performance line shows DVFS/CGate/Migr paying real overhead while
+  Adapt3D stays at Default-level performance.
+"""
+
+import pytest
+
+from repro.analysis.figures import FigureSeries
+from repro.core.registry import policy_names
+from repro.metrics.performance import normalized_delay
+from repro.metrics.report import summarize
+
+from benchmarks.conftest import emit
+
+EXPS = (1, 2, 3, 4)
+
+
+def build_figure(get_result):
+    policies = policy_names()
+    fig = FigureSeries(
+        "Figure 3 — thermal hot spots (no DPM), % time above 85 C, "
+        "and normalized performance delay",
+        groups=policies,
+    )
+    for exp in EXPS:
+        fig.add_series(
+            f"EXP{exp} hot%",
+            [
+                summarize(get_result(exp, policy, False)).hot_spot_pct
+                for policy in policies
+            ],
+        )
+    # Performance line: averaged over the stacks, normalized to Default.
+    delays = []
+    for policy in policies:
+        values = []
+        for exp in EXPS:
+            base = get_result(exp, "Default", False)
+            values.append(
+                normalized_delay(get_result(exp, policy, False).jobs, base.jobs)
+            )
+        delays.append(sum(values) / len(values))
+    fig.add_series("perf (delay, x Default)", delays)
+    return fig
+
+
+def test_fig3_hotspots_without_dpm(benchmark, results_dir, get_result):
+    fig = benchmark.pedantic(
+        build_figure, args=(get_result,), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig3_hotspots_nodpm", fig.to_text())
+
+    # 4-tier stacks suffer far more hot spots than 2-tier (paper's
+    # central 3D observation).
+    assert fig.value("EXP4 hot%", "Default") > fig.value("EXP1 hot%", "Default")
+    assert fig.value("EXP3 hot%", "Default") > fig.value("EXP1 hot%", "Default")
+
+    # DVFS-bearing policies beat Default on the hot stacks.
+    for policy in ("DVFS_TT", "DVFS_Util", "DVFS_FLP", "Adapt3D&DVFS_TT"):
+        assert fig.value("EXP4 hot%", policy) < fig.value("EXP4 hot%", "Default")
+
+    # Adapt3D allocation is performance-neutral; throttling is not.
+    assert fig.value("perf (delay, x Default)", "Adapt3D") < 1.05
+    assert fig.value("perf (delay, x Default)", "CGate") > 1.02
+
+    # Hybrids keep DVFS-class thermals at lower or equal overhead than
+    # gating/migration.
+    assert fig.value("perf (delay, x Default)", "Adapt3D&DVFS_TT") < fig.value(
+        "perf (delay, x Default)", "Migr"
+    )

@@ -1,0 +1,57 @@
+"""Figure 4 regeneration: thermal hot spots with DPM.
+
+Same layout as Figure 3 but with the fixed-timeout power manager
+enabled. Expected shape (paper §V-B): a significant reduction in hot
+spots across the board versus Figure 3 — sleeping cores cool down
+considerably — with the non-DVFS policies benefiting most (DVFS fills
+idle slots by stretching execution, leaving less sleep time).
+"""
+
+import pytest
+
+from repro.analysis.figures import FigureSeries
+from repro.core.registry import policy_names
+from repro.metrics.report import summarize
+
+from benchmarks.conftest import emit
+
+EXPS = (1, 2, 3, 4)
+
+
+def build_figure(get_result):
+    policies = policy_names()
+    fig = FigureSeries(
+        "Figure 4 — thermal hot spots (with DPM), % time above 85 C",
+        groups=policies,
+    )
+    for exp in EXPS:
+        fig.add_series(
+            f"EXP{exp} hot%",
+            [
+                summarize(get_result(exp, policy, True)).hot_spot_pct
+                for policy in policies
+            ],
+        )
+    return fig
+
+
+def test_fig4_hotspots_with_dpm(benchmark, results_dir, get_result):
+    fig = benchmark.pedantic(
+        build_figure, args=(get_result,), rounds=1, iterations=1
+    )
+    emit(results_dir, "fig4_hotspots_dpm", fig.to_text())
+
+    # DPM cuts hot spots versus the no-DPM runs (Figure 3 vs Figure 4).
+    for exp in (3, 4):
+        without = summarize(get_result(exp, "Default", False)).hot_spot_pct
+        with_dpm = fig.value(f"EXP{exp} hot%", "Default")
+        assert with_dpm < without
+
+    # Hybrids improve on plain DVFS on the 4-tier stacks (20-40% in the
+    # paper; we assert the direction and a meaningful margin).
+    dvfs = fig.value("EXP4 hot%", "DVFS_TT")
+    hybrid = fig.value("EXP4 hot%", "Adapt3D&DVFS_TT")
+    assert hybrid < dvfs
+
+    # Adaptive allocation beats Default under DPM on the hot stack.
+    assert fig.value("EXP4 hot%", "Adapt3D") < fig.value("EXP4 hot%", "Default")

@@ -1,0 +1,75 @@
+"""Table II regeneration: thermal model and floorplan parameters.
+
+Reads every Table II value back out of the instantiated models (not the
+constants module) so the table reflects what the simulator actually
+uses.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.floorplan.experiments import build_experiment
+from repro.floorplan.ultrasparc import CORE_AREA_M2, L2_AREA_M2
+from repro.thermal.stack import build_stack
+
+from benchmarks.conftest import emit
+
+
+def build_table():
+    config = build_experiment(1)
+    stack = build_stack(config)
+    die = dict(stack.die_layers())[2]
+    core = config.layers[0]["L0_core0"]
+    cache = config.layers[1]["L1_l2_0"]
+    rows = [
+        ["Die Thickness (one stack)", "0.15 mm", f"{die.thickness_m * 1e3:.2f} mm"],
+        ["Area per Core", "10 mm2", f"{core.area * 1e6:.1f} mm2"],
+        ["Area per L2 Cache", "19 mm2", f"{cache.area * 1e6:.1f} mm2"],
+        [
+            "Total Area of Each Layer",
+            "115 mm2",
+            f"{config.layers[0].area * 1e6:.1f} mm2",
+        ],
+        [
+            "Convection Capacitance",
+            "140 J/K",
+            f"{stack.convection_capacitance:.0f} J/K",
+        ],
+        [
+            "Convection Resistance",
+            "0.1 K/W",
+            f"{stack.convection_resistance:.2f} K/W",
+        ],
+        [
+            "Interlayer Material Thickness (3D)",
+            "0.02 mm",
+            f"{die.interface_thickness_m * 1e3:.3f} mm",
+        ],
+        [
+            "Interlayer Material Resistivity",
+            "0.25 mK/W (0.23 joint)",
+            f"{die.interface_resistivity:.2f} mK/W (TSV-adjusted)",
+        ],
+    ]
+    return rows, config, stack, die, core, cache
+
+
+def test_table2_parameters(benchmark, results_dir):
+    rows, config, stack, die, core, cache = benchmark.pedantic(
+        build_table, rounds=1, iterations=1
+    )
+    text = format_table(
+        ["Parameter", "Paper", "Model"],
+        rows,
+        title="Table II — thermal model and floorplan parameters",
+    )
+    emit(results_dir, "table2_parameters", text)
+
+    assert die.thickness_m == pytest.approx(0.15e-3)
+    assert core.area == pytest.approx(CORE_AREA_M2)
+    assert cache.area == pytest.approx(L2_AREA_M2)
+    assert config.layers[0].area == pytest.approx(115e-6)
+    assert stack.convection_capacitance == pytest.approx(140.0)
+    assert stack.convection_resistance == pytest.approx(0.1)
+    assert die.interface_thickness_m == pytest.approx(0.02e-3)
+    assert die.interface_resistivity == pytest.approx(0.23)

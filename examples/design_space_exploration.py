@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Scenario: choosing a 3D floorplanning strategy at design time.
+
+The paper evaluates four stack organizations (Figure 1): separate
+core/cache tiers (EXP-1/3) versus mixed tiers (EXP-2/4), at two and
+four layers. This example runs the same workload over all four and
+reports the thermal/design trade-offs, including the steady-state
+thermal indices that quantify each core's hot-spot susceptibility.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from collections import defaultdict
+
+from repro import ExperimentRunner, RunSpec, build_experiment, summarize
+from repro.core.thermal_index import compute_thermal_indices
+from repro.power.chip_power import ChipPowerModel
+from repro.thermal.model import ThermalModel
+
+
+def describe_indices(exp_id: int) -> None:
+    config = build_experiment(exp_id)
+    thermal = ThermalModel(config)
+    power = ChipPowerModel(config)
+    indices = compute_thermal_indices(thermal, power)
+    by_layer = defaultdict(list)
+    for core, alpha in indices.items():
+        by_layer[config.core_layer_map()[core]].append(alpha)
+    parts = [
+        f"tier {layer}: alpha {min(v):.2f}-{max(v):.2f}"
+        for layer, v in sorted(by_layer.items())
+    ]
+    print(f"  thermal indices   : {'; '.join(parts)}")
+
+
+def main() -> None:
+    runner = ExperimentRunner()
+    print("Same workload intensity per core, Adapt3D + DPM, 120 s:\n")
+    for exp_id in (1, 2, 3, 4):
+        config = build_experiment(exp_id)
+        result = runner.run(
+            RunSpec(exp_id=exp_id, policy="Adapt3D", duration_s=120.0, with_dpm=True)
+        )
+        report = summarize(result)
+        print(f"=== EXP-{exp_id}: {config.description} ===")
+        print(f"  tiers x cores     : {config.n_layers} x {config.n_cores}")
+        print(f"  peak temperature  : {report.peak_temperature_c:.1f} C")
+        print(f"  hot spots         : {report.hot_spot_pct:.2f} % of time")
+        print(f"  spatial gradients : {report.gradient_pct:.2f} % of time")
+        print(f"  average power     : {report.avg_power_w:.1f} W")
+        describe_indices(exp_id)
+        print()
+
+    print(
+        "Reading: stacking four active tiers roughly doubles power in the\n"
+        "same footprint; the mixed-tier EXP-4 runs hottest because every\n"
+        "tier carries cores, while EXP-1/EXP-3 park the cache tiers'\n"
+        "low-power SRAM between the logic tiers. The thermal index spread\n"
+        "shows why a 3D-aware policy matters: upper-tier cores are\n"
+        "structurally more susceptible."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one DTM policy on a 3D stack and read the metrics.
+
+Builds the paper's EXP-3 system (4 tiers, 16 cores, UltraSPARC T1
+derived), runs the proposed Adapt3D policy against the Default OS load
+balancer on the same consolidated-server workload, and prints the
+paper's headline metrics for both.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ExperimentRunner, RunSpec, summarize
+
+
+def main() -> None:
+    runner = ExperimentRunner()
+
+    print("Simulating EXP-3 (4 tiers, 16 cores) for 120 s of server load...")
+    baseline = runner.run(
+        RunSpec(exp_id=3, policy="Default", duration_s=120.0, with_dpm=True)
+    )
+    adapt3d = runner.run(
+        RunSpec(exp_id=3, policy="Adapt3D", duration_s=120.0, with_dpm=True)
+    )
+
+    for result in (baseline, adapt3d):
+        report = summarize(result, baseline)
+        print(f"\n=== {report.policy} ===")
+        print(f"  hot spots (>85C)        : {report.hot_spot_pct:6.2f} % of time")
+        print(f"  spatial gradients (>15C): {report.gradient_pct:6.2f} % of time")
+        print(f"  thermal cycles (>20C)   : {report.cycle_pct:6.2f} % of windows")
+        print(f"  peak temperature        : {report.peak_temperature_c:6.1f} C")
+        print(f"  mean job response       : {report.mean_response_s * 1e3:6.1f} ms")
+        print(f"  delay vs Default        : {report.normalized_delay:6.3f} x")
+        print(f"  average chip power      : {report.avg_power_w:6.1f} W")
+        print(f"  completed jobs          : {len(result.completed_jobs()):6d}")
+
+
+if __name__ == "__main__":
+    main()

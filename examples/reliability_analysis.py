@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Scenario: projecting relative lifetime impact of DTM policies.
+
+The paper's reliability argument (§I): hot spots accelerate
+electromigration-class wear-out, and thermal cycles drive fatigue
+failures (16x more frequent at ΔT = 20 C than 10 C). This example runs
+three policies on the 4-tier stack and converts their temperature
+histories into relative wear figures with the rainflow +
+Coffin-Manson + Black's-equation pipeline, then exports the raw series
+to CSV for external plotting.
+
+Run:  python examples/reliability_analysis.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import ExperimentRunner, RunSpec
+from repro.analysis.result_io import export_result
+from repro.metrics.lifetime import analyze_lifetime
+
+POLICIES = ["Default", "DVFS_TT", "Adapt3D&DVFS_TT"]
+
+
+def main() -> None:
+    runner = ExperimentRunner()
+    print("EXP-4 (4 tiers, 16 cores), DPM on, 120 s each:\n")
+    header = (
+        f'{"policy":18s} {"worst EM accel":>15} {"total fatigue":>14} '
+        f'{"worst core":>11}'
+    )
+    print(header)
+    print("-" * len(header))
+
+    reports = {}
+    for policy in POLICIES:
+        result = runner.run(
+            RunSpec(exp_id=4, policy=policy, duration_s=120.0, with_dpm=True)
+        )
+        report = analyze_lifetime(result)
+        reports[policy] = (result, report)
+        worst_core = max(
+            report.per_core, key=lambda c: report.per_core[c].em_acceleration
+        )
+        print(
+            f"{policy:18s} {report.worst_em_acceleration:15.2f} "
+            f"{report.total_cycling_damage:14.1f} {worst_core:>11}"
+        )
+
+    base = reports["Default"][1]
+    hybrid = reports["Adapt3D&DVFS_TT"][1]
+    ratio = base.worst_em_acceleration / hybrid.worst_em_acceleration
+    print(
+        f"\nThe hybrid policy's most-stressed core wears "
+        f"{ratio:.2f}x slower (electromigration) than under Default."
+    )
+
+    out_dir = Path(tempfile.mkdtemp(prefix="repro_reliability_"))
+    paths = export_result(reports["Default"][0], out_dir / "default")
+    print(f"\nRaw series exported for external plotting:")
+    for path in paths:
+        print(f"  {path}")
+
+
+if __name__ == "__main__":
+    main()

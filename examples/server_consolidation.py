@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Scenario: consolidating web + database load onto a 3D server chip.
+
+The paper's motivating workload is a typical server (SLAMD web serving,
+MySQL, mixed loads — Table I). This example consolidates a heavy
+web+database mix onto the 2-tier EXP-1 and the 4-tier EXP-3 systems and
+asks the operational question: which DTM policy keeps the 16-core stack
+reliable, and what does it cost in job latency?
+
+Run:  python examples/server_consolidation.py
+"""
+
+from repro import ExperimentRunner, RunSpec, summarize
+
+# A heavier-than-default mix: all threads are server-class.
+SERVER_MIX_8 = (("Web-high", 4), ("Web&DB", 2), ("Database", 2))
+SERVER_MIX_16 = (("Web-high", 8), ("Web&DB", 4), ("Database", 4))
+
+POLICIES = ["Default", "DVFS_TT", "Migr", "Adapt3D", "Adapt3D&DVFS_TT"]
+
+
+def evaluate(runner: ExperimentRunner, exp_id: int, mix) -> None:
+    print(f"\n=== EXP-{exp_id} under the consolidated server mix ===")
+    header = f'{"policy":18s} {"hot%":>7} {"grad%":>7} {"peak C":>7} {"delay":>7} {"energy kJ":>10}'
+    print(header)
+    print("-" * len(header))
+    results = {}
+    for policy in POLICIES:
+        results[policy] = runner.run(
+            RunSpec(
+                exp_id=exp_id,
+                policy=policy,
+                duration_s=120.0,
+                with_dpm=True,
+                benchmark_mix=mix,
+            )
+        )
+    baseline = results["Default"]
+    for policy, result in results.items():
+        report = summarize(result, baseline)
+        print(
+            f"{policy:18s} {report.hot_spot_pct:7.2f} {report.gradient_pct:7.2f} "
+            f"{report.peak_temperature_c:7.1f} {report.normalized_delay:7.3f} "
+            f"{report.energy_j / 1e3:10.2f}"
+        )
+
+
+def main() -> None:
+    runner = ExperimentRunner()
+    evaluate(runner, 1, SERVER_MIX_8)
+    evaluate(runner, 3, SERVER_MIX_16)
+    print(
+        "\nReading: the 2-tier system tolerates the mix under any policy; "
+        "the 4-tier stack needs the 3D-aware allocation (alone or hybrid) "
+        "to stay in the reliable band without the latency cost of "
+        "migration or gating."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so ``pip install -e .`` works in offline
+environments without the ``wheel`` package (legacy editable install).
+"""
+
+from setuptools import setup
+
+setup()

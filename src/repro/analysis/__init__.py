@@ -1,0 +1,17 @@
+"""Experiment harness: runners, sweeps, table/figure renderers, I/O."""
+
+from repro.analysis.runner import ExperimentRunner, RunSpec
+from repro.analysis.tables import format_table
+from repro.analysis.figures import FigureSeries
+from repro.analysis.sweep import sweep
+from repro.analysis.result_io import export_result, load_temperature_csv
+
+__all__ = [
+    "ExperimentRunner",
+    "RunSpec",
+    "format_table",
+    "FigureSeries",
+    "sweep",
+    "export_result",
+    "load_temperature_csv",
+]

@@ -1,0 +1,56 @@
+"""Figure series containers: the numbers behind each paper figure.
+
+The benches print these as aligned text (no plotting dependency); each
+series is also accessible programmatically for further analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis.tables import format_table
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class FigureSeries:
+    """A named family of (category -> value) series, like a bar chart.
+
+    ``groups`` are the x-axis categories (policies); each series is one
+    bar color (e.g. EXP1..EXP4).
+    """
+
+    title: str
+    groups: List[str]
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add_series(self, name: str, values: Sequence[float]) -> None:
+        """Add one series; must match the group count."""
+        values = list(values)
+        if len(values) != len(self.groups):
+            raise ConfigurationError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(self.groups)} groups"
+            )
+        self.series[name] = values
+
+    def value(self, series_name: str, group: str) -> float:
+        """Look up one cell."""
+        try:
+            column = self.groups.index(group)
+        except ValueError:
+            raise ConfigurationError(f"unknown group {group!r}") from None
+        try:
+            return self.series[series_name][column]
+        except KeyError:
+            raise ConfigurationError(f"unknown series {series_name!r}") from None
+
+    def to_text(self) -> str:
+        """Render as an aligned table, groups as rows."""
+        headers = ["group"] + list(self.series)
+        rows = [
+            [group] + [self.series[s][i] for s in self.series]
+            for i, group in enumerate(self.groups)
+        ]
+        return format_table(headers, rows, title=self.title)

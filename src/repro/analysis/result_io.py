@@ -1,0 +1,106 @@
+"""CSV export of simulation results for external analysis.
+
+``export_result`` writes three artifacts next to each other:
+
+- ``<stem>_temps.csv``   — per-tick unit temperatures (kelvin),
+- ``<stem>_cores.csv``   — per-tick core peak temperature, utilization,
+  V/f index and state code,
+- ``<stem>_jobs.csv``    — one row per completed job (arrival, work,
+  response time, migrations).
+
+``load_temperature_csv`` reads the temperature table back into arrays;
+round-tripping is covered by the test suite, so the CSVs double as a
+stable interchange format for plotting outside this library.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sched.engine import SimulationResult
+
+
+def export_result(result: SimulationResult, stem: Union[str, Path]) -> List[Path]:
+    """Write the three CSV artifacts; returns the written paths."""
+    stem = Path(stem)
+    stem.parent.mkdir(parents=True, exist_ok=True)
+    paths = []
+
+    temps_path = stem.with_name(stem.name + "_temps.csv")
+    with temps_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_s"] + result.unit_names)
+        for tick in range(result.n_ticks):
+            writer.writerow(
+                [f"{result.times[tick]:.3f}"]
+                + [f"{value:.4f}" for value in result.unit_temps_k[tick]]
+            )
+    paths.append(temps_path)
+
+    cores_path = stem.with_name(stem.name + "_cores.csv")
+    with cores_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        header = ["time_s"]
+        for name in result.core_names:
+            header += [f"{name}_peak_k", f"{name}_util", f"{name}_vf", f"{name}_state"]
+        writer.writerow(header)
+        for tick in range(result.n_ticks):
+            row = [f"{result.times[tick]:.3f}"]
+            for c in range(len(result.core_names)):
+                row += [
+                    f"{result.core_peak_temps_k[tick, c]:.4f}",
+                    f"{result.utilization[tick, c]:.4f}",
+                    str(int(result.vf_indices[tick, c])),
+                    str(int(result.core_states[tick, c])),
+                ]
+            writer.writerow(row)
+    paths.append(cores_path)
+
+    jobs_path = stem.with_name(stem.name + "_jobs.csv")
+    with jobs_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["job_id", "thread_id", "benchmark", "arrival_s", "work_s",
+             "response_s", "migrations", "core"]
+        )
+        for job in result.completed_jobs():
+            writer.writerow(
+                [
+                    job.job_id,
+                    job.thread_id,
+                    job.benchmark.name,
+                    f"{job.arrival_time:.4f}",
+                    f"{job.work_s:.4f}",
+                    f"{job.response_time:.4f}",
+                    job.migrations,
+                    job.core or "",
+                ]
+            )
+    paths.append(jobs_path)
+    return paths
+
+
+def load_temperature_csv(
+    path: Union[str, Path],
+) -> Tuple[np.ndarray, List[str], np.ndarray]:
+    """Read a ``*_temps.csv`` back as (times, unit names, temps)."""
+    path = Path(path)
+    with path.open() as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if not header or header[0] != "time_s":
+            raise ConfigurationError(f"{path}: not a temperature export")
+        names = header[1:]
+        times: List[float] = []
+        rows: List[List[float]] = []
+        for row in reader:
+            times.append(float(row[0]))
+            rows.append([float(v) for v in row[1:]])
+    if not rows:
+        raise ConfigurationError(f"{path}: no samples")
+    return np.array(times), names, np.array(rows)

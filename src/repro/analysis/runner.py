@@ -1,0 +1,147 @@
+"""ExperimentRunner: build and run one (EXP, policy, workload) study.
+
+This is the top of the stack: it assembles the thermal model, power
+model, thermal indices, policy, and workload into a
+:class:`~repro.sched.engine.SimulationEngine`, with every knob
+defaulted to the paper's setup. The figure benches and examples all go
+through here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.base import SystemView
+from repro.core.registry import build_policy
+from repro.core.thermal_index import compute_thermal_indices
+from repro.errors import ConfigurationError
+from repro.floorplan.experiments import ExperimentConfig, build_experiment
+from repro.power.chip_power import ChipPowerModel
+from repro.power.vf import DEFAULT_VF_TABLE
+from repro.sched.dpm import FixedTimeoutDPM
+from repro.sched.engine import EngineConfig, SimulationEngine, SimulationResult
+from repro.sched.workload_source import ClosedLoopSource, WorkloadSource
+from repro.thermal.model import ThermalModel
+from repro.workload.benchmarks import default_server_mix
+from repro.workload.generator import SyntheticWorkload
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Declarative description of one simulation run.
+
+    Attributes
+    ----------
+    exp_id:
+        The paper's EXP-1..4 stack configuration.
+    policy:
+        Registry name, e.g. ``"Adapt3D"`` or ``"Adapt3D&DVFS_TT"``.
+    duration_s:
+        Simulated seconds (the paper ran 30-minute traces; the benches
+        default shorter for runtime, see EXPERIMENTS.md).
+    with_dpm:
+        Enable the fixed-timeout power manager (Figures 4-6).
+    seed:
+        Workload + policy seed.
+    grid:
+        Thermal grid resolution (rows, cols).
+    benchmark_mix:
+        Optional explicit (benchmark name, thread count) pairs; defaults
+        to the consolidated server mix sized to the core count.
+    """
+
+    exp_id: int
+    policy: str
+    duration_s: float = 120.0
+    with_dpm: bool = False
+    seed: int = 2009
+    grid: Tuple[int, int] = (8, 8)
+    benchmark_mix: Optional[Tuple[Tuple[str, int], ...]] = None
+
+
+class ExperimentRunner:
+    """Builds engines from :class:`RunSpec` values, caching system setup.
+
+    The thermal-index computation (a steady-state solve) is cached per
+    (exp_id, grid) because every policy on the same stack shares it.
+    """
+
+    def __init__(self) -> None:
+        self._index_cache: Dict[Tuple[int, Tuple[int, int]], Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+
+    def build_engine(self, spec: RunSpec) -> SimulationEngine:
+        """Assemble the full simulation stack for one run."""
+        config = build_experiment(spec.exp_id)
+        thermal = ThermalModel(config, nrows=spec.grid[0], ncols=spec.grid[1])
+        power = ChipPowerModel(config)
+        indices = self._thermal_indices(spec, config, thermal, power)
+
+        positions = {}
+        for plan in config.layers:
+            for unit in plan.cores():
+                positions[unit.name] = unit.center
+        view = SystemView(
+            core_names=tuple(power.core_names),
+            core_layer=config.core_layer_map(),
+            n_layers=config.n_layers,
+            vf_table=DEFAULT_VF_TABLE,
+            thermal_indices=indices,
+            core_positions=positions,
+        )
+
+        workload = self._build_workload(spec, config)
+        policy = build_policy(spec.policy)
+        engine_config = EngineConfig(
+            duration_s=spec.duration_s,
+            dpm=FixedTimeoutDPM() if spec.with_dpm else None,
+            seed=spec.seed,
+        )
+        return SimulationEngine(
+            thermal=thermal,
+            power=power,
+            policy=policy,
+            workload=workload,
+            config=engine_config,
+            system_view=view,
+        )
+
+    def run(self, spec: RunSpec) -> SimulationResult:
+        """Build and execute one run."""
+        return self.build_engine(spec).run()
+
+    def run_policies(
+        self, base: RunSpec, policies: Sequence[str]
+    ) -> Dict[str, SimulationResult]:
+        """Run several policies on otherwise identical specs."""
+        return {
+            name: self.run(replace(base, policy=name)) for name in policies
+        }
+
+    # ------------------------------------------------------------------
+
+    def _thermal_indices(
+        self,
+        spec: RunSpec,
+        config: ExperimentConfig,
+        thermal: ThermalModel,
+        power: ChipPowerModel,
+    ) -> Dict[str, float]:
+        key = (spec.exp_id, spec.grid)
+        if key not in self._index_cache:
+            self._index_cache[key] = compute_thermal_indices(thermal, power)
+        return self._index_cache[key]
+
+    def _build_workload(
+        self, spec: RunSpec, config: ExperimentConfig
+    ) -> WorkloadSource:
+        if spec.benchmark_mix is None:
+            mix = default_server_mix(config.n_cores)
+        else:
+            from repro.workload.benchmarks import benchmark
+
+            mix = [(benchmark(name), count) for name, count in spec.benchmark_mix]
+        workload = SyntheticWorkload(mix, seed=spec.seed)
+        return ClosedLoopSource(workload)

@@ -1,0 +1,19 @@
+"""Parameter sweeps for the ablation studies."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Tuple, TypeVar
+
+Value = TypeVar("Value")
+Result = TypeVar("Result")
+
+
+def sweep(
+    values: Iterable[Value], run: Callable[[Value], Result]
+) -> List[Tuple[Value, Result]]:
+    """Run ``run`` for every value and collect (value, result) pairs.
+
+    Trivial sequential helper; exists so ablation benches share one
+    idiom and a future parallel version has one place to live.
+    """
+    return [(value, run(value)) for value in values]

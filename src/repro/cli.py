@@ -1,0 +1,149 @@
+"""Command-line interface: ``repro-dtm``.
+
+Subcommands:
+
+- ``run``        — simulate one (experiment, policy) pair and print the
+  metric report,
+- ``compare``    — run several policies on one stack and print a table,
+- ``policies``   — list the registered DTM policies,
+- ``floorplan``  — render an EXP configuration's layers as ASCII.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.runner import ExperimentRunner, RunSpec
+from repro.analysis.tables import format_table
+from repro.core.registry import policy_names
+from repro.floorplan.experiments import EXPERIMENT_IDS, build_experiment
+from repro.metrics.report import summarize
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--exp", type=int, default=3, choices=EXPERIMENT_IDS,
+                        help="stack configuration (paper EXP-1..4)")
+    parser.add_argument("--duration", type=float, default=120.0,
+                        help="simulated seconds")
+    parser.add_argument("--dpm", action="store_true",
+                        help="enable the fixed-timeout power manager")
+    parser.add_argument("--seed", type=int, default=2009)
+
+
+def _report_lines(report, with_delay: bool) -> List[List[object]]:
+    rows = [
+        ["hot spots (>85C) % time", round(report.hot_spot_pct, 2)],
+        ["spatial gradients (>15C) % time", round(report.gradient_pct, 2)],
+        ["thermal cycles (>20C) % windows", round(report.cycle_pct, 2)],
+        ["peak temperature C", round(report.peak_temperature_c, 1)],
+        ["mean response time s", round(report.mean_response_s, 4)],
+        ["average power W", round(report.avg_power_w, 1)],
+        ["energy J", round(report.energy_j, 1)],
+    ]
+    if with_delay and report.normalized_delay is not None:
+        rows.append(["delay vs Default", round(report.normalized_delay, 3)])
+    return rows
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner()
+    spec = RunSpec(exp_id=args.exp, policy=args.policy,
+                   duration_s=args.duration, with_dpm=args.dpm, seed=args.seed)
+    result = runner.run(spec)
+    report = summarize(result)
+    print(format_table(
+        ["metric", "value"],
+        _report_lines(report, with_delay=False),
+        title=f"{args.policy} on EXP-{args.exp} "
+              f"({args.duration:.0f}s, DPM={'on' if args.dpm else 'off'})",
+    ))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    names = args.policies or policy_names()
+    unknown = [n for n in names if n not in policy_names()]
+    if unknown:
+        print(f"unknown policies: {unknown}", file=sys.stderr)
+        return 2
+    runner = ExperimentRunner()
+    base_spec = RunSpec(exp_id=args.exp, policy="Default",
+                        duration_s=args.duration, with_dpm=args.dpm,
+                        seed=args.seed)
+    results = runner.run_policies(base_spec, names)
+    baseline = results.get("Default") or runner.run(base_spec)
+    rows = []
+    for name, result in results.items():
+        report = summarize(result, baseline)
+        rows.append([
+            name,
+            round(report.hot_spot_pct, 2),
+            round(report.gradient_pct, 2),
+            round(report.cycle_pct, 2),
+            round(report.peak_temperature_c, 1),
+            round(report.normalized_delay, 3),
+        ])
+    print(format_table(
+        ["policy", "hot%", "grad%", "cycles%", "peak C", "delay"],
+        rows,
+        title=f"EXP-{args.exp}, {args.duration:.0f}s, "
+              f"DPM={'on' if args.dpm else 'off'}",
+    ))
+    return 0
+
+
+def cmd_policies(_args: argparse.Namespace) -> int:
+    for name in policy_names():
+        print(name)
+    return 0
+
+
+def cmd_floorplan(args: argparse.Namespace) -> int:
+    config = build_experiment(args.exp)
+    print(f"EXP-{args.exp}: {config.description}")
+    for index, plan in enumerate(config.layers):
+        location = "adjacent to heat sink" if index == 0 else f"tier {index}"
+        print(f"\nlayer {index} ({location}): {plan.name}")
+        print(plan.to_ascii(cols=44, rows=8))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dtm",
+        description="Dynamic thermal management on 3D multicore stacks "
+                    "(Coskun et al., DATE 2009 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="simulate one policy")
+    run_parser.add_argument("policy", choices=policy_names())
+    _add_run_arguments(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = sub.add_parser("compare", help="compare policies")
+    compare_parser.add_argument("policies", nargs="*",
+                                help="policy names (default: all)")
+    _add_run_arguments(compare_parser)
+    compare_parser.set_defaults(func=cmd_compare)
+
+    policies_parser = sub.add_parser("policies", help="list DTM policies")
+    policies_parser.set_defaults(func=cmd_policies)
+
+    floorplan_parser = sub.add_parser("floorplan", help="render a stack")
+    floorplan_parser.add_argument("--exp", type=int, default=1,
+                                  choices=EXPERIMENT_IDS)
+    floorplan_parser.set_defaults(func=cmd_floorplan)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

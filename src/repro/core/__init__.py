@@ -1,0 +1,64 @@
+"""Dynamic thermal management policies — the paper's contribution.
+
+All policies from §III plus the proposed Adapt3D and its hybrids:
+
+==================  ====================================================
+Policy              Mechanism
+==================  ====================================================
+``Default``         OS dynamic load balancing (locality + queue balance)
+``CGate``           clock-gate cores above the thermal threshold
+``DVFS_TT``         temperature-triggered stepwise V/f scaling
+``DVFS_Util``       utilization-matched V/f selection
+``DVFS_FLP``        static V/f by floorplan hot-spot susceptibility
+``Migr``            migrate jobs away from hot cores to the coolest core
+``AdaptRand``       adaptive-random allocation from thermal history [7]
+``Adapt3D``         adaptive allocation with per-core 3D thermal indices
+hybrids             Adapt3D allocation + any DVFS policy
+==================  ====================================================
+
+Every policy is a subclass of :class:`~repro.core.base.Policy` with two
+hooks: ``select_core`` (job allocation at arrival) and ``on_tick``
+(per-sampling-interval control: V/f, gating, migrations).
+"""
+
+from repro.core.base import (
+    AllocationContext,
+    Migration,
+    Policy,
+    PolicyActions,
+    SystemView,
+    TickContext,
+)
+from repro.core.default import DefaultLoadBalancing
+from repro.core.clock_gating import ClockGating
+from repro.core.dvfs_tt import DVFSTemperatureTriggered
+from repro.core.dvfs_util import DVFSUtilizationBased
+from repro.core.dvfs_flp import DVFSFloorplanAware
+from repro.core.migration import MigrationPolicy
+from repro.core.adaptive_random import AdaptiveRandom
+from repro.core.adapt3d import Adapt3D
+from repro.core.hybrid import HybridPolicy
+from repro.core.thermal_index import compute_thermal_indices
+from repro.core.registry import POLICY_BUILDERS, build_policy, policy_names
+
+__all__ = [
+    "Policy",
+    "PolicyActions",
+    "Migration",
+    "SystemView",
+    "TickContext",
+    "AllocationContext",
+    "DefaultLoadBalancing",
+    "ClockGating",
+    "DVFSTemperatureTriggered",
+    "DVFSUtilizationBased",
+    "DVFSFloorplanAware",
+    "MigrationPolicy",
+    "AdaptiveRandom",
+    "Adapt3D",
+    "HybridPolicy",
+    "compute_thermal_indices",
+    "POLICY_BUILDERS",
+    "build_policy",
+    "policy_names",
+]

@@ -1,0 +1,114 @@
+"""Adapt3D — the paper's proposed policy (§III-B).
+
+Adapt3D extends adaptive-random allocation with a per-core *thermal
+index* alpha_i in (0, 1) that encodes how hot-spot prone a core is given
+its 3D location: cores far from the heat sink and near the die center
+cool slower and carry higher indices.
+
+The index asymmetry shapes the probability dynamics exactly as the paper
+describes: when decreasing weights, high-alpha cores lose probability
+faster (``beta_dec * W_diff * alpha``); when increasing, they gain more
+slowly (``beta_inc * W_diff / alpha``). Cores above the critical
+threshold in the last interval get probability zero.
+
+Indices come from the system view. They can be produced offline from a
+steady-state analysis (:func:`repro.core.thermal_index
+.compute_thermal_indices` — the option the paper settled on) or online
+from a long temperature history; the paper found both equivalent.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Mapping, Optional
+
+from repro.core.base import PolicyActions, SystemView, TickContext
+from repro.core.probabilistic import (
+    BETA_DEC,
+    BETA_INC,
+    HISTORY_WINDOW,
+    ProbabilisticAllocator,
+)
+from repro.core.thermal_index import ALPHA_MAX, ALPHA_MIN
+from repro.errors import PolicyError
+
+
+class Adapt3D(ProbabilisticAllocator):
+    """Thermal-history + 3D-location aware job allocation.
+
+    Parameters
+    ----------
+    beta_inc, beta_dec, history_window, seed:
+        The probability-update constants (see base class).
+    online_index_window:
+        If set, the thermal indices are re-estimated at runtime from a
+        long temperature history of this many samples (the paper
+        suggests several minutes, e.g. 1200+ samples at 100 ms) instead
+        of staying fixed at the offline values. The paper found both
+        options to give very similar results (§III-B); the offline
+        default is what its experiments use.
+    """
+
+    name = "Adapt3D"
+
+    def __init__(
+        self,
+        beta_inc: float = BETA_INC,
+        beta_dec: float = BETA_DEC,
+        history_window: int = HISTORY_WINDOW,
+        seed: int = 0xACE1,
+        online_index_window: Optional[int] = None,
+    ) -> None:
+        super().__init__(beta_inc, beta_dec, history_window, seed)
+        if online_index_window is not None and online_index_window < 2:
+            raise PolicyError("online index window must cover >= 2 samples")
+        self.online_index_window = online_index_window
+        self._long_history: Dict[str, Deque[float]] = {}
+
+    def thermal_indices(self, system: SystemView) -> Mapping[str, float]:
+        if not system.thermal_indices:
+            raise PolicyError(
+                "Adapt3D requires thermal indices in the system view; "
+                "compute them with repro.core.thermal_index"
+            )
+        return system.thermal_indices
+
+    def attach(self, system: SystemView) -> None:
+        super().attach(system)
+        if self.online_index_window is not None:
+            self._long_history = {
+                core: deque(maxlen=self.online_index_window)
+                for core in system.core_names
+            }
+
+    def on_tick(self, ctx: TickContext) -> PolicyActions:
+        actions = super().on_tick(ctx)
+        if self.online_index_window is not None:
+            self._update_online_indices(ctx)
+        return actions
+
+    def _update_online_indices(self, ctx: TickContext) -> None:
+        """Re-estimate alpha from the long-run mean temperature per core.
+
+        Short intervals are misleading (paper §III-B), so the estimate
+        only engages once the long window is full; until then the
+        offline indices remain in effect.
+        """
+        for core, snap in ctx.cores.items():
+            self._long_history[core].append(snap.temperature_k)
+        window = self.online_index_window
+        if any(len(h) < window for h in self._long_history.values()):
+            return
+        means = {
+            core: sum(history) / len(history)
+            for core, history in self._long_history.items()
+        }
+        t_min = min(means.values())
+        t_max = max(means.values())
+        if t_max - t_min < 1e-9:
+            return
+        span = ALPHA_MAX - ALPHA_MIN
+        self._alphas = {
+            core: ALPHA_MIN + span * (mean - t_min) / (t_max - t_min)
+            for core, mean in means.items()
+        }

@@ -1,0 +1,28 @@
+"""Adaptive-Random (AdaptRand) — Coskun et al., DATE'07 (§III-B).
+
+Updates per-core workload-allocation probabilities from the chip's
+temperature history, favoring cores under lower thermal stress. Unlike
+Adapt3D it does not differentiate between cores on different layers:
+every core carries the same neutral thermal index, so the weight update
+reduces to a pure temperature-history rule.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.base import SystemView
+from repro.core.probabilistic import ProbabilisticAllocator
+
+# Neutral index: alpha and 1/alpha scale symmetrically around 0.5 so the
+# increase/decrease asymmetry comes only from beta_inc/beta_dec.
+NEUTRAL_ALPHA = 0.5
+
+
+class AdaptiveRandom(ProbabilisticAllocator):
+    """Layer-blind adaptive-random allocation."""
+
+    name = "AdaptRand"
+
+    def thermal_indices(self, system: SystemView) -> Mapping[str, float]:
+        return {core: NEUTRAL_ALPHA for core in system.core_names}

@@ -1,0 +1,220 @@
+"""Policy framework: contexts, actions, and the policy base class.
+
+The engine calls a policy at two points:
+
+- **job arrival** — ``select_core(job, ctx)`` returns the name of the
+  core whose dispatch queue receives the job;
+- **sampling tick** (every 100 ms) — ``on_tick(ctx)`` returns a
+  :class:`PolicyActions` with V/f settings, clock-gating, and migrations
+  to apply for the next interval.
+
+Policies see only what the paper's runtime sees: sensor temperatures,
+last-interval utilization, queue lengths, and static system facts
+(:class:`SystemView`). No offline IPC profiling — that is the paper's
+stated advantage over Zhu et al. [28].
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import PolicyError
+from repro.power.states import CoreState
+from repro.power.vf import VFTable
+from repro.thermal.materials import kelvin
+from repro.workload.job import Job
+
+# The paper's thresholds (§III-B): 85 C critical, 80 C preferred.
+DEFAULT_THRESHOLD_K = kelvin(85.0)
+DEFAULT_PREFERRED_K = kelvin(80.0)
+
+
+@dataclass(frozen=True)
+class SystemView:
+    """Static facts a policy may use.
+
+    Attributes
+    ----------
+    core_names:
+        All cores in canonical (layer-major) order.
+    core_layer:
+        Core name -> tier index (0 = adjacent to the heat sink).
+    n_layers:
+        Number of silicon tiers.
+    vf_table:
+        The available V/f settings.
+    thermal_threshold_k:
+        The critical temperature (85 C in the paper).
+    preferred_temperature_k:
+        The safe operating target T_pref (80 C in the paper).
+    thermal_indices:
+        Core name -> alpha in (0, 1); higher = more hot-spot prone.
+        Computed offline from steady-state analysis
+        (:func:`repro.core.thermal_index.compute_thermal_indices`).
+    core_positions:
+        Core name -> (x, y) die coordinates of the core center, used by
+        the floorplan-aware DVFS policy.
+    """
+
+    core_names: Tuple[str, ...]
+    core_layer: Mapping[str, int]
+    n_layers: int
+    vf_table: VFTable
+    thermal_threshold_k: float = DEFAULT_THRESHOLD_K
+    preferred_temperature_k: float = DEFAULT_PREFERRED_K
+    thermal_indices: Mapping[str, float] = field(default_factory=dict)
+    core_positions: Mapping[str, Tuple[float, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.core_names:
+            raise PolicyError("system has no cores")
+        for name, alpha in self.thermal_indices.items():
+            if not 0.0 < alpha < 1.0:
+                raise PolicyError(
+                    f"thermal index of {name!r} must be in (0,1), got {alpha}"
+                )
+
+
+@dataclass(frozen=True)
+class CoreSnapshot:
+    """One core's observable state at a tick boundary.
+
+    Attributes
+    ----------
+    temperature_k:
+        Sensor reading at the end of the last interval.
+    utilization:
+        Busy fraction of the last interval.
+    state:
+        Core state entering the new interval.
+    vf_index:
+        Current V/f level index.
+    queue_length:
+        Jobs in the dispatch queue (including the running one).
+    """
+
+    temperature_k: float
+    utilization: float
+    state: CoreState
+    vf_index: int
+    queue_length: int
+
+
+@dataclass(frozen=True)
+class TickContext:
+    """Everything a policy sees at a sampling tick."""
+
+    time: float
+    cores: Mapping[str, CoreSnapshot]
+
+    def temperature(self, core: str) -> float:
+        """Sensor temperature (K) of one core."""
+        return self.cores[core].temperature_k
+
+    def hottest_first(self) -> List[str]:
+        """Core names sorted hottest to coolest."""
+        return sorted(
+            self.cores, key=lambda c: self.cores[c].temperature_k, reverse=True
+        )
+
+    def coolest_first(self) -> List[str]:
+        """Core names sorted coolest to hottest."""
+        return sorted(self.cores, key=lambda c: self.cores[c].temperature_k)
+
+
+@dataclass(frozen=True)
+class AllocationContext:
+    """What a policy sees when placing an arriving job.
+
+    Attributes
+    ----------
+    time:
+        Arrival time (s).
+    queue_lengths:
+        Current dispatch-queue length per core.
+    temperatures_k:
+        Most recent sensor reading per core.
+    states:
+        Current core states.
+    last_core:
+        Where the job's thread ran previously (locality hint), if known.
+    """
+
+    time: float
+    queue_lengths: Mapping[str, int]
+    temperatures_k: Mapping[str, float]
+    states: Mapping[str, CoreState]
+    last_core: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One job move between dispatch queues.
+
+    Attributes
+    ----------
+    source, destination:
+        Core names.
+    move_running:
+        Move the head (running) job — thermal migrations do this; queue
+        rebalancing moves the tail job to avoid disturbing execution.
+    swap:
+        If the destination is busy, exchange jobs (paper §III-B, Migr).
+    """
+
+    source: str
+    destination: str
+    move_running: bool = True
+    swap: bool = True
+
+
+@dataclass
+class PolicyActions:
+    """Control decisions applied at a tick boundary.
+
+    Attributes
+    ----------
+    vf_settings:
+        Core name -> V/f index for the next interval. Omitted cores keep
+        their setting.
+    gated:
+        Cores whose clock is gated for the next interval; cores *not*
+        listed are ungated (gating is re-asserted each tick).
+    migrations:
+        Job moves between dispatch queues.
+    """
+
+    vf_settings: Dict[str, int] = field(default_factory=dict)
+    gated: List[str] = field(default_factory=list)
+    migrations: List[Migration] = field(default_factory=list)
+
+
+class Policy(abc.ABC):
+    """Base class of all DTM policies."""
+
+    #: Short name used in result tables (overridden per policy).
+    name: str = "policy"
+
+    def __init__(self) -> None:
+        self._system: Optional[SystemView] = None
+
+    @property
+    def system(self) -> SystemView:
+        """The attached system; raises if the policy is unattached."""
+        if self._system is None:
+            raise PolicyError(f"{self.name}: policy not attached to a system")
+        return self._system
+
+    def attach(self, system: SystemView) -> None:
+        """Bind the policy to a system before the simulation starts."""
+        self._system = system
+
+    @abc.abstractmethod
+    def select_core(self, job: Job, ctx: AllocationContext) -> str:
+        """Choose the dispatch queue for an arriving job."""
+
+    def on_tick(self, ctx: TickContext) -> PolicyActions:
+        """Per-interval control; the default does nothing."""
+        return PolicyActions()

@@ -1,0 +1,76 @@
+"""Dynamic load balancing — the baseline policy (paper §V).
+
+Models the Solaris multi-queue dispatcher the paper uses as its
+baseline: an incoming thread is assigned to the core where it ran
+previously; threads without a recent home go to the least-loaded queue.
+At runtime, a significant queue imbalance triggers migration from the
+longest to the shortest queue.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import (
+    AllocationContext,
+    Migration,
+    Policy,
+    PolicyActions,
+    TickContext,
+)
+from repro.power.states import CoreState
+from repro.workload.job import Job
+
+# Queue-length difference that counts as "significant imbalance".
+IMBALANCE_THRESHOLD = 2
+
+
+class DefaultLoadBalancing(Policy):
+    """Locality-first load balancing with runtime rebalancing."""
+
+    name = "Default"
+
+    def __init__(self) -> None:
+        super().__init__()
+        # Rotating tie-break pointer: a layer-blind OS dispatcher has no
+        # thermal preference among equally loaded cores, so ties rotate
+        # round-robin (a fixed canonical order would systematically
+        # favor the cores of one tier, which no real dispatcher does).
+        self._rr_next = 0
+
+    def select_core(self, job: Job, ctx: AllocationContext) -> str:
+        if ctx.last_core is not None and ctx.last_core in ctx.queue_lengths:
+            # Locality rule: return to the previous core unless its queue
+            # is significantly longer than the best alternative.
+            shortest = min(ctx.queue_lengths.values())
+            if ctx.queue_lengths[ctx.last_core] - shortest < IMBALANCE_THRESHOLD:
+                return ctx.last_core
+        return self._least_loaded(ctx)
+
+    def _least_loaded(self, ctx: AllocationContext) -> str:
+        # Prefer awake cores on ties so DPM sleep is not cut short
+        # needlessly; round-robin order breaks remaining ties.
+        cores = self.system.core_names
+        n = len(cores)
+        best = None
+        best_key = None
+        for offset in range(n):
+            core = cores[(self._rr_next + offset) % n]
+            sleeping = ctx.states[core] is CoreState.SLEEP
+            key = (ctx.queue_lengths[core], sleeping)
+            if best_key is None or key < best_key:
+                best = core
+                best_key = key
+        self._rr_next = (cores.index(best) + 1) % n
+        return best
+
+    def on_tick(self, ctx: TickContext) -> PolicyActions:
+        actions = PolicyActions()
+        longest = max(ctx.cores, key=lambda c: ctx.cores[c].queue_length)
+        shortest = min(ctx.cores, key=lambda c: ctx.cores[c].queue_length)
+        if (
+            ctx.cores[longest].queue_length - ctx.cores[shortest].queue_length
+            >= IMBALANCE_THRESHOLD
+        ):
+            actions.migrations.append(
+                Migration(longest, shortest, move_running=False, swap=False)
+            )
+        return actions

@@ -1,0 +1,54 @@
+"""DVFS with floorplan considerations (DVFS_FLP) — §III-A.
+
+Assigns a statically lower V/f setting to cores with higher
+susceptibility to thermal hot spots: cores near the center of the die
+get hotter than those at the sides and corners, and — 3D-specific —
+cores on layers further from the heat sink are more hot-spot prone.
+
+Susceptibility here is the offline thermal index (the same steady-state
+analysis Adapt3D uses); cores are ranked and the V/f levels spread over
+the ranking, most susceptible cores slowest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.base import PolicyActions, SystemView, TickContext
+from repro.core.default import DefaultLoadBalancing
+from repro.errors import PolicyError
+
+
+class DVFSFloorplanAware(DefaultLoadBalancing):
+    """Static V/f assignment by hot-spot susceptibility rank."""
+
+    name = "DVFS_FLP"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._assignment: Dict[str, int] = {}
+
+    def attach(self, system: SystemView) -> None:
+        super().attach(system)
+        if not system.thermal_indices:
+            raise PolicyError(
+                f"{self.name}: system view lacks thermal indices "
+                "(compute them with repro.core.thermal_index)"
+            )
+        ranked = sorted(
+            system.core_names,
+            key=lambda core: system.thermal_indices[core],
+            reverse=True,
+        )
+        n_levels = len(system.vf_table)
+        n_cores = len(ranked)
+        self._assignment = {}
+        for rank, core in enumerate(ranked):
+            # Most susceptible third -> lowest setting, least -> nominal.
+            bucket = min(n_levels - 1, rank * n_levels // n_cores)
+            self._assignment[core] = system.vf_table.lowest_index - bucket
+
+    def on_tick(self, ctx: TickContext) -> PolicyActions:
+        actions = super().on_tick(ctx)
+        actions.vf_settings.update(self._assignment)
+        return actions

@@ -1,0 +1,24 @@
+"""Utilization-based DVFS (DVFS_Util) — §III-A.
+
+Observes each core's workload over the last interval and, if the core is
+under-utilized, selects the lowest V/f setting that still covers that
+utilization (performance-oriented: the job stream should not back up).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import PolicyActions, TickContext
+from repro.core.default import DefaultLoadBalancing
+
+
+class DVFSUtilizationBased(DefaultLoadBalancing):
+    """Match the V/f setting to the observed core utilization."""
+
+    name = "DVFS_Util"
+
+    def on_tick(self, ctx: TickContext) -> PolicyActions:
+        actions = super().on_tick(ctx)
+        table = self.system.vf_table
+        for core, snap in ctx.cores.items():
+            actions.vf_settings[core] = table.lowest_covering(snap.utilization)
+        return actions

@@ -1,0 +1,56 @@
+"""Hybrid policies: adaptive allocation combined with DVFS (§III-C).
+
+The paper combines the best-performing job allocation policy (Adapt3D)
+with each DVFS policy: allocation decisions come from the allocator,
+V/f and gating decisions from the DVFS policy. This reduces the DVFS
+policy's performance overhead because the allocator finds beneficial
+thread-to-core assignments before throttling is ever needed (§V-A).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import (
+    AllocationContext,
+    Policy,
+    PolicyActions,
+    SystemView,
+    TickContext,
+)
+from repro.workload.job import Job
+
+
+class HybridPolicy(Policy):
+    """Composition of an allocation policy and a DVFS policy.
+
+    Parameters
+    ----------
+    allocator:
+        Supplies ``select_core`` and thermal-history bookkeeping
+        (typically :class:`~repro.core.adapt3d.Adapt3D`).
+    dvfs:
+        Supplies V/f settings and gating decisions. Its queue-rebalance
+        migrations are dropped — placement belongs to the allocator.
+    """
+
+    def __init__(self, allocator: Policy, dvfs: Policy) -> None:
+        super().__init__()
+        self.allocator = allocator
+        self.dvfs = dvfs
+        self.name = f"{allocator.name}&{dvfs.name}"
+
+    def attach(self, system: SystemView) -> None:
+        super().attach(system)
+        self.allocator.attach(system)
+        self.dvfs.attach(system)
+
+    def select_core(self, job: Job, ctx: AllocationContext) -> str:
+        return self.allocator.select_core(job, ctx)
+
+    def on_tick(self, ctx: TickContext) -> PolicyActions:
+        alloc_actions = self.allocator.on_tick(ctx)
+        dvfs_actions = self.dvfs.on_tick(ctx)
+        return PolicyActions(
+            vf_settings=dict(dvfs_actions.vf_settings),
+            gated=list(dvfs_actions.gated),
+            migrations=list(alloc_actions.migrations),
+        )

@@ -1,0 +1,53 @@
+"""Migration policy (Migr) — §III-B.
+
+Moves the running job off any core whose temperature exceeds the
+threshold, to the coolest core that has not already received a migrated
+job during the current scheduling tick. If the selected cool core is
+already running a job, the jobs swap. This extends core-hopping /
+activity-migration techniques [Heo'03, Gomaa'04] to the multicore case.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.core.base import Migration, PolicyActions, TickContext
+from repro.core.default import DefaultLoadBalancing
+
+
+class MigrationPolicy(DefaultLoadBalancing):
+    """Threshold-triggered migrate-to-coolest with swapping."""
+
+    name = "Migr"
+
+    def on_tick(self, ctx: TickContext) -> PolicyActions:
+        # Note: no queue rebalancing on top; migration decisions are
+        # purely thermal for this policy.
+        actions = PolicyActions()
+        threshold = self.system.thermal_threshold_k
+        received: Set[str] = set()
+        for hot in ctx.hottest_first():
+            snap = ctx.cores[hot]
+            if snap.temperature_k < threshold:
+                break
+            if snap.queue_length == 0:
+                continue
+            destination = self._coolest_available(ctx, exclude=received | {hot})
+            if destination is None:
+                break
+            received.add(destination)
+            actions.migrations.append(
+                Migration(hot, destination, move_running=True, swap=True)
+            )
+        return actions
+
+    def _coolest_available(self, ctx: TickContext, exclude: Set[str]):
+        # A destination must itself be below the threshold — shuffling
+        # jobs between two hot cores burns migration cost for nothing.
+        threshold = self.system.thermal_threshold_k
+        candidates = [
+            core
+            for core in ctx.coolest_first()
+            if core not in exclude and ctx.cores[core].temperature_k < threshold
+        ]
+        return candidates[0] if candidates else None

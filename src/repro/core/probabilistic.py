@@ -1,0 +1,172 @@
+"""Shared machinery of the adaptive probabilistic allocators.
+
+Implements the probability update of §III-B::
+
+    P_t     = P_{t-1} + W
+    W_diff  = T_pref - T_avg
+    W       = beta_inc * W_diff / alpha_i    if T_pref >= T_avg
+            = beta_dec * W_diff * alpha_i    otherwise
+
+where ``T_avg`` is the mean over the core's temperature history window
+(10 samples by default — 1 s at the paper's 100 ms sampling rate) and
+``alpha_i`` in (0, 1) is the core's thermal index. After every update,
+cores that exceeded the critical threshold in the last interval get
+probability zero, negatives clamp to zero, and the vector normalizes to
+sum 1.
+
+Allocation draws from the probabilities with the on-chip LFSR. When
+every probability is zero (all cores hot), the coolest core is used.
+
+Adaptive-Random [Coskun DATE'07] and Adapt3D differ only in their
+thermal indices: Adaptive-Random is layer-blind (all alphas equal),
+Adapt3D uses the offline 3D steady-state indices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Mapping, Optional
+
+from repro.core.base import (
+    AllocationContext,
+    Policy,
+    PolicyActions,
+    SystemView,
+    TickContext,
+)
+from repro.errors import PolicyError
+from repro.power.states import CoreState
+from repro.sched.lfsr import GaloisLFSR
+
+# Paper §III-B constants.
+BETA_INC = 0.01
+BETA_DEC = 0.1
+HISTORY_WINDOW = 10
+
+
+class ProbabilisticAllocator(Policy):
+    """Base class for AdaptRand / Adapt3D probability-driven allocation.
+
+    Parameters
+    ----------
+    beta_inc, beta_dec:
+        Rate constants for probability increase/decrease.
+    history_window:
+        Number of temperature samples averaged into ``T_avg``.
+    seed:
+        LFSR seed for the allocation draws.
+    """
+
+    def __init__(
+        self,
+        beta_inc: float = BETA_INC,
+        beta_dec: float = BETA_DEC,
+        history_window: int = HISTORY_WINDOW,
+        seed: int = 0xACE1,
+    ) -> None:
+        super().__init__()
+        if beta_inc <= 0.0 or beta_dec <= 0.0:
+            raise PolicyError("beta constants must be positive")
+        if history_window < 1:
+            raise PolicyError("history window must be >= 1")
+        self.beta_inc = beta_inc
+        self.beta_dec = beta_dec
+        self.history_window = history_window
+        self._lfsr = GaloisLFSR(seed)
+        self._probabilities: Dict[str, float] = {}
+        self._history: Dict[str, Deque[float]] = {}
+        self._over_threshold: Dict[str, bool] = {}
+
+    # -- subclass hook --------------------------------------------------
+
+    def thermal_indices(self, system: SystemView) -> Mapping[str, float]:
+        """Per-core alpha values; overridden by the concrete policies."""
+        raise NotImplementedError
+
+    # --------------------------------------------------------------
+
+    def attach(self, system: SystemView) -> None:
+        super().attach(system)
+        self._alphas = dict(self.thermal_indices(system))
+        missing = set(system.core_names) - set(self._alphas)
+        if missing:
+            raise PolicyError(f"{self.name}: missing thermal index for {sorted(missing)}")
+        for alpha in self._alphas.values():
+            if not 0.0 < alpha < 1.0:
+                raise PolicyError(f"{self.name}: alpha must be in (0,1), got {alpha}")
+        uniform = 1.0 / len(system.core_names)
+        self._probabilities = {core: uniform for core in system.core_names}
+        self._history = {
+            core: deque(maxlen=self.history_window) for core in system.core_names
+        }
+        self._over_threshold = {core: False for core in system.core_names}
+
+    @property
+    def probabilities(self) -> Dict[str, float]:
+        """Current normalized allocation probabilities (copy)."""
+        return dict(self._probabilities)
+
+    # --------------------------------------------------------------
+
+    def on_tick(self, ctx: TickContext) -> PolicyActions:
+        system = self.system
+        threshold = system.thermal_threshold_k
+        t_pref = system.preferred_temperature_k
+        for core, snap in ctx.cores.items():
+            self._history[core].append(snap.temperature_k)
+            self._over_threshold[core] = snap.temperature_k >= threshold
+
+        for core in system.core_names:
+            history = self._history[core]
+            t_avg = sum(history) / len(history)
+            w_diff = t_pref - t_avg
+            alpha = self._alphas[core]
+            if w_diff >= 0.0:
+                weight = self.beta_inc * w_diff / alpha
+            else:
+                weight = self.beta_dec * w_diff * alpha
+            self._probabilities[core] += weight
+
+        for core in system.core_names:
+            if self._over_threshold[core]:
+                self._probabilities[core] = 0.0
+            elif self._probabilities[core] < 0.0:
+                self._probabilities[core] = 0.0
+        self._normalize()
+        return PolicyActions()
+
+    def _normalize(self) -> None:
+        total = sum(self._probabilities.values())
+        if total > 0.0:
+            for core in self._probabilities:
+                self._probabilities[core] /= total
+
+    # --------------------------------------------------------------
+
+    def select_core(self, job, ctx: AllocationContext) -> str:
+        # Keep the load balanced: draw only among the least-loaded cores.
+        # The paper's policy explicitly avoids overloading busy cores;
+        # without this constraint the probability skew between layers
+        # would pile jobs onto the cool tier and inflate response times,
+        # contradicting the paper's "negligible performance overhead"
+        # observation. Probability then decides *which* of the equally
+        # idle cores heats up — the thermally meaningful choice.
+        cores = list(self.system.core_names)
+        shortest = min(ctx.queue_lengths[c] for c in cores)
+        candidates = [c for c in cores if ctx.queue_lengths[c] == shortest]
+        # Respect DPM: don't cut a core's sleep short while an awake
+        # core with an equally short queue exists (sleeping cores are
+        # the coolest, so a pure probability draw would constantly wake
+        # them and erase the power manager's savings).
+        awake = [
+            c for c in candidates if ctx.states[c] is not CoreState.SLEEP
+        ]
+        if awake:
+            candidates = awake
+        weights = [self._probabilities[core] for core in candidates]
+        if sum(weights) <= 0.0:
+            # Every shortest-queue core is hot: take the coolest of them
+            # (never queue behind longer queues — allocation must not
+            # cost performance, §V-A).
+            return min(candidates, key=lambda c: ctx.temperatures_k[c])
+        return candidates[self._lfsr.choice(weights)]

@@ -1,0 +1,54 @@
+"""Policy registry: the eleven policies of the paper's result figures.
+
+Maps the figure labels to builder functions so the benchmark harness and
+CLI can instantiate any policy by name:
+
+Default, CGate, DVFS_TT, DVFS_Util, DVFS_FLP, Migr, AdaptRand, Adapt3D,
+Adapt3D&DVFS_TT, Adapt3D&DVFS_Util, Adapt3D&DVFS_FLP.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.adapt3d import Adapt3D
+from repro.core.adaptive_random import AdaptiveRandom
+from repro.core.base import Policy
+from repro.core.clock_gating import ClockGating
+from repro.core.default import DefaultLoadBalancing
+from repro.core.dvfs_flp import DVFSFloorplanAware
+from repro.core.dvfs_tt import DVFSTemperatureTriggered
+from repro.core.dvfs_util import DVFSUtilizationBased
+from repro.core.hybrid import HybridPolicy
+from repro.core.migration import MigrationPolicy
+from repro.errors import ConfigurationError
+
+POLICY_BUILDERS: Dict[str, Callable[[], Policy]] = {
+    "Default": DefaultLoadBalancing,
+    "CGate": ClockGating,
+    "DVFS_TT": DVFSTemperatureTriggered,
+    "DVFS_Util": DVFSUtilizationBased,
+    "DVFS_FLP": DVFSFloorplanAware,
+    "Migr": MigrationPolicy,
+    "AdaptRand": AdaptiveRandom,
+    "Adapt3D": Adapt3D,
+    "Adapt3D&DVFS_TT": lambda: HybridPolicy(Adapt3D(), DVFSTemperatureTriggered()),
+    "Adapt3D&DVFS_Util": lambda: HybridPolicy(Adapt3D(), DVFSUtilizationBased()),
+    "Adapt3D&DVFS_FLP": lambda: HybridPolicy(Adapt3D(), DVFSFloorplanAware()),
+}
+
+
+def policy_names() -> List[str]:
+    """All registered policy names, figure order."""
+    return list(POLICY_BUILDERS)
+
+
+def build_policy(name: str) -> Policy:
+    """Instantiate a policy by its figure label."""
+    try:
+        builder = POLICY_BUILDERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; known: {policy_names()}"
+        ) from None
+    return builder()

@@ -1,0 +1,44 @@
+"""Floorplan geometry and the UltraSPARC T1-derived 3D layouts.
+
+This package provides:
+
+- :class:`~repro.floorplan.unit.Unit` / :class:`~repro.floorplan.unit.UnitKind`
+  — rectangular floorplan blocks,
+- :class:`~repro.floorplan.floorplan.Floorplan` — a validated collection of
+  units tiling one die layer,
+- :mod:`~repro.floorplan.ultrasparc` — Niagara-1 style layer layouts built
+  from the area budget in Table II of the paper,
+- :mod:`~repro.floorplan.experiments` — the EXP-1..EXP-4 stack
+  configurations evaluated in the paper (Figure 1).
+"""
+
+from repro.floorplan.unit import Unit, UnitKind
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.ultrasparc import (
+    CORE_AREA_M2,
+    L2_AREA_M2,
+    LAYER_AREA_M2,
+    build_cache_layer,
+    build_core_layer,
+    build_mixed_layer,
+)
+from repro.floorplan.experiments import (
+    ExperimentConfig,
+    build_experiment,
+    EXPERIMENT_IDS,
+)
+
+__all__ = [
+    "Unit",
+    "UnitKind",
+    "Floorplan",
+    "CORE_AREA_M2",
+    "L2_AREA_M2",
+    "LAYER_AREA_M2",
+    "build_core_layer",
+    "build_cache_layer",
+    "build_mixed_layer",
+    "ExperimentConfig",
+    "build_experiment",
+    "EXPERIMENT_IDS",
+]

@@ -1,0 +1,152 @@
+"""The four 3D stack configurations evaluated in the paper (Figure 1).
+
+- **EXP-1**: two tiers — core layer + cache layer on top (cores adjacent
+  to the heat sink so the hot logic has the shortest path to the sink;
+  cores and memories in separate tiers enables heterogeneous process
+  technologies, paper §IV-A).
+- **EXP-2**: two tiers, each a mixed layer (4 cores + 2 L2) so every tier
+  contains testable logic.
+- **EXP-3**: EXP-1's layer pair duplicated -> 4 tiers, 16 cores
+  (core, cache, core, cache from the sink upward).
+- **EXP-4**: EXP-2's mixed layer duplicated -> 4 tiers, 16 cores.
+
+The builders return an :class:`ExperimentConfig` holding pure geometry plus
+stack parameters (Table II); the thermal package turns a config into an RC
+network via :func:`repro.thermal.stack.build_stack`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.ultrasparc import (
+    build_cache_layer,
+    build_core_layer,
+    build_mixed_layer,
+)
+
+EXPERIMENT_IDS = (1, 2, 3, 4)
+
+# Table II stack parameters (SI units).
+DIE_THICKNESS_M = 0.15e-3
+INTERLAYER_THICKNESS_M = 0.02e-3
+INTERLAYER_RESISTIVITY_MK_PER_W = 0.25
+# Joint resistivity used in the paper's experiments (1024 TSVs, <1% area).
+JOINT_INTERLAYER_RESISTIVITY_MK_PER_W = 0.23
+CONVECTION_RESISTANCE_K_PER_W = 0.1
+CONVECTION_CAPACITANCE_J_PER_K = 140.0
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to instantiate one of the paper's 3D systems.
+
+    Attributes
+    ----------
+    exp_id:
+        1..4, matching the paper's EXP-1..EXP-4.
+    description:
+        Human-readable summary of the stack.
+    layers:
+        Die floorplans ordered from the heat sink upward (index 0 is the
+        tier adjacent to the spreader/sink).
+    die_thickness_m, interlayer_thickness_m, interlayer_resistivity:
+        Stack parameters from Table II. ``interlayer_resistivity`` is the
+        TSV-adjusted joint value in m·K/W.
+    convection_resistance, convection_capacitance:
+        Package-to-ambient parameters from Table II.
+    """
+
+    exp_id: int
+    description: str
+    layers: Tuple[Floorplan, ...]
+    die_thickness_m: float = DIE_THICKNESS_M
+    interlayer_thickness_m: float = INTERLAYER_THICKNESS_M
+    interlayer_resistivity: float = JOINT_INTERLAYER_RESISTIVITY_MK_PER_W
+    convection_resistance: float = CONVECTION_RESISTANCE_K_PER_W
+    convection_capacitance: float = CONVECTION_CAPACITANCE_J_PER_K
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_layers(self) -> int:
+        """Number of silicon tiers."""
+        return len(self.layers)
+
+    def core_names(self) -> List[str]:
+        """Global core names in canonical order (layer 0 first)."""
+        names: List[str] = []
+        for plan in self.layers:
+            names.extend(u.name for u in plan.cores())
+        return names
+
+    def core_layer_map(self) -> Dict[str, int]:
+        """Map core name -> tier index (0 = adjacent to sink)."""
+        mapping: Dict[str, int] = {}
+        for k, plan in enumerate(self.layers):
+            for unit in plan.cores():
+                mapping[unit.name] = k
+        return mapping
+
+    def unit_layer_map(self) -> Dict[str, int]:
+        """Map every unit name -> tier index."""
+        mapping: Dict[str, int] = {}
+        for k, plan in enumerate(self.layers):
+            for unit in plan:
+                mapping[unit.name] = k
+        return mapping
+
+    @property
+    def n_cores(self) -> int:
+        """Total processing cores in the stack."""
+        return len(self.core_names())
+
+    def caches_per_layer(self) -> List[int]:
+        """Number of L2 banks on each tier."""
+        from repro.floorplan.unit import UnitKind
+
+        return [len(plan.units_of_kind(UnitKind.CACHE)) for plan in self.layers]
+
+
+def build_experiment(exp_id: int) -> ExperimentConfig:
+    """Build the EXP-``exp_id`` configuration from the paper (Figure 1)."""
+    if exp_id == 1:
+        layers = (
+            build_core_layer("L0_", name="exp1_core_layer"),
+            build_cache_layer("L1_", name="exp1_cache_layer"),
+        )
+        descr = "2 tiers: 8-core logic tier at the sink, L2 tier on top"
+    elif exp_id == 2:
+        layers = (
+            build_mixed_layer("L0_", name="exp2_mixed_layer0"),
+            build_mixed_layer("L1_", name="exp2_mixed_layer1").mirrored_vertical(
+                "exp2_mixed_layer1"
+            ),
+        )
+        descr = (
+            "2 tiers: mixed logic+L2 tiers (4 cores + 2 L2 each), upper "
+            "tier mirrored so cores sit over the neighbor tier's caches"
+        )
+    elif exp_id == 3:
+        layers = (
+            build_core_layer("L0_", name="exp3_core_layer0"),
+            build_cache_layer("L1_", name="exp3_cache_layer0"),
+            build_core_layer("L2_", name="exp3_core_layer1"),
+            build_cache_layer("L3_", name="exp3_cache_layer1"),
+        )
+        descr = "4 tiers: EXP-1 duplicated, 16 cores"
+    elif exp_id == 4:
+        layers = []
+        for k in range(4):
+            plan = build_mixed_layer(f"L{k}_", name=f"exp4_mixed_layer{k}")
+            if k % 2 == 1:
+                plan = plan.mirrored_vertical(f"exp4_mixed_layer{k}")
+            layers.append(plan)
+        layers = tuple(layers)
+        descr = "4 tiers: EXP-2 duplicated (alternate tiers mirrored), 16 cores"
+    else:
+        raise ConfigurationError(f"unknown experiment id {exp_id!r}; expected 1..4")
+    return ExperimentConfig(exp_id=exp_id, description=descr, layers=layers)

@@ -1,0 +1,208 @@
+"""A validated collection of units tiling one die layer."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import FloorplanError
+from repro.floorplan.unit import Unit, UnitKind
+
+# Relative slack allowed when checking that units tile the die exactly.
+_AREA_TOLERANCE = 1e-6
+# Absolute geometric slack (meters) for bounds checks; covers float noise
+# in layouts computed from area budgets.
+_GEOM_EPS = 1e-12
+
+
+class Floorplan:
+    """An immutable 2-D floorplan: rectangular units on a W x H die.
+
+    The constructor validates that units
+
+    - lie within the die boundary,
+    - do not overlap each other,
+    - have unique names.
+
+    Full coverage of the die is validated by :meth:`validate_coverage`
+    (called by the layer builders) rather than the constructor, so partial
+    floorplans can be composed incrementally in tests.
+
+    Parameters
+    ----------
+    width, height:
+        Die extent in meters.
+    units:
+        Iterable of :class:`Unit`.
+    name:
+        Optional human-readable name (e.g. ``"t1_core_layer"``).
+    """
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        units: Iterable[Unit],
+        name: str = "floorplan",
+    ) -> None:
+        if width <= 0.0 or height <= 0.0:
+            raise FloorplanError(f"die size must be positive, got {width} x {height}")
+        self.width = float(width)
+        self.height = float(height)
+        self.name = name
+        self._units: List[Unit] = list(units)
+        self._by_name: Dict[str, Unit] = {}
+        for unit in self._units:
+            if unit.name in self._by_name:
+                raise FloorplanError(f"duplicate unit name {unit.name!r}")
+            self._by_name[unit.name] = unit
+        self._validate_bounds()
+        self._validate_no_overlap()
+
+    # ------------------------------------------------------------------
+    # validation
+
+    def _validate_bounds(self) -> None:
+        for unit in self._units:
+            if (
+                unit.x < -_GEOM_EPS
+                or unit.y < -_GEOM_EPS
+                or unit.x2 > self.width + _GEOM_EPS
+                or unit.y2 > self.height + _GEOM_EPS
+            ):
+                raise FloorplanError(
+                    f"unit {unit.name!r} exceeds die bounds "
+                    f"({self.width} x {self.height})"
+                )
+
+    def _validate_no_overlap(self) -> None:
+        # O(n^2) pairwise check; floorplans here have tens of units.
+        for i, a in enumerate(self._units):
+            for b in self._units[i + 1:]:
+                if a.overlap_area(b) > _AREA_TOLERANCE * min(a.area, b.area):
+                    raise FloorplanError(
+                        f"units {a.name!r} and {b.name!r} overlap"
+                    )
+
+    def validate_coverage(self) -> None:
+        """Raise unless the units tile the die area exactly.
+
+        Uses an area-sum argument: with bounds and no-overlap already
+        enforced, total unit area == die area implies full coverage.
+        """
+        total = sum(u.area for u in self._units)
+        die = self.width * self.height
+        if abs(total - die) > _AREA_TOLERANCE * die:
+            raise FloorplanError(
+                f"floorplan {self.name!r} covers {total:.6e} m² of "
+                f"{die:.6e} m² die area"
+            )
+
+    # ------------------------------------------------------------------
+    # accessors
+
+    @property
+    def units(self) -> Tuple[Unit, ...]:
+        """All units, in insertion order."""
+        return tuple(self._units)
+
+    @property
+    def area(self) -> float:
+        """Die area in m²."""
+        return self.width * self.height
+
+    def __len__(self) -> int:
+        return len(self._units)
+
+    def __iter__(self) -> Iterator[Unit]:
+        return iter(self._units)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Unit:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise FloorplanError(
+                f"no unit named {name!r} in floorplan {self.name!r}"
+            ) from None
+
+    def unit_names(self) -> List[str]:
+        """Names of all units, in insertion order."""
+        return [u.name for u in self._units]
+
+    def units_of_kind(self, kind: UnitKind) -> List[Unit]:
+        """All units of the given kind, in insertion order."""
+        return [u for u in self._units if u.kind is kind]
+
+    def cores(self) -> List[Unit]:
+        """Processing-core units, in insertion order."""
+        return self.units_of_kind(UnitKind.CORE)
+
+    def unit_at(self, x: float, y: float) -> Optional[Unit]:
+        """The unit containing point (x, y), or None if in a gap."""
+        for unit in self._units:
+            if unit.contains_point(x, y):
+                return unit
+        return None
+
+    # ------------------------------------------------------------------
+    # transforms
+
+    def mirrored_vertical(self, name: Optional[str] = None) -> "Floorplan":
+        """A copy mirrored about the horizontal axis (y -> H - y - h).
+
+        Used for alternate tiers of the mixed stacks (paper Figure 1's
+        A/B letter patterns): mirroring puts cores above the neighbor
+        tier's caches instead of stacking core columns.
+        """
+        units = [
+            Unit(
+                name=u.name,
+                x=u.x,
+                y=self.height - u.y - u.height,
+                width=u.width,
+                height=u.height,
+                kind=u.kind,
+            )
+            for u in self._units
+        ]
+        return Floorplan(
+            self.width, self.height, units, name=name or f"{self.name}_mirrored"
+        )
+
+    # ------------------------------------------------------------------
+    # rendering
+
+    def to_ascii(self, cols: int = 48, rows: int = 16) -> str:
+        """Coarse ASCII rendering of the layout (for Figure 1 output).
+
+        Each character cell shows the first letter of the unit occupying
+        its center point, uppercase for cores.
+        """
+        lines = []
+        for r in range(rows):
+            # row 0 is the top of the die
+            y = self.height * (rows - r - 0.5) / rows
+            chars = []
+            for c in range(cols):
+                x = self.width * (c + 0.5) / cols
+                unit = self.unit_at(x, y)
+                if unit is None:
+                    chars.append(".")
+                elif unit.kind is UnitKind.CORE:
+                    chars.append("C")
+                elif unit.kind is UnitKind.CACHE:
+                    chars.append("$")
+                elif unit.kind is UnitKind.CROSSBAR:
+                    chars.append("x")
+                else:
+                    chars.append("-")
+            lines.append("".join(chars))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Floorplan({self.name!r}, {self.width * 1e3:.2f}mm x "
+            f"{self.height * 1e3:.2f}mm, {len(self._units)} units)"
+        )

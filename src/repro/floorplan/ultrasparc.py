@@ -1,0 +1,185 @@
+"""UltraSPARC T1 (Niagara-1) style layer layouts.
+
+The paper bases all 3D systems on the UltraSPARC T1 [Leon et al., ISSCC'06]:
+8 SPARC cores, one shared L2 per core pair (4 L2 banks), a crossbar, and
+miscellaneous logic. The exact die plan is not reproducible from the paper;
+what the paper fixes (Table II) is the area budget:
+
+- area per core:      10 mm²
+- area per L2 cache:  19 mm²
+- total layer area:  115 mm²
+
+We arrange units in regular rows on a square die of 115 mm². Three layer
+types cover the four experiments in Figure 1:
+
+- **core layer** — 8 cores in two rows, crossbar + misc in the middle strip
+  (used by EXP-1/EXP-3),
+- **cache layer** — 4 L2 banks in a 2x2 grid plus tag/misc strip
+  (used by EXP-1/EXP-3),
+- **mixed layer** — 4 cores + 2 L2 banks + crossbar slice + misc
+  (used by EXP-2/EXP-4).
+
+All builders take a ``prefix`` so layers stacked in a 3D system have
+globally unique unit names (``L0_core0``, ``L1_l2_1``, ...).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.unit import Unit, UnitKind
+
+# Table II area budget, in m².
+CORE_AREA_M2 = 10e-6
+L2_AREA_M2 = 19e-6
+LAYER_AREA_M2 = 115e-6
+
+# Square die: 115 mm² -> 10.724 mm on a side.
+LAYER_EDGE_M = math.sqrt(LAYER_AREA_M2)
+
+
+def _die_edge() -> float:
+    return LAYER_EDGE_M
+
+
+def build_core_layer(prefix: str = "", name: str = "t1_core_layer") -> Floorplan:
+    """8-core logic layer: two rows of four cores, middle service strip.
+
+    The middle strip carries the crossbar (center) flanked by two misc
+    blocks (FPU, I/O bridge, clocking — the T1's 'other' area).
+    """
+    edge = _die_edge()
+    core_w = edge / 4.0
+    core_h = CORE_AREA_M2 / core_w
+    strip_h = edge - 2.0 * core_h
+    strip_y = core_h
+    xbar_w = edge / 2.0
+    side_w = edge / 4.0
+
+    units: List[Unit] = []
+    for i in range(4):
+        units.append(
+            Unit(f"{prefix}core{i}", i * core_w, 0.0, core_w, core_h, UnitKind.CORE)
+        )
+    units.append(
+        Unit(f"{prefix}other0", 0.0, strip_y, side_w, strip_h, UnitKind.OTHER)
+    )
+    units.append(
+        Unit(f"{prefix}xbar", side_w, strip_y, xbar_w, strip_h, UnitKind.CROSSBAR)
+    )
+    units.append(
+        Unit(
+            f"{prefix}other1",
+            side_w + xbar_w,
+            strip_y,
+            edge - side_w - xbar_w,
+            strip_h,
+            UnitKind.OTHER,
+        )
+    )
+    for i in range(4):
+        units.append(
+            Unit(
+                f"{prefix}core{i + 4}",
+                i * core_w,
+                strip_y + strip_h,
+                core_w,
+                edge - strip_y - strip_h,
+                UnitKind.CORE,
+            )
+        )
+    plan = Floorplan(edge, edge, units, name=name)
+    plan.validate_coverage()
+    return plan
+
+
+def build_cache_layer(prefix: str = "", name: str = "t1_cache_layer") -> Floorplan:
+    """Memory layer: 2x2 grid of L2 banks ('scdata') with a tag/misc strip."""
+    edge = _die_edge()
+    cache_w = edge / 2.0
+    cache_h = L2_AREA_M2 / cache_w
+    strip_h = edge - 2.0 * cache_h
+    strip_y = cache_h
+
+    units: List[Unit] = []
+    for i in range(2):
+        units.append(
+            Unit(
+                f"{prefix}l2_{i}", i * cache_w, 0.0, cache_w, cache_h, UnitKind.CACHE
+            )
+        )
+    units.append(
+        Unit(f"{prefix}other0", 0.0, strip_y, cache_w, strip_h, UnitKind.OTHER)
+    )
+    units.append(
+        Unit(f"{prefix}other1", cache_w, strip_y, edge - cache_w, strip_h, UnitKind.OTHER)
+    )
+    for i in range(2):
+        units.append(
+            Unit(
+                f"{prefix}l2_{i + 2}",
+                i * cache_w,
+                strip_y + strip_h,
+                cache_w,
+                edge - strip_y - strip_h,
+                UnitKind.CACHE,
+            )
+        )
+    plan = Floorplan(edge, edge, units, name=name)
+    plan.validate_coverage()
+    return plan
+
+
+def build_mixed_layer(prefix: str = "", name: str = "t1_mixed_layer") -> Floorplan:
+    """Mixed layer: 4 cores (bottom row), crossbar strip, 2 L2 banks (top).
+
+    This is the EXP-2/EXP-4 layer where every layer contains both logic
+    and memory so each can be tested independently (paper §IV-A).
+    """
+    edge = _die_edge()
+    core_w = edge / 4.0
+    core_h = CORE_AREA_M2 / core_w
+    cache_w = edge / 2.0
+    cache_h = L2_AREA_M2 / cache_w
+    strip_h = edge - core_h - cache_h
+    strip_y = core_h
+    xbar_w = edge / 2.0
+    side_w = edge / 4.0
+
+    units: List[Unit] = []
+    for i in range(4):
+        units.append(
+            Unit(f"{prefix}core{i}", i * core_w, 0.0, core_w, core_h, UnitKind.CORE)
+        )
+    units.append(
+        Unit(f"{prefix}other0", 0.0, strip_y, side_w, strip_h, UnitKind.OTHER)
+    )
+    units.append(
+        Unit(f"{prefix}xbar", side_w, strip_y, xbar_w, strip_h, UnitKind.CROSSBAR)
+    )
+    units.append(
+        Unit(
+            f"{prefix}other1",
+            side_w + xbar_w,
+            strip_y,
+            edge - side_w - xbar_w,
+            strip_h,
+            UnitKind.OTHER,
+        )
+    )
+    for i in range(2):
+        units.append(
+            Unit(
+                f"{prefix}l2_{i}",
+                i * cache_w,
+                strip_y + strip_h,
+                cache_w,
+                edge - strip_y - strip_h,
+                UnitKind.CACHE,
+            )
+        )
+    plan = Floorplan(edge, edge, units, name=name)
+    plan.validate_coverage()
+    return plan

@@ -1,0 +1,63 @@
+"""Metrics: the paper's four evaluation axes plus energy/reliability.
+
+- :mod:`~repro.metrics.hotspots` — % of time above the 85 C threshold
+  (Figures 3 and 4),
+- :mod:`~repro.metrics.gradients` — % of time the per-layer spatial
+  gradient exceeds 15 C (Figure 5),
+- :mod:`~repro.metrics.cycles` — % of sliding-window thermal cycles with
+  magnitude above 20 C (Figure 6),
+- :mod:`~repro.metrics.performance` — job completion delay relative to
+  the default policy (Figure 3's line series),
+- :mod:`~repro.metrics.energy` — energy/average power,
+- :mod:`~repro.metrics.reliability` — JEDEC-style thermal-cycling and
+  electromigration acceleration factors,
+- :mod:`~repro.metrics.report` — one-call summary over a simulation.
+"""
+
+from repro.metrics.hotspots import hot_spot_fraction, hot_spot_per_core
+from repro.metrics.gradients import spatial_gradient_fraction, max_gradient_series
+from repro.metrics.cycles import (
+    thermal_cycle_fraction,
+    sliding_window_deltas,
+    rainflow_count,
+)
+from repro.metrics.performance import (
+    mean_response_time,
+    normalized_delay,
+    throughput,
+)
+from repro.metrics.energy import total_energy, average_power
+from repro.metrics.reliability import (
+    coffin_manson_acceleration,
+    electromigration_acceleration,
+    thermal_cycling_damage,
+)
+from repro.metrics.lifetime import (
+    CoreLifetimeReport,
+    LifetimeReport,
+    analyze_lifetime,
+)
+from repro.metrics.report import MetricsReport, summarize
+
+__all__ = [
+    "hot_spot_fraction",
+    "hot_spot_per_core",
+    "spatial_gradient_fraction",
+    "max_gradient_series",
+    "thermal_cycle_fraction",
+    "sliding_window_deltas",
+    "rainflow_count",
+    "mean_response_time",
+    "normalized_delay",
+    "throughput",
+    "total_energy",
+    "average_power",
+    "coffin_manson_acceleration",
+    "electromigration_acceleration",
+    "thermal_cycling_damage",
+    "MetricsReport",
+    "summarize",
+    "CoreLifetimeReport",
+    "LifetimeReport",
+    "analyze_lifetime",
+]

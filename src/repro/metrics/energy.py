@@ -1,0 +1,30 @@
+"""Energy accounting.
+
+The paper positions Adapt3D as combinable with DVFS/DPM "to reduce
+energy consumption as well"; these helpers quantify that on simulation
+results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def total_energy(total_power_w: np.ndarray, interval_s: float) -> float:
+    """Energy (J) from a per-tick total power series."""
+    power = np.asarray(total_power_w)
+    if power.ndim != 1 or power.size == 0:
+        raise ConfigurationError("expected a non-empty 1-D power series")
+    if interval_s <= 0.0:
+        raise ConfigurationError("interval must be positive")
+    return float(power.sum() * interval_s)
+
+
+def average_power(total_power_w: np.ndarray) -> float:
+    """Mean chip power (W) over the run."""
+    power = np.asarray(total_power_w)
+    if power.ndim != 1 or power.size == 0:
+        raise ConfigurationError("expected a non-empty 1-D power series")
+    return float(power.mean())

@@ -1,0 +1,42 @@
+"""Spatial thermal gradient statistics (paper §V-C, Figure 5).
+
+The paper evaluates the temperature difference between the hottest and
+coolest units on each layer, takes the maximum over the layers at each
+sampling interval, and reports the percentage of time this per-layer
+gradient exceeds 15 C (gradients of 15-20 C start causing clock skew
+and circuit delay problems [Ajami et al.]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+DEFAULT_GRADIENT_K = 15.0
+
+
+def max_gradient_series(layer_spreads_k: np.ndarray) -> np.ndarray:
+    """Per-tick maximum over the per-layer hottest-coolest spreads.
+
+    Parameters
+    ----------
+    layer_spreads_k:
+        (n_ticks, n_layers) array of per-layer unit-temperature spreads.
+    """
+    spreads = np.asarray(layer_spreads_k)
+    if spreads.ndim != 2 or spreads.size == 0:
+        raise ConfigurationError(
+            f"expected non-empty (ticks, layers) array, got shape {spreads.shape}"
+        )
+    return spreads.max(axis=1)
+
+
+def spatial_gradient_fraction(
+    layer_spreads_k: np.ndarray,
+    threshold_k: float = DEFAULT_GRADIENT_K,
+) -> float:
+    """Fraction of ticks whose max per-layer gradient exceeds the
+    threshold, in [0, 1]."""
+    series = max_gradient_series(layer_spreads_k)
+    return float((series > threshold_k).mean())

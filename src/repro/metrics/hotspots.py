@@ -1,0 +1,71 @@
+"""Thermal hot-spot statistics (paper §V-B, Figures 3-4).
+
+The paper reports "the percentage of time spent above 85 C". Two
+aggregations are supported:
+
+- ``per_core_mean`` (default, used for the figures): the fraction of
+  (core, tick) samples above the threshold — equivalently, per-core
+  hot time averaged over cores;
+- ``any_core``: the fraction of ticks where at least one core is hot
+  (a chip-level emergency view).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.thermal.materials import kelvin
+
+DEFAULT_THRESHOLD_K = kelvin(85.0)
+
+_AGGREGATES = ("per_core_mean", "any_core")
+
+
+def hot_spot_fraction(
+    temps_k: np.ndarray,
+    threshold_k: float = DEFAULT_THRESHOLD_K,
+    aggregate: str = "per_core_mean",
+) -> float:
+    """Fraction of time above the threshold, in [0, 1].
+
+    Parameters
+    ----------
+    temps_k:
+        (n_ticks, n_cores) temperature series in kelvin.
+    threshold_k:
+        Hot-spot threshold (paper: 85 C).
+    aggregate:
+        ``"per_core_mean"`` or ``"any_core"`` (see module docstring).
+    """
+    temps = np.asarray(temps_k)
+    if temps.ndim != 2 or temps.size == 0:
+        raise ConfigurationError(
+            f"expected non-empty (ticks, cores) array, got shape {temps.shape}"
+        )
+    if aggregate not in _AGGREGATES:
+        raise ConfigurationError(
+            f"unknown aggregate {aggregate!r}; expected one of {_AGGREGATES}"
+        )
+    hot = temps >= threshold_k
+    if aggregate == "per_core_mean":
+        return float(hot.mean())
+    return float(hot.any(axis=1).mean())
+
+
+def hot_spot_per_core(
+    temps_k: np.ndarray,
+    core_names: List[str],
+    threshold_k: float = DEFAULT_THRESHOLD_K,
+) -> Dict[str, float]:
+    """Per-core fraction of time above the threshold."""
+    temps = np.asarray(temps_k)
+    if temps.ndim != 2 or temps.shape[1] != len(core_names):
+        raise ConfigurationError(
+            f"temperature array shape {temps.shape} does not match "
+            f"{len(core_names)} cores"
+        )
+    hot = (temps >= threshold_k).mean(axis=0)
+    return {name: float(hot[i]) for i, name in enumerate(core_names)}

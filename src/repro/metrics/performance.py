@@ -1,0 +1,38 @@
+"""Performance metrics (paper §V-A, the Figure 3 line series).
+
+The paper evaluates performance as "the average delay in the completion
+time of jobs with respect to the default policy". We compute the mean
+job response time (arrival to completion) per run; the figure series is
+that value normalized to the Default policy's run on the same workload
+(1.0 = no overhead, higher = slower).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.workload.job import Job
+
+
+def mean_response_time(jobs: List[Job]) -> float:
+    """Mean arrival-to-completion latency (s) over finished jobs."""
+    finished = [job for job in jobs if job.finished]
+    if not finished:
+        raise ConfigurationError("no completed jobs to evaluate")
+    return sum(job.response_time for job in finished) / len(finished)
+
+
+def normalized_delay(jobs: List[Job], baseline_jobs: List[Job]) -> float:
+    """Mean response time relative to the baseline run (1.0 = equal)."""
+    baseline = mean_response_time(baseline_jobs)
+    if baseline <= 0.0:
+        raise ConfigurationError("baseline mean response time is zero")
+    return mean_response_time(jobs) / baseline
+
+
+def throughput(jobs: List[Job], duration_s: float) -> float:
+    """Completed jobs per second of simulated time."""
+    if duration_s <= 0.0:
+        raise ConfigurationError("duration must be positive")
+    return sum(1 for job in jobs if job.finished) / duration_s

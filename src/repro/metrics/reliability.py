@@ -1,0 +1,78 @@
+"""Reliability acceleration models (JEDEC JEP122C, paper §I/§V-D).
+
+The paper motivates its metrics with failure mechanisms:
+
+- **thermal cycling** — Coffin-Manson: cycles-to-failure scales as
+  ``(1/ΔT)^q``. The paper quotes failures happening 16x more often when
+  ΔT grows from 10 to 20 C, which corresponds to ``q = 4``
+  (``2^4 = 16``) — the standard exponent for hard metallic structures.
+- **electromigration** — Black's equation: median time to failure
+  scales as ``exp(Ea / (k T))`` in temperature (the current-density
+  factor is constant across our comparisons).
+
+These are comparison (acceleration) factors, not absolute lifetimes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+COFFIN_MANSON_EXPONENT = 4.0
+# Typical electromigration activation energy for Al/Cu interconnect, eV.
+EM_ACTIVATION_ENERGY_EV = 0.7
+BOLTZMANN_EV_PER_K = 8.617333262e-5
+
+
+def coffin_manson_acceleration(
+    delta_t_k: float,
+    reference_delta_t_k: float = 10.0,
+    exponent: float = COFFIN_MANSON_EXPONENT,
+) -> float:
+    """Failure-rate acceleration of cycles of ``delta_t_k`` relative to
+    cycles of ``reference_delta_t_k`` (same cycling frequency).
+
+    ``coffin_manson_acceleration(20, 10) == 16`` — the paper's quoted
+    factor.
+    """
+    if delta_t_k <= 0.0 or reference_delta_t_k <= 0.0:
+        raise ConfigurationError("cycle magnitudes must be positive")
+    return (delta_t_k / reference_delta_t_k) ** exponent
+
+
+def electromigration_acceleration(
+    temperature_k: float,
+    reference_temperature_k: float,
+    activation_energy_ev: float = EM_ACTIVATION_ENERGY_EV,
+) -> float:
+    """Electromigration failure-rate acceleration at ``temperature_k``
+    relative to ``reference_temperature_k`` (Black's equation)."""
+    if temperature_k <= 0.0 or reference_temperature_k <= 0.0:
+        raise ConfigurationError("temperatures must be positive kelvin")
+    exponent = (activation_energy_ev / BOLTZMANN_EV_PER_K) * (
+        1.0 / reference_temperature_k - 1.0 / temperature_k
+    )
+    return math.exp(exponent)
+
+
+def thermal_cycling_damage(
+    cycles: List[Tuple[float, float]],
+    reference_delta_t_k: float = 10.0,
+    exponent: float = COFFIN_MANSON_EXPONENT,
+) -> float:
+    """Relative fatigue damage of a rainflow-counted cycle set.
+
+    Sums Miner's-rule damage contributions, each cycle weighted by its
+    Coffin-Manson acceleration against the reference magnitude. Useful
+    to compare policies: lower is better.
+    """
+    damage = 0.0
+    for magnitude, count in cycles:
+        if magnitude <= 0.0:
+            continue
+        damage += count * coffin_manson_acceleration(
+            magnitude, reference_delta_t_k, exponent
+        )
+    return damage

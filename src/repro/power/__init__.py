@@ -1,0 +1,32 @@
+"""Power models: states, DVFS, leakage, and per-unit aggregation.
+
+The paper's power model (§IV-B):
+
+- SPARC core active power 3 W (peak ~= average for the T1), sleep 0.02 W,
+- 1.28 W per L2 cache (CACTI 4.0),
+- crossbar power scaled by active-core count and memory access statistics,
+- DVFS with three V/f settings (100%, 95%, 85% of nominal), ``P ∝ f·V²``,
+- leakage: base density 0.5 W/mm² at 383 K, scaled by a second-order
+  polynomial in temperature and by voltage (Su et al., ISLPED'03 model).
+"""
+
+from repro.power.states import CoreState
+from repro.power.vf import VFLevel, VFTable, DEFAULT_VF_TABLE
+from repro.power.leakage import LeakageModel, DEFAULT_LEAKAGE
+from repro.power.core_power import CorePowerModel
+from repro.power.cache_power import CachePowerModel
+from repro.power.crossbar import CrossbarPowerModel
+from repro.power.chip_power import ChipPowerModel
+
+__all__ = [
+    "CoreState",
+    "VFLevel",
+    "VFTable",
+    "DEFAULT_VF_TABLE",
+    "LeakageModel",
+    "DEFAULT_LEAKAGE",
+    "CorePowerModel",
+    "CachePowerModel",
+    "CrossbarPowerModel",
+    "ChipPowerModel",
+]

@@ -1,0 +1,214 @@
+"""Chip-level power aggregation: one power value per floorplan unit.
+
+``ChipPowerModel`` combines the per-component models into the per-unit
+power dict the thermal model consumes each sampling interval:
+
+- cores: state/utilization/DVFS dynamic power + polynomial leakage,
+- L2 banks: access-scaled dynamic power + leakage; each bank serves two
+  cores (T1: one shared L2 per core pair), assigned in canonical order,
+- crossbars: per-layer, scaled by that layer's active cores and the
+  workload's memory intensity, + leakage,
+- misc ('other') blocks: small area-proportional dynamic floor + leakage.
+
+Leakage is evaluated at each unit's *current* temperature, closing the
+temperature-leakage feedback loop through the thermal model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import PowerModelError
+from repro.floorplan.experiments import ExperimentConfig
+from repro.floorplan.unit import UnitKind
+from repro.power.cache_power import CachePowerModel
+from repro.power.core_power import CorePowerModel
+from repro.power.crossbar import CrossbarPowerModel
+from repro.power.leakage import DEFAULT_LEAKAGE, LeakageModel
+from repro.power.states import CoreState
+from repro.power.vf import VFLevel
+
+# Dynamic power density of miscellaneous logic (I/O, FPU, buffers) at
+# full chip activity, W/mm².
+OTHER_DENSITY_W_PER_MM2 = 0.05
+OTHER_BASELINE_FRACTION = 0.4
+
+
+@dataclass(frozen=True)
+class CoreActivity:
+    """One core's activity over the last sampling interval.
+
+    Attributes
+    ----------
+    state:
+        Core state (dominant state if it changed mid-interval).
+    utilization:
+        Busy fraction of the interval, in [0, 1].
+    vf:
+        The V/f level the core ran at.
+    """
+
+    state: CoreState
+    utilization: float
+    vf: VFLevel
+
+
+class ChipPowerModel:
+    """Aggregates per-unit power for one experiment configuration."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        core_model: CorePowerModel = CorePowerModel(),
+        cache_model: CachePowerModel = CachePowerModel(),
+        crossbar_model: CrossbarPowerModel = CrossbarPowerModel(),
+        leakage_model: LeakageModel = DEFAULT_LEAKAGE,
+    ) -> None:
+        self.config = config
+        self.core_model = core_model
+        self.cache_model = cache_model
+        self.crossbar_model = crossbar_model
+        self.leakage_model = leakage_model
+
+        self._unit_kind: Dict[str, UnitKind] = {}
+        self._unit_area: Dict[str, float] = {}
+        self._core_names: List[str] = []
+        self._cache_names: List[str] = []
+        self._xbar_layer: Dict[str, int] = {}
+        self._layer_cores: Dict[int, List[str]] = {}
+        for layer_index, plan in enumerate(config.layers):
+            self._layer_cores[layer_index] = []
+            for unit in plan:
+                self._unit_kind[unit.name] = unit.kind
+                self._unit_area[unit.name] = unit.area
+                if unit.kind is UnitKind.CORE:
+                    self._core_names.append(unit.name)
+                    self._layer_cores[layer_index].append(unit.name)
+                elif unit.kind is UnitKind.CACHE:
+                    self._cache_names.append(unit.name)
+                elif unit.kind is UnitKind.CROSSBAR:
+                    self._xbar_layer[unit.name] = layer_index
+
+        self._cache_cores = self._assign_caches()
+
+    def _assign_caches(self) -> Dict[str, List[str]]:
+        """Distribute cores over L2 banks in canonical order (2 per bank)."""
+        if not self._cache_names:
+            raise PowerModelError("configuration has no L2 banks")
+        per_bank = max(1, len(self._core_names) // len(self._cache_names))
+        mapping: Dict[str, List[str]] = {}
+        for bank_index, cache in enumerate(self._cache_names):
+            start = bank_index * per_bank
+            mapping[cache] = self._core_names[start: start + per_bank]
+        return mapping
+
+    # ------------------------------------------------------------------
+
+    @property
+    def core_names(self) -> List[str]:
+        """Core unit names in canonical order."""
+        return list(self._core_names)
+
+    def cache_serving(self, cache_name: str) -> List[str]:
+        """Core names served by one L2 bank."""
+        try:
+            return list(self._cache_cores[cache_name])
+        except KeyError:
+            raise PowerModelError(f"unknown cache {cache_name!r}") from None
+
+    # ------------------------------------------------------------------
+
+    def unit_powers(
+        self,
+        activities: Mapping[str, CoreActivity],
+        unit_temperatures: Mapping[str, float],
+        memory_intensity: float,
+    ) -> Dict[str, float]:
+        """Per-unit power (W) for one sampling interval.
+
+        Parameters
+        ----------
+        activities:
+            Core name -> :class:`CoreActivity` for every core.
+        unit_temperatures:
+            Unit name -> temperature (K); used for the leakage feedback.
+        memory_intensity:
+            Normalized L2 traffic of the running mix, in [0, 1].
+        """
+        missing = set(self._core_names) - set(activities)
+        if missing:
+            raise PowerModelError(f"missing activity for cores: {sorted(missing)}")
+        powers: Dict[str, float] = {}
+
+        for name in self._core_names:
+            act = activities[name]
+            dyn = self.core_model.dynamic_power(act.state, act.utilization, act.vf)
+            if self.core_model.includes_leakage(act.state):
+                powers[name] = dyn
+            else:
+                leak = self.leakage_model.power(
+                    UnitKind.CORE,
+                    self._unit_area[name],
+                    unit_temperatures[name],
+                    act.vf.voltage,
+                )
+                powers[name] = dyn + leak
+
+        for cache in self._cache_names:
+            served = self._cache_cores[cache]
+            if served:
+                mean_util = sum(
+                    activities[c].utilization for c in served
+                ) / len(served)
+            else:
+                mean_util = 0.0
+            dyn = self.cache_model.dynamic_power(mean_util * memory_intensity)
+            leak = self.leakage_model.power(
+                UnitKind.CACHE, self._unit_area[cache], unit_temperatures[cache]
+            )
+            powers[cache] = dyn + leak
+
+        chip_active = self._active_fraction(activities, self._core_names)
+        for xbar, layer_index in self._xbar_layer.items():
+            layer_cores = self._layer_cores[layer_index]
+            # An EXP-1 style crossbar serves the whole chip even though it
+            # sits on the only logic layer; fall back to chip activity
+            # when its layer has no cores of its own.
+            fraction = (
+                self._active_fraction(activities, layer_cores)
+                if layer_cores
+                else chip_active
+            )
+            dyn = self.crossbar_model.dynamic_power(fraction, memory_intensity)
+            leak = self.leakage_model.power(
+                UnitKind.CROSSBAR, self._unit_area[xbar], unit_temperatures[xbar]
+            )
+            powers[xbar] = dyn + leak
+
+        for name, kind in self._unit_kind.items():
+            if kind is not UnitKind.OTHER:
+                continue
+            area_mm2 = self._unit_area[name] * 1e6
+            scale = OTHER_BASELINE_FRACTION + (1.0 - OTHER_BASELINE_FRACTION) * chip_active
+            dyn = OTHER_DENSITY_W_PER_MM2 * area_mm2 * scale
+            leak = self.leakage_model.power(
+                UnitKind.OTHER, self._unit_area[name], unit_temperatures[name]
+            )
+            powers[name] = dyn + leak
+
+        return powers
+
+    @staticmethod
+    def _active_fraction(
+        activities: Mapping[str, CoreActivity], cores: List[str]
+    ) -> float:
+        if not cores:
+            return 0.0
+        busy = sum(
+            1.0
+            for c in cores
+            if activities[c].state is CoreState.ACTIVE
+            or activities[c].utilization > 0.0
+        )
+        return busy / len(cores)

@@ -1,0 +1,80 @@
+"""Per-core dynamic power model.
+
+The paper takes the T1's per-state average as the instantaneous power:
+3 W active (peak ~= average for the in-order SPARC pipeline), 0.02 W in
+the DPM sleep state. An idle-but-clocked core burns clock-tree and
+always-on power; the T1's idle dynamic floor is roughly a third of the
+active dynamic power. Clock gating removes nearly all of the remaining
+dynamic power.
+
+Dynamic power scales with ``f·V²`` under DVFS; leakage is added
+separately from :class:`~repro.power.leakage.LeakageModel` so the
+temperature feedback loop closes through the thermal model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PowerModelError
+from repro.power.states import CoreState
+from repro.power.vf import VFLevel
+
+# Per-state dynamic power at the nominal V/f setting, in watts. The T1
+# parks idle hardware threads on a spin-free wait, so an idle core's
+# dynamic floor is clock distribution plus the always-on front end.
+ACTIVE_DYNAMIC_W = 3.0
+IDLE_DYNAMIC_W = 0.5
+GATED_DYNAMIC_W = 0.15
+SLEEP_TOTAL_W = 0.02
+
+
+@dataclass(frozen=True)
+class CorePowerModel:
+    """Dynamic power of one SPARC core.
+
+    Attributes
+    ----------
+    active_w, idle_w, gated_w:
+        State dynamic power at nominal V/f.
+    sleep_w:
+        Total sleep power (the DPM state power-gates the core, so this
+        already includes residual leakage and is *not* combined with the
+        leakage model).
+    """
+
+    active_w: float = ACTIVE_DYNAMIC_W
+    idle_w: float = IDLE_DYNAMIC_W
+    gated_w: float = GATED_DYNAMIC_W
+    sleep_w: float = SLEEP_TOTAL_W
+
+    def dynamic_power(
+        self, state: CoreState, utilization: float, vf: VFLevel
+    ) -> float:
+        """Dynamic power (W) over one interval.
+
+        Parameters
+        ----------
+        state:
+            Core state during the interval (the dominant state if the
+            core transitioned mid-interval).
+        utilization:
+            Fraction of the interval spent executing, in [0, 1]; blends
+            the active and idle power levels.
+        vf:
+            The core's V/f setting during the interval.
+        """
+        if not 0.0 <= utilization <= 1.0:
+            raise PowerModelError(f"utilization must be in [0,1], got {utilization}")
+        if state is CoreState.SLEEP:
+            return self.sleep_w
+        if state is CoreState.GATED:
+            return self.gated_w
+        busy = self.active_w * utilization + self.idle_w * (1.0 - utilization)
+        return busy * vf.dynamic_scale
+
+    def includes_leakage(self, state: CoreState) -> bool:
+        """Whether the state power already covers leakage (sleep does:
+        the core is power-gated, so the polynomial model must not be
+        added on top)."""
+        return state is CoreState.SLEEP

@@ -1,0 +1,58 @@
+"""Crossbar dynamic power.
+
+The paper models crossbar power "by scaling the average power value
+according to the number of active cores and the memory access
+statistics" (§IV-B). The T1's crossbar connects 8 cores to the L2 banks;
+its average power share in the published breakdown is a few watts. We
+scale a configurable full-activity power by the fraction of active cores
+and by the workload's memory intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PowerModelError
+
+XBAR_FULL_POWER_W = 5.0
+# Share of crossbar power that switches even with one idle-spinning core.
+BASELINE_FRACTION = 0.2
+
+
+@dataclass(frozen=True)
+class CrossbarPowerModel:
+    """Dynamic power of one crossbar instance.
+
+    Attributes
+    ----------
+    full_power_w:
+        Power with every attached core active on a memory-heavy workload.
+    baseline_fraction:
+        Activity-independent fraction.
+    """
+
+    full_power_w: float = XBAR_FULL_POWER_W
+    baseline_fraction: float = BASELINE_FRACTION
+
+    def dynamic_power(self, active_fraction: float, memory_intensity: float) -> float:
+        """Dynamic power (W).
+
+        Parameters
+        ----------
+        active_fraction:
+            Fraction of attached cores that executed during the interval.
+        memory_intensity:
+            Normalized L2 traffic of the running mix, in [0, 1]
+            (derived from Table I miss statistics).
+        """
+        if not 0.0 <= active_fraction <= 1.0:
+            raise PowerModelError(
+                f"active fraction must be in [0,1], got {active_fraction}"
+            )
+        if not 0.0 <= memory_intensity <= 1.0:
+            raise PowerModelError(
+                f"memory intensity must be in [0,1], got {memory_intensity}"
+            )
+        activity = active_fraction * (0.5 + 0.5 * memory_intensity)
+        scale = self.baseline_fraction + (1.0 - self.baseline_fraction) * activity
+        return self.full_power_w * scale

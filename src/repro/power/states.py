@@ -1,0 +1,27 @@
+"""Core power/performance states."""
+
+from __future__ import annotations
+
+import enum
+
+
+class CoreState(enum.Enum):
+    """Operating state of one processing core.
+
+    - ``ACTIVE``: executing a job at the current V/f setting.
+    - ``IDLE``: powered and clocked, empty dispatch queue.
+    - ``GATED``: clock-gated by the CGate policy (thermal emergency);
+      dynamic power drops to the gated floor, execution stalls.
+    - ``SLEEP``: put to sleep by the DPM timeout policy; near-zero power
+      (0.02 W in the paper), execution stalls until wake-up.
+    """
+
+    ACTIVE = "active"
+    IDLE = "idle"
+    GATED = "gated"
+    SLEEP = "sleep"
+
+    @property
+    def executes(self) -> bool:
+        """Whether a core in this state makes forward progress."""
+        return self in (CoreState.ACTIVE, CoreState.IDLE)

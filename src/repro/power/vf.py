@@ -1,0 +1,112 @@
+"""Voltage/frequency settings and the ``P ∝ f·V²`` scaling rule.
+
+The paper assumes three built-in V/f settings per core — the default and
+95% / 85% of the default — with voltage scaled proportionally to
+frequency (§III-A, following Donald & Martonosi ISCA'06). Every core can
+be scaled independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import PowerModelError
+
+
+@dataclass(frozen=True)
+class VFLevel:
+    """One V/f operating point, normalized to the nominal setting.
+
+    Attributes
+    ----------
+    frequency:
+        Relative frequency in (0, 1]; performance scales linearly with
+        this value (paper §V-A assumption).
+    voltage:
+        Relative voltage in (0, 1].
+    """
+
+    frequency: float
+    voltage: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.frequency <= 1.0:
+            raise PowerModelError(f"relative frequency must be in (0,1], got {self.frequency}")
+        if not 0.0 < self.voltage <= 1.0:
+            raise PowerModelError(f"relative voltage must be in (0,1], got {self.voltage}")
+
+    @property
+    def dynamic_scale(self) -> float:
+        """Dynamic power multiplier ``f·V²`` relative to nominal."""
+        return self.frequency * self.voltage * self.voltage
+
+    @property
+    def leakage_voltage_scale(self) -> float:
+        """Leakage multiplier for reduced voltage (quadratic fit to the
+        Su et al. voltage dependence over the narrow 0.85-1.0 range)."""
+        return self.voltage * self.voltage
+
+
+class VFTable:
+    """An ordered set of V/f levels, index 0 = highest (default) setting."""
+
+    def __init__(self, levels: Sequence[VFLevel]) -> None:
+        if not levels:
+            raise PowerModelError("V/f table needs at least one level")
+        freqs = [l.frequency for l in levels]
+        if freqs != sorted(freqs, reverse=True):
+            raise PowerModelError("V/f levels must be ordered highest first")
+        self._levels: Tuple[VFLevel, ...] = tuple(levels)
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def __getitem__(self, index: int) -> VFLevel:
+        if not 0 <= index < len(self._levels):
+            raise PowerModelError(
+                f"V/f index {index} out of range 0..{len(self._levels) - 1}"
+            )
+        return self._levels[index]
+
+    @property
+    def nominal_index(self) -> int:
+        """Index of the default (highest) setting."""
+        return 0
+
+    @property
+    def lowest_index(self) -> int:
+        """Index of the lowest setting."""
+        return len(self._levels) - 1
+
+    def step_down(self, index: int) -> int:
+        """One level lower (slower), clamped to the lowest setting."""
+        return min(index + 1, self.lowest_index)
+
+    def step_up(self, index: int) -> int:
+        """One level higher (faster), clamped to the default setting."""
+        return max(index - 1, 0)
+
+    def lowest_covering(self, utilization: float) -> int:
+        """Lowest-power level whose frequency still covers ``utilization``.
+
+        Used by DVFS_Util: a core that was ``utilization`` busy in the
+        last interval can run at relative frequency >= utilization without
+        stretching execution into the next interval.
+        """
+        if not 0.0 <= utilization <= 1.0:
+            raise PowerModelError(f"utilization must be in [0,1], got {utilization}")
+        for index in range(self.lowest_index, -1, -1):
+            if self._levels[index].frequency >= utilization:
+                return index
+        return self.nominal_index
+
+
+# The paper's three settings: default, 95%, 85% (voltage tracks frequency).
+DEFAULT_VF_TABLE = VFTable(
+    [
+        VFLevel(frequency=1.0, voltage=1.0),
+        VFLevel(frequency=0.95, voltage=0.95),
+        VFLevel(frequency=0.85, voltage=0.85),
+    ]
+)

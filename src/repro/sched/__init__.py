@@ -1,0 +1,29 @@
+"""Scheduling runtime: dispatch queues, DES engine, LFSR, DPM.
+
+Mirrors the paper's §IV-D infrastructure: a multi-queue OS dispatcher
+(one queue per core), temperature sensors sampled every 100 ms, policy
+hooks at job arrivals and sampling ticks, and an optional fixed-timeout
+dynamic power manager.
+"""
+
+from repro.sched.lfsr import GaloisLFSR
+from repro.sched.queue import DispatchQueue
+from repro.sched.dpm import FixedTimeoutDPM
+from repro.sched.workload_source import (
+    ClosedLoopSource,
+    TraceSource,
+    WorkloadSource,
+)
+from repro.sched.engine import EngineConfig, SimulationEngine, SimulationResult
+
+__all__ = [
+    "GaloisLFSR",
+    "DispatchQueue",
+    "FixedTimeoutDPM",
+    "WorkloadSource",
+    "ClosedLoopSource",
+    "TraceSource",
+    "EngineConfig",
+    "SimulationEngine",
+    "SimulationResult",
+]

@@ -1,0 +1,497 @@
+"""The simulation engine: scheduler + power + thermal, 100 ms ticks.
+
+Reproduces the paper's §IV-D infrastructure: a multi-queue dispatcher
+integrated with the thermal simulator and power manager. Within a
+sampling tick, execution is event-driven (arrivals, completions, wakes);
+at each tick boundary the engine
+
+1. computes per-core utilization over the elapsed interval,
+2. evaluates per-unit power (dynamic + temperature-dependent leakage),
+3. advances the transient thermal solution by one interval,
+4. reads the core temperature sensors,
+5. applies DPM timeout transitions,
+6. invokes the DTM policy and applies its V/f / gating / migration
+   actions (migrations cost 1 ms each, the paper's measured value),
+7. records everything for the metrics pipeline.
+
+Performance model: jobs execute at a rate equal to the core's relative
+frequency (the paper assumes performance scales linearly with f);
+gated and sleeping cores make no progress.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import (
+    AllocationContext,
+    CoreSnapshot,
+    Migration,
+    Policy,
+    SystemView,
+    TickContext,
+)
+from repro.errors import SchedulerError
+from repro.power.chip_power import ChipPowerModel, CoreActivity
+from repro.power.states import CoreState
+from repro.power.vf import DEFAULT_VF_TABLE, VFTable
+from repro.sched.dpm import FixedTimeoutDPM
+from repro.sched.queue import DispatchQueue
+from repro.sched.workload_source import WorkloadSource
+from repro.thermal.model import ThermalModel
+from repro.thermal.sensors import SensorBank
+from repro.workload.job import Job
+
+_TIME_EPS = 1e-9
+
+DEFAULT_MIGRATION_COST_S = 0.001
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Run parameters of one simulation.
+
+    Attributes
+    ----------
+    duration_s:
+        Simulated time.
+    sampling_interval_s:
+        Sensor sampling / scheduling tick (paper: 100 ms).
+    migration_cost_s:
+        Stall charged per thread migration (paper: 1 ms, measured on
+        Solaris/UltraSPARC T1).
+    dpm:
+        Optional fixed-timeout power manager.
+    sensor_noise_sigma, sensor_quantization:
+        Sensor non-idealities in kelvin (default ideal).
+    seed:
+        Seed for sensor noise.
+    warmup_utilization:
+        Uniform core utilization assumed for the steady-state
+        initialization of the thermal model.
+    """
+
+    duration_s: float = 300.0
+    sampling_interval_s: float = 0.1
+    migration_cost_s: float = DEFAULT_MIGRATION_COST_S
+    dpm: Optional[FixedTimeoutDPM] = None
+    sensor_noise_sigma: float = 0.0
+    sensor_quantization: float = 0.0
+    seed: int = 1
+    warmup_utilization: float = 0.3
+
+
+class _CoreRuntime:
+    """Mutable per-core scheduling state."""
+
+    def __init__(self, name: str, vf_index: int) -> None:
+        self.name = name
+        self.queue = DispatchQueue(name)
+        self.vf_index = vf_index
+        self.gated = False
+        self.sleeping = False
+        self.idle_since = 0.0
+        self.stall_until = 0.0
+        self.busy_in_tick = 0.0
+        self.last_utilization = 0.0
+
+    def executing(self, now: float) -> bool:
+        """Whether the core makes progress at time ``now``."""
+        return (
+            len(self.queue) > 0
+            and not self.gated
+            and not self.sleeping
+            and now >= self.stall_until - _TIME_EPS
+        )
+
+    def power_state(self) -> CoreState:
+        """State used by the power model for the elapsed interval."""
+        if self.sleeping:
+            return CoreState.SLEEP
+        if self.gated:
+            return CoreState.GATED
+        if len(self.queue) > 0:
+            return CoreState.ACTIVE
+        return CoreState.IDLE
+
+
+@dataclass
+class SimulationResult:
+    """Everything recorded during one run (input to the metrics layer).
+
+    Temperature series are in kelvin. Rows are sampling ticks.
+    """
+
+    times: np.ndarray
+    unit_names: List[str]
+    unit_temps_k: np.ndarray
+    core_names: List[str]
+    core_temps_k: np.ndarray
+    core_peak_temps_k: np.ndarray
+    layer_spreads_k: np.ndarray
+    utilization: np.ndarray
+    vf_indices: np.ndarray
+    core_states: np.ndarray
+    total_power_w: np.ndarray
+    energy_j: float
+    jobs: List[Job] = field(default_factory=list)
+    migrations: int = 0
+    policy_name: str = ""
+    sampling_interval_s: float = 0.1
+
+    @property
+    def n_ticks(self) -> int:
+        """Number of recorded sampling intervals."""
+        return self.times.shape[0]
+
+    def completed_jobs(self) -> List[Job]:
+        """Jobs that finished during the run."""
+        return [job for job in self.jobs if job.finished]
+
+
+class SimulationEngine:
+    """One policy, one workload, one 3D system — run to completion."""
+
+    def __init__(
+        self,
+        thermal: ThermalModel,
+        power: ChipPowerModel,
+        policy: Policy,
+        workload: WorkloadSource,
+        config: EngineConfig = EngineConfig(),
+        vf_table: VFTable = DEFAULT_VF_TABLE,
+        system_view: Optional[SystemView] = None,
+    ) -> None:
+        self.thermal = thermal
+        self.power = power
+        self.policy = policy
+        self.workload = workload
+        self.config = config
+        self.vf_table = vf_table
+
+        self.core_names = power.core_names
+        if system_view is None:
+            system_view = self._default_system_view()
+        self.system_view = system_view
+        policy.attach(system_view)
+
+        self.sensors = SensorBank(
+            thermal,
+            noise_sigma=config.sensor_noise_sigma,
+            quantization_step=config.sensor_quantization,
+            seed=config.seed,
+        )
+        self._cores: Dict[str, _CoreRuntime] = {
+            name: _CoreRuntime(name, vf_table.nominal_index)
+            for name in self.core_names
+        }
+        self._arrivals: List[Tuple[float, int, Job]] = []
+        self._arrival_seq = itertools.count()
+        self._jobs: List[Job] = []
+        self._thread_last_core: Dict[int, str] = {}
+        self._sensor_temps: Dict[str, float] = {}
+        self._migration_count = 0
+
+    # ------------------------------------------------------------------
+
+    def _default_system_view(self) -> SystemView:
+        config = self.thermal.config
+        positions = {}
+        for plan in config.layers:
+            for unit in plan.cores():
+                positions[unit.name] = unit.center
+        return SystemView(
+            core_names=tuple(self.core_names),
+            core_layer=config.core_layer_map(),
+            n_layers=config.n_layers,
+            vf_table=self.vf_table,
+            core_positions=positions,
+        )
+
+    # ------------------------------------------------------------------
+    # main loop
+
+    def run(self) -> SimulationResult:
+        """Execute the configured simulation and return the recording."""
+        cfg = self.config
+        dt = cfg.sampling_interval_s
+        n_ticks = int(round(cfg.duration_s / dt))
+        if n_ticks < 1:
+            raise SchedulerError("duration shorter than one sampling interval")
+
+        self._initialize_thermal_state()
+        for time, job in self.workload.initial_arrivals():
+            self._push_arrival(time, job)
+
+        unit_names = self.thermal.unit_names
+        n_units = len(unit_names)
+        n_cores = len(self.core_names)
+        n_dies = self.thermal.n_dies
+
+        times = np.zeros(n_ticks)
+        unit_temps = np.zeros((n_ticks, n_units))
+        core_temps = np.zeros((n_ticks, n_cores))
+        core_peaks = np.zeros((n_ticks, n_cores))
+        spreads = np.zeros((n_ticks, n_dies))
+        utilization = np.zeros((n_ticks, n_cores))
+        vf_indices = np.zeros((n_ticks, n_cores), dtype=int)
+        core_states = np.zeros((n_ticks, n_cores), dtype=int)
+        total_power = np.zeros(n_ticks)
+        state_codes = {s: i for i, s in enumerate(CoreState)}
+
+        self._sensor_temps = self.sensors.read_cores()
+        energy = 0.0
+        for tick in range(n_ticks):
+            t0 = tick * dt
+            t1 = t0 + dt
+            self._advance_interval(t0, t1)
+
+            # Per-core activity over [t0, t1).
+            activities: Dict[str, CoreActivity] = {}
+            for name, core in self._cores.items():
+                util = min(1.0, core.busy_in_tick / dt)
+                core.last_utilization = util
+                activities[name] = CoreActivity(
+                    state=core.power_state(),
+                    utilization=util,
+                    vf=self.vf_table[core.vf_index],
+                )
+                core.busy_in_tick = 0.0
+
+            unit_temps_now = self.thermal.unit_temperatures()
+            powers = self.power.unit_powers(
+                activities, unit_temps_now, self._memory_intensity()
+            )
+            self.thermal.step(powers)
+            self._sensor_temps = self.sensors.read_cores()
+
+            self._apply_dpm(t1)
+            self._run_policy(t1, activities)
+
+            # Record the end-of-interval state.
+            times[tick] = t1
+            unit_temps_after = self.thermal.unit_temperatures()
+            unit_maxes = self.thermal.unit_max_temperatures()
+            unit_temps[tick] = [unit_temps_after[u] for u in unit_names]
+            core_temps[tick] = [unit_temps_after[c] for c in self.core_names]
+            core_peaks[tick] = [unit_maxes[c] for c in self.core_names]
+            spreads[tick] = self.thermal.layer_unit_spread()
+            utilization[tick] = [
+                self._cores[c].last_utilization for c in self.core_names
+            ]
+            vf_indices[tick] = [self._cores[c].vf_index for c in self.core_names]
+            core_states[tick] = [
+                state_codes[self._cores[c].power_state()] for c in self.core_names
+            ]
+            tick_power = sum(powers.values())
+            total_power[tick] = tick_power
+            energy += tick_power * dt
+
+        return SimulationResult(
+            times=times,
+            unit_names=list(unit_names),
+            unit_temps_k=unit_temps,
+            core_names=list(self.core_names),
+            core_temps_k=core_temps,
+            core_peak_temps_k=core_peaks,
+            layer_spreads_k=spreads,
+            utilization=utilization,
+            vf_indices=vf_indices,
+            core_states=core_states,
+            total_power_w=total_power,
+            energy_j=energy,
+            jobs=self._jobs,
+            migrations=self._migration_count,
+            policy_name=self.policy.name,
+            sampling_interval_s=dt,
+        )
+
+    # ------------------------------------------------------------------
+    # initialization
+
+    def _initialize_thermal_state(self) -> None:
+        """Steady-state warm start (the paper initializes HotSpot so)."""
+        nominal = self.vf_table[self.vf_table.nominal_index]
+        activities = {
+            name: CoreActivity(
+                CoreState.ACTIVE, self.config.warmup_utilization, nominal
+            )
+            for name in self.core_names
+        }
+        ambient = {
+            name: self.thermal.ambient_k for name in self.thermal.unit_names
+        }
+        powers = self.power.unit_powers(
+            activities, ambient, self.workload.memory_intensity()
+        )
+        self.thermal.initialize_steady_state(powers)
+
+    # ------------------------------------------------------------------
+    # discrete-event interval execution
+
+    def _push_arrival(self, time: float, job: Job) -> None:
+        heapq.heappush(self._arrivals, (time, next(self._arrival_seq), job))
+        self._jobs.append(job)
+
+    def _advance_interval(self, t0: float, t1: float) -> None:
+        now = t0
+        while now < t1 - _TIME_EPS:
+            next_time = t1
+            # Earliest arrival.
+            if self._arrivals and self._arrivals[0][0] < next_time:
+                next_time = max(self._arrivals[0][0], now)
+            # Earliest completion or stall expiry.
+            for core in self._cores.values():
+                event = self._next_core_event(core, now)
+                if event is not None and event < next_time:
+                    next_time = event
+            next_time = min(max(next_time, now), t1)
+
+            self._execute(now, next_time)
+            now = next_time
+            self._process_completions(now)
+            self._process_arrivals(now)
+
+    def _next_core_event(self, core: _CoreRuntime, now: float) -> Optional[float]:
+        if len(core.queue) == 0 or core.gated or core.sleeping:
+            return None
+        start = max(now, core.stall_until)
+        job = core.queue.running
+        speed = self.vf_table[core.vf_index].frequency
+        return start + job.remaining_s / speed
+
+    def _execute(self, start: float, end: float) -> None:
+        if end <= start + _TIME_EPS:
+            return
+        for core in self._cores.values():
+            if len(core.queue) == 0 or core.gated or core.sleeping:
+                continue
+            exec_start = max(start, core.stall_until)
+            exec_time = end - exec_start
+            if exec_time <= 0.0:
+                continue
+            speed = self.vf_table[core.vf_index].frequency
+            job = core.queue.running
+            done = min(job.remaining_s, exec_time * speed)
+            job.remaining_s -= done
+            core.busy_in_tick += done / speed
+
+    def _process_completions(self, now: float) -> None:
+        for core in self._cores.values():
+            while len(core.queue) > 0 and core.queue.running.remaining_s <= _TIME_EPS:
+                job = core.queue.pop_finished()
+                job.completion_time = now
+                self._thread_last_core[job.thread_id] = core.name
+                follow_up = self.workload.on_completion(job, now)
+                if follow_up is not None:
+                    self._push_arrival(*follow_up)
+                if len(core.queue) == 0:
+                    core.idle_since = now
+
+    def _process_arrivals(self, now: float) -> None:
+        while self._arrivals and self._arrivals[0][0] <= now + _TIME_EPS:
+            _, _, job = heapq.heappop(self._arrivals)
+            self._dispatch(job, now)
+
+    def _dispatch(self, job: Job, now: float) -> None:
+        ctx = AllocationContext(
+            time=now,
+            queue_lengths={n: len(c.queue) for n, c in self._cores.items()},
+            temperatures_k=dict(self._sensor_temps),
+            states={n: c.power_state() for n, c in self._cores.items()},
+            last_core=self._thread_last_core.get(job.thread_id),
+        )
+        target = self.policy.select_core(job, ctx)
+        if target not in self._cores:
+            raise SchedulerError(
+                f"policy {self.policy.name} selected unknown core {target!r}"
+            )
+        core = self._cores[target]
+        if core.sleeping:
+            core.sleeping = False
+            wake = self.config.dpm.wake_latency_s if self.config.dpm else 0.0
+            core.stall_until = max(core.stall_until, now + wake)
+        core.queue.push(job)
+
+    # ------------------------------------------------------------------
+    # tick-boundary control
+
+    def _apply_dpm(self, now: float) -> None:
+        dpm = self.config.dpm
+        if dpm is None:
+            return
+        for core in self._cores.values():
+            if core.sleeping or len(core.queue) > 0:
+                continue
+            if dpm.should_sleep(now - core.idle_since):
+                core.sleeping = True
+
+    def _run_policy(self, now: float, activities: Dict[str, CoreActivity]) -> None:
+        snapshots = {
+            name: CoreSnapshot(
+                temperature_k=self._sensor_temps[name],
+                utilization=activities[name].utilization,
+                state=self._cores[name].power_state(),
+                vf_index=self._cores[name].vf_index,
+                queue_length=len(self._cores[name].queue),
+            )
+            for name in self.core_names
+        }
+        actions = self.policy.on_tick(TickContext(time=now, cores=snapshots))
+
+        for name, level in actions.vf_settings.items():
+            self.vf_table[level]  # validates the index
+            self._cores[name].vf_index = level
+
+        gated = set(actions.gated)
+        for name, core in self._cores.items():
+            core.gated = name in gated
+
+        for migration in actions.migrations:
+            self._migrate(migration, now)
+
+    def _migrate(self, migration: Migration, now: float) -> None:
+        src = self._cores[migration.source]
+        dst = self._cores[migration.destination]
+        if len(src.queue) == 0:
+            return
+        if migration.move_running:
+            job = src.queue.steal()
+        else:
+            job = src.queue.steal(src.queue.jobs()[-1])
+
+        swapped: Optional[Job] = None
+        if migration.swap and len(dst.queue) > 0:
+            swapped = dst.queue.steal()
+
+        self._place_migrated(job, dst, now)
+        if swapped is not None:
+            self._place_migrated(swapped, src, now)
+
+    def _place_migrated(self, job: Job, core: _CoreRuntime, now: float) -> None:
+        cost = self.config.migration_cost_s
+        if core.sleeping:
+            core.sleeping = False
+            wake = self.config.dpm.wake_latency_s if self.config.dpm else 0.0
+            cost += wake
+        core.queue.push(job)
+        core.stall_until = max(core.stall_until, now + cost)
+        job.migrations += 1
+        self._migration_count += 1
+
+    # ------------------------------------------------------------------
+
+    def _memory_intensity(self) -> float:
+        running = [
+            core.queue.running.benchmark.memory_intensity
+            for core in self._cores.values()
+            if core.queue.running is not None
+        ]
+        if not running:
+            return 0.0
+        return sum(running) / len(running)

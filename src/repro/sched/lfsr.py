@@ -1,0 +1,71 @@
+"""16-bit Galois LFSR pseudo-random generator.
+
+The paper notes (§V-A) that the random number generator the adaptive
+policies need "can be implemented through a linear-feedback shift
+register (LFSR), which often exists on the chip for test purposes". We
+implement exactly that, so the policy logic uses only hardware-plausible
+primitives, and the whole simulation stays deterministic for a given
+seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import PolicyError
+
+# x^16 + x^14 + x^13 + x^11 + 1 — maximal-length taps (period 65535).
+_TAP_MASK = 0xB400
+_STATE_BITS = 16
+_MAX_STATE = (1 << _STATE_BITS) - 1
+
+
+class GaloisLFSR:
+    """Maximal-length 16-bit Galois LFSR.
+
+    Parameters
+    ----------
+    seed:
+        Initial state; any value is accepted, zero is remapped (an LFSR
+        stuck at zero never leaves it).
+    """
+
+    def __init__(self, seed: int = 0xACE1) -> None:
+        state = seed & _MAX_STATE
+        if state == 0:
+            state = 0xACE1
+        self._state = state
+
+    def next_word(self) -> int:
+        """Advance one step and return the 16-bit state."""
+        lsb = self._state & 1
+        self._state >>= 1
+        if lsb:
+            self._state ^= _TAP_MASK
+        return self._state
+
+    def random(self) -> float:
+        """A float in [0, 1) with 16-bit resolution."""
+        return self.next_word() / (_MAX_STATE + 1)
+
+    def choice(self, weights: Sequence[float]) -> int:
+        """Sample an index proportionally to non-negative ``weights``.
+
+        Raises if the weights are all zero or any is negative — callers
+        decide the fallback (the adaptive policies fall back to the
+        coolest core).
+        """
+        total = 0.0
+        for w in weights:
+            if w < 0.0:
+                raise PolicyError(f"negative weight {w}")
+            total += w
+        if total <= 0.0:
+            raise PolicyError("all weights are zero")
+        threshold = self.random() * total
+        cumulative = 0.0
+        for index, w in enumerate(weights):
+            cumulative += w
+            if threshold < cumulative:
+                return index
+        return len(weights) - 1

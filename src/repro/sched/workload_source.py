@@ -1,0 +1,68 @@
+"""Workload source adapters for the simulation engine.
+
+The engine is agnostic to where jobs come from; it needs two operations:
+
+- ``initial_arrivals()`` — the arrivals known before the simulation starts,
+- ``on_completion(job, time)`` — called when a job finishes; closed-loop
+  sources return the owning thread's next arrival, open-loop sources
+  return ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Tuple
+
+from repro.workload.generator import SyntheticWorkload
+from repro.workload.job import Job
+from repro.workload.trace import UtilizationTrace
+
+
+class WorkloadSource(Protocol):
+    """Interface the engine drives."""
+
+    def initial_arrivals(self) -> List[Tuple[float, Job]]:
+        """Arrivals known up front, as (time, job) pairs."""
+        ...
+
+    def on_completion(self, job: Job, time: float) -> Optional[Tuple[float, Job]]:
+        """React to a completion; optionally return the next arrival."""
+        ...
+
+    def memory_intensity(self) -> float:
+        """Representative memory intensity of the mix, in [0, 1]."""
+        ...
+
+
+class ClosedLoopSource:
+    """Adapter over :class:`~repro.workload.generator.SyntheticWorkload`."""
+
+    def __init__(self, workload: SyntheticWorkload) -> None:
+        self.workload = workload
+
+    def initial_arrivals(self) -> List[Tuple[float, Job]]:
+        return self.workload.initial_arrivals()
+
+    def on_completion(self, job: Job, time: float) -> Optional[Tuple[float, Job]]:
+        return self.workload.next_arrival(job.thread_id, time)
+
+    def memory_intensity(self) -> float:
+        return self.workload.mix_memory_intensity()
+
+
+class TraceSource:
+    """Open-loop adapter over a recorded utilization trace."""
+
+    def __init__(self, trace: UtilizationTrace) -> None:
+        self.trace = trace
+        self._arrivals = trace.to_jobs()
+
+    def initial_arrivals(self) -> List[Tuple[float, Job]]:
+        return list(self._arrivals)
+
+    def on_completion(self, job: Job, time: float) -> Optional[Tuple[float, Job]]:
+        return None
+
+    def memory_intensity(self) -> float:
+        from repro.workload.benchmarks import benchmark
+
+        return benchmark(self.trace.benchmark_name).memory_intensity

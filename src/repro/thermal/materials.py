@@ -1,0 +1,81 @@
+"""Material constants and temperature unit helpers.
+
+Values follow HotSpot v4.2 defaults (the paper used the default package),
+expressed in SI units:
+
+- thermal conductivity ``k`` in W/(m·K),
+- volumetric heat capacity ``c_v`` in J/(m³·K).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# The paper does not state the ambient; HotSpot's default is 45 C.
+AMBIENT_K = 318.15
+
+_ZERO_C_IN_K = 273.15
+
+
+def kelvin(temp_celsius: float) -> float:
+    """Convert Celsius to kelvin."""
+    return temp_celsius + _ZERO_C_IN_K
+
+
+def celsius(temp_kelvin: float) -> float:
+    """Convert kelvin to Celsius."""
+    return temp_kelvin - _ZERO_C_IN_K
+
+
+@dataclass(frozen=True)
+class Material:
+    """A homogeneous material in the thermal stack.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in stack descriptions and error messages.
+    conductivity:
+        Thermal conductivity in W/(m·K).
+    volumetric_heat_capacity:
+        Specific heat per unit volume in J/(m³·K).
+    """
+
+    name: str
+    conductivity: float
+    volumetric_heat_capacity: float
+
+    def __post_init__(self) -> None:
+        if self.conductivity <= 0.0:
+            raise ValueError(f"{self.name}: conductivity must be positive")
+        if self.volumetric_heat_capacity <= 0.0:
+            raise ValueError(f"{self.name}: heat capacity must be positive")
+
+    @property
+    def resistivity(self) -> float:
+        """Thermal resistivity in m·K/W (the paper's Table II unit)."""
+        return 1.0 / self.conductivity
+
+    def with_resistivity(self, resistivity: float) -> "Material":
+        """A copy of this material with the given resistivity (m·K/W)."""
+        return Material(
+            name=self.name,
+            conductivity=1.0 / resistivity,
+            volumetric_heat_capacity=self.volumetric_heat_capacity,
+        )
+
+
+# HotSpot default silicon: k = 100 W/mK (accounts for doping and elevated
+# operating temperature), c_v = 1.75e6 J/m^3K.
+SILICON = Material("silicon", conductivity=100.0, volumetric_heat_capacity=1.75e6)
+
+# Copper spreader / sink material per HotSpot defaults.
+COPPER = Material("copper", conductivity=400.0, volumetric_heat_capacity=3.55e6)
+
+# Interlayer bonding material: Table II gives resistivity 0.25 mK/W
+# (=> k = 4 W/mK). Heat capacity comparable to polymer/oxide bond layers;
+# the layer is 20 um thin, so its capacity is negligible either way
+# (the paper makes the same observation for the TSV contribution).
+INTERLAYER = Material(
+    "interlayer", conductivity=4.0, volumetric_heat_capacity=2.0e6
+)

@@ -1,0 +1,244 @@
+"""The :class:`ThermalModel` facade used by the simulation engine.
+
+Wires together stack assembly, grid mapping, and the solvers, and exposes
+the operations the runtime needs:
+
+- ``set`` per-unit powers and ``step(dt)`` the transient solution,
+- read back per-unit / per-core temperatures (area-weighted mean by
+  default, per-cell max available),
+- per-layer hottest/coolest spread for the spatial-gradient metric,
+- steady-state initialization (the paper initializes HotSpot with steady
+  state temperatures).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ThermalModelError
+from repro.floorplan.experiments import ExperimentConfig
+from repro.floorplan.unit import UnitKind
+from repro.thermal.grid import GridMapper
+from repro.thermal.materials import AMBIENT_K
+from repro.thermal.network import build_network
+from repro.thermal.solver import SteadyStateSolver, TransientSolver
+from repro.thermal.stack import Stack3D, build_stack
+
+DEFAULT_GRID_ROWS = 8
+DEFAULT_GRID_COLS = 8
+
+
+class ThermalModel:
+    """Transient 3D thermal model of one experiment configuration.
+
+    Parameters
+    ----------
+    config:
+        The EXP-1..4 configuration (floorplans + Table II parameters).
+    nrows, ncols:
+        Thermal grid resolution per slab.
+    ambient_k:
+        Ambient temperature in kelvin (HotSpot default 45 C).
+    sampling_interval:
+        External step size in seconds (the paper samples at 100 ms).
+    substeps:
+        Internal integrator subdivisions per sampling interval.
+    stack:
+        Optional pre-built stack (overrides ``config``-derived assembly);
+        used by ablation studies that perturb package parameters.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        nrows: int = DEFAULT_GRID_ROWS,
+        ncols: int = DEFAULT_GRID_COLS,
+        ambient_k: float = AMBIENT_K,
+        sampling_interval: float = 0.1,
+        substeps: int = 2,
+        stack: Optional[Stack3D] = None,
+    ) -> None:
+        self.config = config
+        self.stack = stack if stack is not None else build_stack(config)
+        self.network = build_network(self.stack, nrows, ncols, ambient_k)
+        self.sampling_interval = float(sampling_interval)
+        self._transient = TransientSolver(
+            self.network, dt=self.sampling_interval, substeps=substeps
+        )
+        self._steady = SteadyStateSolver(self.network)
+
+        # One mapper per die slab; remember each die's stack index.
+        self._mappers: List[GridMapper] = []
+        self._die_stack_indices: List[int] = []
+        for stack_index, layer in self.stack.die_layers():
+            self._mappers.append(GridMapper(layer.floorplan, nrows, ncols))
+            self._die_stack_indices.append(stack_index)
+
+        # Global unit name -> (die ordinal, name); names are unique across
+        # layers by construction of the experiment configs.
+        self._unit_die: Dict[str, int] = {}
+        for die_ordinal, mapper in enumerate(self._mappers):
+            for name in mapper.unit_names:
+                if name in self._unit_die:
+                    raise ThermalModelError(
+                        f"unit name {name!r} appears on multiple dies"
+                    )
+                self._unit_die[name] = die_ordinal
+
+        self._core_names = [
+            u.name
+            for mapper in self._mappers
+            for u in mapper.floorplan.cores()
+        ]
+        self.temperatures = np.full(self.network.n_nodes, ambient_k)
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    @property
+    def n_dies(self) -> int:
+        """Number of silicon tiers."""
+        return len(self._mappers)
+
+    @property
+    def unit_names(self) -> List[str]:
+        """All unit names across all dies."""
+        return list(self._unit_die)
+
+    @property
+    def core_names(self) -> List[str]:
+        """Core unit names in canonical (layer-major) order."""
+        return list(self._core_names)
+
+    @property
+    def ambient_k(self) -> float:
+        """Ambient temperature in kelvin."""
+        return self.network.ambient_k
+
+    def die_mapper(self, die_ordinal: int) -> GridMapper:
+        """The grid mapper of die ``die_ordinal`` (0 = nearest the sink)."""
+        return self._mappers[die_ordinal]
+
+    def unit_area(self, name: str) -> float:
+        """Area (m²) of a named unit."""
+        die = self._require_die(name)
+        return self._mappers[die].floorplan[name].area
+
+    def unit_kind(self, name: str) -> UnitKind:
+        """Functional kind of a named unit."""
+        die = self._require_die(name)
+        return self._mappers[die].floorplan[name].kind
+
+    def _require_die(self, name: str) -> int:
+        try:
+            return self._unit_die[name]
+        except KeyError:
+            raise ThermalModelError(f"unknown unit {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # power handling
+
+    def node_powers(self, unit_powers: Dict[str, float]) -> np.ndarray:
+        """Expand a per-unit power dict (W) to the node power vector."""
+        per_die: List[Dict[str, float]] = [dict() for _ in self._mappers]
+        for name, power in unit_powers.items():
+            per_die[self._require_die(name)][name] = power
+        vec = np.zeros(self.network.n_nodes)
+        for die_ordinal, powers in enumerate(per_die):
+            if not powers:
+                continue
+            stack_index = self._die_stack_indices[die_ordinal]
+            sl = self.network.layer_slice(stack_index)
+            vec[sl] += self._mappers[die_ordinal].cell_powers(powers)
+        return vec
+
+    # ------------------------------------------------------------------
+    # simulation
+
+    def initialize_steady_state(self, unit_powers: Dict[str, float]) -> None:
+        """Set the state to the equilibrium for the given powers."""
+        self.temperatures = self._steady.solve(self.node_powers(unit_powers))
+
+    def reset(self, temperature_k: Optional[float] = None) -> None:
+        """Reset every node to a uniform temperature (ambient by default)."""
+        value = self.ambient_k if temperature_k is None else temperature_k
+        self.temperatures = np.full(self.network.n_nodes, value)
+
+    def step(self, unit_powers: Dict[str, float]) -> None:
+        """Advance one sampling interval under the given constant powers."""
+        self.temperatures = self._transient.step(
+            self.temperatures, self.node_powers(unit_powers)
+        )
+
+    def steady_state(self, unit_powers: Dict[str, float]) -> Dict[str, float]:
+        """Equilibrium per-unit temperatures without changing the state."""
+        temps = self._steady.solve(self.node_powers(unit_powers))
+        return self._unit_temps_from(temps)
+
+    # ------------------------------------------------------------------
+    # readback
+
+    def _die_cell_temps(self, die_ordinal: int, temps: np.ndarray) -> np.ndarray:
+        stack_index = self._die_stack_indices[die_ordinal]
+        return self.network.layer_temperatures(temps, stack_index)
+
+    def _unit_temps_from(self, temps: np.ndarray) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for die_ordinal, mapper in enumerate(self._mappers):
+            cells = self._die_cell_temps(die_ordinal, temps)
+            out.update(mapper.unit_temperatures(cells))
+        return out
+
+    def unit_temperatures(self) -> Dict[str, float]:
+        """Current area-weighted mean temperature (K) of every unit."""
+        return self._unit_temps_from(self.temperatures)
+
+    def unit_max_temperatures(self) -> Dict[str, float]:
+        """Current max cell temperature (K) over each unit."""
+        out: Dict[str, float] = {}
+        for die_ordinal, mapper in enumerate(self._mappers):
+            cells = self._die_cell_temps(die_ordinal, self.temperatures)
+            out.update(mapper.unit_max_temperatures(cells))
+        return out
+
+    def core_temperatures(self) -> Dict[str, float]:
+        """Current per-core temperatures (K), canonical order preserved."""
+        all_units = self.unit_temperatures()
+        return {name: all_units[name] for name in self._core_names}
+
+    def layer_unit_spread(self) -> List[float]:
+        """Hottest-minus-coolest unit temperature per die layer (K).
+
+        This is the quantity behind the paper's spatial-gradient metric
+        (§V-C): per-layer difference between the hottest and coolest
+        units, evaluated each sampling interval.
+        """
+        spreads: List[float] = []
+        for die_ordinal, mapper in enumerate(self._mappers):
+            cells = self._die_cell_temps(die_ordinal, self.temperatures)
+            unit_temps = mapper.unit_temperatures(cells)
+            values = list(unit_temps.values())
+            spreads.append(max(values) - min(values))
+        return spreads
+
+    def vertical_gradients(self) -> List[float]:
+        """Max |T(die k) - T(die k+1)| per adjacent die pair (K).
+
+        The paper reports these stay within a few degrees (§V-C).
+        """
+        grads: List[float] = []
+        for die_ordinal in range(self.n_dies - 1):
+            lower = self._die_cell_temps(die_ordinal, self.temperatures)
+            upper = self._die_cell_temps(die_ordinal + 1, self.temperatures)
+            grads.append(float(np.abs(lower - upper).max()))
+        return grads
+
+    def max_temperature(self) -> float:
+        """Hottest grid-cell temperature across all dies (K)."""
+        values = [
+            self._die_cell_temps(d, self.temperatures).max()
+            for d in range(self.n_dies)
+        ]
+        return float(max(values))

@@ -1,0 +1,126 @@
+"""Steady-state and transient solvers over a :class:`ThermalNetwork`.
+
+The transient solver integrates ``C dT/dt = -G T + P + g_amb T_amb``
+with backward Euler (default) or Crank-Nicolson. Both are A-stable,
+which matters: cell capacitances span five orders of magnitude (silicon
+grid cells ~1e-4 J/K vs the 140 J/K convection node), so the system is
+stiff and explicit integration would need microsecond steps.
+
+The factorization of the iteration matrix depends only on the internal
+step size, so it is computed once per (dt, substeps) and reused across
+the whole simulation — each 100 ms sampling tick then costs a handful of
+sparse triangular solves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import splu
+
+from repro.errors import ThermalModelError
+from repro.thermal.network import ThermalNetwork
+
+_METHODS = ("backward_euler", "crank_nicolson")
+
+
+class SteadyStateSolver:
+    """Solves ``G T = P + g_amb T_amb`` for the equilibrium temperature."""
+
+    def __init__(self, network: ThermalNetwork) -> None:
+        self.network = network
+        self._lu = splu(network.conductance)
+
+    def solve(self, node_powers: np.ndarray) -> np.ndarray:
+        """Equilibrium node temperatures (K) for the given power vector."""
+        net = self.network
+        if node_powers.shape != (net.n_nodes,):
+            raise ThermalModelError(
+                f"expected {net.n_nodes} node powers, got {node_powers.shape}"
+            )
+        rhs = node_powers + net.ambient_conductance * net.ambient_k
+        return self._lu.solve(rhs)
+
+
+class TransientSolver:
+    """Fixed-step implicit integrator with a cached factorization.
+
+    Parameters
+    ----------
+    network:
+        The assembled RC network.
+    dt:
+        External step size in seconds (one sampling interval).
+    substeps:
+        Internal subdivisions of ``dt`` for accuracy. The default of 2
+        resolves the fast silicon dynamics well enough for 100 ms
+        sampling (validated against Crank-Nicolson in the test suite).
+    method:
+        ``"backward_euler"`` (default) or ``"crank_nicolson"``.
+    """
+
+    def __init__(
+        self,
+        network: ThermalNetwork,
+        dt: float,
+        substeps: int = 2,
+        method: str = "backward_euler",
+    ) -> None:
+        if dt <= 0.0:
+            raise ThermalModelError(f"dt must be positive, got {dt}")
+        if substeps < 1:
+            raise ThermalModelError(f"substeps must be >= 1, got {substeps}")
+        if method not in _METHODS:
+            raise ThermalModelError(
+                f"unknown method {method!r}; expected one of {_METHODS}"
+            )
+        self.network = network
+        self.dt = float(dt)
+        self.substeps = int(substeps)
+        self.method = method
+        h = self.dt / self.substeps
+        c_over_h = sparse.diags(network.capacitance / h)
+        if method == "backward_euler":
+            lhs = (c_over_h + network.conductance).tocsc()
+            self._explicit: Optional[sparse.csc_matrix] = None
+        else:
+            lhs = (c_over_h + 0.5 * network.conductance).tocsc()
+            self._explicit = (c_over_h - 0.5 * network.conductance).tocsc()
+        self._c_over_h = network.capacitance / h
+        self._lu = splu(lhs)
+
+    def step(self, temps: np.ndarray, node_powers: np.ndarray) -> np.ndarray:
+        """Advance one external step ``dt`` under constant power.
+
+        Parameters
+        ----------
+        temps:
+            Node temperatures (K) at the start of the step.
+        node_powers:
+            Node power injection (W), held constant over the step.
+
+        Returns
+        -------
+        numpy.ndarray
+            Node temperatures at the end of the step (new array).
+        """
+        net = self.network
+        if temps.shape != (net.n_nodes,):
+            raise ThermalModelError(
+                f"expected {net.n_nodes} temperatures, got {temps.shape}"
+            )
+        if node_powers.shape != (net.n_nodes,):
+            raise ThermalModelError(
+                f"expected {net.n_nodes} node powers, got {node_powers.shape}"
+            )
+        source = node_powers + net.ambient_conductance * net.ambient_k
+        current = temps
+        for _ in range(self.substeps):
+            if self.method == "backward_euler":
+                rhs = self._c_over_h * current + source
+            else:
+                rhs = self._explicit @ current + source
+            current = self._lu.solve(rhs)
+        return current

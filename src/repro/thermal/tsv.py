@@ -1,0 +1,128 @@
+"""Through-silicon-via (TSV) joint resistivity model (paper Figure 2).
+
+The paper models the interface material between dies as a homogeneous
+layer whose resistivity is the "combined" value of the bonding material
+and the copper TSVs, assuming a homogeneous via distribution:
+
+- each via has a 10 um diameter and requires 10 um of spacing around it
+  (so one via occupies a 30 um x 30 um footprint of which the copper
+  cylinder cross-section is pi * 5um^2),
+- ``d_TSV`` is the ratio of the total area overhead introduced by the
+  TSVs (via + keep-out footprint) to the total layer area,
+- vertical heat conduction through the composite layer is two parallel
+  paths: bonding material over fraction ``1 - f_cu`` of the area and
+  copper over fraction ``f_cu``, giving a joint conductivity
+  ``k = (1 - f_cu) * k_bond + f_cu * k_cu``.
+
+With 1024 vias on a 115 mm² layer this yields ~0.23 mK/W, the value the
+paper uses for its experiments (area overhead < 1%).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ThermalModelError
+from repro.thermal.materials import COPPER, INTERLAYER
+
+
+@dataclass(frozen=True)
+class TSVTechnology:
+    """TSV process parameters (paper §IV-C).
+
+    Attributes
+    ----------
+    via_diameter_m:
+        Copper cylinder diameter (10 um in the paper's technology).
+    keepout_m:
+        Required spacing around each via (10 um in the paper).
+    bond_resistivity:
+        Resistivity of the plain bonding material in m·K/W (Table II:
+        0.25 mK/W).
+    copper_conductivity:
+        Conductivity of the via fill in W/(m·K).
+    """
+
+    via_diameter_m: float = 10e-6
+    keepout_m: float = 10e-6
+    bond_resistivity: float = INTERLAYER.resistivity
+    copper_conductivity: float = COPPER.conductivity
+
+    @property
+    def footprint_area_m2(self) -> float:
+        """Die area consumed by one via including keep-out, in m²."""
+        pitch = self.via_diameter_m + 2.0 * self.keepout_m
+        return pitch * pitch
+
+    @property
+    def copper_area_m2(self) -> float:
+        """Copper cross-section of one via, in m²."""
+        radius = self.via_diameter_m / 2.0
+        return math.pi * radius * radius
+
+    @property
+    def copper_fill_ratio(self) -> float:
+        """Copper fraction of the via footprint (cylinder / square cell)."""
+        return self.copper_area_m2 / self.footprint_area_m2
+
+
+DEFAULT_TSV = TSVTechnology()
+
+
+def joint_resistivity(d_tsv: float, tech: TSVTechnology = DEFAULT_TSV) -> float:
+    """Joint interlayer resistivity (m·K/W) at TSV area density ``d_tsv``.
+
+    Parameters
+    ----------
+    d_tsv:
+        Ratio of total TSV area overhead (footprints including keep-out)
+        to the total layer area, in [0, 1].
+    tech:
+        TSV process parameters.
+    """
+    if not 0.0 <= d_tsv <= 1.0:
+        raise ThermalModelError(f"d_tsv must be within [0, 1], got {d_tsv}")
+    copper_fraction = d_tsv * tech.copper_fill_ratio
+    k_bond = 1.0 / tech.bond_resistivity
+    k_joint = (1.0 - copper_fraction) * k_bond + copper_fraction * tech.copper_conductivity
+    return 1.0 / k_joint
+
+
+def joint_resistivity_for_via_count(
+    n_vias: int, layer_area_m2: float, tech: TSVTechnology = DEFAULT_TSV
+) -> float:
+    """Joint resistivity (m·K/W) for an absolute via count on a layer."""
+    if n_vias < 0:
+        raise ThermalModelError(f"via count must be non-negative, got {n_vias}")
+    d_tsv = area_overhead(n_vias, layer_area_m2, tech)
+    return joint_resistivity(d_tsv, tech)
+
+
+def area_overhead(
+    n_vias: int, layer_area_m2: float, tech: TSVTechnology = DEFAULT_TSV
+) -> float:
+    """Fraction of the layer consumed by ``n_vias`` footprints (d_TSV)."""
+    if layer_area_m2 <= 0.0:
+        raise ThermalModelError("layer area must be positive")
+    return n_vias * tech.footprint_area_m2 / layer_area_m2
+
+
+def vias_per_mm2(n_vias: int, layer_area_m2: float) -> float:
+    """Homogeneous via density in vias per mm² (the paper quotes >8/mm²)."""
+    return n_vias / (layer_area_m2 * 1e6)
+
+
+def resistivity_curve(
+    densities: Sequence[float], tech: TSVTechnology = DEFAULT_TSV
+) -> List[Tuple[float, float]]:
+    """(d_tsv, joint resistivity) pairs — the series behind Figure 2."""
+    return [(float(d), joint_resistivity(float(d), tech)) for d in densities]
+
+
+def default_density_sweep(n_points: int = 21, max_density: float = 0.02) -> np.ndarray:
+    """The 0..2% density range the paper examines in §IV-C."""
+    return np.linspace(0.0, max_density, n_points)

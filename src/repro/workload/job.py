@@ -1,0 +1,116 @@
+"""Jobs and workload threads.
+
+Execution model (paper §IV-B/§IV-D): user and kernel threads alternate
+between *busy* intervals (a job that must run on some core) and *think*
+intervals (no CPU demand). DTrace gave the paper the real active/idle
+slot lengths; our synthetic generator draws them from per-benchmark
+distributions.
+
+A :class:`Job` is one busy interval: it carries its CPU demand in
+nominal-frequency seconds and accumulates bookkeeping (queueing delay,
+migrations, completion time) used by the performance metric.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import WorkloadError
+from repro.workload.benchmarks import BenchmarkSpec
+
+
+@dataclass
+class Job:
+    """One busy interval of a workload thread.
+
+    Attributes
+    ----------
+    job_id:
+        Unique id within a simulation.
+    thread_id:
+        Owning thread (used for the default policy's locality rule).
+    benchmark:
+        The benchmark this thread belongs to.
+    arrival_time:
+        Simulation time (s) the job became runnable.
+    work_s:
+        Total CPU demand in seconds at the nominal frequency.
+    remaining_s:
+        Outstanding demand; decreases as the job executes.
+    core:
+        Name of the core currently hosting the job, if dispatched.
+    completion_time:
+        Set when the job finishes.
+    migrations:
+        Number of times the job was moved between cores.
+    """
+
+    job_id: int
+    thread_id: int
+    benchmark: BenchmarkSpec
+    arrival_time: float
+    work_s: float
+    remaining_s: float = field(init=False)
+    core: Optional[str] = None
+    completion_time: Optional[float] = None
+    migrations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.work_s <= 0.0:
+            raise WorkloadError(f"job {self.job_id}: work must be positive")
+        if self.arrival_time < 0.0:
+            raise WorkloadError(f"job {self.job_id}: negative arrival time")
+        self.remaining_s = self.work_s
+
+    @property
+    def finished(self) -> bool:
+        """Whether the job has completed."""
+        return self.completion_time is not None
+
+    @property
+    def response_time(self) -> float:
+        """Arrival-to-completion latency (s); raises if unfinished."""
+        if self.completion_time is None:
+            raise WorkloadError(f"job {self.job_id} has not completed")
+        return self.completion_time - self.arrival_time
+
+    @property
+    def delay(self) -> float:
+        """Response time beyond the pure CPU demand (queueing, slowdown,
+        migration overhead)."""
+        return self.response_time - self.work_s
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle state of a workload thread."""
+
+    THINKING = "thinking"
+    RUNNABLE = "runnable"
+
+
+@dataclass
+class WorkloadThread:
+    """One closed-loop thread: alternates think and busy phases.
+
+    Attributes
+    ----------
+    thread_id:
+        Unique id within a workload.
+    benchmark:
+        The Table I benchmark characterizing this thread.
+    state:
+        Current lifecycle state.
+    last_core:
+        Core the thread's previous job ran on (locality hint for the
+        default load-balancing policy).
+    jobs_issued:
+        Count of busy intervals generated so far.
+    """
+
+    thread_id: int
+    benchmark: BenchmarkSpec
+    state: ThreadState = ThreadState.THINKING
+    last_core: Optional[str] = None
+    jobs_issued: int = 0

@@ -1,0 +1,153 @@
+"""Open-loop per-core utilization traces (mpstat-style) with CSV I/O.
+
+The paper samples per-hardware-thread utilization once per second with
+mpstat. :class:`UtilizationTrace` holds such a series and can replay it
+as an open-loop job stream: each (core, sample) pair with utilization
+``u`` becomes a job of ``u * interval`` CPU-seconds arriving at the
+sample time, pinned to that core's queue by arrival order (the policy
+still decides placement — the trace only supplies demand).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.benchmarks import BenchmarkSpec, benchmark
+from repro.workload.job import Job
+
+
+class UtilizationTrace:
+    """A (samples x cores) utilization matrix sampled at fixed intervals.
+
+    Parameters
+    ----------
+    utilization:
+        Array of shape (n_samples, n_cores) with values in [0, 1].
+    interval_s:
+        Sampling interval in seconds (mpstat default: 1 s).
+    benchmark_name:
+        Table I benchmark the trace belongs to (used for power-model
+        metadata when the trace is replayed).
+    """
+
+    def __init__(
+        self,
+        utilization: np.ndarray,
+        interval_s: float = 1.0,
+        benchmark_name: str = "Web-med",
+    ) -> None:
+        data = np.asarray(utilization, dtype=float)
+        if data.ndim != 2:
+            raise WorkloadError(
+                f"trace must be 2-D (samples x cores), got shape {data.shape}"
+            )
+        if data.size == 0:
+            raise WorkloadError("trace is empty")
+        if (data < 0.0).any() or (data > 1.0).any():
+            raise WorkloadError("utilization values must be within [0, 1]")
+        if interval_s <= 0.0:
+            raise WorkloadError("sampling interval must be positive")
+        self.utilization = data
+        self.interval_s = float(interval_s)
+        self.benchmark_name = benchmark_name
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples."""
+        return self.utilization.shape[0]
+
+    @property
+    def n_cores(self) -> int:
+        """Number of cores covered by the trace."""
+        return self.utilization.shape[1]
+
+    @property
+    def duration_s(self) -> float:
+        """Trace length in seconds."""
+        return self.n_samples * self.interval_s
+
+    def mean_utilization(self) -> float:
+        """Average utilization over all cores and samples."""
+        return float(self.utilization.mean())
+
+    def duplicated(self, factor: int = 2) -> "UtilizationTrace":
+        """Replicate the columns ``factor`` times (the paper duplicates
+        the 8-core workload for the 16-core EXP-3/EXP-4 systems)."""
+        if factor < 1:
+            raise WorkloadError("duplication factor must be >= 1")
+        data = np.tile(self.utilization, (1, factor))
+        return UtilizationTrace(data, self.interval_s, self.benchmark_name)
+
+    # ------------------------------------------------------------------
+    # job-stream replay
+
+    def to_jobs(self, min_work_s: float = 1e-3) -> List[Tuple[float, Job]]:
+        """Expand to an open-loop job stream (see module docstring)."""
+        spec = benchmark(self.benchmark_name)
+        jobs: List[Tuple[float, Job]] = []
+        job_id = 0
+        for sample in range(self.n_samples):
+            arrival = sample * self.interval_s
+            for core in range(self.n_cores):
+                demand = self.utilization[sample, core] * self.interval_s
+                if demand < min_work_s:
+                    continue
+                jobs.append(
+                    (
+                        arrival,
+                        Job(
+                            job_id=job_id,
+                            thread_id=core,
+                            benchmark=spec,
+                            arrival_time=arrival,
+                            work_s=demand,
+                        ),
+                    )
+                )
+                job_id += 1
+        return jobs
+
+    # ------------------------------------------------------------------
+    # I/O
+
+    def to_csv(self, path: Union[str, Path]) -> None:
+        """Write ``time,core0,core1,...`` rows."""
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                ["time_s"] + [f"core{i}" for i in range(self.n_cores)]
+            )
+            for sample in range(self.n_samples):
+                row = [f"{sample * self.interval_s:.3f}"] + [
+                    f"{value:.4f}" for value in self.utilization[sample]
+                ]
+                writer.writerow(row)
+
+    @classmethod
+    def from_csv(
+        cls, path: Union[str, Path], benchmark_name: str = "Web-med"
+    ) -> "UtilizationTrace":
+        """Read a trace written by :meth:`to_csv`."""
+        path = Path(path)
+        times: List[float] = []
+        rows: List[List[float]] = []
+        with path.open() as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None or header[0] != "time_s":
+                raise WorkloadError(f"{path}: not a utilization trace CSV")
+            for row in reader:
+                times.append(float(row[0]))
+                rows.append([float(v) for v in row[1:]])
+        if len(times) < 2:
+            raise WorkloadError(f"{path}: trace needs at least two samples")
+        interval = times[1] - times[0]
+        return cls(np.array(rows), interval, benchmark_name)

@@ -1,0 +1,88 @@
+"""Shared test fixtures: lightweight policy-test harness."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import pytest
+
+from repro.core.base import (
+    AllocationContext,
+    CoreSnapshot,
+    SystemView,
+    TickContext,
+)
+from repro.power.states import CoreState
+from repro.power.vf import DEFAULT_VF_TABLE
+from repro.thermal.materials import kelvin
+from repro.workload.benchmarks import benchmark
+from repro.workload.job import Job
+
+
+def make_system_view(n_cores: int = 4, n_layers: int = 2) -> SystemView:
+    """A small 3D system: even cores on layer 0, odd cores on layer 1."""
+    names = tuple(f"c{i}" for i in range(n_cores))
+    layers = {name: i % n_layers for i, name in enumerate(names)}
+    # Higher layer -> more hot-spot prone.
+    indices = {
+        name: 0.2 + 0.6 * layers[name] / max(1, n_layers - 1) for name in names
+    }
+    positions = {name: (float(i), 0.0) for i, name in enumerate(names)}
+    return SystemView(
+        core_names=names,
+        core_layer=layers,
+        n_layers=n_layers,
+        vf_table=DEFAULT_VF_TABLE,
+        thermal_indices=indices,
+        core_positions=positions,
+    )
+
+
+def make_tick(
+    temps_c: Dict[str, float],
+    utils: Optional[Dict[str, float]] = None,
+    queues: Optional[Dict[str, int]] = None,
+    states: Optional[Dict[str, CoreState]] = None,
+    vf: Optional[Dict[str, int]] = None,
+    time: float = 1.0,
+) -> TickContext:
+    cores = {}
+    for name, temp_c in temps_c.items():
+        cores[name] = CoreSnapshot(
+            temperature_k=kelvin(temp_c),
+            utilization=(utils or {}).get(name, 0.5),
+            state=(states or {}).get(name, CoreState.ACTIVE),
+            vf_index=(vf or {}).get(name, 0),
+            queue_length=(queues or {}).get(name, 1),
+        )
+    return TickContext(time=time, cores=cores)
+
+
+def make_alloc(
+    temps_c: Dict[str, float],
+    queues: Optional[Dict[str, int]] = None,
+    states: Optional[Dict[str, CoreState]] = None,
+    last_core: Optional[str] = None,
+    time: float = 1.0,
+) -> AllocationContext:
+    return AllocationContext(
+        time=time,
+        queue_lengths={n: (queues or {}).get(n, 0) for n in temps_c},
+        temperatures_k={n: kelvin(t) for n, t in temps_c.items()},
+        states={n: (states or {}).get(n, CoreState.IDLE) for n in temps_c},
+        last_core=last_core,
+    )
+
+
+def make_test_job(job_id: int = 0, thread_id: int = 0) -> Job:
+    return Job(job_id, thread_id, benchmark("Web-med"), 0.0, 0.5)
+
+
+@pytest.fixture
+def system4():
+    return make_system_view(4)
+
+
+@pytest.fixture
+def system8():
+    return make_system_view(8, n_layers=4)

@@ -1,0 +1,118 @@
+"""Chip-level power aggregation tests."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.floorplan.experiments import build_experiment
+from repro.power.chip_power import ChipPowerModel, CoreActivity
+from repro.power.states import CoreState
+from repro.power.vf import DEFAULT_VF_TABLE
+
+NOMINAL = DEFAULT_VF_TABLE[0]
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ChipPowerModel(build_experiment(1))
+
+
+def activities(model, state=CoreState.ACTIVE, util=1.0, vf=NOMINAL):
+    return {core: CoreActivity(state, util, vf) for core in model.core_names}
+
+
+def ambient_temps(config):
+    temps = {}
+    for plan in config.layers:
+        for unit in plan:
+            temps[unit.name] = 318.15
+    return temps
+
+
+class TestStructure:
+    def test_core_names_canonical(self, model):
+        assert model.core_names == [f"L0_core{i}" for i in range(8)]
+
+    def test_cache_assignment_two_cores_per_bank(self, model):
+        served = model.cache_serving("L1_l2_0")
+        assert served == ["L0_core0", "L0_core1"]
+
+    def test_every_core_served_exactly_once(self, model):
+        served = []
+        for bank in ("L1_l2_0", "L1_l2_1", "L1_l2_2", "L1_l2_3"):
+            served.extend(model.cache_serving(bank))
+        assert sorted(served) == sorted(model.core_names)
+
+    def test_unknown_cache_raises(self, model):
+        with pytest.raises(PowerModelError):
+            model.cache_serving("nope")
+
+
+class TestUnitPowers:
+    def test_covers_every_unit(self, model):
+        config = build_experiment(1)
+        powers = model.unit_powers(activities(model), ambient_temps(config), 0.5)
+        expected = {u.name for plan in config.layers for u in plan}
+        assert set(powers) == expected
+
+    def test_all_powers_positive(self, model):
+        config = build_experiment(1)
+        powers = model.unit_powers(activities(model), ambient_temps(config), 0.5)
+        assert all(p > 0.0 for p in powers.values())
+
+    def test_active_chip_total_plausible(self, model):
+        """Full-load EXP-1 should land in the tens of watts (T1-class)."""
+        config = build_experiment(1)
+        powers = model.unit_powers(activities(model), ambient_temps(config), 0.8)
+        total = sum(powers.values())
+        assert 30.0 < total < 90.0
+
+    def test_sleep_reduces_core_power(self, model):
+        config = build_experiment(1)
+        active = model.unit_powers(activities(model), ambient_temps(config), 0.5)
+        asleep = model.unit_powers(
+            activities(model, CoreState.SLEEP, 0.0), ambient_temps(config), 0.5
+        )
+        assert asleep["L0_core0"] == pytest.approx(0.02)
+        assert asleep["L0_core0"] < active["L0_core0"]
+
+    def test_dvfs_reduces_core_power(self, model):
+        config = build_experiment(1)
+        fast = model.unit_powers(activities(model), ambient_temps(config), 0.5)
+        slow = model.unit_powers(
+            activities(model, vf=DEFAULT_VF_TABLE[2]), ambient_temps(config), 0.5
+        )
+        assert slow["L0_core0"] < fast["L0_core0"]
+
+    def test_leakage_feedback_via_temperature(self, model):
+        config = build_experiment(1)
+        cool = model.unit_powers(activities(model), ambient_temps(config), 0.5)
+        hot_temps = {name: 370.0 for name in ambient_temps(config)}
+        hot = model.unit_powers(activities(model), hot_temps, 0.5)
+        assert hot["L0_core0"] > cool["L0_core0"]
+
+    def test_missing_core_activity_raises(self, model):
+        config = build_experiment(1)
+        acts = activities(model)
+        del acts["L0_core0"]
+        with pytest.raises(PowerModelError):
+            model.unit_powers(acts, ambient_temps(config), 0.5)
+
+    def test_idle_chip_draws_less_than_active(self, model):
+        config = build_experiment(1)
+        active = model.unit_powers(activities(model), ambient_temps(config), 0.5)
+        idle = model.unit_powers(
+            activities(model, CoreState.IDLE, 0.0), ambient_temps(config), 0.0
+        )
+        assert sum(idle.values()) < sum(active.values())
+
+
+class TestMixedLayers:
+    def test_exp2_crossbars_per_layer(self):
+        model = ChipPowerModel(build_experiment(2))
+        config = build_experiment(2)
+        powers = model.unit_powers(
+            {c: CoreActivity(CoreState.ACTIVE, 1.0, NOMINAL) for c in model.core_names},
+            ambient_temps(config),
+            0.5,
+        )
+        assert "L0_xbar" in powers and "L1_xbar" in powers

@@ -1,0 +1,43 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_policies_lists_all(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        assert "Adapt3D" in out
+        assert "Default" in out
+
+    def test_floorplan_renders(self, capsys):
+        assert main(["floorplan", "--exp", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-2" in out
+        assert "C" in out
+
+    def test_run_short(self, capsys):
+        assert main([
+            "run", "Default", "--exp", "1", "--duration", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "hot spots" in out
+        assert "peak temperature" in out
+
+    def test_compare_subset(self, capsys):
+        assert main([
+            "compare", "Default", "Adapt3D",
+            "--exp", "1", "--duration", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Adapt3D" in out
+        assert "delay" in out
+
+    def test_compare_unknown_policy_fails(self, capsys):
+        assert main(["compare", "NotAPolicy", "--duration", "5"]) == 2
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,110 @@
+"""Core / cache / crossbar dynamic power model tests."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.power.cache_power import CachePowerModel
+from repro.power.core_power import CorePowerModel
+from repro.power.crossbar import CrossbarPowerModel
+from repro.power.states import CoreState
+from repro.power.vf import DEFAULT_VF_TABLE
+
+NOMINAL = DEFAULT_VF_TABLE[0]
+LOWEST = DEFAULT_VF_TABLE[2]
+
+
+class TestCorePower:
+    def test_full_utilization_active_power(self):
+        model = CorePowerModel()
+        assert model.dynamic_power(CoreState.ACTIVE, 1.0, NOMINAL) == pytest.approx(3.0)
+
+    def test_idle_power(self):
+        model = CorePowerModel()
+        assert model.dynamic_power(CoreState.IDLE, 0.0, NOMINAL) == pytest.approx(
+            model.idle_w
+        )
+
+    def test_sleep_power_is_paper_value(self):
+        model = CorePowerModel()
+        assert model.dynamic_power(CoreState.SLEEP, 0.0, NOMINAL) == pytest.approx(0.02)
+
+    def test_sleep_includes_leakage(self):
+        model = CorePowerModel()
+        assert model.includes_leakage(CoreState.SLEEP)
+        assert not model.includes_leakage(CoreState.ACTIVE)
+
+    def test_dvfs_scaling(self):
+        model = CorePowerModel()
+        full = model.dynamic_power(CoreState.ACTIVE, 1.0, NOMINAL)
+        slow = model.dynamic_power(CoreState.ACTIVE, 1.0, LOWEST)
+        assert slow == pytest.approx(full * LOWEST.dynamic_scale)
+
+    def test_utilization_blend_monotone(self):
+        model = CorePowerModel()
+        powers = [
+            model.dynamic_power(CoreState.ACTIVE, u, NOMINAL)
+            for u in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert all(a < b for a, b in zip(powers, powers[1:]))
+
+    def test_gated_power_below_idle(self):
+        model = CorePowerModel()
+        gated = model.dynamic_power(CoreState.GATED, 0.0, NOMINAL)
+        idle = model.dynamic_power(CoreState.IDLE, 0.0, NOMINAL)
+        assert gated < idle
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(PowerModelError):
+            CorePowerModel().dynamic_power(CoreState.ACTIVE, 1.5, NOMINAL)
+
+
+class TestCachePower:
+    def test_full_intensity_is_cacti_value(self):
+        assert CachePowerModel().dynamic_power(1.0) == pytest.approx(1.28)
+
+    def test_baseline_at_zero_intensity(self):
+        model = CachePowerModel()
+        assert model.dynamic_power(0.0) == pytest.approx(
+            1.28 * model.baseline_fraction
+        )
+
+    def test_monotone(self):
+        model = CachePowerModel()
+        assert model.dynamic_power(0.2) < model.dynamic_power(0.8)
+
+    def test_rejects_bad_intensity(self):
+        with pytest.raises(PowerModelError):
+            CachePowerModel().dynamic_power(-0.1)
+
+
+class TestCrossbarPower:
+    def test_full_activity(self):
+        assert CrossbarPowerModel().dynamic_power(1.0, 1.0) == pytest.approx(5.0)
+
+    def test_scales_with_active_cores(self):
+        model = CrossbarPowerModel()
+        assert model.dynamic_power(0.25, 0.5) < model.dynamic_power(1.0, 0.5)
+
+    def test_scales_with_memory_intensity(self):
+        model = CrossbarPowerModel()
+        assert model.dynamic_power(0.5, 0.1) < model.dynamic_power(0.5, 0.9)
+
+    def test_baseline_floor(self):
+        model = CrossbarPowerModel()
+        assert model.dynamic_power(0.0, 0.0) == pytest.approx(
+            5.0 * model.baseline_fraction
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(PowerModelError):
+            CrossbarPowerModel().dynamic_power(1.5, 0.5)
+        with pytest.raises(PowerModelError):
+            CrossbarPowerModel().dynamic_power(0.5, -0.5)
+
+
+class TestCoreState:
+    def test_executes(self):
+        assert CoreState.ACTIVE.executes
+        assert CoreState.IDLE.executes
+        assert not CoreState.GATED.executes
+        assert not CoreState.SLEEP.executes

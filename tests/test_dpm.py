@@ -1,0 +1,27 @@
+"""Fixed-timeout DPM tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sched.dpm import FixedTimeoutDPM
+
+
+class TestDPM:
+    def test_sleeps_after_timeout(self):
+        dpm = FixedTimeoutDPM(timeout_s=0.5)
+        assert not dpm.should_sleep(0.4)
+        assert dpm.should_sleep(0.5)
+        assert dpm.should_sleep(2.0)
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ConfigurationError):
+            FixedTimeoutDPM(timeout_s=0.0)
+
+    def test_rejects_negative_wake_latency(self):
+        with pytest.raises(ConfigurationError):
+            FixedTimeoutDPM(wake_latency_s=-0.1)
+
+    def test_defaults(self):
+        dpm = FixedTimeoutDPM()
+        assert dpm.timeout_s > 0.0
+        assert dpm.wake_latency_s >= 0.0

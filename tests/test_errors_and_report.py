@@ -1,0 +1,57 @@
+"""Exception hierarchy and MetricsReport tests."""
+
+import pytest
+
+from repro.analysis.runner import ExperimentRunner, RunSpec
+from repro.errors import (
+    ConfigurationError,
+    FloorplanError,
+    PolicyError,
+    PowerModelError,
+    ReproError,
+    SchedulerError,
+    ThermalModelError,
+    WorkloadError,
+)
+from repro.metrics.report import summarize
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("error", [
+        FloorplanError, ThermalModelError, PowerModelError, WorkloadError,
+        SchedulerError, PolicyError, ConfigurationError,
+    ])
+    def test_all_derive_from_repro_error(self, error):
+        assert issubclass(error, ReproError)
+        with pytest.raises(ReproError):
+            raise error("boom")
+
+
+class TestMetricsReport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ExperimentRunner().run(
+            RunSpec(exp_id=1, policy="Default", duration_s=5.0)
+        )
+
+    def test_fields_populated(self, result):
+        report = summarize(result)
+        assert report.policy == "Default"
+        assert 0.0 <= report.hot_spot_pct <= 100.0
+        assert 0.0 <= report.gradient_pct <= 100.0
+        assert report.mean_response_s > 0.0
+        assert report.energy_j > 0.0
+        assert report.avg_power_w > 0.0
+        assert 40.0 < report.peak_temperature_c < 120.0
+
+    def test_delay_none_without_baseline(self, result):
+        assert summarize(result).normalized_delay is None
+
+    def test_delay_one_against_itself(self, result):
+        report = summarize(result, baseline=result)
+        assert report.normalized_delay == pytest.approx(1.0)
+
+    def test_frozen(self, result):
+        report = summarize(result)
+        with pytest.raises(AttributeError):
+            report.policy = "other"

@@ -1,0 +1,82 @@
+"""EXP-1..4 configuration tests (paper Figure 1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.floorplan.experiments import (
+    EXPERIMENT_IDS,
+    build_experiment,
+)
+from repro.floorplan.unit import UnitKind
+
+
+class TestTopology:
+    @pytest.mark.parametrize("exp_id,n_layers,n_cores", [
+        (1, 2, 8), (2, 2, 8), (3, 4, 16), (4, 4, 16),
+    ])
+    def test_layer_and_core_counts(self, exp_id, n_layers, n_cores):
+        config = build_experiment(exp_id)
+        assert config.n_layers == n_layers
+        assert config.n_cores == n_cores
+
+    def test_exp1_separates_cores_and_caches(self):
+        config = build_experiment(1)
+        assert len(config.layers[0].cores()) == 8
+        assert config.layers[1].cores() == []
+        assert len(config.layers[1].units_of_kind(UnitKind.CACHE)) == 4
+
+    def test_exp2_mixes_every_layer(self):
+        config = build_experiment(2)
+        for plan in config.layers:
+            assert len(plan.cores()) == 4
+            assert len(plan.units_of_kind(UnitKind.CACHE)) == 2
+
+    def test_exp3_alternates_core_and_cache_layers(self):
+        config = build_experiment(3)
+        core_counts = [len(plan.cores()) for plan in config.layers]
+        assert core_counts == [8, 0, 8, 0]
+
+    def test_exp4_mirrors_alternate_layers(self):
+        config = build_experiment(4)
+        # Cores of adjacent tiers must not overlap vertically.
+        lower = config.layers[0].cores()
+        upper = config.layers[1].cores()
+        for a in lower:
+            for b in upper:
+                assert a.overlap_area(b) == pytest.approx(0.0)
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_experiment(5)
+
+    def test_experiment_ids_constant(self):
+        assert EXPERIMENT_IDS == (1, 2, 3, 4)
+
+
+class TestMappings:
+    def test_core_names_unique_and_ordered(self):
+        for exp_id in EXPERIMENT_IDS:
+            names = build_experiment(exp_id).core_names()
+            assert len(names) == len(set(names))
+
+    def test_core_layer_map_covers_all_cores(self):
+        config = build_experiment(3)
+        mapping = config.core_layer_map()
+        assert set(mapping) == set(config.core_names())
+        assert set(mapping.values()) == {0, 2}
+
+    def test_unit_layer_map_covers_all_units(self):
+        config = build_experiment(2)
+        mapping = config.unit_layer_map()
+        total_units = sum(len(plan) for plan in config.layers)
+        assert len(mapping) == total_units
+
+    def test_caches_per_layer(self):
+        assert build_experiment(3).caches_per_layer() == [0, 4, 0, 4]
+
+    def test_table2_parameters(self):
+        config = build_experiment(1)
+        assert config.die_thickness_m == pytest.approx(0.15e-3)
+        assert config.interlayer_thickness_m == pytest.approx(0.02e-3)
+        assert config.convection_resistance == pytest.approx(0.1)
+        assert config.convection_capacitance == pytest.approx(140.0)

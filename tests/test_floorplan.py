@@ -1,0 +1,117 @@
+"""Floorplan container tests."""
+
+import pytest
+
+from repro.errors import FloorplanError
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.unit import Unit, UnitKind
+
+
+def two_unit_plan():
+    return Floorplan(
+        2.0,
+        1.0,
+        [
+            Unit("left", 0.0, 0.0, 1.0, 1.0, UnitKind.CORE),
+            Unit("right", 1.0, 0.0, 1.0, 1.0, UnitKind.CACHE),
+        ],
+        name="pair",
+    )
+
+
+class TestValidation:
+    def test_rejects_zero_die(self):
+        with pytest.raises(FloorplanError):
+            Floorplan(0.0, 1.0, [])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(FloorplanError):
+            Floorplan(2.0, 1.0, [Unit("u", 0, 0, 1, 1), Unit("u", 1, 0, 1, 1)])
+
+    def test_rejects_out_of_bounds(self):
+        with pytest.raises(FloorplanError):
+            Floorplan(1.0, 1.0, [Unit("u", 0.5, 0.0, 1.0, 1.0)])
+
+    def test_rejects_overlap(self):
+        with pytest.raises(FloorplanError):
+            Floorplan(
+                2.0, 1.0,
+                [Unit("a", 0, 0, 1.2, 1.0), Unit("b", 1.0, 0.0, 1.0, 1.0)],
+            )
+
+    def test_coverage_passes_for_exact_tiling(self):
+        two_unit_plan().validate_coverage()
+
+    def test_coverage_fails_with_gap(self):
+        plan = Floorplan(2.0, 1.0, [Unit("a", 0, 0, 1.0, 1.0)])
+        with pytest.raises(FloorplanError):
+            plan.validate_coverage()
+
+
+class TestAccessors:
+    def test_len_and_iteration(self):
+        plan = two_unit_plan()
+        assert len(plan) == 2
+        assert [u.name for u in plan] == ["left", "right"]
+
+    def test_getitem(self):
+        assert two_unit_plan()["left"].kind is UnitKind.CORE
+
+    def test_getitem_unknown_raises(self):
+        with pytest.raises(FloorplanError):
+            two_unit_plan()["nope"]
+
+    def test_contains(self):
+        plan = two_unit_plan()
+        assert "left" in plan
+        assert "nope" not in plan
+
+    def test_units_of_kind(self):
+        plan = two_unit_plan()
+        assert [u.name for u in plan.cores()] == ["left"]
+        assert [u.name for u in plan.units_of_kind(UnitKind.CACHE)] == ["right"]
+
+    def test_unit_at(self):
+        plan = two_unit_plan()
+        assert plan.unit_at(0.5, 0.5).name == "left"
+        assert plan.unit_at(1.5, 0.5).name == "right"
+
+    def test_area(self):
+        assert two_unit_plan().area == pytest.approx(2.0)
+
+
+class TestMirroring:
+    def test_mirror_preserves_area_and_names(self):
+        plan = two_unit_plan()
+        mirrored = plan.mirrored_vertical()
+        assert mirrored.unit_names() == plan.unit_names()
+        assert mirrored.area == plan.area
+        mirrored.validate_coverage()
+
+    def test_mirror_flips_y(self):
+        plan = Floorplan(
+            1.0, 2.0,
+            [Unit("lo", 0, 0, 1.0, 0.5), Unit("hi", 0, 0.5, 1.0, 1.5)],
+        )
+        mirrored = plan.mirrored_vertical()
+        assert mirrored["lo"].y == pytest.approx(1.5)
+        assert mirrored["hi"].y == pytest.approx(0.0)
+
+    def test_double_mirror_is_identity(self):
+        plan = two_unit_plan()
+        twice = plan.mirrored_vertical().mirrored_vertical()
+        for unit in plan:
+            assert twice[unit.name].y == pytest.approx(unit.y)
+
+
+class TestAscii:
+    def test_ascii_dimensions(self):
+        art = two_unit_plan().to_ascii(cols=10, rows=4)
+        lines = art.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == 10 for line in lines)
+
+    def test_ascii_symbols(self):
+        art = two_unit_plan().to_ascii(cols=10, rows=4)
+        assert "C" in art  # core
+        assert "$" in art  # cache

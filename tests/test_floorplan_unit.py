@@ -1,0 +1,81 @@
+"""Unit geometry tests."""
+
+import pytest
+
+from repro.errors import FloorplanError
+from repro.floorplan.unit import Unit, UnitKind
+
+
+def make(x=0.0, y=0.0, w=1.0, h=1.0, kind=UnitKind.CORE, name="u"):
+    return Unit(name, x, y, w, h, kind)
+
+
+class TestConstruction:
+    def test_area(self):
+        assert make(w=2e-3, h=3e-3).area == pytest.approx(6e-6)
+
+    def test_edges(self):
+        unit = make(x=1.0, y=2.0, w=3.0, h=4.0)
+        assert unit.x2 == pytest.approx(4.0)
+        assert unit.y2 == pytest.approx(6.0)
+
+    def test_center(self):
+        unit = make(x=1.0, y=1.0, w=2.0, h=4.0)
+        assert unit.center == pytest.approx((2.0, 3.0))
+
+    def test_default_kind_is_other(self):
+        assert Unit("u", 0, 0, 1, 1).kind is UnitKind.OTHER
+
+    @pytest.mark.parametrize("w,h", [(0.0, 1.0), (1.0, 0.0), (-1.0, 1.0)])
+    def test_rejects_non_positive_size(self, w, h):
+        with pytest.raises(FloorplanError):
+            make(w=w, h=h)
+
+    def test_rejects_negative_origin(self):
+        with pytest.raises(FloorplanError):
+            make(x=-0.1)
+
+    def test_frozen(self):
+        unit = make()
+        with pytest.raises(AttributeError):
+            unit.x = 5.0
+
+
+class TestOverlap:
+    def test_disjoint_is_zero(self):
+        assert make().overlap_area(make(x=2.0, name="v")) == 0.0
+
+    def test_touching_edges_is_zero(self):
+        assert make(w=1.0).overlap_area(make(x=1.0, name="v")) == 0.0
+
+    def test_partial_overlap(self):
+        a = make(w=2.0, h=2.0)
+        b = make(x=1.0, y=1.0, w=2.0, h=2.0, name="v")
+        assert a.overlap_area(b) == pytest.approx(1.0)
+
+    def test_containment(self):
+        outer = make(w=4.0, h=4.0)
+        inner = make(x=1.0, y=1.0, w=1.0, h=1.0, name="v")
+        assert outer.overlap_area(inner) == pytest.approx(inner.area)
+
+    def test_symmetric(self):
+        a = make(w=2.0, h=3.0)
+        b = make(x=1.0, y=2.0, w=2.0, h=3.0, name="v")
+        assert a.overlap_area(b) == pytest.approx(b.overlap_area(a))
+
+    def test_overlap_rect_matches_unit_overlap(self):
+        a = make(w=2.0, h=2.0)
+        assert a.overlap_rect(1.0, 1.0, 3.0, 3.0) == pytest.approx(1.0)
+
+
+class TestContainsPoint:
+    def test_inside(self):
+        assert make().contains_point(0.5, 0.5)
+
+    def test_lower_edge_closed_upper_open(self):
+        unit = make()
+        assert unit.contains_point(0.0, 0.0)
+        assert not unit.contains_point(1.0, 1.0)
+
+    def test_outside(self):
+        assert not make().contains_point(1.5, 0.5)

@@ -1,0 +1,102 @@
+"""Grid mapper tests: power injection and temperature readback."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.ultrasparc import build_core_layer
+from repro.floorplan.unit import Unit, UnitKind
+from repro.thermal.grid import GridMapper
+
+
+def simple_plan():
+    return Floorplan(
+        2.0, 2.0,
+        [
+            Unit("a", 0.0, 0.0, 1.0, 2.0, UnitKind.CORE),
+            Unit("b", 1.0, 0.0, 1.0, 2.0, UnitKind.CACHE),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_cell_geometry(self):
+        mapper = GridMapper(simple_plan(), nrows=4, ncols=4)
+        assert mapper.n_cells == 16
+        assert mapper.dx == pytest.approx(0.5)
+        assert mapper.cell_area == pytest.approx(0.25)
+
+    def test_rejects_degenerate_grid(self):
+        with pytest.raises(ThermalModelError):
+            GridMapper(simple_plan(), 0, 4)
+
+    def test_cell_index_row_major(self):
+        mapper = GridMapper(simple_plan(), 4, 4)
+        assert mapper.cell_index(0, 0) == 0
+        assert mapper.cell_index(1, 0) == 4
+        with pytest.raises(ThermalModelError):
+            mapper.cell_index(4, 0)
+
+
+class TestPowerInjection:
+    def test_total_power_conserved(self):
+        mapper = GridMapper(simple_plan(), 4, 4)
+        cells = mapper.cell_powers({"a": 3.0, "b": 1.0})
+        assert cells.sum() == pytest.approx(4.0)
+
+    def test_power_lands_on_owned_cells(self):
+        mapper = GridMapper(simple_plan(), 2, 2)
+        cells = mapper.cell_powers({"a": 4.0})
+        # Unit "a" covers the left half -> cells 0 and 2 get 2 W each.
+        assert cells.reshape(2, 2)[:, 0] == pytest.approx([2.0, 2.0])
+        assert cells.reshape(2, 2)[:, 1] == pytest.approx([0.0, 0.0])
+
+    def test_unknown_unit_raises(self):
+        mapper = GridMapper(simple_plan(), 2, 2)
+        with pytest.raises(ThermalModelError):
+            mapper.cell_powers({"nope": 1.0})
+
+    def test_t1_layer_conserves_power(self):
+        plan = build_core_layer()
+        mapper = GridMapper(plan, 8, 8)
+        powers = {u.name: 2.5 for u in plan}
+        assert mapper.cell_powers(powers).sum() == pytest.approx(2.5 * len(plan))
+
+    def test_vector_api_shape_check(self):
+        mapper = GridMapper(simple_plan(), 2, 2)
+        with pytest.raises(ThermalModelError):
+            mapper.cell_powers_from_vector(np.zeros(5))
+
+
+class TestTemperatureReadback:
+    def test_uniform_field_reads_uniform(self):
+        mapper = GridMapper(simple_plan(), 4, 4)
+        temps = mapper.unit_temperatures(np.full(16, 350.0))
+        assert temps["a"] == pytest.approx(350.0)
+        assert temps["b"] == pytest.approx(350.0)
+
+    def test_area_weighted_mean(self):
+        mapper = GridMapper(simple_plan(), 2, 2)
+        cells = np.array([300.0, 400.0, 300.0, 400.0])
+        temps = mapper.unit_temperatures(cells)
+        assert temps["a"] == pytest.approx(300.0)
+        assert temps["b"] == pytest.approx(400.0)
+
+    def test_max_readback(self):
+        mapper = GridMapper(simple_plan(), 2, 2)
+        cells = np.array([300.0, 400.0, 310.0, 390.0])
+        maxes = mapper.unit_max_temperatures(cells)
+        assert maxes["a"] == pytest.approx(310.0)
+        assert maxes["b"] == pytest.approx(400.0)
+
+    def test_shape_mismatch_raises(self):
+        mapper = GridMapper(simple_plan(), 2, 2)
+        with pytest.raises(ThermalModelError):
+            mapper.unit_temperatures(np.zeros(3))
+
+    def test_overlap_rows_sum_to_one(self):
+        # Each unit's overlap fractions must cover exactly its area.
+        plan = build_core_layer()
+        mapper = GridMapper(plan, 8, 8)
+        np.testing.assert_allclose(mapper._power_weights.sum(axis=1), 1.0, rtol=1e-9)

@@ -1,0 +1,122 @@
+"""Integration tests: the paper's qualitative policy results (§V).
+
+Each test asserts one claim from the evaluation section on a shortened
+run. These are the guardrails for the figure benches.
+"""
+
+import pytest
+
+from repro.analysis.runner import ExperimentRunner, RunSpec
+from repro.metrics.performance import normalized_delay
+from repro.metrics.report import summarize
+
+RUNNER = ExperimentRunner()
+DURATION = 90.0
+
+
+def run(policy, exp_id=4, dpm=False, seed=2009):
+    return RUNNER.run(
+        RunSpec(exp_id=exp_id, policy=policy, duration_s=DURATION,
+                with_dpm=dpm, seed=seed)
+    )
+
+
+@pytest.fixture(scope="module")
+def exp4():
+    names = ["Default", "CGate", "DVFS_TT", "DVFS_Util", "DVFS_FLP",
+             "Migr", "Adapt3D", "Adapt3D&DVFS_TT"]
+    return {name: run(name) for name in names}
+
+
+@pytest.fixture(scope="module")
+def exp4_dpm():
+    names = ["Default", "DVFS_TT", "AdaptRand", "Adapt3D", "Adapt3D&DVFS_TT"]
+    return {name: run(name, dpm=True) for name in names}
+
+
+class TestHotSpots:
+    def test_default_is_worst(self, exp4):
+        base = summarize(exp4["Default"]).hot_spot_pct
+        for name, result in exp4.items():
+            if name == "Default":
+                continue
+            assert summarize(result).hot_spot_pct <= base + 1.0
+
+    def test_dvfs_reduces_hot_spots(self, exp4):
+        base = summarize(exp4["Default"]).hot_spot_pct
+        for name in ("DVFS_TT", "DVFS_Util", "DVFS_FLP"):
+            assert summarize(exp4[name]).hot_spot_pct < base
+
+    def test_cgate_reduces_hot_spots(self, exp4):
+        assert (
+            summarize(exp4["CGate"]).hot_spot_pct
+            < summarize(exp4["Default"]).hot_spot_pct
+        )
+
+    def test_hybrid_beats_plain_dvfs(self, exp4_dpm):
+        """§V-B: combining Adapt3D with DVFS achieves a 20-40% reduction
+        in hot spots compared to DVFS alone on the 4-tier systems
+        (evaluated with DPM, the paper's Figure 4 configuration)."""
+        dvfs = summarize(exp4_dpm["DVFS_TT"]).hot_spot_pct
+        hybrid = summarize(exp4_dpm["Adapt3D&DVFS_TT"]).hot_spot_pct
+        assert hybrid < dvfs
+
+    def test_adaptive_beats_default_with_dpm(self, exp4_dpm):
+        base = summarize(exp4_dpm["Default"]).hot_spot_pct
+        adaptive = summarize(exp4_dpm["Adapt3D"]).hot_spot_pct
+        assert adaptive < base
+
+
+class TestPerformance:
+    def test_adaptive_allocation_negligible_overhead(self, exp4):
+        """§V-A: Adapt3D updates probabilities only — the performance
+        cost relative to Default stays within a few percent."""
+        delay = normalized_delay(
+            exp4["Adapt3D"].jobs, exp4["Default"].jobs
+        )
+        assert delay < 1.08
+
+    def test_throttling_policies_pay_more_than_adaptive(self, exp4):
+        adapt = normalized_delay(exp4["Adapt3D"].jobs, exp4["Default"].jobs)
+        cgate = normalized_delay(exp4["CGate"].jobs, exp4["Default"].jobs)
+        migr = normalized_delay(exp4["Migr"].jobs, exp4["Default"].jobs)
+        assert cgate > adapt
+        assert migr > adapt
+
+    def test_hybrid_cheaper_than_gating(self, exp4):
+        hybrid = normalized_delay(
+            exp4["Adapt3D&DVFS_TT"].jobs, exp4["Default"].jobs
+        )
+        cgate = normalized_delay(exp4["CGate"].jobs, exp4["Default"].jobs)
+        assert hybrid < cgate
+
+
+class TestGradients:
+    def test_adaptive_policies_cut_gradients_with_dpm(self, exp4_dpm):
+        """§V-C: adaptive scheduling policies, which balance the
+        temperature, outperform the others by large in reducing
+        gradients."""
+        base = summarize(exp4_dpm["Default"]).gradient_pct
+        adaptive = summarize(exp4_dpm["Adapt3D"]).gradient_pct
+        assert base > 5.0
+        assert adaptive < base / 2.0
+
+
+class TestVerticalGradients:
+    def test_interlayer_gradients_stay_small(self):
+        """§V-C: vertical gradients between adjacent layers are limited
+        to a few degrees."""
+        engine = RUNNER.build_engine(
+            RunSpec(exp_id=3, policy="Default", duration_s=10.0)
+        )
+        engine.run()
+        grads = engine.thermal.vertical_gradients()
+        assert max(grads) < 8.0
+
+
+class TestEnergy:
+    def test_dvfs_saves_energy_on_hot_stack(self, exp4):
+        assert exp4["DVFS_TT"].energy_j < exp4["Default"].energy_j
+
+    def test_hybrid_saves_energy_too(self, exp4):
+        assert exp4["Adapt3D&DVFS_TT"].energy_j < exp4["Default"].energy_j

@@ -1,0 +1,70 @@
+"""Leakage model tests (0.5 W/mm² @ 383 K, 2nd-order polynomial)."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.floorplan.unit import UnitKind
+from repro.power.leakage import (
+    DEFAULT_LEAKAGE,
+    LeakageModel,
+    REFERENCE_TEMPERATURE_K,
+)
+
+
+class TestPolynomial:
+    def test_normalized_is_one_at_reference(self):
+        assert DEFAULT_LEAKAGE.normalized(REFERENCE_TEMPERATURE_K) == pytest.approx(1.0)
+
+    def test_monotone_increasing_in_operating_range(self):
+        values = [DEFAULT_LEAKAGE.normalized(t) for t in range(310, 400, 10)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_floor_clamp(self):
+        assert DEFAULT_LEAKAGE.normalized(100.0) == pytest.approx(
+            DEFAULT_LEAKAGE.floor
+        )
+
+    def test_ceiling_clamp(self):
+        assert DEFAULT_LEAKAGE.normalized(1000.0) == pytest.approx(
+            DEFAULT_LEAKAGE.ceiling
+        )
+
+    def test_operating_point_fraction(self):
+        # At 45 C leakage should be a small fraction of the 383 K value.
+        ratio = DEFAULT_LEAKAGE.normalized(318.15)
+        assert 0.2 < ratio < 0.7
+
+
+class TestPower:
+    def test_core_reference_density(self):
+        # 10 mm² core at 383 K -> 0.5 W/mm² * 10 = 5 W.
+        power = DEFAULT_LEAKAGE.power(UnitKind.CORE, 10e-6, REFERENCE_TEMPERATURE_K)
+        assert power == pytest.approx(5.0)
+
+    def test_cache_leaks_less_than_core(self):
+        core = DEFAULT_LEAKAGE.power(UnitKind.CORE, 10e-6, 350.0)
+        cache = DEFAULT_LEAKAGE.power(UnitKind.CACHE, 10e-6, 350.0)
+        assert cache < core
+
+    def test_voltage_scaling_quadratic(self):
+        full = DEFAULT_LEAKAGE.power(UnitKind.CORE, 10e-6, 350.0, 1.0)
+        scaled = DEFAULT_LEAKAGE.power(UnitKind.CORE, 10e-6, 350.0, 0.85)
+        assert scaled == pytest.approx(full * 0.85 ** 2)
+
+    def test_rejects_bad_area(self):
+        with pytest.raises(PowerModelError):
+            DEFAULT_LEAKAGE.power(UnitKind.CORE, 0.0, 350.0)
+
+    def test_rejects_bad_voltage(self):
+        with pytest.raises(PowerModelError):
+            DEFAULT_LEAKAGE.power(UnitKind.CORE, 10e-6, 350.0, 1.5)
+
+    def test_custom_coefficients(self):
+        model = LeakageModel(k1=0.0, k2=0.0)
+        assert model.normalized(300.0) == pytest.approx(1.0)
+
+    def test_feedback_loop_positive(self):
+        """Hotter -> more leakage: the paper's feedback loop driver."""
+        cool = DEFAULT_LEAKAGE.power(UnitKind.CORE, 10e-6, 330.0)
+        hot = DEFAULT_LEAKAGE.power(UnitKind.CORE, 10e-6, 370.0)
+        assert hot > cool

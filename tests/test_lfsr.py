@@ -1,0 +1,63 @@
+"""Galois LFSR tests."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.sched.lfsr import GaloisLFSR
+
+
+class TestSequence:
+    def test_deterministic(self):
+        a = GaloisLFSR(seed=0x1234)
+        b = GaloisLFSR(seed=0x1234)
+        assert [a.next_word() for _ in range(100)] == [
+            b.next_word() for _ in range(100)
+        ]
+
+    def test_zero_seed_remapped(self):
+        lfsr = GaloisLFSR(seed=0)
+        assert lfsr.next_word() != 0
+
+    def test_never_zero(self):
+        lfsr = GaloisLFSR()
+        assert all(lfsr.next_word() != 0 for _ in range(10000))
+
+    def test_maximal_period(self):
+        """The chosen taps give the full 2^16 - 1 period."""
+        lfsr = GaloisLFSR(seed=1)
+        seen = set()
+        for _ in range(65535):
+            seen.add(lfsr.next_word())
+        assert len(seen) == 65535
+
+    def test_random_in_unit_interval(self):
+        lfsr = GaloisLFSR()
+        values = [lfsr.random() for _ in range(1000)]
+        assert all(0.0 <= v < 1.0 for v in values)
+
+    def test_random_roughly_uniform(self):
+        lfsr = GaloisLFSR()
+        values = [lfsr.random() for _ in range(10000)]
+        assert abs(sum(values) / len(values) - 0.5) < 0.02
+
+
+class TestChoice:
+    def test_respects_zero_weights(self):
+        lfsr = GaloisLFSR()
+        for _ in range(100):
+            assert lfsr.choice([0.0, 1.0, 0.0]) == 1
+
+    def test_proportional_sampling(self):
+        lfsr = GaloisLFSR()
+        counts = [0, 0]
+        for _ in range(10000):
+            counts[lfsr.choice([0.25, 0.75])] += 1
+        assert counts[1] / 10000 == pytest.approx(0.75, abs=0.03)
+
+    def test_all_zero_raises(self):
+        with pytest.raises(PolicyError):
+            GaloisLFSR().choice([0.0, 0.0])
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(PolicyError):
+            GaloisLFSR().choice([0.5, -0.1])

@@ -1,0 +1,69 @@
+"""Lifetime analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.runner import ExperimentRunner, RunSpec
+from repro.errors import ConfigurationError
+from repro.metrics.lifetime import analyze_lifetime
+
+RUNNER = ExperimentRunner()
+
+
+@pytest.fixture(scope="module")
+def hot_result():
+    return RUNNER.run(
+        RunSpec(exp_id=4, policy="Default", duration_s=30.0, with_dpm=True)
+    )
+
+
+@pytest.fixture(scope="module")
+def cool_result():
+    return RUNNER.run(
+        RunSpec(exp_id=1, policy="Default", duration_s=30.0, with_dpm=True)
+    )
+
+
+class TestLifetime:
+    def test_covers_every_core(self, hot_result):
+        report = analyze_lifetime(hot_result)
+        assert set(report.per_core) == set(hot_result.core_names)
+
+    def test_worst_bounds_totals(self, hot_result):
+        report = analyze_lifetime(hot_result)
+        assert report.worst_cycling_damage <= report.total_cycling_damage
+        per_core_max = max(r.cycling_damage for r in report.per_core.values())
+        assert report.worst_cycling_damage == pytest.approx(per_core_max)
+
+    def test_hotter_stack_wears_faster(self, hot_result, cool_result):
+        hot = analyze_lifetime(hot_result)
+        cool = analyze_lifetime(cool_result)
+        assert hot.worst_em_acceleration > cool.worst_em_acceleration
+
+    def test_em_acceleration_above_reference(self, hot_result):
+        report = analyze_lifetime(hot_result)
+        # Every core runs above the 45 C reference.
+        for core_report in report.per_core.values():
+            assert core_report.em_acceleration > 1.0
+
+    def test_summary_statistics_consistent(self, hot_result):
+        report = analyze_lifetime(hot_result)
+        for index, name in enumerate(hot_result.core_names):
+            series = hot_result.core_peak_temps_k[:, index]
+            assert report.per_core[name].peak_temperature_k == pytest.approx(
+                series.max()
+            )
+            assert report.per_core[name].mean_temperature_k == pytest.approx(
+                series.mean()
+            )
+
+    def test_policy_comparison_direction(self):
+        """A DVFS-throttled run must accumulate less EM wear than
+        Default on the same hot stack."""
+        default = analyze_lifetime(
+            RUNNER.run(RunSpec(exp_id=4, policy="Default", duration_s=30.0))
+        )
+        dvfs = analyze_lifetime(
+            RUNNER.run(RunSpec(exp_id=4, policy="DVFS_TT", duration_s=30.0))
+        )
+        assert dvfs.worst_em_acceleration < default.worst_em_acceleration

@@ -1,0 +1,45 @@
+"""Material constants and unit helper tests."""
+
+import pytest
+
+from repro.thermal.materials import (
+    AMBIENT_K,
+    COPPER,
+    INTERLAYER,
+    SILICON,
+    Material,
+    celsius,
+    kelvin,
+)
+
+
+class TestUnits:
+    def test_round_trip(self):
+        assert celsius(kelvin(85.0)) == pytest.approx(85.0)
+
+    def test_ambient_is_45c(self):
+        assert celsius(AMBIENT_K) == pytest.approx(45.0)
+
+
+class TestMaterials:
+    def test_interlayer_resistivity_matches_table2(self):
+        assert INTERLAYER.resistivity == pytest.approx(0.25)
+
+    def test_copper_conducts_better_than_silicon(self):
+        assert COPPER.conductivity > SILICON.conductivity
+
+    def test_resistivity_is_inverse_conductivity(self):
+        assert SILICON.resistivity == pytest.approx(1.0 / SILICON.conductivity)
+
+    def test_with_resistivity(self):
+        adjusted = INTERLAYER.with_resistivity(0.23)
+        assert adjusted.conductivity == pytest.approx(1.0 / 0.23)
+        assert adjusted.volumetric_heat_capacity == INTERLAYER.volumetric_heat_capacity
+
+    def test_rejects_non_positive_conductivity(self):
+        with pytest.raises(ValueError):
+            Material("bad", conductivity=0.0, volumetric_heat_capacity=1.0)
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            Material("bad", conductivity=1.0, volumetric_heat_capacity=-1.0)

@@ -1,0 +1,84 @@
+"""Thermal cycle metric and rainflow counter tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.cycles import (
+    rainflow_count,
+    sliding_window_deltas,
+    thermal_cycle_fraction,
+)
+
+
+class TestSlidingWindow:
+    def test_constant_series_zero_delta(self):
+        temps = np.full((30, 2), 350.0)
+        deltas = sliding_window_deltas(temps, window_ticks=10)
+        np.testing.assert_allclose(deltas, 0.0)
+
+    def test_step_produces_delta(self):
+        temps = np.full((30, 1), 340.0)
+        temps[15:] = 365.0
+        deltas = sliding_window_deltas(temps, window_ticks=10)
+        assert deltas.max() == pytest.approx(25.0)
+
+    def test_core_averaging(self):
+        temps = np.full((20, 2), 340.0)
+        temps[10:, 0] = 370.0  # only core 0 swings
+        deltas = sliding_window_deltas(temps, window_ticks=10)
+        assert deltas.max() == pytest.approx(15.0)  # (30 + 0) / 2
+
+    def test_window_validation(self):
+        temps = np.full((5, 1), 340.0)
+        with pytest.raises(ConfigurationError):
+            sliding_window_deltas(temps, window_ticks=10)
+        with pytest.raises(ConfigurationError):
+            sliding_window_deltas(temps, window_ticks=1)
+
+
+class TestCycleFraction:
+    def test_per_core_counts_individual_cores(self):
+        temps = np.full((40, 2), 340.0)
+        temps[20:, 0] = 365.0  # 25 K swing on core 0 only
+        per_core = thermal_cycle_fraction(temps, window_ticks=10)
+        core_mean = thermal_cycle_fraction(
+            temps, window_ticks=10, aggregate="core_mean"
+        )
+        assert per_core > 0.0
+        assert core_mean == 0.0  # averaged swing is 12.5 K < 20 K
+
+    def test_zero_for_steady_chip(self):
+        temps = np.full((40, 4), 350.0)
+        assert thermal_cycle_fraction(temps) == 0.0
+
+    def test_bad_aggregate(self):
+        with pytest.raises(ConfigurationError):
+            thermal_cycle_fraction(np.full((40, 2), 340.0), aggregate="nope")
+
+
+class TestRainflow:
+    def test_simple_triangle_wave(self):
+        series = np.array([0.0, 10.0, 0.0, 10.0, 0.0])
+        cycles = rainflow_count(series)
+        total = sum(count for _, count in cycles)
+        assert total == pytest.approx(2.0)
+        assert all(magnitude == pytest.approx(10.0) for magnitude, _ in cycles)
+
+    def test_nested_cycle_extracted(self):
+        # Classic rainflow example: small cycle nested in a large one.
+        series = np.array([0.0, 8.0, 3.0, 5.0, 0.0])
+        cycles = rainflow_count(series)
+        magnitudes = sorted(m for m, _ in cycles)
+        assert magnitudes[0] == pytest.approx(2.0)  # the nested 3->5 cycle
+
+    def test_monotone_series_half_cycle(self):
+        cycles = rainflow_count(np.array([0.0, 5.0]))
+        assert cycles == [(5.0, 0.5)]
+
+    def test_constant_series_empty(self):
+        assert rainflow_count(np.array([1.0, 1.0, 1.0])) == []
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            rainflow_count(np.zeros((3, 3)))

@@ -1,0 +1,31 @@
+"""Spatial gradient metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.gradients import max_gradient_series, spatial_gradient_fraction
+
+
+class TestSeries:
+    def test_max_over_layers(self):
+        spreads = np.array([[5.0, 12.0], [8.0, 3.0]])
+        np.testing.assert_allclose(max_gradient_series(spreads), [12.0, 8.0])
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            max_gradient_series(np.array([1.0]))
+
+
+class TestFraction:
+    def test_counts_exceedances(self):
+        spreads = np.array([[16.0], [14.0], [20.0], [10.0]])
+        assert spatial_gradient_fraction(spreads) == pytest.approx(0.5)
+
+    def test_threshold_exclusive(self):
+        spreads = np.array([[15.0]])
+        assert spatial_gradient_fraction(spreads) == 0.0
+
+    def test_custom_threshold(self):
+        spreads = np.array([[9.0], [7.0]])
+        assert spatial_gradient_fraction(spreads, threshold_k=8.0) == pytest.approx(0.5)

@@ -1,0 +1,58 @@
+"""Hot-spot metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.hotspots import hot_spot_fraction, hot_spot_per_core
+from repro.thermal.materials import kelvin
+
+
+def series(*rows):
+    return np.array([[kelvin(t) for t in row] for row in rows])
+
+
+class TestFraction:
+    def test_all_cool(self):
+        temps = series([60, 61], [62, 63])
+        assert hot_spot_fraction(temps) == 0.0
+
+    def test_all_hot(self):
+        temps = series([86, 87], [90, 91])
+        assert hot_spot_fraction(temps) == 1.0
+
+    def test_per_core_mean(self):
+        temps = series([86, 60], [60, 60])
+        assert hot_spot_fraction(temps) == pytest.approx(0.25)
+
+    def test_any_core(self):
+        temps = series([86, 60], [60, 60])
+        assert hot_spot_fraction(temps, aggregate="any_core") == pytest.approx(0.5)
+
+    def test_threshold_inclusive(self):
+        temps = series([85.0, 60.0])
+        assert hot_spot_fraction(temps) == pytest.approx(0.5)
+
+    def test_custom_threshold(self):
+        temps = series([70, 60])
+        assert hot_spot_fraction(temps, threshold_k=kelvin(65.0)) == pytest.approx(0.5)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            hot_spot_fraction(np.array([1.0, 2.0]))
+
+    def test_rejects_bad_aggregate(self):
+        with pytest.raises(ConfigurationError):
+            hot_spot_fraction(series([60, 60]), aggregate="nope")
+
+
+class TestPerCore:
+    def test_per_core_values(self):
+        temps = series([86, 60], [87, 60], [60, 60], [60, 86])
+        result = hot_spot_per_core(temps, ["a", "b"])
+        assert result["a"] == pytest.approx(0.5)
+        assert result["b"] == pytest.approx(0.25)
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            hot_spot_per_core(series([60, 60]), ["a"])

@@ -1,0 +1,104 @@
+"""Performance / energy / reliability metric tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.energy import average_power, total_energy
+from repro.metrics.performance import (
+    mean_response_time,
+    normalized_delay,
+    throughput,
+)
+from repro.metrics.reliability import (
+    coffin_manson_acceleration,
+    electromigration_acceleration,
+    thermal_cycling_damage,
+)
+from repro.workload.benchmarks import benchmark
+from repro.workload.job import Job
+
+
+def finished_job(job_id, arrival, work, completion):
+    job = Job(job_id, 0, benchmark("gcc"), arrival, work)
+    job.completion_time = completion
+    return job
+
+
+class TestPerformance:
+    def test_mean_response(self):
+        jobs = [finished_job(1, 0.0, 1.0, 2.0), finished_job(2, 1.0, 1.0, 2.0)]
+        assert mean_response_time(jobs) == pytest.approx(1.5)
+
+    def test_unfinished_jobs_ignored(self):
+        jobs = [finished_job(1, 0.0, 1.0, 2.0), Job(2, 0, benchmark("gcc"), 0.0, 1.0)]
+        assert mean_response_time(jobs) == pytest.approx(2.0)
+
+    def test_no_finished_jobs_raises(self):
+        with pytest.raises(ConfigurationError):
+            mean_response_time([Job(1, 0, benchmark("gcc"), 0.0, 1.0)])
+
+    def test_normalized_delay(self):
+        baseline = [finished_job(1, 0.0, 1.0, 1.0)]
+        slower = [finished_job(2, 0.0, 1.0, 1.5)]
+        assert normalized_delay(slower, baseline) == pytest.approx(1.5)
+
+    def test_throughput(self):
+        jobs = [finished_job(i, 0.0, 1.0, 2.0) for i in range(10)]
+        assert throughput(jobs, 5.0) == pytest.approx(2.0)
+
+    def test_throughput_bad_duration(self):
+        with pytest.raises(ConfigurationError):
+            throughput([], 0.0)
+
+
+class TestEnergy:
+    def test_total_energy(self):
+        assert total_energy(np.array([10.0, 20.0]), 0.5) == pytest.approx(15.0)
+
+    def test_average_power(self):
+        assert average_power(np.array([10.0, 20.0])) == pytest.approx(15.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            total_energy(np.array([]), 0.1)
+        with pytest.raises(ConfigurationError):
+            total_energy(np.array([1.0]), 0.0)
+        with pytest.raises(ConfigurationError):
+            average_power(np.zeros((2, 2)))
+
+
+class TestReliability:
+    def test_paper_16x_factor(self):
+        """JEP122C: 16x more failures when ΔT goes from 10 to 20 C."""
+        assert coffin_manson_acceleration(20.0, 10.0) == pytest.approx(16.0)
+
+    def test_identity_at_reference(self):
+        assert coffin_manson_acceleration(10.0, 10.0) == pytest.approx(1.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            coffin_manson_acceleration(0.0)
+
+    def test_em_acceleration_increases_with_temperature(self):
+        a = electromigration_acceleration(360.0, 350.0)
+        b = electromigration_acceleration(380.0, 350.0)
+        assert 1.0 < a < b
+
+    def test_em_identity(self):
+        assert electromigration_acceleration(350.0, 350.0) == pytest.approx(1.0)
+
+    def test_em_black_equation_form(self):
+        value = electromigration_acceleration(370.0, 350.0, 0.7)
+        expected = math.exp((0.7 / 8.617333262e-5) * (1 / 350.0 - 1 / 370.0))
+        assert value == pytest.approx(expected)
+
+    def test_damage_accumulates(self):
+        low = thermal_cycling_damage([(10.0, 1.0)] * 5)
+        high = thermal_cycling_damage([(20.0, 1.0)] * 5)
+        assert high == pytest.approx(16.0 * low)
+
+    def test_damage_skips_zero_cycles(self):
+        assert thermal_cycling_damage([(0.0, 1.0)]) == 0.0

@@ -1,0 +1,54 @@
+"""mpstat parser tests."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.mpstat import parse_mpstat
+
+SAMPLE = """\
+CPU minf mjf xcal  intr ithr  csw icsw migr smtx  srw syscl  usr sys  wt idl
+  0    1   0    0   217  109  112    1    5    3    0   528   45   3   0  52
+  1    0   0    0    94   57   40    0    2    2    0   191   80   1   0  19
+CPU minf mjf xcal  intr ithr  csw icsw migr smtx  srw syscl  usr sys  wt idl
+  0    1   0    0   217  109  112    1    5    3    0   528   60   5   0  35
+  1    0   0    0    94   57   40    0    2    2    0   191   20   2   0  78
+CPU minf mjf xcal  intr ithr  csw icsw migr smtx  srw syscl  usr sys  wt idl
+  0    1   0    0   217  109  112    1    5    3    0   528   90   5   0   5
+  1    0   0    0    94   57   40    0    2    2    0   191   10   0   0  90
+"""
+
+
+class TestParser:
+    def test_discards_since_boot_block(self):
+        trace = parse_mpstat(SAMPLE)
+        # 3 blocks, first discarded.
+        assert trace.n_samples == 2
+        assert trace.n_cores == 2
+
+    def test_usr_plus_sys(self):
+        trace = parse_mpstat(SAMPLE)
+        assert trace.utilization[0, 0] == pytest.approx(0.65)
+        assert trace.utilization[1, 1] == pytest.approx(0.10)
+
+    def test_clamps_to_one(self):
+        text = SAMPLE.replace("  90   5", "  99   9")
+        trace = parse_mpstat(text)
+        assert trace.utilization.max() <= 1.0
+
+    def test_file_input(self, tmp_path):
+        path = tmp_path / "mpstat.txt"
+        path.write_text(SAMPLE)
+        trace = parse_mpstat(path)
+        assert trace.n_samples == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            parse_mpstat("no samples here\n")
+
+    def test_rejects_malformed_row(self):
+        bad = (
+            "CPU minf mjf xcal intr ithr csw icsw migr smtx srw syscl usr sys wt idl\n"
+            "garbage row that is long enough to index usr sys columns ok? no\n"
+        )
+        with pytest.raises(WorkloadError):
+            parse_mpstat(bad)

@@ -1,0 +1,84 @@
+"""RC network assembly tests: structure and physical sanity."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.errors import ThermalModelError
+from repro.floorplan.experiments import build_experiment
+from repro.thermal.materials import AMBIENT_K
+from repro.thermal.network import build_network
+from repro.thermal.stack import build_stack
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_network(build_stack(build_experiment(1)), 4, 4, AMBIENT_K)
+
+
+class TestStructure:
+    def test_node_count(self, network):
+        # 4 slabs (sink, spreader, 2 dies) x 16 cells + convection node.
+        assert network.n_nodes == 4 * 16 + 1
+
+    def test_sink_node_is_last(self, network):
+        assert network.sink_node == network.n_nodes - 1
+
+    def test_layer_slices_partition_grid_nodes(self, network):
+        seen = set()
+        for layer in range(4):
+            sl = network.layer_slice(layer)
+            indices = set(range(sl.start, sl.stop))
+            assert not indices & seen
+            seen |= indices
+        assert len(seen) == network.n_nodes - 1
+
+    def test_rejects_degenerate_grid(self):
+        with pytest.raises(ThermalModelError):
+            build_network(build_stack(build_experiment(1)), 0, 4, AMBIENT_K)
+
+
+class TestPhysics:
+    def test_conductance_symmetric(self, network):
+        G = network.conductance
+        assert (abs(G - G.T) > 1e-12).nnz == 0
+
+    def test_row_sums_zero_except_ambient(self, network):
+        """G is a Laplacian plus the ambient coupling on the diagonal:
+        row sums equal the per-node ambient conductance."""
+        row_sums = np.asarray(network.conductance.sum(axis=1)).ravel()
+        np.testing.assert_allclose(row_sums, network.ambient_conductance, atol=1e-9)
+
+    def test_capacitances_positive(self, network):
+        assert (network.capacitance > 0.0).all()
+
+    def test_convection_node_capacitance_matches_table2(self, network):
+        assert network.capacitance[network.sink_node] == pytest.approx(140.0)
+
+    def test_ambient_conductance_only_at_convection_node(self, network):
+        nonzero = np.nonzero(network.ambient_conductance)[0]
+        assert list(nonzero) == [network.sink_node]
+        assert network.ambient_conductance[network.sink_node] == pytest.approx(10.0)
+
+    def test_positive_definite(self, network):
+        # G with the ambient tie is positive definite (grounded Laplacian).
+        eigenvalue = sparse.linalg.eigsh(
+            network.conductance.asfptype(), k=1, which="SA",
+            return_eigenvectors=False,
+        )[0]
+        assert eigenvalue > 0.0
+
+    def test_interlayer_resistance_reduces_vertical_conductance(self):
+        """The die0-die1 coupling crosses the bonding material, so it is
+        weaker than the spreader-die0 coupling (direct contact)."""
+        stack = build_stack(build_experiment(1))
+        net = build_network(stack, 2, 2, AMBIENT_K)
+        G = net.conductance.toarray()
+        cells = 4
+        spreader0 = 1 * cells + 0
+        die0_0 = 2 * cells + 0
+        die1_0 = 3 * cells + 0
+        g_spreader_die = -G[spreader0, die0_0]
+        g_die_die = -G[die0_0, die1_0]
+        assert g_spreader_die > 0 and g_die_die > 0
+        assert g_die_die < g_spreader_die

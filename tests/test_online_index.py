@@ -1,0 +1,63 @@
+"""Online thermal-index estimation tests (paper §III-B runtime option)."""
+
+import pytest
+
+from repro.core.adapt3d import Adapt3D
+from repro.errors import PolicyError
+
+from tests.conftest import make_system_view, make_tick
+
+
+def attach(policy):
+    policy.attach(make_system_view(4))
+    return policy
+
+
+class TestOnlineIndices:
+    def test_rejects_tiny_window(self):
+        with pytest.raises(PolicyError):
+            Adapt3D(online_index_window=1)
+
+    def test_offline_indices_until_window_full(self):
+        policy = attach(Adapt3D(online_index_window=20))
+        offline = dict(policy._alphas)
+        for _ in range(10):
+            policy.on_tick(make_tick({"c0": 90.0, "c1": 50.0, "c2": 50.0, "c3": 50.0}))
+        assert policy._alphas == offline
+
+    def test_online_estimate_tracks_observed_ranking(self):
+        """Once the long window fills, the hottest core must carry the
+        highest index regardless of the offline assignment."""
+        policy = attach(Adapt3D(online_index_window=15))
+        # c0 (offline alpha 0.2, layer 0) is observed hottest.
+        temps = {"c0": 90.0, "c1": 55.0, "c2": 60.0, "c3": 58.0}
+        for _ in range(20):
+            policy.on_tick(make_tick(temps))
+        alphas = policy._alphas
+        assert alphas["c0"] == max(alphas.values())
+        assert alphas["c0"] == pytest.approx(0.85)
+        assert alphas["c1"] == pytest.approx(0.15)
+
+    def test_uniform_temperatures_keep_previous_indices(self):
+        policy = attach(Adapt3D(online_index_window=10))
+        before = dict(policy._alphas)
+        for _ in range(15):
+            policy.on_tick(make_tick({n: 60.0 for n in ("c0", "c1", "c2", "c3")}))
+        assert policy._alphas == before
+
+    def test_offline_and_online_similar_on_real_system(self):
+        """Paper: static and dynamic selection gave very similar
+        results. On EXP-3, the online estimate must reproduce the
+        offline layer ordering."""
+        from repro.analysis.runner import ExperimentRunner, RunSpec
+
+        runner = ExperimentRunner()
+        spec = RunSpec(exp_id=3, policy="Adapt3D", duration_s=40.0, with_dpm=True)
+        engine = runner.build_engine(spec)
+        engine.policy = Adapt3D(online_index_window=200)
+        engine.policy.attach(engine.system_view)
+        engine.run()
+        alphas = engine.policy._alphas
+        lower = [alphas[f"L0_core{i}"] for i in range(8)]
+        upper = [alphas[f"L2_core{i}"] for i in range(8)]
+        assert sum(upper) / 8 > sum(lower) / 8

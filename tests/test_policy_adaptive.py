@@ -1,0 +1,148 @@
+"""AdaptRand / Adapt3D probability-update tests (paper §III-B)."""
+
+import pytest
+
+from repro.core.adapt3d import Adapt3D
+from repro.core.adaptive_random import AdaptiveRandom
+from repro.core.hybrid import HybridPolicy
+from repro.core.dvfs_tt import DVFSTemperatureTriggered
+from repro.errors import PolicyError
+from repro.power.states import CoreState
+
+from tests.conftest import make_alloc, make_system_view, make_test_job, make_tick
+
+COOL = {"c0": 60.0, "c1": 62.0, "c2": 61.0, "c3": 59.0}
+
+
+def attach(policy, n_cores=4):
+    policy.attach(make_system_view(n_cores))
+    return policy
+
+
+class TestProbabilityUpdate:
+    def test_initial_probabilities_uniform(self):
+        policy = attach(Adapt3D())
+        probs = policy.probabilities
+        assert all(p == pytest.approx(0.25) for p in probs.values())
+
+    def test_probabilities_stay_normalized(self):
+        policy = attach(Adapt3D())
+        for temp in (COOL, {"c0": 82.0, "c1": 70.0, "c2": 65.0, "c3": 60.0}):
+            policy.on_tick(make_tick(temp))
+            assert sum(policy.probabilities.values()) == pytest.approx(1.0)
+
+    def test_hot_core_probability_zeroed(self):
+        policy = attach(Adapt3D())
+        policy.on_tick(make_tick({"c0": 86.0, "c1": 62.0, "c2": 61.0, "c3": 59.0}))
+        assert policy.probabilities["c0"] == 0.0
+
+    def test_warm_core_loses_probability(self):
+        """A core above T_pref (80 C) must lose probability relative to
+        cool cores (beta_dec branch)."""
+        policy = attach(Adapt3D())
+        for _ in range(5):
+            policy.on_tick(make_tick({"c0": 83.0, "c1": 60.0, "c2": 60.0, "c3": 60.0}))
+        probs = policy.probabilities
+        assert probs["c0"] < probs["c1"]
+
+    def test_alpha_slows_increase_for_susceptible_cores(self):
+        """At equal temperatures, low-alpha (sink-adjacent) cores gain
+        probability faster than high-alpha cores."""
+        policy = attach(Adapt3D())
+        for _ in range(10):
+            policy.on_tick(make_tick({n: 60.0 for n in COOL}))
+        probs = policy.probabilities
+        # c0/c2 are layer 0 (alpha 0.2), c1/c3 layer 1 (alpha 0.8).
+        assert probs["c0"] > probs["c1"]
+        assert probs["c2"] > probs["c3"]
+
+    def test_adaptive_random_is_layer_blind(self):
+        policy = attach(AdaptiveRandom())
+        for _ in range(10):
+            policy.on_tick(make_tick({n: 60.0 for n in COOL}))
+        probs = policy.probabilities
+        assert probs["c0"] == pytest.approx(probs["c1"])
+
+    def test_history_window_respected(self):
+        policy = attach(Adapt3D(history_window=3))
+        hot = {"c0": 86.0, "c1": 60.0, "c2": 60.0, "c3": 60.0}
+        policy.on_tick(make_tick(hot))
+        # After 3 cool ticks the hot sample leaves the window.
+        for _ in range(4):
+            policy.on_tick(make_tick(COOL))
+        assert policy.probabilities["c0"] > 0.0
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(PolicyError):
+            Adapt3D(beta_inc=0.0)
+        with pytest.raises(PolicyError):
+            Adapt3D(history_window=0)
+
+    def test_adapt3d_requires_indices(self):
+        from repro.core.base import SystemView
+        from repro.power.vf import DEFAULT_VF_TABLE
+
+        bare = SystemView(
+            core_names=("c0",),
+            core_layer={"c0": 0},
+            n_layers=1,
+            vf_table=DEFAULT_VF_TABLE,
+        )
+        with pytest.raises(PolicyError):
+            Adapt3D().attach(bare)
+
+
+class TestAllocation:
+    def test_draws_only_among_shortest_queues(self):
+        policy = attach(Adapt3D())
+        ctx = make_alloc(COOL, queues={"c0": 0, "c1": 2, "c2": 2, "c3": 2})
+        for _ in range(20):
+            assert policy.select_core(make_test_job(), ctx) == "c0"
+
+    def test_prefers_awake_cores(self):
+        policy = attach(Adapt3D())
+        ctx = make_alloc(
+            COOL,
+            states={"c0": CoreState.SLEEP, "c2": CoreState.SLEEP},
+        )
+        for _ in range(20):
+            assert policy.select_core(make_test_job(), ctx) in ("c1", "c3")
+
+    def test_falls_back_to_coolest_when_all_hot(self):
+        policy = attach(Adapt3D())
+        hot = {"c0": 86.0, "c1": 88.0, "c2": 87.0, "c3": 90.0}
+        policy.on_tick(make_tick(hot))
+        ctx = make_alloc(hot)
+        assert policy.select_core(make_test_job(), ctx) == "c0"
+
+    def test_biased_toward_low_alpha_cores(self):
+        """With equal temps and queues, layer-0 cores receive more jobs."""
+        policy = attach(Adapt3D())
+        for _ in range(10):
+            policy.on_tick(make_tick({n: 60.0 for n in COOL}))
+        counts = {name: 0 for name in COOL}
+        ctx = make_alloc(COOL)
+        for _ in range(2000):
+            counts[policy.select_core(make_test_job(), ctx)] += 1
+        lower = counts["c0"] + counts["c2"]
+        upper = counts["c1"] + counts["c3"]
+        assert lower > upper
+
+
+class TestHybrid:
+    def test_name_combines(self):
+        hybrid = HybridPolicy(Adapt3D(), DVFSTemperatureTriggered())
+        assert hybrid.name == "Adapt3D&DVFS_TT"
+
+    def test_allocation_from_allocator_vf_from_dvfs(self):
+        hybrid = attach(HybridPolicy(Adapt3D(), DVFSTemperatureTriggered()))
+        hot = {"c0": 88.0, "c1": 60.0, "c2": 60.0, "c3": 60.0}
+        actions = hybrid.on_tick(make_tick(hot))
+        assert actions.vf_settings["c0"] == 1  # DVFS_TT stepped down
+        assert hybrid.allocator.probabilities["c0"] == 0.0  # Adapt3D updated
+
+    def test_dvfs_rebalance_migrations_dropped(self):
+        hybrid = attach(HybridPolicy(Adapt3D(), DVFSTemperatureTriggered()))
+        ctx = make_tick(COOL, queues={"c0": 5, "c1": 0, "c2": 0, "c3": 0})
+        actions = hybrid.on_tick(ctx)
+        assert actions.migrations == []

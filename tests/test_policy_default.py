@@ -1,0 +1,73 @@
+"""Default load-balancing policy tests."""
+
+import pytest
+
+from repro.core.default import DefaultLoadBalancing
+from repro.errors import PolicyError
+from repro.power.states import CoreState
+
+from tests.conftest import make_alloc, make_test_job, make_tick
+
+
+@pytest.fixture
+def policy(system4):
+    policy = DefaultLoadBalancing()
+    policy.attach(system4)
+    return policy
+
+
+TEMPS = {"c0": 60.0, "c1": 70.0, "c2": 65.0, "c3": 55.0}
+
+
+class TestAllocation:
+    def test_locality_rule(self, policy):
+        ctx = make_alloc(TEMPS, last_core="c2")
+        assert policy.select_core(make_test_job(), ctx) == "c2"
+
+    def test_locality_abandoned_when_imbalanced(self, policy):
+        ctx = make_alloc(TEMPS, queues={"c2": 3}, last_core="c2")
+        assert policy.select_core(make_test_job(), ctx) != "c2"
+
+    def test_least_loaded_without_history(self, policy):
+        ctx = make_alloc(TEMPS, queues={"c0": 2, "c1": 1, "c2": 0, "c3": 3})
+        assert policy.select_core(make_test_job(), ctx) == "c2"
+
+    def test_ties_rotate_round_robin(self, policy):
+        seen = set()
+        for _ in range(4):
+            ctx = make_alloc(TEMPS)
+            seen.add(policy.select_core(make_test_job(), ctx))
+        assert seen == {"c0", "c1", "c2", "c3"}
+
+    def test_prefers_awake_on_ties(self, policy):
+        ctx = make_alloc(
+            TEMPS,
+            states={"c0": CoreState.SLEEP, "c1": CoreState.SLEEP},
+        )
+        assert policy.select_core(make_test_job(), ctx) in ("c2", "c3")
+
+    def test_unattached_policy_raises(self):
+        policy = DefaultLoadBalancing()
+        with pytest.raises(PolicyError):
+            policy.select_core(make_test_job(), make_alloc(TEMPS))
+
+
+class TestRebalancing:
+    def test_migrates_on_significant_imbalance(self, policy):
+        ctx = make_tick(TEMPS, queues={"c0": 4, "c1": 1, "c2": 1, "c3": 1})
+        actions = policy.on_tick(ctx)
+        assert len(actions.migrations) == 1
+        migration = actions.migrations[0]
+        assert migration.source == "c0"
+        assert not migration.move_running
+        assert not migration.swap
+
+    def test_no_migration_when_balanced(self, policy):
+        ctx = make_tick(TEMPS, queues={"c0": 1, "c1": 1, "c2": 1, "c3": 2})
+        assert policy.on_tick(ctx).migrations == []
+
+    def test_no_vf_or_gating(self, policy):
+        ctx = make_tick(TEMPS)
+        actions = policy.on_tick(ctx)
+        assert actions.vf_settings == {}
+        assert actions.gated == []

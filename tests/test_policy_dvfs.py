@@ -1,0 +1,123 @@
+"""CGate and DVFS policy tests."""
+
+import pytest
+
+from repro.core.clock_gating import ClockGating
+from repro.core.dvfs_flp import DVFSFloorplanAware
+from repro.core.dvfs_tt import DVFSTemperatureTriggered
+from repro.core.dvfs_util import DVFSUtilizationBased
+from repro.errors import PolicyError
+
+from tests.conftest import make_system_view, make_tick
+
+COOL = {"c0": 60.0, "c1": 62.0, "c2": 61.0, "c3": 59.0}
+ONE_HOT = {"c0": 88.0, "c1": 62.0, "c2": 61.0, "c3": 59.0}
+
+
+def attach(policy, n_cores=4):
+    policy.attach(make_system_view(n_cores))
+    return policy
+
+
+class TestClockGating:
+    def test_gates_hot_core(self):
+        policy = attach(ClockGating())
+        actions = policy.on_tick(make_tick(ONE_HOT))
+        assert actions.gated == ["c0"]
+
+    def test_ungates_when_cool(self):
+        policy = attach(ClockGating())
+        policy.on_tick(make_tick(ONE_HOT))
+        actions = policy.on_tick(make_tick(COOL))
+        assert actions.gated == []
+
+    def test_threshold_is_85(self):
+        policy = attach(ClockGating())
+        actions = policy.on_tick(make_tick({"c0": 84.9, "c1": 85.0,
+                                            "c2": 60.0, "c3": 60.0}))
+        assert actions.gated == ["c1"]
+
+
+class TestDVFSTemperatureTriggered:
+    def test_steps_down_while_hot(self):
+        policy = attach(DVFSTemperatureTriggered())
+        first = policy.on_tick(make_tick(ONE_HOT))
+        assert first.vf_settings["c0"] == 1
+        second = policy.on_tick(make_tick(ONE_HOT))
+        assert second.vf_settings["c0"] == 2
+
+    def test_clamps_at_lowest(self):
+        policy = attach(DVFSTemperatureTriggered())
+        for _ in range(5):
+            actions = policy.on_tick(make_tick(ONE_HOT))
+        assert actions.vf_settings["c0"] == 2
+
+    def test_steps_back_up_when_cool(self):
+        policy = attach(DVFSTemperatureTriggered())
+        policy.on_tick(make_tick(ONE_HOT))
+        policy.on_tick(make_tick(ONE_HOT))
+        actions = policy.on_tick(make_tick(COOL))
+        assert actions.vf_settings["c0"] == 1
+        actions = policy.on_tick(make_tick(COOL))
+        assert actions.vf_settings["c0"] == 0
+
+    def test_cool_cores_stay_nominal(self):
+        policy = attach(DVFSTemperatureTriggered())
+        actions = policy.on_tick(make_tick(ONE_HOT))
+        assert actions.vf_settings["c1"] == 0
+
+
+class TestDVFSUtilizationBased:
+    def test_low_utilization_gets_lowest_setting(self):
+        policy = attach(DVFSUtilizationBased())
+        actions = policy.on_tick(make_tick(COOL, utils={"c0": 0.3}))
+        assert actions.vf_settings["c0"] == 2
+
+    def test_high_utilization_keeps_nominal(self):
+        policy = attach(DVFSUtilizationBased())
+        actions = policy.on_tick(make_tick(COOL, utils={"c0": 0.99}))
+        assert actions.vf_settings["c0"] == 0
+
+    def test_mid_utilization_intermediate(self):
+        policy = attach(DVFSUtilizationBased())
+        actions = policy.on_tick(make_tick(COOL, utils={"c0": 0.9}))
+        assert actions.vf_settings["c0"] == 1
+
+
+class TestDVFSFloorplanAware:
+    def test_requires_thermal_indices(self):
+        from repro.core.base import SystemView
+        from repro.power.vf import DEFAULT_VF_TABLE
+
+        bare = SystemView(
+            core_names=("c0",),
+            core_layer={"c0": 0},
+            n_layers=1,
+            vf_table=DEFAULT_VF_TABLE,
+        )
+        policy = DVFSFloorplanAware()
+        with pytest.raises(PolicyError):
+            policy.attach(bare)
+
+    def test_static_assignment_by_susceptibility(self):
+        view = make_system_view(6, n_layers=2)
+        policy = DVFSFloorplanAware()
+        policy.attach(view)
+        temps = {name: 60.0 for name in view.core_names}
+        actions = policy.on_tick(make_tick(temps))
+        # Odd cores (upper layer, higher alpha) must run at lower V/f
+        # than even cores (lower layer).
+        upper = [actions.vf_settings[f"c{i}"] for i in (1, 3, 5)]
+        lower = [actions.vf_settings[f"c{i}"] for i in (0, 2, 4)]
+        assert min(upper) >= max(lower)
+        assert max(upper) == 2  # most susceptible at the lowest setting
+
+    def test_assignment_is_static_across_ticks(self):
+        view = make_system_view(4)
+        policy = DVFSFloorplanAware()
+        policy.attach(view)
+        temps_a = {name: 60.0 for name in view.core_names}
+        temps_b = {name: 90.0 for name in view.core_names}
+        a = policy.on_tick(make_tick(temps_a)).vf_settings
+        b = policy.on_tick(make_tick(temps_b)).vf_settings
+        assert a == b

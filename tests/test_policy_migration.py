@@ -1,0 +1,56 @@
+"""Migration policy tests (§III-B Migr)."""
+
+import pytest
+
+from repro.core.migration import MigrationPolicy
+
+from tests.conftest import make_system_view, make_tick
+
+
+@pytest.fixture
+def policy():
+    policy = MigrationPolicy()
+    policy.attach(make_system_view(4))
+    return policy
+
+
+class TestMigr:
+    def test_migrates_hot_core_to_coolest(self, policy):
+        ctx = make_tick({"c0": 90.0, "c1": 70.0, "c2": 55.0, "c3": 65.0})
+        actions = policy.on_tick(ctx)
+        assert len(actions.migrations) == 1
+        migration = actions.migrations[0]
+        assert migration.source == "c0"
+        assert migration.destination == "c2"
+        assert migration.move_running
+        assert migration.swap
+
+    def test_no_migration_below_threshold(self, policy):
+        ctx = make_tick({"c0": 84.0, "c1": 70.0, "c2": 55.0, "c3": 65.0})
+        assert policy.on_tick(ctx).migrations == []
+
+    def test_each_cool_core_receives_at_most_one(self, policy):
+        ctx = make_tick({"c0": 90.0, "c1": 89.0, "c2": 55.0, "c3": 60.0})
+        actions = policy.on_tick(ctx)
+        destinations = [m.destination for m in actions.migrations]
+        assert len(destinations) == len(set(destinations))
+        assert set(destinations) <= {"c2", "c3"}
+
+    def test_hottest_served_first(self, policy):
+        ctx = make_tick({"c0": 88.0, "c1": 92.0, "c2": 55.0, "c3": 60.0})
+        actions = policy.on_tick(ctx)
+        assert actions.migrations[0].source == "c1"
+        assert actions.migrations[0].destination == "c2"
+
+    def test_idle_hot_core_not_migrated(self, policy):
+        ctx = make_tick(
+            {"c0": 90.0, "c1": 70.0, "c2": 55.0, "c3": 65.0},
+            queues={"c0": 0},
+        )
+        assert policy.on_tick(ctx).migrations == []
+
+    def test_all_hot_yields_no_migrations(self, policy):
+        # Shuffling jobs between hot cores would burn migration cost for
+        # nothing; the policy must stand down.
+        ctx = make_tick({"c0": 90.0, "c1": 91.0, "c2": 92.0, "c3": 93.0})
+        assert policy.on_tick(ctx).migrations == []

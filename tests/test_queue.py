@@ -1,0 +1,77 @@
+"""Dispatch queue tests."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.workload.benchmarks import benchmark
+from repro.workload.job import Job
+
+
+from repro.sched.queue import DispatchQueue
+
+
+def make_job(job_id, work=1.0):
+    return Job(job_id, job_id, benchmark("gcc"), 0.0, work)
+
+
+class TestQueue:
+    def test_push_binds_core(self):
+        queue = DispatchQueue("core0")
+        job = make_job(1)
+        queue.push(job)
+        assert job.core == "core0"
+        assert queue.running is job
+
+    def test_fifo_order(self):
+        queue = DispatchQueue("core0")
+        first, second = make_job(1), make_job(2)
+        queue.push(first)
+        queue.push(second)
+        assert queue.running is first
+        assert queue.jobs() == [first, second]
+
+    def test_pop_finished_requires_completion(self):
+        queue = DispatchQueue("core0")
+        job = make_job(1)
+        queue.push(job)
+        with pytest.raises(SchedulerError):
+            queue.pop_finished()
+        job.remaining_s = 0.0
+        assert queue.pop_finished() is job
+        assert len(queue) == 0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SchedulerError):
+            DispatchQueue("core0").pop_finished()
+
+    def test_steal_head(self):
+        queue = DispatchQueue("core0")
+        first, second = make_job(1), make_job(2)
+        queue.push(first)
+        queue.push(second)
+        assert queue.steal() is first
+        assert queue.running is second
+
+    def test_steal_specific(self):
+        queue = DispatchQueue("core0")
+        first, second = make_job(1), make_job(2)
+        queue.push(first)
+        queue.push(second)
+        assert queue.steal(second) is second
+        assert queue.jobs() == [first]
+
+    def test_steal_missing_raises(self):
+        queue = DispatchQueue("core0")
+        queue.push(make_job(1))
+        with pytest.raises(SchedulerError):
+            queue.steal(make_job(99))
+
+    def test_steal_empty_raises(self):
+        with pytest.raises(SchedulerError):
+            DispatchQueue("core0").steal()
+
+    def test_total_remaining(self):
+        queue = DispatchQueue("core0")
+        queue.push(make_job(1, 2.0))
+        queue.push(make_job(2, 3.0))
+        assert queue.total_remaining_s() == pytest.approx(5.0)

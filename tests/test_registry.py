@@ -1,0 +1,39 @@
+"""Policy registry tests."""
+
+import pytest
+
+from repro.core.base import Policy
+from repro.core.registry import build_policy, policy_names
+from repro.errors import ConfigurationError
+
+EXPECTED = [
+    "Default",
+    "CGate",
+    "DVFS_TT",
+    "DVFS_Util",
+    "DVFS_FLP",
+    "Migr",
+    "AdaptRand",
+    "Adapt3D",
+    "Adapt3D&DVFS_TT",
+    "Adapt3D&DVFS_Util",
+    "Adapt3D&DVFS_FLP",
+]
+
+
+class TestRegistry:
+    def test_all_figure_policies_registered(self):
+        assert policy_names() == EXPECTED
+
+    @pytest.mark.parametrize("name", EXPECTED)
+    def test_build_each(self, name):
+        policy = build_policy(name)
+        assert isinstance(policy, Policy)
+        assert policy.name == name
+
+    def test_builders_return_fresh_instances(self):
+        assert build_policy("Adapt3D") is not build_policy("Adapt3D")
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            build_policy("nope")

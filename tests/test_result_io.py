@@ -1,0 +1,48 @@
+"""Result CSV export tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.result_io import export_result, load_temperature_csv
+from repro.analysis.runner import ExperimentRunner, RunSpec
+from repro.errors import ConfigurationError
+
+RUNNER = ExperimentRunner()
+
+
+@pytest.fixture(scope="module")
+def result():
+    return RUNNER.run(RunSpec(exp_id=1, policy="Default", duration_s=5.0))
+
+
+class TestExport:
+    def test_writes_three_files(self, result, tmp_path):
+        paths = export_result(result, tmp_path / "run")
+        assert len(paths) == 3
+        for path in paths:
+            assert path.exists()
+            assert path.stat().st_size > 0
+
+    def test_temperature_round_trip(self, result, tmp_path):
+        paths = export_result(result, tmp_path / "run")
+        times, names, temps = load_temperature_csv(paths[0])
+        assert names == result.unit_names
+        np.testing.assert_allclose(times, result.times, atol=1e-3)
+        np.testing.assert_allclose(temps, result.unit_temps_k, atol=1e-3)
+
+    def test_jobs_csv_rows_match_completions(self, result, tmp_path):
+        paths = export_result(result, tmp_path / "run")
+        lines = paths[2].read_text().strip().splitlines()
+        assert len(lines) - 1 == len(result.completed_jobs())
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope,nope\n1,2\n")
+        with pytest.raises(ConfigurationError):
+            load_temperature_csv(path)
+
+    def test_load_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("time_s,u0\n")
+        with pytest.raises(ConfigurationError):
+            load_temperature_csv(path)

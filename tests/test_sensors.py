@@ -1,0 +1,66 @@
+"""Temperature sensor tests."""
+
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.floorplan.experiments import build_experiment
+from repro.thermal.model import ThermalModel
+from repro.thermal.sensors import SensorBank, TemperatureSensor
+
+
+class TestSensor:
+    def test_ideal_sensor_passes_through(self):
+        assert TemperatureSensor().read(358.15) == pytest.approx(358.15)
+
+    def test_quantization(self):
+        sensor = TemperatureSensor(quantization_step=1.0)
+        assert sensor.read(358.4) == pytest.approx(358.0)
+        assert sensor.read(358.6) == pytest.approx(359.0)
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(ThermalModelError):
+            TemperatureSensor(noise_sigma=0.5)
+
+    def test_noise_is_applied(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        sensor = TemperatureSensor(noise_sigma=2.0, rng=rng)
+        readings = [sensor.read(350.0) for _ in range(200)]
+        spread = max(readings) - min(readings)
+        assert spread > 1.0
+        assert abs(sum(readings) / len(readings) - 350.0) < 1.0
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ThermalModelError):
+            TemperatureSensor(noise_sigma=-1.0)
+        with pytest.raises(ThermalModelError):
+            TemperatureSensor(quantization_step=-1.0)
+
+
+class TestSensorBank:
+    def test_reads_every_core(self):
+        model = ThermalModel(build_experiment(1), nrows=4, ncols=4)
+        bank = SensorBank(model)
+        readings = bank.read_cores()
+        assert set(readings) == set(model.core_names)
+
+    def test_reads_hot_spot_not_mean(self):
+        """Sensors sit at the core's hottest cell."""
+        model = ThermalModel(build_experiment(1), nrows=6, ncols=6)
+        powers = {
+            name: 4.0 if model.unit_kind(name).value == "core" else 0.5
+            for name in model.unit_names
+        }
+        model.initialize_steady_state(powers)
+        bank = SensorBank(model)
+        readings = bank.read_cores()
+        maxes = model.unit_max_temperatures()
+        for core, value in readings.items():
+            assert value == pytest.approx(maxes[core])
+
+    def test_deterministic_given_seed(self):
+        model = ThermalModel(build_experiment(1), nrows=4, ncols=4)
+        a = SensorBank(model, noise_sigma=1.0, seed=42).read_cores()
+        b = SensorBank(model, noise_sigma=1.0, seed=42).read_cores()
+        assert a == b

@@ -1,0 +1,133 @@
+"""Solver tests: steady state, transient convergence, method agreement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.floorplan.experiments import build_experiment
+from repro.thermal.materials import AMBIENT_K
+from repro.thermal.network import build_network
+from repro.thermal.solver import SteadyStateSolver, TransientSolver
+from repro.thermal.stack import build_stack
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_network(build_stack(build_experiment(1)), 4, 4, AMBIENT_K)
+
+
+def die_power(network, watts):
+    powers = np.zeros(network.n_nodes)
+    sl = network.layer_slice(2)  # die0
+    powers[sl.start: sl.stop] = watts / 16.0
+    return powers
+
+
+class TestSteadyState:
+    def test_zero_power_gives_ambient(self, network):
+        temps = SteadyStateSolver(network).solve(np.zeros(network.n_nodes))
+        np.testing.assert_allclose(temps, AMBIENT_K, atol=1e-8)
+
+    def test_positive_power_heats_above_ambient(self, network):
+        temps = SteadyStateSolver(network).solve(die_power(network, 40.0))
+        assert (temps > AMBIENT_K - 1e-9).all()
+
+    def test_total_heat_balance(self, network):
+        """In equilibrium, all injected power leaves through convection:
+        P_total = g_amb * (T_sink - T_amb)."""
+        power = die_power(network, 40.0)
+        temps = SteadyStateSolver(network).solve(power)
+        out = network.ambient_conductance[network.sink_node] * (
+            temps[network.sink_node] - AMBIENT_K
+        )
+        assert out == pytest.approx(40.0, rel=1e-6)
+
+    def test_linear_in_power(self, network):
+        solver = SteadyStateSolver(network)
+        t1 = solver.solve(die_power(network, 20.0))
+        t2 = solver.solve(die_power(network, 40.0))
+        rise1 = t1 - AMBIENT_K
+        rise2 = t2 - AMBIENT_K
+        np.testing.assert_allclose(rise2, 2.0 * rise1, rtol=1e-9)
+
+    def test_heated_die_is_hottest(self, network):
+        temps = SteadyStateSolver(network).solve(die_power(network, 40.0))
+        die0 = temps[network.layer_slice(2)]
+        sink = temps[network.layer_slice(0)]
+        assert die0.mean() > sink.mean()
+
+    def test_shape_check(self, network):
+        with pytest.raises(ThermalModelError):
+            SteadyStateSolver(network).solve(np.zeros(3))
+
+
+class TestTransient:
+    def test_converges_to_steady_state(self, network):
+        power = die_power(network, 40.0)
+        steady = SteadyStateSolver(network).solve(power)
+        solver = TransientSolver(network, dt=1.0, substeps=4)
+        temps = np.full(network.n_nodes, AMBIENT_K)
+        for _ in range(600):
+            temps = solver.step(temps, power)
+        # The 140 J/K sink node has a ~14 s time constant; 600 s is deep
+        # into equilibrium.
+        np.testing.assert_allclose(temps, steady, atol=0.05)
+
+    def test_monotone_heating_from_ambient(self, network):
+        power = die_power(network, 40.0)
+        solver = TransientSolver(network, dt=0.1)
+        temps = np.full(network.n_nodes, AMBIENT_K)
+        previous_max = temps.max()
+        for _ in range(50):
+            temps = solver.step(temps, power)
+            assert temps.max() >= previous_max - 1e-9
+            previous_max = temps.max()
+
+    def test_cooling_decays_to_ambient(self, network):
+        power = die_power(network, 40.0)
+        steady = SteadyStateSolver(network).solve(power)
+        solver = TransientSolver(network, dt=1.0)
+        temps = steady.copy()
+        zero = np.zeros(network.n_nodes)
+        for _ in range(600):
+            temps = solver.step(temps, zero)
+        np.testing.assert_allclose(temps, AMBIENT_K, atol=0.05)
+
+    def test_backward_euler_agrees_with_crank_nicolson(self, network):
+        power = die_power(network, 40.0)
+        be = TransientSolver(network, dt=0.1, substeps=2, method="backward_euler")
+        cn = TransientSolver(network, dt=0.1, substeps=2, method="crank_nicolson")
+        t_be = np.full(network.n_nodes, AMBIENT_K)
+        t_cn = t_be.copy()
+        for _ in range(100):
+            t_be = be.step(t_be, power)
+            t_cn = cn.step(t_cn, power)
+        np.testing.assert_allclose(t_be, t_cn, atol=0.5)
+
+    def test_substeps_refine_accuracy(self, network):
+        power = die_power(network, 40.0)
+        coarse = TransientSolver(network, dt=0.5, substeps=1)
+        fine = TransientSolver(network, dt=0.5, substeps=16)
+        t_c = np.full(network.n_nodes, AMBIENT_K)
+        t_f = t_c.copy()
+        for _ in range(20):
+            t_c = coarse.step(t_c, power)
+            t_f = fine.step(t_f, power)
+        # Both must be close; fine is the reference.
+        assert np.abs(t_c - t_f).max() < 1.0
+
+    def test_invalid_configuration_rejected(self, network):
+        with pytest.raises(ThermalModelError):
+            TransientSolver(network, dt=0.0)
+        with pytest.raises(ThermalModelError):
+            TransientSolver(network, dt=0.1, substeps=0)
+        with pytest.raises(ThermalModelError):
+            TransientSolver(network, dt=0.1, method="rk4")
+
+    def test_shape_checks(self, network):
+        solver = TransientSolver(network, dt=0.1)
+        good = np.full(network.n_nodes, AMBIENT_K)
+        with pytest.raises(ThermalModelError):
+            solver.step(good[:-1], np.zeros(network.n_nodes))
+        with pytest.raises(ThermalModelError):
+            solver.step(good, np.zeros(3))

@@ -1,0 +1,92 @@
+"""Stack assembly tests."""
+
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.floorplan.experiments import build_experiment
+from repro.thermal.materials import COPPER, SILICON
+from repro.thermal.stack import Stack3D, StackLayer, build_stack
+
+
+class TestStackLayer:
+    def test_rejects_non_positive_thickness(self):
+        with pytest.raises(ThermalModelError):
+            StackLayer("bad", 0.0, SILICON)
+
+    def test_active_layer_needs_floorplan(self):
+        with pytest.raises(ThermalModelError):
+            StackLayer("bad", 1e-3, SILICON, floorplan=None, is_active=True)
+
+    def test_rejects_non_positive_interface_resistivity(self):
+        with pytest.raises(ThermalModelError):
+            StackLayer("bad", 1e-3, SILICON, interface_resistivity=0.0)
+
+
+class TestBuildStack:
+    def test_layer_order_sink_first(self):
+        stack = build_stack(build_experiment(1))
+        names = [layer.name for layer in stack.layers]
+        assert names == ["sink", "spreader", "die0", "die1"]
+
+    def test_four_tier_stack(self):
+        stack = build_stack(build_experiment(3))
+        assert stack.n_layers == 6  # sink, spreader, 4 dies
+
+    def test_die_thickness_from_table2(self):
+        stack = build_stack(build_experiment(1))
+        for _, die in stack.die_layers():
+            assert die.thickness_m == pytest.approx(0.15e-3)
+
+    def test_interlayer_between_dies_only(self):
+        stack = build_stack(build_experiment(3))
+        dies = [layer for _, layer in stack.die_layers()]
+        # Every die except the top one carries an interface above it.
+        for die in dies[:-1]:
+            assert die.interface_resistivity == pytest.approx(0.23)
+            assert die.interface_thickness_m == pytest.approx(0.02e-3)
+        assert dies[-1].interface_resistivity is None
+
+    def test_all_dies_active(self):
+        stack = build_stack(build_experiment(4))
+        assert len(stack.active_layers()) == 4
+
+    def test_convection_parameters(self):
+        stack = build_stack(build_experiment(2))
+        assert stack.convection_resistance == pytest.approx(0.1)
+        assert stack.convection_capacitance == pytest.approx(140.0)
+
+    def test_package_conductivity_multipliers(self):
+        stack = build_stack(build_experiment(1))
+        assert stack.layers[0].material.conductivity > COPPER.conductivity
+        assert stack.layers[1].material.conductivity > COPPER.conductivity
+
+
+class TestStackValidation:
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ThermalModelError):
+            Stack3D(
+                layers=(),
+                width_m=1.0,
+                height_m=1.0,
+                convection_resistance=0.1,
+                convection_capacitance=140.0,
+            )
+
+    def test_mismatched_floorplan_rejected(self):
+        config = build_experiment(1)
+        layer = StackLayer(
+            "die0", 1e-4, SILICON, floorplan=config.layers[0], is_active=True
+        )
+        with pytest.raises(ThermalModelError):
+            Stack3D(
+                layers=(layer,),
+                width_m=1.0,
+                height_m=1.0,
+                convection_resistance=0.1,
+                convection_capacitance=140.0,
+            )
+
+    def test_negative_internal_resistance_rejected(self):
+        config = build_experiment(1)
+        with pytest.raises(ThermalModelError):
+            build_stack(config, internal_resistance=-0.1)

@@ -1,0 +1,54 @@
+"""Thermal-index computation tests (§III-B offline analysis)."""
+
+import pytest
+
+from repro.core.thermal_index import compute_thermal_indices
+from repro.errors import PolicyError
+from repro.floorplan.experiments import build_experiment
+from repro.power.chip_power import ChipPowerModel
+from repro.thermal.model import ThermalModel
+
+
+@pytest.fixture(scope="module")
+def exp3_indices():
+    config = build_experiment(3)
+    thermal = ThermalModel(config, nrows=6, ncols=6)
+    power = ChipPowerModel(config)
+    return compute_thermal_indices(thermal, power)
+
+
+class TestIndices:
+    def test_all_cores_covered(self, exp3_indices):
+        assert len(exp3_indices) == 16
+
+    def test_range_open_unit_interval(self, exp3_indices):
+        for alpha in exp3_indices.values():
+            assert 0.0 < alpha < 1.0
+
+    def test_upper_layer_more_susceptible(self, exp3_indices):
+        """Cores far from the heat sink must carry higher indices."""
+        lower = [exp3_indices[f"L0_core{i}"] for i in range(8)]
+        upper = [exp3_indices[f"L2_core{i}"] for i in range(8)]
+        assert min(upper) > max(lower)
+
+    def test_extremes_hit_normalization_bounds(self, exp3_indices):
+        values = sorted(exp3_indices.values())
+        assert values[0] == pytest.approx(0.15)
+        assert values[-1] == pytest.approx(0.85)
+
+    def test_invalid_range_rejected(self):
+        config = build_experiment(1)
+        thermal = ThermalModel(config, nrows=4, ncols=4)
+        power = ChipPowerModel(config)
+        with pytest.raises(PolicyError):
+            compute_thermal_indices(thermal, power, alpha_min=0.9, alpha_max=0.2)
+
+    def test_single_layer_uniform_midpoint(self):
+        """EXP-1 has all cores on one layer; indices still spread by
+        in-layer position, but the range respects the bounds."""
+        config = build_experiment(1)
+        thermal = ThermalModel(config, nrows=6, ncols=6)
+        power = ChipPowerModel(config)
+        indices = compute_thermal_indices(thermal, power)
+        assert len(indices) == 8
+        assert all(0.0 < a < 1.0 for a in indices.values())

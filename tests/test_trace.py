@@ -1,0 +1,73 @@
+"""Utilization trace container and replay tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.trace import UtilizationTrace
+
+
+def simple_trace():
+    data = np.array([[0.5, 0.1], [0.9, 0.0], [0.2, 0.7]])
+    return UtilizationTrace(data, interval_s=1.0, benchmark_name="gcc")
+
+
+class TestValidation:
+    def test_shape_and_duration(self):
+        trace = simple_trace()
+        assert trace.n_samples == 3
+        assert trace.n_cores == 2
+        assert trace.duration_s == pytest.approx(3.0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(WorkloadError):
+            UtilizationTrace(np.array([0.5, 0.2]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            UtilizationTrace(np.array([[1.5]]))
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(WorkloadError):
+            UtilizationTrace(np.array([[0.5]]), interval_s=0.0)
+
+
+class TestOperations:
+    def test_mean_utilization(self):
+        assert simple_trace().mean_utilization() == pytest.approx(0.4)
+
+    def test_duplication_for_16_cores(self):
+        """The paper duplicates the 8-core workload for EXP-3/4."""
+        trace = simple_trace().duplicated(2)
+        assert trace.n_cores == 4
+        np.testing.assert_allclose(
+            trace.utilization[:, :2], trace.utilization[:, 2:]
+        )
+
+    def test_to_jobs_demand_matches_utilization(self):
+        trace = simple_trace()
+        jobs = trace.to_jobs()
+        total_demand = sum(job.work_s for _, job in jobs)
+        assert total_demand == pytest.approx(trace.utilization.sum() * 1.0)
+
+    def test_to_jobs_skips_idle_samples(self):
+        trace = simple_trace()
+        jobs = trace.to_jobs()
+        # sample 1 core 1 has utilization 0.0 -> no job.
+        assert len(jobs) == 5
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        trace = simple_trace()
+        path = tmp_path / "trace.csv"
+        trace.to_csv(path)
+        loaded = UtilizationTrace.from_csv(path, benchmark_name="gcc")
+        np.testing.assert_allclose(loaded.utilization, trace.utilization, atol=1e-4)
+        assert loaded.interval_s == pytest.approx(1.0)
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("not,a,trace\n1,2,3\n")
+        with pytest.raises(WorkloadError):
+            UtilizationTrace.from_csv(path)

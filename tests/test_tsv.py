@@ -1,0 +1,91 @@
+"""TSV joint-resistivity model tests (paper Figure 2, §IV-C)."""
+
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.floorplan.ultrasparc import LAYER_AREA_M2
+from repro.thermal.tsv import (
+    DEFAULT_TSV,
+    TSVTechnology,
+    area_overhead,
+    default_density_sweep,
+    joint_resistivity,
+    joint_resistivity_for_via_count,
+    resistivity_curve,
+    vias_per_mm2,
+)
+
+
+class TestGeometry:
+    def test_footprint_includes_keepout(self):
+        # 10 um via + 10 um spacing each side -> 30 um pitch.
+        assert DEFAULT_TSV.footprint_area_m2 == pytest.approx((30e-6) ** 2)
+
+    def test_copper_fill_ratio_below_one(self):
+        assert 0.0 < DEFAULT_TSV.copper_fill_ratio < 1.0
+
+
+class TestJointResistivity:
+    def test_zero_density_gives_bond_material(self):
+        assert joint_resistivity(0.0) == pytest.approx(0.25)
+
+    def test_monotonically_decreasing(self):
+        values = [joint_resistivity(d) for d in default_density_sweep()]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_paper_configuration_near_023(self):
+        # 1024 vias on a 115 mm2 layer -> ~0.23 mK/W (paper §IV-C).
+        rho = joint_resistivity_for_via_count(1024, LAYER_AREA_M2)
+        assert rho == pytest.approx(0.23, abs=0.01)
+
+    def test_paper_area_overhead_below_one_percent(self):
+        assert area_overhead(1024, LAYER_AREA_M2) < 0.01
+
+    def test_paper_density_over_8_vias_per_mm2(self):
+        assert vias_per_mm2(1024, LAYER_AREA_M2) > 8.0
+
+    def test_rejects_invalid_density(self):
+        with pytest.raises(ThermalModelError):
+            joint_resistivity(-0.1)
+        with pytest.raises(ThermalModelError):
+            joint_resistivity(1.5)
+
+    def test_rejects_negative_via_count(self):
+        with pytest.raises(ThermalModelError):
+            joint_resistivity_for_via_count(-1, LAYER_AREA_M2)
+
+    def test_curve_matches_pointwise(self):
+        curve = resistivity_curve([0.0, 0.01])
+        assert curve[0][1] == pytest.approx(joint_resistivity(0.0))
+        assert curve[1][1] == pytest.approx(joint_resistivity(0.01))
+
+    def test_custom_technology(self):
+        tech = TSVTechnology(via_diameter_m=20e-6, keepout_m=5e-6)
+        # Bigger vias, less keep-out -> more copper -> lower resistivity.
+        assert joint_resistivity(0.01, tech) < joint_resistivity(0.01)
+
+
+class TestEffectOnTemperature:
+    def test_density_effect_is_a_few_degrees(self):
+        """§IV-C: even at 1-2% density the temperature effect is limited
+        to a few degrees — verified through the full thermal model."""
+        from dataclasses import replace
+
+        from repro.floorplan.experiments import build_experiment
+        from repro.thermal.model import ThermalModel
+
+        config = build_experiment(1)
+        powers = None
+        peaks = {}
+        for density in (0.0, 0.02):
+            cfg = replace(config, interlayer_resistivity=joint_resistivity(density))
+            model = ThermalModel(cfg)
+            if powers is None:
+                powers = {
+                    name: 3.0 if model.unit_kind(name).value == "core" else 1.0
+                    for name in model.unit_names
+                }
+            steady = model.steady_state(powers)
+            peaks[density] = max(steady.values())
+        difference = peaks[0.0] - peaks[0.02]
+        assert 0.0 <= difference < 5.0

@@ -1,0 +1,74 @@
+"""UltraSPARC T1 layer layout tests (Table II area budget)."""
+
+import pytest
+
+from repro.floorplan.ultrasparc import (
+    CORE_AREA_M2,
+    L2_AREA_M2,
+    LAYER_AREA_M2,
+    build_cache_layer,
+    build_core_layer,
+    build_mixed_layer,
+)
+from repro.floorplan.unit import UnitKind
+
+
+class TestCoreLayer:
+    def test_has_eight_cores(self):
+        assert len(build_core_layer().cores()) == 8
+
+    def test_core_area_matches_table2(self):
+        for core in build_core_layer().cores():
+            assert core.area == pytest.approx(CORE_AREA_M2)
+
+    def test_layer_area_matches_table2(self):
+        assert build_core_layer().area == pytest.approx(LAYER_AREA_M2)
+
+    def test_tiles_exactly(self):
+        build_core_layer().validate_coverage()
+
+    def test_has_crossbar(self):
+        plan = build_core_layer()
+        assert len(plan.units_of_kind(UnitKind.CROSSBAR)) == 1
+
+    def test_prefix_applies_to_all_units(self):
+        plan = build_core_layer(prefix="L0_")
+        assert all(u.name.startswith("L0_") for u in plan)
+
+
+class TestCacheLayer:
+    def test_has_four_l2_banks(self):
+        assert len(build_cache_layer().units_of_kind(UnitKind.CACHE)) == 4
+
+    def test_l2_area_matches_table2(self):
+        for bank in build_cache_layer().units_of_kind(UnitKind.CACHE):
+            assert bank.area == pytest.approx(L2_AREA_M2)
+
+    def test_no_cores(self):
+        assert build_cache_layer().cores() == []
+
+    def test_tiles_exactly(self):
+        build_cache_layer().validate_coverage()
+
+
+class TestMixedLayer:
+    def test_has_four_cores_two_banks(self):
+        plan = build_mixed_layer()
+        assert len(plan.cores()) == 4
+        assert len(plan.units_of_kind(UnitKind.CACHE)) == 2
+
+    def test_areas_match_table2(self):
+        plan = build_mixed_layer()
+        for core in plan.cores():
+            assert core.area == pytest.approx(CORE_AREA_M2)
+        for bank in plan.units_of_kind(UnitKind.CACHE):
+            assert bank.area == pytest.approx(L2_AREA_M2)
+
+    def test_tiles_exactly(self):
+        build_mixed_layer().validate_coverage()
+
+    def test_cores_at_bottom_caches_at_top(self):
+        plan = build_mixed_layer()
+        core_top = max(c.y2 for c in plan.cores())
+        cache_bottom = min(b.y for b in plan.units_of_kind(UnitKind.CACHE))
+        assert core_top <= cache_bottom

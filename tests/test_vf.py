@@ -1,0 +1,65 @@
+"""V/f table tests (paper: 3 settings — 100%, 95%, 85%)."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.power.vf import DEFAULT_VF_TABLE, VFLevel, VFTable
+
+
+class TestVFLevel:
+    def test_dynamic_scale_is_f_v_squared(self):
+        level = VFLevel(frequency=0.85, voltage=0.85)
+        assert level.dynamic_scale == pytest.approx(0.85 ** 3)
+
+    def test_nominal_scale_is_one(self):
+        assert VFLevel(1.0, 1.0).dynamic_scale == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("f,v", [(0.0, 1.0), (1.0, 0.0), (1.2, 1.0), (1.0, 1.2)])
+    def test_rejects_out_of_range(self, f, v):
+        with pytest.raises(PowerModelError):
+            VFLevel(f, v)
+
+    def test_leakage_voltage_scale(self):
+        level = VFLevel(0.85, 0.85)
+        assert level.leakage_voltage_scale == pytest.approx(0.85 ** 2)
+
+
+class TestVFTable:
+    def test_paper_default_has_three_levels(self):
+        assert len(DEFAULT_VF_TABLE) == 3
+        assert DEFAULT_VF_TABLE[0].frequency == pytest.approx(1.0)
+        assert DEFAULT_VF_TABLE[1].frequency == pytest.approx(0.95)
+        assert DEFAULT_VF_TABLE[2].frequency == pytest.approx(0.85)
+
+    def test_step_down_clamps(self):
+        table = DEFAULT_VF_TABLE
+        assert table.step_down(0) == 1
+        assert table.step_down(2) == 2
+
+    def test_step_up_clamps(self):
+        table = DEFAULT_VF_TABLE
+        assert table.step_up(2) == 1
+        assert table.step_up(0) == 0
+
+    def test_lowest_covering(self):
+        table = DEFAULT_VF_TABLE
+        assert table.lowest_covering(0.2) == table.lowest_index
+        assert table.lowest_covering(0.9) == 1
+        assert table.lowest_covering(0.99) == 0
+        assert table.lowest_covering(0.85) == table.lowest_index
+
+    def test_lowest_covering_rejects_bad_utilization(self):
+        with pytest.raises(PowerModelError):
+            DEFAULT_VF_TABLE.lowest_covering(1.5)
+
+    def test_requires_descending_order(self):
+        with pytest.raises(PowerModelError):
+            VFTable([VFLevel(0.85, 0.85), VFLevel(1.0, 1.0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(PowerModelError):
+            VFTable([])
+
+    def test_index_out_of_range(self):
+        with pytest.raises(PowerModelError):
+            DEFAULT_VF_TABLE[3]

@@ -1,0 +1,55 @@
+"""Workload source adapter tests."""
+
+import numpy as np
+import pytest
+
+from repro.sched.workload_source import ClosedLoopSource, TraceSource
+from repro.workload.benchmarks import benchmark
+from repro.workload.generator import SyntheticWorkload
+from repro.workload.trace import UtilizationTrace
+
+
+class TestClosedLoopSource:
+    def test_initial_arrivals_delegate(self):
+        workload = SyntheticWorkload([(benchmark("gcc"), 3)], seed=1)
+        source = ClosedLoopSource(workload)
+        arrivals = source.initial_arrivals()
+        assert len(arrivals) == 3
+
+    def test_completion_produces_next_arrival(self):
+        workload = SyntheticWorkload([(benchmark("gcc"), 1)], seed=1)
+        source = ClosedLoopSource(workload)
+        _, job = source.initial_arrivals()[0]
+        follow = source.on_completion(job, 5.0)
+        assert follow is not None
+        time, next_job = follow
+        assert time > 5.0
+        assert next_job.thread_id == job.thread_id
+
+    def test_memory_intensity_from_mix(self):
+        workload = SyntheticWorkload([(benchmark("Web-high"), 2)], seed=1)
+        source = ClosedLoopSource(workload)
+        assert source.memory_intensity() == pytest.approx(1.0)
+
+
+class TestTraceSource:
+    def make_source(self):
+        data = np.array([[0.5, 0.2], [0.8, 0.0]])
+        trace = UtilizationTrace(data, interval_s=1.0, benchmark_name="gzip")
+        return TraceSource(trace)
+
+    def test_all_arrivals_upfront(self):
+        source = self.make_source()
+        arrivals = source.initial_arrivals()
+        assert len(arrivals) == 3  # the 0.0 sample produces no job
+
+    def test_open_loop_no_follow_up(self):
+        source = self.make_source()
+        _, job = source.initial_arrivals()[0]
+        assert source.on_completion(job, 1.0) is None
+
+    def test_memory_intensity_from_benchmark(self):
+        source = self.make_source()
+        assert source.memory_intensity() == pytest.approx(
+            benchmark("gzip").memory_intensity
+        )
