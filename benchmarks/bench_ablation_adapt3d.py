@@ -3,18 +3,21 @@
 The paper fixes β_inc = 0.01, β_dec = 0.1 and a 10-sample history
 window, noting "other β and history window length values can be set,
 depending on the system and applications". This bench sweeps both on
-the EXP-4 stack (with DPM) and reports hot-spot and gradient outcomes,
-plus the layer-blind AdaptRand reference.
+the EXP-4 stack (with DPM) and reports hot-spot and gradient outcomes.
+
+The sweep is one declarative campaign: each variant is a ``RunSpec``
+whose ``policy_params`` parameterize the Adapt3D constructor, plus the
+Default reference from the grid axes — so the whole study is
+content-hashed, resumable, and parallelizable like any other campaign.
 """
 
 import pytest
 
-from repro.analysis.runner import ExperimentRunner, RunSpec
-from repro.analysis.tables import format_table
-from repro.core.adapt3d import Adapt3D
+from repro.campaign import CampaignSpec, run_key
 from repro.metrics.report import summarize
 
-from benchmarks.conftest import BENCH_DURATION_S, BENCH_SEED, emit
+from benchmarks.conftest import bench_spec, emit
+from repro.analysis.tables import format_table
 
 BETA_SWEEP = [
     (0.01, 0.1),   # paper values
@@ -23,40 +26,57 @@ BETA_SWEEP = [
 ]
 WINDOW_SWEEP = [5, 10, 20]
 
-
-def run_variant(runner, beta_inc, beta_dec, window):
-    spec = RunSpec(
-        exp_id=4, policy="Adapt3D", duration_s=BENCH_DURATION_S,
-        with_dpm=True, seed=BENCH_SEED,
+VARIANTS = [
+    bench_spec(
+        4, "Adapt3D", True,
+        policy_params=(
+            ("beta_inc", beta_inc),
+            ("beta_dec", beta_dec),
+            ("history_window", window),
+        ),
     )
-    engine = runner.build_engine(spec)
-    engine.policy = Adapt3D(
-        beta_inc=beta_inc, beta_dec=beta_dec, history_window=window
-    )
-    engine.policy.attach(engine.system_view)
-    return engine.run()
+    for beta_inc, beta_dec in BETA_SWEEP
+    for window in WINDOW_SWEEP
+]
+
+CAMPAIGN = CampaignSpec(
+    name="ablation_adapt3d",
+    exp_ids=(4,),
+    policies=("Default",),          # the reference run
+    durations_s=(VARIANTS[0].duration_s,),
+    dpm=(True,),
+    seeds=(VARIANTS[0].seed,),
+    extra_runs=tuple(VARIANTS),
+)
 
 
-def build_table(runner):
+def build_table(executor, store):
+    run = executor.run_campaign(CAMPAIGN)
+    assert not run.failed(), f"campaign runs failed: {run.failed()}"
     rows = []
-    for beta_inc, beta_dec in BETA_SWEEP:
-        for window in WINDOW_SWEEP:
-            report = summarize(run_variant(runner, beta_inc, beta_dec, window))
-            rows.append(
-                [
-                    beta_inc,
-                    beta_dec,
-                    window,
-                    round(report.hot_spot_pct, 2),
-                    round(report.gradient_pct, 2),
-                    round(report.peak_temperature_c, 1),
-                ]
-            )
+    for spec in VARIANTS:
+        params = dict(spec.policy_params)
+        report = summarize(store.load(run_key(spec)))
+        rows.append(
+            [
+                params["beta_inc"],
+                params["beta_dec"],
+                params["history_window"],
+                round(report.hot_spot_pct, 2),
+                round(report.gradient_pct, 2),
+                round(report.peak_temperature_c, 1),
+            ]
+        )
     return rows
 
 
-def test_ablation_adapt3d_parameters(benchmark, results_dir, runner, get_result):
-    rows = benchmark.pedantic(build_table, args=(runner,), rounds=1, iterations=1)
+def test_ablation_adapt3d_parameters(
+    benchmark, results_dir, campaign_executor, campaign_store, get_result
+):
+    rows = benchmark.pedantic(
+        build_table, args=(campaign_executor, campaign_store), rounds=1,
+        iterations=1,
+    )
     default_report = summarize(get_result(4, "Default", True))
     text = format_table(
         ["beta_inc", "beta_dec", "window", "hot%", "grad>15C%", "peak C"],

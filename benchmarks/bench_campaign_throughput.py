@@ -1,0 +1,105 @@
+"""Campaign executor throughput: serial vs parallel vs resume.
+
+Runs one 8-run campaign (2 stacks x 2 policies x 2 seeds) three ways:
+
+1. serial backend into a fresh store,
+2. parallel backend into a fresh store,
+3. the same parallel campaign again (resume: everything loads from the
+   store, nothing is simulated).
+
+Emits ``BENCH_campaign.json`` with runs/minute per backend, the
+parallel speedup, and the resume time. On a >= 4-core machine the
+parallel backend must be >= 2x faster than serial; the resume pass must
+be near-instant everywhere.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignExecutor, CampaignSpec, ResultStore
+
+from benchmarks.conftest import BENCH_SEED, emit
+
+CAMPAIGN = CampaignSpec(
+    name="throughput",
+    exp_ids=(1, 2),
+    policies=("Default", "Adapt3D"),
+    durations_s=(90.0,),
+    dpm=(False,),
+    seeds=(BENCH_SEED, BENCH_SEED + 1),
+)
+
+
+def _timed_campaign(store, backend, max_workers=None):
+    executor = CampaignExecutor(
+        store=store, backend=backend, max_workers=max_workers
+    )
+    start = time.perf_counter()
+    run = executor.run_campaign(CAMPAIGN)
+    elapsed = time.perf_counter() - start
+    assert not run.failed(), f"campaign runs failed: {run.failed()}"
+    return run, elapsed
+
+
+def test_campaign_throughput(results_dir, tmp_path):
+    n_runs = len(CAMPAIGN.expand())
+    assert n_runs == 8
+    cpus = len(os.sched_getaffinity(0))
+    workers = min(8, cpus)
+
+    serial_store = ResultStore(tmp_path / "serial")
+    parallel_store = ResultStore(tmp_path / "parallel")
+
+    serial_run, serial_s = _timed_campaign(serial_store, "serial")
+    parallel_run, parallel_s = _timed_campaign(
+        parallel_store, "parallel", max_workers=workers
+    )
+    resume_run, resume_s = _timed_campaign(
+        parallel_store, "parallel", max_workers=workers
+    )
+
+    assert serial_run.counts() == {"ok": n_runs}
+    assert parallel_run.counts() == {"ok": n_runs}
+    assert resume_run.counts() == {"cached": n_runs}
+
+    # Backends must agree bit-for-bit on every run.
+    for key in CAMPAIGN.keys():
+        np.testing.assert_array_equal(
+            serial_store.load(key).unit_temps_k,
+            parallel_store.load(key).unit_temps_k,
+        )
+
+    speedup = serial_s / parallel_s
+    payload = {
+        "campaign_runs": n_runs,
+        "simulated_s_per_run": CAMPAIGN.durations_s[0],
+        "cpus": cpus,
+        "workers": workers,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "resume_s": round(resume_s, 3),
+        "serial_runs_per_minute": round(60.0 * n_runs / serial_s, 1),
+        "parallel_runs_per_minute": round(60.0 * n_runs / parallel_s, 1),
+        "resume_runs_per_minute": round(60.0 * n_runs / resume_s, 1),
+        "parallel_speedup": round(speedup, 2),
+        "resume_speedup_vs_serial": round(serial_s / resume_s, 1),
+    }
+    path = results_dir / "BENCH_campaign.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    emit(results_dir, "campaign_throughput", json.dumps(payload, indent=2))
+
+    # Resume must be near-instant: no simulation, just store loads.
+    assert resume_s < max(1.5, 0.25 * serial_s)
+
+    # The acceptance bar: >= 2x wall-clock speedup on a 4-core machine.
+    # On smaller machines the measurement is still emitted but the bar
+    # cannot physically be met, so it is not enforced.
+    if cpus >= 4:
+        assert speedup >= 2.0, f"parallel speedup {speedup:.2f} < 2.0"
+    else:
+        print(f"[campaign-throughput] only {cpus} usable CPUs; "
+              f"speedup {speedup:.2f} recorded, 2x bar requires >= 4 cores")

@@ -17,16 +17,32 @@ Expected shape (paper §V-B):
 import pytest
 
 from repro.analysis.figures import FigureSeries
+from repro.campaign import CampaignSpec
 from repro.core.registry import policy_names
 from repro.metrics.performance import normalized_delay
 from repro.metrics.report import summarize
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import BENCH_DURATION_S, BENCH_SEED, emit
 
 EXPS = (1, 2, 3, 4)
 
+# The whole figure as one declarative grid: every policy on every stack,
+# no DPM. The campaign executor fills the session store (skipping runs
+# a previous bench invocation already produced); the figure is then
+# assembled from stored results.
+CAMPAIGN = CampaignSpec(
+    name="fig3_hotspots_nodpm",
+    exp_ids=EXPS,
+    policies=tuple(policy_names()),
+    durations_s=(BENCH_DURATION_S,),
+    dpm=(False,),
+    seeds=(BENCH_SEED,),
+)
 
-def build_figure(get_result):
+
+def build_figure(executor, get_result):
+    run = executor.run_campaign(CAMPAIGN)
+    assert not run.failed(), f"campaign runs failed: {run.failed()}"
     policies = policy_names()
     fig = FigureSeries(
         "Figure 3 — thermal hot spots (no DPM), % time above 85 C, "
@@ -55,9 +71,12 @@ def build_figure(get_result):
     return fig
 
 
-def test_fig3_hotspots_without_dpm(benchmark, results_dir, get_result):
+def test_fig3_hotspots_without_dpm(
+    benchmark, results_dir, campaign_executor, get_result
+):
     fig = benchmark.pedantic(
-        build_figure, args=(get_result,), rounds=1, iterations=1
+        build_figure, args=(campaign_executor, get_result), rounds=1,
+        iterations=1,
     )
     emit(results_dir, "fig3_hotspots_nodpm", fig.to_text())
 

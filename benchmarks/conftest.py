@@ -1,21 +1,29 @@
 """Shared infrastructure for the figure/table regeneration benches.
 
-Simulation results are cached per (exp, policy, dpm) for the whole
-bench session — Figures 4 and 5 share the same runs, and the
-performance series of Figure 3 reuses its hot-spot runs.
+Simulation results are persisted in a campaign :class:`ResultStore`
+under ``benchmarks/results/campaign_store`` — Figures 4 and 5 share the
+same runs, the performance series of Figure 3 reuses its hot-spot runs,
+and a re-invoked bench session resumes by loading everything straight
+from the store instead of re-simulating.
 
 Every bench writes its regenerated table to ``benchmarks/results/`` so
 the numbers survive pytest's output capture; they are also printed.
+
+CAUTION: run keys hash the *spec* (exp, policy, duration, seed, ...),
+not the simulator code. After changing simulation behavior, delete
+``benchmarks/results/campaign_store`` (or the whole results dir) so the
+figures are regenerated instead of served stale.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Tuple
+from typing import Dict
 
 import pytest
 
 from repro.analysis.runner import ExperimentRunner, RunSpec
+from repro.campaign import CampaignExecutor, ResultStore, run_key
 from repro.sched.engine import SimulationResult
 
 # One simulated workload length for all figure benches. The paper ran
@@ -25,6 +33,19 @@ BENCH_DURATION_S = 90.0
 BENCH_SEED = 2009
 
 RESULTS_DIR = Path(__file__).parent / "results"
+STORE_DIR = RESULTS_DIR / "campaign_store"
+
+
+def bench_spec(exp_id: int, policy: str, with_dpm: bool, **overrides) -> RunSpec:
+    """The canonical RunSpec of one figure-bench simulation."""
+    return RunSpec(
+        exp_id=exp_id,
+        policy=policy,
+        duration_s=BENCH_DURATION_S,
+        with_dpm=with_dpm,
+        seed=BENCH_SEED,
+        **overrides,
+    )
 
 
 @pytest.fixture(scope="session")
@@ -33,27 +54,31 @@ def runner() -> ExperimentRunner:
 
 
 @pytest.fixture(scope="session")
-def sim_cache() -> Dict[Tuple[int, str, bool], SimulationResult]:
-    return {}
+def campaign_store() -> ResultStore:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return ResultStore(STORE_DIR)
 
 
 @pytest.fixture(scope="session")
-def get_result(runner, sim_cache):
-    """Memoized (exp_id, policy, dpm) -> SimulationResult."""
+def campaign_executor(campaign_store, runner) -> CampaignExecutor:
+    """Serial executor over the session store (benches run in-process;
+    the throughput bench builds its own parallel executors)."""
+    return CampaignExecutor(
+        store=campaign_store, backend="serial", runner=runner
+    )
+
+
+@pytest.fixture(scope="session")
+def get_result(campaign_executor):
+    """Memoized (exp_id, policy, dpm) -> SimulationResult via the store."""
+    memo: Dict[str, SimulationResult] = {}
 
     def fetch(exp_id: int, policy: str, with_dpm: bool) -> SimulationResult:
-        key = (exp_id, policy, with_dpm)
-        if key not in sim_cache:
-            sim_cache[key] = runner.run(
-                RunSpec(
-                    exp_id=exp_id,
-                    policy=policy,
-                    duration_s=BENCH_DURATION_S,
-                    with_dpm=with_dpm,
-                    seed=BENCH_SEED,
-                )
-            )
-        return sim_cache[key]
+        spec = bench_spec(exp_id, policy, with_dpm)
+        key = run_key(spec)
+        if key not in memo:
+            memo[key] = campaign_executor.run_specs([spec])[key]
+        return memo[key]
 
     return fetch
 

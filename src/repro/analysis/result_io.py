@@ -1,4 +1,4 @@
-"""CSV export of simulation results for external analysis.
+"""CSV export and reload of simulation results.
 
 ``export_result`` writes three artifacts next to each other:
 
@@ -11,11 +11,21 @@
 ``load_temperature_csv`` reads the temperature table back into arrays;
 round-tripping is covered by the test suite, so the CSVs double as a
 stable interchange format for plotting outside this library.
+
+``save_result`` / ``load_result`` extend the export into a full
+:class:`SimulationResult` round trip (adding ``<stem>_series.csv`` for
+total power and per-layer spreads, and ``<stem>_meta.json`` for
+scalars). The campaign result store is built on this pair. Two losses
+are inherent to the format: values are quantized to the CSV precision
+(0.1 mK for temperatures), and only *completed* jobs survive — every
+metric in :mod:`repro.metrics` uses completed jobs only, so reports
+computed from a reloaded result match the in-memory ones.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 from typing import List, Tuple, Union
 
@@ -23,6 +33,8 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.sched.engine import SimulationResult
+from repro.workload.benchmarks import benchmark
+from repro.workload.job import Job
 
 
 def export_result(result: SimulationResult, stem: Union[str, Path]) -> List[Path]:
@@ -83,6 +95,136 @@ def export_result(result: SimulationResult, stem: Union[str, Path]) -> List[Path
             )
     paths.append(jobs_path)
     return paths
+
+
+def save_result(result: SimulationResult, stem: Union[str, Path]) -> List[Path]:
+    """Persist ``result`` so :func:`load_result` can reconstruct it.
+
+    Writes the three :func:`export_result` CSVs plus ``<stem>_series.csv``
+    (total power and per-layer spreads) and ``<stem>_meta.json``
+    (scalars and name lists). Returns every written path.
+    """
+    stem = Path(stem)
+    paths = export_result(result, stem)
+
+    series_path = stem.with_name(stem.name + "_series.csv")
+    n_dies = result.layer_spreads_k.shape[1]
+    with series_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["time_s", "total_power_w"]
+            + [f"spread_die{d}_k" for d in range(n_dies)]
+        )
+        for tick in range(result.n_ticks):
+            writer.writerow(
+                [f"{result.times[tick]:.3f}", f"{result.total_power_w[tick]:.6f}"]
+                + [f"{value:.4f}" for value in result.layer_spreads_k[tick]]
+            )
+    paths.append(series_path)
+
+    meta_path = stem.with_name(stem.name + "_meta.json")
+    meta = {
+        "version": 1,
+        "policy_name": result.policy_name,
+        "sampling_interval_s": result.sampling_interval_s,
+        "energy_j": result.energy_j,
+        "migrations": result.migrations,
+        "core_names": list(result.core_names),
+    }
+    meta_path.write_text(json.dumps(meta, indent=2, sort_keys=True) + "\n")
+    paths.append(meta_path)
+    return paths
+
+
+def load_result(stem: Union[str, Path]) -> SimulationResult:
+    """Reconstruct a :class:`SimulationResult` written by :func:`save_result`."""
+    stem = Path(stem)
+    meta_path = stem.with_name(stem.name + "_meta.json")
+    if not meta_path.exists():
+        raise ConfigurationError(f"{meta_path}: no saved result at this stem")
+    meta = json.loads(meta_path.read_text())
+    core_names: List[str] = list(meta["core_names"])
+
+    times, unit_names, unit_temps = load_temperature_csv(
+        stem.with_name(stem.name + "_temps.csv")
+    )
+    unit_columns = {name: col for col, name in enumerate(unit_names)}
+    try:
+        core_cols = [unit_columns[name] for name in core_names]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"{stem}: core {exc} missing from temperature export"
+        ) from None
+    core_temps = unit_temps[:, core_cols]
+
+    n_ticks = times.shape[0]
+    n_cores = len(core_names)
+    core_peaks = np.zeros((n_ticks, n_cores))
+    utilization = np.zeros((n_ticks, n_cores))
+    vf_indices = np.zeros((n_ticks, n_cores), dtype=int)
+    core_states = np.zeros((n_ticks, n_cores), dtype=int)
+    cores_path = stem.with_name(stem.name + "_cores.csv")
+    with cores_path.open() as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if not header or len(header) != 1 + 4 * n_cores:
+            raise ConfigurationError(f"{cores_path}: not a core export")
+        for tick, row in enumerate(reader):
+            for c in range(n_cores):
+                base = 1 + 4 * c
+                core_peaks[tick, c] = float(row[base])
+                utilization[tick, c] = float(row[base + 1])
+                vf_indices[tick, c] = int(row[base + 2])
+                core_states[tick, c] = int(row[base + 3])
+
+    series_path = stem.with_name(stem.name + "_series.csv")
+    with series_path.open() as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if not header or header[:2] != ["time_s", "total_power_w"]:
+            raise ConfigurationError(f"{series_path}: not a series export")
+        n_dies = len(header) - 2
+        total_power = np.zeros(n_ticks)
+        spreads = np.zeros((n_ticks, n_dies))
+        for tick, row in enumerate(reader):
+            total_power[tick] = float(row[1])
+            spreads[tick] = [float(v) for v in row[2:]]
+
+    jobs: List[Job] = []
+    jobs_path = stem.with_name(stem.name + "_jobs.csv")
+    with jobs_path.open() as handle:
+        for row in csv.DictReader(handle):
+            job = Job(
+                job_id=int(row["job_id"]),
+                thread_id=int(row["thread_id"]),
+                benchmark=benchmark(row["benchmark"]),
+                arrival_time=float(row["arrival_s"]),
+                work_s=float(row["work_s"]),
+            )
+            job.completion_time = job.arrival_time + float(row["response_s"])
+            job.remaining_s = 0.0
+            job.migrations = int(row["migrations"])
+            job.core = row["core"] or None
+            jobs.append(job)
+
+    return SimulationResult(
+        times=times,
+        unit_names=unit_names,
+        unit_temps_k=unit_temps,
+        core_names=core_names,
+        core_temps_k=core_temps,
+        core_peak_temps_k=core_peaks,
+        layer_spreads_k=spreads,
+        utilization=utilization,
+        vf_indices=vf_indices,
+        core_states=core_states,
+        total_power_w=total_power,
+        energy_j=float(meta["energy_j"]),
+        jobs=jobs,
+        migrations=int(meta["migrations"]),
+        policy_name=str(meta["policy_name"]),
+        sampling_interval_s=float(meta["sampling_interval_s"]),
+    )
 
 
 def load_temperature_csv(

@@ -49,6 +49,10 @@ class RunSpec:
     benchmark_mix:
         Optional explicit (benchmark name, thread count) pairs; defaults
         to the consolidated server mix sized to the core count.
+    policy_params:
+        Optional (name, value) pairs forwarded to the policy
+        constructor — lets ablation sweeps (e.g. Adapt3D's beta
+        constants) stay declarative and campaign-hashable.
     """
 
     exp_id: int
@@ -58,6 +62,7 @@ class RunSpec:
     seed: int = 2009
     grid: Tuple[int, int] = (8, 8)
     benchmark_mix: Optional[Tuple[Tuple[str, int], ...]] = None
+    policy_params: Optional[Tuple[Tuple[str, float], ...]] = None
 
 
 class ExperimentRunner:
@@ -93,7 +98,7 @@ class ExperimentRunner:
         )
 
         workload = self._build_workload(spec, config)
-        policy = build_policy(spec.policy)
+        policy = build_policy(spec.policy, **dict(spec.policy_params or ()))
         engine_config = EngineConfig(
             duration_s=spec.duration_s,
             dpm=FixedTimeoutDPM() if spec.with_dpm else None,
@@ -113,14 +118,53 @@ class ExperimentRunner:
         return self.build_engine(spec).run()
 
     def run_policies(
-        self, base: RunSpec, policies: Sequence[str]
+        self,
+        base: RunSpec,
+        policies: Sequence[str],
+        executor: Optional["object"] = None,
     ) -> Dict[str, SimulationResult]:
-        """Run several policies on otherwise identical specs."""
-        return {
-            name: self.run(replace(base, policy=name)) for name in policies
-        }
+        """Run several policies on otherwise identical specs.
+
+        Delegates to the campaign executor; pass a configured
+        :class:`~repro.campaign.executor.CampaignExecutor` to run the
+        policies in parallel or against a persistent result store. The
+        default is the in-process serial backend, reusing this runner's
+        thermal-index cache.
+        """
+        from repro.campaign.executor import CampaignExecutor
+        from repro.campaign.spec import run_key
+
+        if executor is None:
+            executor = CampaignExecutor(backend="serial", runner=self)
+        specs = [replace(base, policy=name) for name in policies]
+        results = executor.run_specs(specs)
+        return {spec.policy: results[run_key(spec)] for spec in specs}
 
     # ------------------------------------------------------------------
+
+    def thermal_indices(
+        self, exp_id: int, grid: Tuple[int, int] = (8, 8)
+    ) -> Dict[str, float]:
+        """Thermal indices for (exp_id, grid), computed once and cached.
+
+        The steady-state solve behind :func:`compute_thermal_indices` is
+        the expensive part of engine assembly; campaigns persist these
+        per (exp_id, grid) and seed worker runners so each process does
+        not redo the solve.
+        """
+        key = (exp_id, (grid[0], grid[1]))
+        if key not in self._index_cache:
+            config = build_experiment(exp_id)
+            thermal = ThermalModel(config, nrows=grid[0], ncols=grid[1])
+            power = ChipPowerModel(config)
+            self._index_cache[key] = compute_thermal_indices(thermal, power)
+        return self._index_cache[key]
+
+    def seed_thermal_indices(
+        self, exp_id: int, grid: Tuple[int, int], indices: Dict[str, float]
+    ) -> None:
+        """Pre-populate the index cache (e.g. from a campaign store)."""
+        self._index_cache[(exp_id, (grid[0], grid[1]))] = dict(indices)
 
     def _thermal_indices(
         self,

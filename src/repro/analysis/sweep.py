@@ -2,18 +2,29 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Tuple, TypeVar
+from typing import Callable, Iterable, List, Optional, Tuple, TypeVar
 
 Value = TypeVar("Value")
 Result = TypeVar("Result")
 
 
 def sweep(
-    values: Iterable[Value], run: Callable[[Value], Result]
+    values: Iterable[Value],
+    run: Callable[[Value], Result],
+    executor: Optional["object"] = None,
 ) -> List[Tuple[Value, Result]]:
     """Run ``run`` for every value and collect (value, result) pairs.
 
-    Trivial sequential helper; exists so ablation benches share one
-    idiom and a future parallel version has one place to live.
+    Delegates to the campaign executor so every sweep in the ablation
+    benches shares one execution idiom. The default is the in-process
+    serial backend (identical to the historical behavior); pass a
+    parallel :class:`~repro.campaign.executor.CampaignExecutor` to fan
+    the sweep out over a process pool — ``run`` and the values must
+    then be picklable (module-level function, not a lambda).
     """
-    return [(value, run(value)) for value in values]
+    from repro.campaign.executor import CampaignExecutor
+
+    if executor is None:
+        executor = CampaignExecutor(backend="serial")
+    values = list(values)
+    return list(zip(values, executor.map(run, values)))

@@ -1,0 +1,53 @@
+"""Campaign subsystem: declarative experiment grids, parallel
+execution, and a persistent, resumable result store.
+
+The common workflow::
+
+    from repro.campaign import (
+        CampaignSpec, CampaignExecutor, ResultStore, campaign_report,
+    )
+
+    spec = CampaignSpec(
+        name="fig3", exp_ids=(1, 2, 3, 4),
+        policies=("Default", "Adapt3D"), durations_s=(90.0,),
+    )
+    store = ResultStore("results/fig3")
+    run = CampaignExecutor(store=store).run_campaign(spec)
+    print(campaign_report(store, spec))
+
+Re-invoking the same campaign skips every run already in the store.
+See docs/CAMPAIGNS.md for the spec format, CLI usage, store layout and
+resume semantics.
+"""
+
+from repro.campaign.executor import (
+    CampaignExecutor,
+    CampaignRun,
+    RunOutcome,
+)
+from repro.campaign.reports import (
+    campaign_report,
+    campaign_status,
+    format_status,
+)
+from repro.campaign.spec import (
+    CampaignSpec,
+    run_key,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.campaign.store import ResultStore
+
+__all__ = [
+    "CampaignExecutor",
+    "CampaignRun",
+    "CampaignSpec",
+    "ResultStore",
+    "RunOutcome",
+    "campaign_report",
+    "campaign_status",
+    "format_status",
+    "run_key",
+    "spec_from_dict",
+    "spec_to_dict",
+]

@@ -1,0 +1,373 @@
+"""Serial and process-pool execution of campaign run lists.
+
+The executor turns a :class:`CampaignSpec` (or explicit RunSpec list)
+into completed entries in a :class:`ResultStore`:
+
+- runs whose key is already in the store are skipped (resume),
+- thermal indices are characterized once per (exp_id, grid) in the
+  driver, persisted, and seeded into every worker, so no process redoes
+  the steady-state solve,
+- the parallel backend keeps one :class:`ExperimentRunner` per worker
+  process for the whole campaign (engine assembly caches amortize),
+- a run that raises is recorded as an ``error`` entry and the campaign
+  continues; a hard worker crash (e.g. OOM kill) is attributed to the
+  first run observed failing, the pool is rebuilt, and the remaining
+  runs are retried.
+
+Results always travel driver-ward over the executor pipe; only the
+driver process writes the store.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from concurrent.futures import as_completed, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.analysis.runner import ExperimentRunner, RunSpec
+from repro.campaign.spec import CampaignSpec, run_key
+from repro.campaign.store import ResultStore
+from repro.errors import ConfigurationError
+from repro.sched.engine import SimulationResult
+
+#: ``progress(event, key, detail)`` with event in
+#: {"cached", "start", "ok", "error"}.
+ProgressCallback = Callable[[str, str, str], None]
+
+BACKENDS = ("serial", "parallel")
+
+# Per-worker state, created once by the pool initializer and reused for
+# every run the worker executes.
+_WORKER_RUNNER: Optional[ExperimentRunner] = None
+
+
+def _init_worker(
+    seeded_indices: Dict[Tuple[int, Tuple[int, int]], Dict[str, float]],
+) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = ExperimentRunner()
+    for (exp_id, grid), indices in seeded_indices.items():
+        _WORKER_RUNNER.seed_thermal_indices(exp_id, grid, indices)
+
+
+def _run_in_worker(payload: Tuple[str, RunSpec]) -> Tuple[str, SimulationResult]:
+    key, spec = payload
+    assert _WORKER_RUNNER is not None, "worker initializer did not run"
+    return key, _WORKER_RUNNER.run(spec)
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """What happened to one run of a campaign."""
+
+    key: str
+    spec: RunSpec
+    status: str  # "ok" | "error" | "cached"
+    error: Optional[str] = None
+
+
+@dataclass
+class CampaignRun:
+    """Outcome list of one ``run_campaign`` invocation."""
+
+    campaign: CampaignSpec
+    outcomes: List[RunOutcome] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        """Outcome tally per status."""
+        tally: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            tally[outcome.status] = tally.get(outcome.status, 0) + 1
+        return tally
+
+    def completed_keys(self) -> List[str]:
+        """Keys that hold a result (fresh or cached)."""
+        return [o.key for o in self.outcomes if o.status in ("ok", "cached")]
+
+    def failed(self) -> Dict[str, str]:
+        """Key -> error text for failed runs."""
+        return {o.key: o.error or "" for o in self.outcomes
+                if o.status == "error"}
+
+
+class CampaignExecutor:
+    """Runs campaign specs against an optional persistent store.
+
+    Parameters
+    ----------
+    store:
+        Result store for resume/persistence; ``None`` keeps results
+        in memory only (used by ``run_policies`` and ``sweep``).
+    backend:
+        ``"serial"`` (in-process) or ``"parallel"`` (process pool).
+    max_workers:
+        Pool size for the parallel backend (default: CPU count).
+    progress:
+        Optional ``(event, key, detail)`` callback.
+    runner:
+        Runner for the serial backend and for thermal-index
+        characterization (default: a fresh one). Passing the caller's
+        runner shares its index cache.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        backend: str = "parallel",
+        max_workers: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
+        runner: Optional[ExperimentRunner] = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; known: {list(BACKENDS)}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1")
+        self.store = store
+        self.backend = backend
+        self.max_workers = max_workers or (os.cpu_count() or 1)
+        self.progress = progress
+        self.runner = runner if runner is not None else ExperimentRunner()
+
+    # ------------------------------------------------------------------
+    # public API
+
+    def run_campaign(self, campaign: CampaignSpec) -> CampaignRun:
+        """Execute every pending run of ``campaign``; never raises on
+        individual run failures (they become ``error`` outcomes)."""
+        outcomes, _ = self._execute(campaign.expand(), strict=False,
+                                    keep_results=False)
+        return CampaignRun(campaign=campaign, outcomes=outcomes)
+
+    def run_specs(
+        self, specs: Sequence[RunSpec]
+    ) -> Dict[str, SimulationResult]:
+        """Execute explicit specs and return their results by run key.
+
+        Strict: the first failing run raises. With a store attached the
+        returned results are store round-trips, so values are identical
+        whether a run was computed now or loaded from a previous
+        campaign.
+        """
+        specs = list(specs)
+        outcomes, results = self._execute(
+            specs, strict=True, keep_results=self.store is None
+        )
+        if self.store is not None:
+            return {o.key: self.store.load(o.key) for o in outcomes}
+        return {o.key: results[o.key] for o in outcomes}
+
+    def map(self, fn: Callable[[Any], Any], values: Iterable[Any]) -> List[Any]:
+        """Apply ``fn`` over ``values`` on this executor's backend.
+
+        Generic escape hatch used by :func:`repro.analysis.sweep.sweep`;
+        the parallel backend requires ``fn`` and the values to be
+        picklable (module-level functions, not lambdas).
+        """
+        values = list(values)
+        if self.backend == "serial" or len(values) <= 1:
+            return [fn(value) for value in values]
+        workers = min(self.max_workers, len(values))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, values))
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _emit(self, event: str, key: str, detail: str = "") -> None:
+        if self.progress is not None:
+            self.progress(event, key, detail)
+
+    def _execute(
+        self, specs: List[RunSpec], strict: bool, keep_results: bool
+    ) -> Tuple[List[RunOutcome], Dict[str, SimulationResult]]:
+        outcome_by_key: Dict[str, RunOutcome] = {}
+        results: Dict[str, SimulationResult] = {}
+
+        pending: List[Tuple[str, RunSpec]] = []
+        for spec in specs:
+            key = run_key(spec)
+            if key in outcome_by_key:
+                continue
+            if self.store is not None and self.store.has(key):
+                outcome_by_key[key] = RunOutcome(key, spec, "cached")
+                self._emit("cached", key)
+            else:
+                pending.append((key, spec))
+
+        if pending:
+            seeded = self._share_thermal_indices(pending)
+            if self.backend == "serial":
+                self._run_serial(pending, strict, outcome_by_key, results)
+            else:
+                self._run_parallel(
+                    pending, seeded, strict, outcome_by_key, results
+                )
+
+        ordered = [
+            outcome_by_key[run_key(spec)]
+            for spec in specs
+            if run_key(spec) in outcome_by_key
+        ]
+        # De-duplicate while preserving first-occurrence order.
+        seen: set = set()
+        unique = []
+        for outcome in ordered:
+            if outcome.key not in seen:
+                seen.add(outcome.key)
+                unique.append(outcome)
+        if not keep_results:
+            results = {}
+        return unique, results
+
+    def _share_thermal_indices(
+        self, pending: List[Tuple[str, RunSpec]]
+    ) -> Dict[Tuple[int, Tuple[int, int]], Dict[str, float]]:
+        """Characterize (or reload) indices once per (exp_id, grid)."""
+        seeded: Dict[Tuple[int, Tuple[int, int]], Dict[str, float]] = {}
+        combos = []
+        for _, spec in pending:
+            combo = (spec.exp_id, (spec.grid[0], spec.grid[1]))
+            if combo not in combos:
+                combos.append(combo)
+        for exp_id, grid in combos:
+            indices = None
+            if self.store is not None:
+                indices = self.store.load_thermal_indices(exp_id, grid)
+            if indices is not None:
+                self.runner.seed_thermal_indices(exp_id, grid, indices)
+            else:
+                indices = self.runner.thermal_indices(exp_id, grid)
+                if self.store is not None:
+                    self.store.save_thermal_indices(exp_id, grid, indices)
+            seeded[(exp_id, grid)] = indices
+        return seeded
+
+    def _record_ok(
+        self,
+        key: str,
+        spec: RunSpec,
+        result: SimulationResult,
+        outcomes: Dict[str, RunOutcome],
+        results: Dict[str, SimulationResult],
+    ) -> None:
+        if self.store is not None:
+            self.store.save(spec, result)
+        results[key] = result
+        outcomes[key] = RunOutcome(key, spec, "ok")
+        self._emit("ok", key)
+
+    def _record_error(
+        self,
+        key: str,
+        spec: RunSpec,
+        message: str,
+        outcomes: Dict[str, RunOutcome],
+    ) -> None:
+        if self.store is not None:
+            self.store.record_failure(spec, message)
+        outcomes[key] = RunOutcome(key, spec, "error", error=message)
+        self._emit("error", key, message)
+
+    def _run_serial(
+        self,
+        pending: List[Tuple[str, RunSpec]],
+        strict: bool,
+        outcomes: Dict[str, RunOutcome],
+        results: Dict[str, SimulationResult],
+    ) -> None:
+        for key, spec in pending:
+            self._emit("start", key)
+            try:
+                result = self.runner.run(spec)
+            except Exception as exc:
+                self._record_error(key, spec, _format_error(exc), outcomes)
+                if strict:
+                    raise
+            else:
+                self._record_ok(key, spec, result, outcomes, results)
+
+    def _run_parallel(
+        self,
+        pending: List[Tuple[str, RunSpec]],
+        seeded: Dict[Tuple[int, Tuple[int, int]], Dict[str, float]],
+        strict: bool,
+        outcomes: Dict[str, RunOutcome],
+        results: Dict[str, SimulationResult],
+    ) -> None:
+        remaining = list(pending)
+        while remaining:
+            workers = min(self.max_workers, len(remaining))
+            retry: List[Tuple[str, RunSpec]] = []
+            first_error: Optional[Exception] = None
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(seeded,),
+            ) as pool:
+                futures = {}
+                for key, spec in remaining:
+                    self._emit("start", key)
+                    futures[pool.submit(_run_in_worker, (key, spec))] = (
+                        key, spec,
+                    )
+                crashed = False
+                for future in as_completed(futures):
+                    key, spec = futures[future]
+                    try:
+                        _, result = future.result()
+                    except BrokenProcessPool as exc:
+                        # The pool died. Blame the first run observed
+                        # failing (best available attribution), requeue
+                        # the rest on a fresh pool.
+                        if not crashed:
+                            crashed = True
+                            message = (
+                                "worker process crashed during this run: "
+                                f"{exc}"
+                            )
+                            if strict and first_error is None:
+                                first_error = ConfigurationError(message)
+                            self._record_error(key, spec, message, outcomes)
+                        else:
+                            retry.append((key, spec))
+                    except Exception as exc:
+                        if strict and first_error is None:
+                            first_error = exc
+                        self._record_error(
+                            key, spec, _format_error(exc), outcomes
+                        )
+                    else:
+                        self._record_ok(key, spec, result, outcomes, results)
+            if strict and first_error is not None:
+                raise first_error
+            remaining = retry
+
+
+def _format_error(exc: Exception) -> str:
+    """One-line error class + message plus the innermost useful frame.
+
+    Frames inside ``concurrent.futures`` are skipped: exceptions from a
+    worker re-raise through the pool machinery, and those frames say
+    nothing about the failing run.
+    """
+    frames = [
+        frame
+        for frame in traceback.extract_tb(exc.__traceback__)
+        if "concurrent/futures" not in frame.filename.replace("\\", "/")
+    ]
+    location = f" [{frames[-1].filename}:{frames[-1].lineno}]" if frames else ""
+    return f"{type(exc).__name__}: {exc}{location}"

@@ -1,0 +1,130 @@
+"""Aggregate a finished campaign into the metrics/tables pipeline.
+
+``campaign_status`` summarizes store coverage of a campaign (done /
+failed / pending); ``campaign_report`` loads every completed run,
+summarizes it with :func:`repro.metrics.report.summarize` — normalizing
+delay against the campaign's baseline policy run on the same
+(exp, duration, DPM, seed, grid, mix) — and renders one table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.analysis.runner import RunSpec
+from repro.analysis.tables import format_table
+from repro.campaign.spec import CampaignSpec, run_key
+from repro.campaign.store import ResultStore
+from repro.metrics.report import summarize
+
+
+def campaign_status(store: ResultStore, campaign: CampaignSpec) -> Dict[str, object]:
+    """Coverage of ``campaign`` in ``store``.
+
+    Returns ``{"name", "total", "ok", "error", "pending", "failures"}``
+    where failures maps run key -> error text.
+    """
+    ok = 0
+    failures: Dict[str, str] = {}
+    pending: List[str] = []
+    specs = campaign.expand()
+    for spec in specs:
+        key = run_key(spec)
+        entry = store.entry(key)
+        if entry is None:
+            pending.append(key)
+        elif entry["status"] == "ok":
+            ok += 1
+        else:
+            failures[key] = str(entry.get("error", ""))
+    return {
+        "name": campaign.name,
+        "total": len(specs),
+        "ok": ok,
+        "error": len(failures),
+        "pending": len(pending),
+        "failures": failures,
+        "pending_keys": pending,
+    }
+
+
+def format_status(status: Dict[str, object]) -> str:
+    """Human-readable rendering of :func:`campaign_status`."""
+    lines = [
+        f"campaign {status['name']}: {status['ok']}/{status['total']} done, "
+        f"{status['error']} failed, {status['pending']} pending"
+    ]
+    for key, error in sorted(dict(status["failures"]).items()):  # type: ignore[arg-type]
+        lines.append(f"  FAILED {key}: {error}")
+    return "\n".join(lines)
+
+
+def campaign_report(
+    store: ResultStore,
+    campaign: CampaignSpec,
+    baseline_policy: str = "Default",
+) -> str:
+    """One metrics table over every completed run of the campaign.
+
+    Failed or pending runs appear as ``--`` rows so the table always
+    reflects the full grid.
+    """
+    rows: List[List[object]] = []
+    # Baseline runs are shared by every other policy row of the same
+    # grid point; cache them instead of re-parsing the CSVs per row.
+    baselines: Dict[str, object] = {}
+
+    def load_cached(key: str):
+        if key not in baselines:
+            baselines[key] = store.load(key)
+        return baselines[key]
+
+    for spec in campaign.expand():
+        key = run_key(spec)
+        prefix = [
+            spec.exp_id,
+            spec.policy,
+            "on" if spec.with_dpm else "off",
+            spec.seed,
+            round(spec.duration_s, 1),
+        ]
+        if not store.has(key):
+            entry = store.entry(key)
+            state = "FAILED" if entry is not None else "pending"
+            rows.append(prefix + [state, "--", "--", "--", "--"])
+            continue
+        result = (
+            load_cached(key) if spec.policy == baseline_policy
+            else store.load(key)
+        )
+        baseline = None
+        if spec.policy != baseline_policy:
+            base_key = run_key(replace(spec, policy=baseline_policy))
+            if store.has(base_key):
+                baseline = load_cached(base_key)
+        report = summarize(result, baseline)
+        if report.normalized_delay is not None:
+            delay = f"{report.normalized_delay:.3f}"
+        elif spec.policy == baseline_policy:
+            delay = "1.000"
+        else:
+            delay = "--"
+        rows.append(prefix + [
+            round(report.hot_spot_pct, 2),
+            round(report.gradient_pct, 2),
+            round(report.cycle_pct, 2),
+            round(report.peak_temperature_c, 1),
+            delay,
+        ])
+    status = campaign_status(store, campaign)
+    title = (
+        f"Campaign {campaign.name} — {status['ok']}/{status['total']} runs "
+        f"({status['error']} failed, {status['pending']} pending)"
+    )
+    return format_table(
+        ["exp", "policy", "dpm", "seed", "dur s",
+         "hot%", "grad%", "cycles%", "peak C", "delay"],
+        rows,
+        title=title,
+    )

@@ -1,0 +1,218 @@
+"""Declarative campaign specifications and content-addressed run keys.
+
+A :class:`CampaignSpec` names a cartesian grid over the experiment
+axes — stack (EXP-1..4), policy, duration, DPM, seed, thermal grid,
+benchmark mix — plus an optional list of explicit
+:class:`~repro.analysis.runner.RunSpec` values for runs that do not fit
+a grid (e.g. ablation variants with ``policy_params``). ``expand()``
+turns it into a deterministic, de-duplicated run list.
+
+``run_key`` maps a ``RunSpec`` to a stable content hash: the key is a
+function of the spec's field values only (canonical JSON → SHA-256), so
+it is identical across Python sessions, platforms and processes. The
+result store addresses runs by this key, which is what makes campaigns
+resumable — a re-invoked campaign skips every key already present.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.runner import RunSpec
+from repro.errors import ConfigurationError
+
+# Bump when RunSpec serialization changes incompatibly; stored results
+# keyed under an older version are simply recomputed.
+KEY_VERSION = 1
+
+
+def _canonical(value: Any) -> Any:
+    """JSON-stable form: tuples become lists, dict keys sort on dump."""
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    return value
+
+
+def spec_to_dict(spec: RunSpec) -> Dict[str, Any]:
+    """A JSON-serializable dict capturing every RunSpec field."""
+    return _canonical(asdict(spec))
+
+
+def spec_from_dict(data: Dict[str, Any]) -> RunSpec:
+    """Inverse of :func:`spec_to_dict` (tuples restored, fields checked)."""
+    known = {f.name for f in fields(RunSpec)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ConfigurationError(f"unknown RunSpec fields: {unknown}")
+    kwargs: Dict[str, Any] = dict(data)
+    if kwargs.get("grid") is not None:
+        kwargs["grid"] = tuple(kwargs["grid"])
+    if kwargs.get("benchmark_mix") is not None:
+        kwargs["benchmark_mix"] = tuple(
+            (name, int(count)) for name, count in kwargs["benchmark_mix"]
+        )
+    if kwargs.get("policy_params") is not None:
+        kwargs["policy_params"] = tuple(
+            (name, value) for name, value in kwargs["policy_params"]
+        )
+    return RunSpec(**kwargs)
+
+
+def run_key(spec: RunSpec) -> str:
+    """Stable content-addressed key for one run.
+
+    ``exp<N>-<policy-slug>-<12 hex digest chars>``: readable prefix for
+    humans browsing a store, hash suffix for uniqueness. Purely a
+    function of the spec's values — never of object identity, process,
+    or insertion order.
+    """
+    payload = json.dumps(
+        {"v": KEY_VERSION, "spec": spec_to_dict(spec)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+    slug = re.sub(r"[^A-Za-z0-9]+", "_", spec.policy).strip("_").lower()
+    return f"exp{spec.exp_id}-{slug}-{digest}"
+
+
+def _as_tuple(value: Union[Sequence[Any], Any]) -> Tuple[Any, ...]:
+    if isinstance(value, (list, tuple)):
+        return tuple(value)
+    return (value,)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named cartesian grid of runs plus explicit extras.
+
+    Every axis is a tuple of values; ``expand()`` is their cartesian
+    product in axis order (exp_ids outermost, seeds innermost), followed
+    by ``extra_runs``. Duplicates are dropped, first occurrence wins.
+    """
+
+    name: str
+    exp_ids: Tuple[int, ...] = (3,)
+    policies: Tuple[str, ...] = ("Default",)
+    durations_s: Tuple[float, ...] = (120.0,)
+    dpm: Tuple[bool, ...] = (False,)
+    seeds: Tuple[int, ...] = (2009,)
+    grids: Tuple[Tuple[int, int], ...] = ((8, 8),)
+    benchmark_mixes: Tuple[Optional[Tuple[Tuple[str, int], ...]], ...] = (None,)
+    extra_runs: Tuple[RunSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("campaign needs a name")
+        for axis in ("exp_ids", "policies", "durations_s", "dpm", "seeds",
+                     "grids", "benchmark_mixes"):
+            if not getattr(self, axis):
+                raise ConfigurationError(f"campaign axis {axis!r} is empty")
+
+    # ------------------------------------------------------------------
+
+    def expand(self) -> List[RunSpec]:
+        """The deterministic run list of this campaign."""
+        specs: List[RunSpec] = []
+        seen: set = set()
+        for exp_id in self.exp_ids:
+            for policy in self.policies:
+                for duration in self.durations_s:
+                    for with_dpm in self.dpm:
+                        for grid in self.grids:
+                            for mix in self.benchmark_mixes:
+                                for seed in self.seeds:
+                                    specs.append(RunSpec(
+                                        exp_id=exp_id,
+                                        policy=policy,
+                                        duration_s=duration,
+                                        with_dpm=with_dpm,
+                                        seed=seed,
+                                        grid=tuple(grid),
+                                        benchmark_mix=mix,
+                                    ))
+        specs.extend(self.extra_runs)
+        unique: List[RunSpec] = []
+        for spec in specs:
+            key = run_key(spec)
+            if key not in seen:
+                seen.add(key)
+                unique.append(spec)
+        return unique
+
+    def keys(self) -> List[str]:
+        """Run keys in expansion order."""
+        return [run_key(spec) for spec in self.expand()]
+
+    # ------------------------------------------------------------------
+    # serialization (the CLI reads campaign specs from JSON files)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = {
+            "name": self.name,
+            "exp_ids": list(self.exp_ids),
+            "policies": list(self.policies),
+            "durations_s": list(self.durations_s),
+            "dpm": list(self.dpm),
+            "seeds": list(self.seeds),
+            "grids": [list(g) for g in self.grids],
+            "benchmark_mixes": [
+                None if mix is None else [list(pair) for pair in mix]
+                for mix in self.benchmark_mixes
+            ],
+            "extra_runs": [spec_to_dict(spec) for spec in self.extra_runs],
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        if "name" not in data:
+            raise ConfigurationError("campaign spec needs a 'name'")
+        known = {
+            "name", "exp_ids", "policies", "durations_s", "dpm", "seeds",
+            "grids", "benchmark_mixes", "extra_runs",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(f"unknown campaign fields: {unknown}")
+        kwargs: Dict[str, Any] = {"name": data["name"]}
+        for axis in ("exp_ids", "policies", "durations_s", "dpm", "seeds"):
+            if axis in data:
+                kwargs[axis] = _as_tuple(data[axis])
+        if "grids" in data:
+            kwargs["grids"] = tuple(tuple(g) for g in _as_tuple(data["grids"]))
+        if "benchmark_mixes" in data:
+            kwargs["benchmark_mixes"] = tuple(
+                None if mix is None
+                else tuple((name, int(count)) for name, count in mix)
+                for mix in data["benchmark_mixes"]
+            )
+        if "extra_runs" in data:
+            kwargs["extra_runs"] = tuple(
+                spec_from_dict(item) for item in data["extra_runs"]
+            )
+        return cls(**kwargs)
+
+    def to_json(self, path: Union[str, Path]) -> Path:
+        """Write the spec as a JSON file; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def from_json(cls, path: Union[str, Path]) -> "CampaignSpec":
+        """Read a spec written by :meth:`to_json` (or by hand)."""
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"{path}: cannot read campaign spec: {exc}")
+        return cls.from_dict(data)

@@ -1,0 +1,214 @@
+"""On-disk, content-addressed store of simulation results.
+
+Layout under the store root::
+
+    index.json                      — manifest: run key -> entry
+    runs/<key>/result_*.csv/.json   — one saved SimulationResult
+                                      (see analysis/result_io.py)
+    indices/exp<E>_<R>x<C>.json     — thermal indices per (exp, grid)
+
+Each entry records the originating :class:`RunSpec`, a status (``ok``
+or ``error``), and — for failures — the error text, so a campaign that
+loses runs to worker crashes still produces a complete manifest. The
+index is rewritten atomically (temp file + rename) after every update;
+only the campaign driver process writes the store, workers hand results
+back over the executor pipe.
+
+Thermal indices (the per-(exp, grid) steady-state characterization that
+every run on the same stack shares) are persisted here too, so repeated
+campaigns and worker processes never redo the solve.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.analysis.result_io import load_result, save_result
+from repro.analysis.runner import RunSpec
+from repro.campaign.spec import run_key, spec_from_dict, spec_to_dict
+from repro.errors import ConfigurationError
+from repro.sched.engine import SimulationResult
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+_INDEX_VERSION = 1
+
+
+class ResultStore:
+    """Persistent map from run key to saved result (or failure record)."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._index_path = self.root / "index.json"
+        self._index: Dict[str, Dict[str, Any]] = {}
+        if self._index_path.exists():
+            try:
+                data = json.loads(self._index_path.read_text())
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{self._index_path}: corrupt store index: {exc}"
+                )
+            self._index = data.get("runs", {})
+
+    # ------------------------------------------------------------------
+    # manifest
+
+    def _flush_index(self) -> None:
+        payload = json.dumps(
+            {"version": _INDEX_VERSION, "runs": self._index},
+            indent=2,
+            sort_keys=True,
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.root), prefix=".index-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload + "\n")
+            os.replace(tmp, self._index_path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def keys(self) -> List[str]:
+        """Every recorded run key (both ok and error entries)."""
+        return list(self._index)
+
+    def entry(self, key: str) -> Optional[Dict[str, Any]]:
+        """The manifest entry for ``key``, or None."""
+        return self._index.get(key)
+
+    def status_counts(self) -> Dict[str, int]:
+        """Number of entries per status."""
+        counts: Dict[str, int] = {}
+        for entry in self._index.values():
+            counts[entry["status"]] = counts.get(entry["status"], 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # results
+
+    def has(self, key: str) -> bool:
+        """Whether ``key`` holds a successfully completed run."""
+        entry = self._index.get(key)
+        return bool(entry) and entry["status"] == STATUS_OK
+
+    def _stem(self, key: str) -> Path:
+        return self.root / "runs" / key / "result"
+
+    def save(self, spec: RunSpec, result: SimulationResult) -> str:
+        """Persist one completed run; returns its key."""
+        key = run_key(spec)
+        stem = self._stem(key)
+        stem.parent.mkdir(parents=True, exist_ok=True)
+        save_result(result, stem)
+        self._index[key] = {
+            "status": STATUS_OK,
+            "spec": spec_to_dict(spec),
+            "stem": str(stem.relative_to(self.root)),
+        }
+        self._flush_index()
+        return key
+
+    def record_failure(self, spec: RunSpec, error: str) -> str:
+        """Record a failed run without a result payload; returns its key."""
+        key = run_key(spec)
+        self._index[key] = {
+            "status": STATUS_ERROR,
+            "spec": spec_to_dict(spec),
+            "error": error,
+        }
+        self._flush_index()
+        return key
+
+    def load(self, key: str) -> SimulationResult:
+        """Reload the result saved under ``key``."""
+        entry = self._index.get(key)
+        if entry is None:
+            raise ConfigurationError(f"store has no run {key!r}")
+        if entry["status"] != STATUS_OK:
+            raise ConfigurationError(
+                f"run {key!r} failed: {entry.get('error', 'unknown error')}"
+            )
+        return load_result(self.root / entry["stem"])
+
+    def load_spec(self, key: str) -> RunSpec:
+        """Reconstruct the RunSpec recorded for ``key``."""
+        entry = self._index.get(key)
+        if entry is None:
+            raise ConfigurationError(f"store has no run {key!r}")
+        return spec_from_dict(entry["spec"])
+
+    def discard(self, key: str) -> None:
+        """Drop an entry (e.g. to force a re-run of a failed key)."""
+        if key not in self._index:
+            return
+        del self._index[key]
+        run_dir = self.root / "runs" / key
+        if run_dir.exists():
+            shutil.rmtree(run_dir)
+        self._flush_index()
+
+    def query(
+        self,
+        exp_id: Optional[int] = None,
+        policy: Optional[str] = None,
+        with_dpm: Optional[bool] = None,
+        status: Optional[str] = None,
+    ) -> List[str]:
+        """Keys whose spec matches every given filter, insertion order."""
+        matches: List[str] = []
+        for key, entry in self._index.items():
+            spec = entry["spec"]
+            if exp_id is not None and spec["exp_id"] != exp_id:
+                continue
+            if policy is not None and spec["policy"] != policy:
+                continue
+            if with_dpm is not None and spec["with_dpm"] != with_dpm:
+                continue
+            if status is not None and entry["status"] != status:
+                continue
+            matches.append(key)
+        return matches
+
+    def failures(self) -> Dict[str, str]:
+        """Key -> error text for every failed entry."""
+        return {
+            key: entry.get("error", "")
+            for key, entry in self._index.items()
+            if entry["status"] == STATUS_ERROR
+        }
+
+    # ------------------------------------------------------------------
+    # thermal indices (shared per (exp_id, grid) characterization)
+
+    def _indices_path(self, exp_id: int, grid: Tuple[int, int]) -> Path:
+        return self.root / "indices" / f"exp{exp_id}_{grid[0]}x{grid[1]}.json"
+
+    def save_thermal_indices(
+        self, exp_id: int, grid: Tuple[int, int], indices: Dict[str, float]
+    ) -> None:
+        """Persist a (exp_id, grid) thermal-index characterization."""
+        path = self._indices_path(exp_id, grid)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(indices, indent=2, sort_keys=True) + "\n")
+
+    def load_thermal_indices(
+        self, exp_id: int, grid: Tuple[int, int]
+    ) -> Optional[Dict[str, float]]:
+        """The stored characterization, or None if absent."""
+        path = self._indices_path(exp_id, grid)
+        if not path.exists():
+            return None
+        return {
+            str(name): float(value)
+            for name, value in json.loads(path.read_text()).items()
+        }

@@ -6,18 +6,23 @@ Subcommands:
   metric report,
 - ``compare``    — run several policies on one stack and print a table,
 - ``policies``   — list the registered DTM policies,
-- ``floorplan``  — render an EXP configuration's layers as ASCII.
+- ``floorplan``  — render an EXP configuration's layers as ASCII,
+- ``campaign``   — execute/inspect declarative campaign grids against a
+  persistent result store (``campaign run|status|report``, see
+  docs/CAMPAIGNS.md).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.runner import ExperimentRunner, RunSpec
 from repro.analysis.tables import format_table
 from repro.core.registry import policy_names
+from repro.errors import ConfigurationError
 from repro.floorplan.experiments import EXPERIMENT_IDS, build_experiment
 from repro.metrics.report import summarize
 
@@ -94,6 +99,74 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_campaign(args: argparse.Namespace):
+    from repro.campaign import CampaignSpec, ResultStore
+
+    spec = CampaignSpec.from_json(args.spec)
+    store_dir = args.store or Path("campaigns") / spec.name
+    return spec, ResultStore(store_dir)
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignExecutor, campaign_status, format_status
+
+    try:
+        spec, store = _load_campaign(args)
+    except ConfigurationError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    total = len(spec.expand())
+    done = {"n": 0}
+
+    def progress(event: str, key: str, detail: str) -> None:
+        if event == "start":
+            return
+        done["n"] += 1
+        line = f"[{done['n']}/{total}] {event:6s} {key}"
+        if detail:
+            line += f"  {detail}"
+        print(line, flush=True)
+
+    try:
+        executor = CampaignExecutor(
+            store=store,
+            backend="serial" if args.serial else "parallel",
+            max_workers=args.workers,
+            progress=progress,
+        )
+    except ConfigurationError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    run = executor.run_campaign(spec)
+    print(format_status(campaign_status(store, spec)))
+    return 1 if run.failed() else 0
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import campaign_status, format_status
+
+    try:
+        spec, store = _load_campaign(args)
+    except ConfigurationError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(format_status(campaign_status(store, spec)))
+    return 0
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaign import campaign_report
+
+    try:
+        spec, store = _load_campaign(args)
+    except ConfigurationError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(campaign_report(store, spec, baseline_policy=args.baseline))
+    return 0
+
+
 def cmd_policies(_args: argparse.Namespace) -> int:
     for name in policy_names():
         print(name)
@@ -128,6 +201,44 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="policy names (default: all)")
     _add_run_arguments(compare_parser)
     compare_parser.set_defaults(func=cmd_compare)
+
+    campaign_parser = sub.add_parser(
+        "campaign", help="run/inspect a declarative campaign grid"
+    )
+    campaign_sub = campaign_parser.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("spec", help="campaign spec JSON file")
+        parser.add_argument("--store", type=Path, default=None,
+                            help="result store directory "
+                                 "(default: campaigns/<name>)")
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="execute pending runs (resumes from the store)"
+    )
+    _add_campaign_arguments(campaign_run)
+    campaign_run.add_argument("--serial", action="store_true",
+                              help="run in-process instead of a worker pool")
+    campaign_run.add_argument("--workers", type=int, default=None,
+                              help="worker pool size (default: CPU count)")
+    campaign_run.set_defaults(func=cmd_campaign_run)
+
+    campaign_status_parser = campaign_sub.add_parser(
+        "status", help="show store coverage of a campaign"
+    )
+    _add_campaign_arguments(campaign_status_parser)
+    campaign_status_parser.set_defaults(func=cmd_campaign_status)
+
+    campaign_report_parser = campaign_sub.add_parser(
+        "report", help="aggregate a finished campaign into a metrics table"
+    )
+    _add_campaign_arguments(campaign_report_parser)
+    campaign_report_parser.add_argument(
+        "--baseline", default="Default",
+        help="policy used to normalize the delay column")
+    campaign_report_parser.set_defaults(func=cmd_campaign_report)
 
     policies_parser = sub.add_parser("policies", help="list DTM policies")
     policies_parser.set_defaults(func=cmd_policies)

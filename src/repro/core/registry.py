@@ -23,7 +23,7 @@ from repro.core.hybrid import HybridPolicy
 from repro.core.migration import MigrationPolicy
 from repro.errors import ConfigurationError
 
-POLICY_BUILDERS: Dict[str, Callable[[], Policy]] = {
+POLICY_BUILDERS: Dict[str, Callable[..., Policy]] = {
     "Default": DefaultLoadBalancing,
     "CGate": ClockGating,
     "DVFS_TT": DVFSTemperatureTriggered,
@@ -32,9 +32,17 @@ POLICY_BUILDERS: Dict[str, Callable[[], Policy]] = {
     "Migr": MigrationPolicy,
     "AdaptRand": AdaptiveRandom,
     "Adapt3D": Adapt3D,
-    "Adapt3D&DVFS_TT": lambda: HybridPolicy(Adapt3D(), DVFSTemperatureTriggered()),
-    "Adapt3D&DVFS_Util": lambda: HybridPolicy(Adapt3D(), DVFSUtilizationBased()),
-    "Adapt3D&DVFS_FLP": lambda: HybridPolicy(Adapt3D(), DVFSFloorplanAware()),
+    # For the hybrids, constructor parameters configure the Adapt3D
+    # allocation component (the throttling side keeps paper defaults).
+    "Adapt3D&DVFS_TT": lambda **kw: HybridPolicy(
+        Adapt3D(**kw), DVFSTemperatureTriggered()
+    ),
+    "Adapt3D&DVFS_Util": lambda **kw: HybridPolicy(
+        Adapt3D(**kw), DVFSUtilizationBased()
+    ),
+    "Adapt3D&DVFS_FLP": lambda **kw: HybridPolicy(
+        Adapt3D(**kw), DVFSFloorplanAware()
+    ),
 }
 
 
@@ -43,12 +51,24 @@ def policy_names() -> List[str]:
     return list(POLICY_BUILDERS)
 
 
-def build_policy(name: str) -> Policy:
-    """Instantiate a policy by its figure label."""
+def build_policy(name: str, **params: object) -> Policy:
+    """Instantiate a policy by its figure label.
+
+    Keyword arguments are forwarded to the policy constructor, which is
+    how declarative :class:`~repro.analysis.runner.RunSpec` values
+    parameterize ablation variants (e.g. Adapt3D's beta constants).
+    """
     try:
         builder = POLICY_BUILDERS[name]
     except KeyError:
         raise ConfigurationError(
             f"unknown policy {name!r}; known: {policy_names()}"
         ) from None
-    return builder()
+    if not params:
+        return builder()
+    try:
+        return builder(**params)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"policy {name!r} rejected parameters {sorted(params)}: {exc}"
+        ) from exc

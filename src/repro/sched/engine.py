@@ -244,6 +244,19 @@ class SimulationEngine:
         total_power = np.zeros(n_ticks)
         state_codes = {s: i for i, s in enumerate(CoreState)}
 
+        # Recording layout, computed once: the thermal model's vector
+        # readback is already in unit_names order, so a core->column
+        # gather and per-die slices replace the per-tick name-lookup
+        # list comprehensions.
+        unit_index = {name: i for i, name in enumerate(unit_names)}
+        core_cols = np.fromiter(
+            (unit_index[name] for name in self.core_names),
+            dtype=np.intp,
+            count=n_cores,
+        )
+        die_slices = self.thermal.die_unit_slices()
+        core_list = [self._cores[name] for name in self.core_names]
+
         self._sensor_temps = self.sensors.read_cores()
         energy = 0.0
         for tick in range(n_ticks):
@@ -275,19 +288,29 @@ class SimulationEngine:
 
             # Record the end-of-interval state.
             times[tick] = t1
-            unit_temps_after = self.thermal.unit_temperatures()
-            unit_maxes = self.thermal.unit_max_temperatures()
-            unit_temps[tick] = [unit_temps_after[u] for u in unit_names]
-            core_temps[tick] = [unit_temps_after[c] for c in self.core_names]
-            core_peaks[tick] = [unit_maxes[c] for c in self.core_names]
-            spreads[tick] = self.thermal.layer_unit_spread()
-            utilization[tick] = [
-                self._cores[c].last_utilization for c in self.core_names
+            unit_row = self.thermal.unit_temperature_vector()
+            peak_row = self.thermal.unit_max_vector()
+            unit_temps[tick] = unit_row
+            core_temps[tick] = unit_row[core_cols]
+            core_peaks[tick] = peak_row[core_cols]
+            spreads[tick] = [
+                unit_row[sl].max() - unit_row[sl].min() for sl in die_slices
             ]
-            vf_indices[tick] = [self._cores[c].vf_index for c in self.core_names]
-            core_states[tick] = [
-                state_codes[self._cores[c].power_state()] for c in self.core_names
-            ]
+            utilization[tick] = np.fromiter(
+                (core.last_utilization for core in core_list),
+                dtype=np.float64,
+                count=n_cores,
+            )
+            vf_indices[tick] = np.fromiter(
+                (core.vf_index for core in core_list),
+                dtype=np.int64,
+                count=n_cores,
+            )
+            core_states[tick] = np.fromiter(
+                (state_codes[core.power_state()] for core in core_list),
+                dtype=np.int64,
+                count=n_cores,
+            )
             tick_power = sum(powers.values())
             total_power[tick] = tick_power
             energy += tick_power * dt

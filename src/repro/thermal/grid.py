@@ -55,6 +55,10 @@ class GridMapper:
         # Per-unit normalized temperature weights (identical to power
         # weights for exact tilings; kept separate for clarity).
         self._temp_weights = self._power_weights
+        # Cells counted toward each unit's max-temperature readback,
+        # precomputed so per-tick readback is pure NumPy.
+        self._max_mask = self._overlap > 1e-3 * self.cell_area
+        self._has_max_cells = self._max_mask.any(axis=1)
 
     # ------------------------------------------------------------------
 
@@ -121,19 +125,29 @@ class GridMapper:
     # ------------------------------------------------------------------
     # temperature readback
 
-    def unit_temperatures(self, cell_temps: np.ndarray) -> Dict[str, float]:
-        """Area-weighted mean temperature of every unit."""
+    def _check_cells(self, cell_temps: np.ndarray) -> None:
         if cell_temps.shape != (self.n_cells,):
             raise ThermalModelError(
                 f"expected {self.n_cells} cell temperatures, got {cell_temps.shape}"
             )
-        means = self._temp_weights @ cell_temps
+
+    def unit_temperature_vector(self, cell_temps: np.ndarray) -> np.ndarray:
+        """Area-weighted mean per unit, in ``unit_names`` order."""
+        self._check_cells(cell_temps)
+        return self._temp_weights @ cell_temps
+
+    def unit_max_vector(self, cell_temps: np.ndarray) -> np.ndarray:
+        """Max overlapped-cell temperature per unit, ``unit_names`` order."""
+        self._check_cells(cell_temps)
+        maxes = np.where(self._max_mask, cell_temps[None, :], -np.inf).max(axis=1)
+        return np.where(self._has_max_cells, maxes, np.nan)
+
+    def unit_temperatures(self, cell_temps: np.ndarray) -> Dict[str, float]:
+        """Area-weighted mean temperature of every unit."""
+        means = self.unit_temperature_vector(cell_temps)
         return {name: float(means[i]) for name, i in self._unit_index.items()}
 
     def unit_max_temperatures(self, cell_temps: np.ndarray) -> Dict[str, float]:
         """Max cell temperature over each unit's overlapped cells."""
-        out: Dict[str, float] = {}
-        for name, ui in self._unit_index.items():
-            mask = self._overlap[ui] > 1e-3 * self.cell_area
-            out[name] = float(cell_temps[mask].max()) if mask.any() else float("nan")
-        return out
+        maxes = self.unit_max_vector(cell_temps)
+        return {name: float(maxes[i]) for name, i in self._unit_index.items()}

@@ -94,6 +94,16 @@ class ThermalModel:
         ]
         self.temperatures = np.full(self.network.n_nodes, ambient_k)
 
+        # Vector-readback layout: unit_names order is the die-major
+        # concatenation of each mapper's unit order, so per-die slices
+        # into that order are contiguous.
+        self._die_unit_slices: List[slice] = []
+        offset = 0
+        for mapper in self._mappers:
+            count = len(mapper.unit_names)
+            self._die_unit_slices.append(slice(offset, offset + count))
+            offset += count
+
     # ------------------------------------------------------------------
     # introspection
 
@@ -197,11 +207,35 @@ class ThermalModel:
 
     def unit_max_temperatures(self) -> Dict[str, float]:
         """Current max cell temperature (K) over each unit."""
-        out: Dict[str, float] = {}
-        for die_ordinal, mapper in enumerate(self._mappers):
-            cells = self._die_cell_temps(die_ordinal, self.temperatures)
-            out.update(mapper.unit_max_temperatures(cells))
-        return out
+        vector = self.unit_max_vector()
+        return {name: float(vector[i]) for i, name in enumerate(self._unit_die)}
+
+    def die_unit_slices(self) -> List[slice]:
+        """Per-die contiguous slices into the ``unit_names`` order.
+
+        Lets hot-path consumers (the engine's per-tick recording) take
+        per-layer aggregates of :meth:`unit_temperature_vector` without
+        rebuilding name dicts.
+        """
+        return list(self._die_unit_slices)
+
+    def unit_temperature_vector(self) -> np.ndarray:
+        """Current per-unit mean temperatures (K), ``unit_names`` order."""
+        return np.concatenate([
+            mapper.unit_temperature_vector(
+                self._die_cell_temps(die_ordinal, self.temperatures)
+            )
+            for die_ordinal, mapper in enumerate(self._mappers)
+        ])
+
+    def unit_max_vector(self) -> np.ndarray:
+        """Current per-unit max temperatures (K), ``unit_names`` order."""
+        return np.concatenate([
+            mapper.unit_max_vector(
+                self._die_cell_temps(die_ordinal, self.temperatures)
+            )
+            for die_ordinal, mapper in enumerate(self._mappers)
+        ])
 
     def core_temperatures(self) -> Dict[str, float]:
         """Current per-core temperatures (K), canonical order preserved."""
@@ -215,13 +249,11 @@ class ThermalModel:
         (§V-C): per-layer difference between the hottest and coolest
         units, evaluated each sampling interval.
         """
-        spreads: List[float] = []
-        for die_ordinal, mapper in enumerate(self._mappers):
-            cells = self._die_cell_temps(die_ordinal, self.temperatures)
-            unit_temps = mapper.unit_temperatures(cells)
-            values = list(unit_temps.values())
-            spreads.append(max(values) - min(values))
-        return spreads
+        vector = self.unit_temperature_vector()
+        return [
+            float(vector[sl].max() - vector[sl].min())
+            for sl in self._die_unit_slices
+        ]
 
     def vertical_gradients(self) -> List[float]:
         """Max |T(die k) - T(die k+1)| per adjacent die pair (K).

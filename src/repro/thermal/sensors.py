@@ -73,6 +73,13 @@ class SensorBank:
             name: TemperatureSensor(noise_sigma, quantization_step, rng)
             for name in self.core_names
         }
+        unit_index = {name: i for i, name in enumerate(model.unit_names)}
+        self._core_cols = np.fromiter(
+            (unit_index[name] for name in self.core_names),
+            dtype=np.intp,
+            count=len(self.core_names),
+        )
+        self._ideal = noise_sigma == 0.0 and quantization_step == 0.0
 
     def read_cores(self) -> Dict[str, float]:
         """Current sensor reading (K) for every core.
@@ -81,8 +88,13 @@ class SensorBank:
         practice — thermal sensors guard the known hot spot), so the
         reading is the max cell temperature over the core's area.
         """
-        true_temps = self.model.unit_max_temperatures()
+        true_temps = self.model.unit_max_vector()[self._core_cols]
+        if self._ideal:
+            return {
+                name: float(temp)
+                for name, temp in zip(self.core_names, true_temps)
+            }
         return {
-            name: self._sensors[name].read(true_temps[name])
-            for name in self.core_names
+            name: self._sensors[name].read(float(temp))
+            for name, temp in zip(self.core_names, true_temps)
         }

@@ -1,0 +1,432 @@
+"""Campaign subsystem tests: keys, specs, store, executors, reports."""
+
+import os
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.result_io import load_result, save_result
+from repro.analysis.runner import ExperimentRunner, RunSpec
+from repro.analysis.sweep import sweep
+from repro.campaign import (
+    CampaignExecutor,
+    CampaignSpec,
+    ResultStore,
+    campaign_report,
+    campaign_status,
+    run_key,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.cli import main
+from repro.errors import ConfigurationError
+
+SRC_DIR = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def tiny_spec(policy="Default", seed=1, **overrides) -> RunSpec:
+    """A seconds-scale run for integration tests."""
+    base = dict(exp_id=1, policy=policy, duration_s=2.0, seed=seed,
+                grid=(4, 4))
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+def tiny_campaign(name="tiny", policies=("Default", "Adapt3D"), seeds=(1,),
+                  **overrides) -> CampaignSpec:
+    base = dict(
+        name=name, exp_ids=(1,), policies=tuple(policies),
+        durations_s=(2.0,), seeds=tuple(seeds), grids=((4, 4),),
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class CountingRunner(ExperimentRunner):
+    """Counts simulation executions for resume/skip assertions."""
+
+    def __init__(self):
+        super().__init__()
+        self.run_calls = 0
+
+    def run(self, spec):
+        self.run_calls += 1
+        return super().run(spec)
+
+
+class TestRunKey:
+    def test_deterministic_within_process(self):
+        spec = tiny_spec(policy="Adapt3D&DVFS_TT",
+                         policy_params=(("beta_inc", 0.02),))
+        assert run_key(spec) == run_key(replace(spec))
+
+    def test_readable_prefix(self):
+        key = run_key(tiny_spec(policy="Adapt3D&DVFS_TT"))
+        assert key.startswith("exp1-adapt3d_dvfs_tt-")
+
+    def test_every_field_feeds_the_hash(self):
+        base = tiny_spec()
+        variants = [
+            replace(base, exp_id=2),
+            replace(base, policy="Adapt3D"),
+            replace(base, duration_s=3.0),
+            replace(base, with_dpm=True),
+            replace(base, seed=2),
+            replace(base, grid=(8, 8)),
+            replace(base, benchmark_mix=(("gzip", 4),)),
+            replace(base, policy_params=(("beta_inc", 0.02),)),
+        ]
+        keys = {run_key(spec) for spec in [base] + variants}
+        assert len(keys) == len(variants) + 1
+
+    @pytest.mark.parametrize("hash_seed", ["1", "31337"])
+    def test_stable_across_python_sessions(self, hash_seed):
+        """The key must not depend on interpreter hash randomization."""
+        spec = tiny_spec(policy="Adapt3D&DVFS_TT", seed=7,
+                         benchmark_mix=(("gzip", 2), ("gcc", 1)),
+                         policy_params=(("beta_inc", 0.02),))
+        code = (
+            "from repro.analysis.runner import RunSpec\n"
+            "from repro.campaign import run_key\n"
+            "spec = RunSpec(exp_id=1, policy='Adapt3D&DVFS_TT',"
+            " duration_s=2.0, seed=7, grid=(4, 4),"
+            " benchmark_mix=(('gzip', 2), ('gcc', 1)),"
+            " policy_params=(('beta_inc', 0.02),))\n"
+            "print(run_key(spec))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR
+        env["PYTHONHASHSEED"] = hash_seed
+        out = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True,
+            text=True, check=True,
+        )
+        assert out.stdout.strip() == run_key(spec)
+
+    def test_spec_dict_round_trip(self):
+        spec = tiny_spec(policy="Adapt3D", with_dpm=True,
+                         benchmark_mix=(("gzip", 2),),
+                         policy_params=(("history_window", 5),))
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_unknown_spec_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spec_from_dict({"exp_id": 1, "policy": "Default", "bogus": 1})
+
+
+class TestCampaignSpec:
+    def test_expand_is_cartesian(self):
+        campaign = tiny_campaign(seeds=(1, 2), policies=("Default", "Adapt3D"))
+        specs = campaign.expand()
+        assert len(specs) == 4
+        assert {(s.policy, s.seed) for s in specs} == {
+            ("Default", 1), ("Default", 2), ("Adapt3D", 1), ("Adapt3D", 2),
+        }
+
+    def test_expand_dedupes_extra_runs(self):
+        campaign = tiny_campaign(extra_runs=(tiny_spec(),))
+        assert len(campaign.expand()) == 2  # grid already contains it
+
+    def test_extra_runs_carry_policy_params(self):
+        variant = tiny_spec(policy="Adapt3D",
+                            policy_params=(("beta_inc", 0.05),))
+        campaign = tiny_campaign(extra_runs=(variant,))
+        assert variant in campaign.expand()
+
+    def test_json_round_trip(self, tmp_path):
+        campaign = tiny_campaign(
+            seeds=(1, 2),
+            benchmark_mixes=(None, (("gzip", 4),)),
+            extra_runs=(tiny_spec(policy="Adapt3D",
+                                  policy_params=(("beta_dec", 0.5),)),),
+        )
+        path = campaign.to_json(tmp_path / "spec.json")
+        loaded = CampaignSpec.from_json(path)
+        assert loaded == campaign
+        assert loaded.keys() == campaign.keys()
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tiny_campaign(policies=())
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec.from_dict({"name": "x", "nope": 1})
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return ExperimentRunner().run(tiny_spec())
+
+
+class TestResultRoundTrip:
+    def test_save_load_preserves_arrays(self, tiny_result, tmp_path):
+        save_result(tiny_result, tmp_path / "run")
+        loaded = load_result(tmp_path / "run")
+        assert loaded.unit_names == tiny_result.unit_names
+        assert loaded.core_names == tiny_result.core_names
+        np.testing.assert_allclose(
+            loaded.unit_temps_k, tiny_result.unit_temps_k, atol=1e-3)
+        np.testing.assert_allclose(
+            loaded.core_peak_temps_k, tiny_result.core_peak_temps_k, atol=1e-3)
+        np.testing.assert_allclose(
+            loaded.layer_spreads_k, tiny_result.layer_spreads_k, atol=1e-3)
+        np.testing.assert_allclose(
+            loaded.total_power_w, tiny_result.total_power_w, atol=1e-4)
+        np.testing.assert_array_equal(
+            loaded.vf_indices, tiny_result.vf_indices)
+        np.testing.assert_array_equal(
+            loaded.core_states, tiny_result.core_states)
+        assert loaded.energy_j == pytest.approx(tiny_result.energy_j)
+        assert loaded.policy_name == tiny_result.policy_name
+
+    def test_completed_jobs_survive(self, tiny_result, tmp_path):
+        save_result(tiny_result, tmp_path / "run")
+        loaded = load_result(tmp_path / "run")
+        original = tiny_result.completed_jobs()
+        assert len(loaded.completed_jobs()) == len(original)
+        assert loaded.completed_jobs()[0].response_time == pytest.approx(
+            original[0].response_time, abs=1e-3)
+
+    def test_load_missing_stem_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_result(tmp_path / "nothing")
+
+
+class TestResultStore:
+    def test_save_has_load(self, tiny_result, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = tiny_spec()
+        key = store.save(spec, tiny_result)
+        assert key == run_key(spec)
+        assert store.has(key)
+        assert store.load_spec(key) == spec
+        loaded = store.load(key)
+        assert loaded.n_ticks == tiny_result.n_ticks
+
+    def test_index_survives_reopen(self, tiny_result, tmp_path):
+        spec = tiny_spec()
+        ResultStore(tmp_path).save(spec, tiny_result)
+        reopened = ResultStore(tmp_path)
+        assert reopened.has(run_key(spec))
+
+    def test_failure_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = tiny_spec(seed=99)
+        key = store.record_failure(spec, "boom")
+        assert not store.has(key)
+        assert store.failures() == {key: "boom"}
+        with pytest.raises(ConfigurationError, match="boom"):
+            store.load(key)
+
+    def test_query_filters(self, tiny_result, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(tiny_spec(), tiny_result)
+        store.record_failure(tiny_spec(policy="Adapt3D"), "x")
+        assert store.query(policy="Default") == [run_key(tiny_spec())]
+        assert store.query(status="error") == [
+            run_key(tiny_spec(policy="Adapt3D"))
+        ]
+        assert store.query(exp_id=3) == []
+
+    def test_discard_forces_rerun(self, tiny_result, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.save(tiny_spec(), tiny_result)
+        store.discard(key)
+        assert not store.has(key)
+        assert not (tmp_path / "runs" / key).exists()
+
+    def test_thermal_indices_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.load_thermal_indices(1, (4, 4)) is None
+        store.save_thermal_indices(1, (4, 4), {"c0": 0.25, "c1": 0.75})
+        assert store.load_thermal_indices(1, (4, 4)) == {
+            "c0": 0.25, "c1": 0.75,
+        }
+
+
+class TestSerialExecutor:
+    def test_resume_skips_completed_runs(self, tmp_path):
+        campaign = tiny_campaign(seeds=(1, 2))
+        store = ResultStore(tmp_path)
+        runner = CountingRunner()
+        executor = CampaignExecutor(store=store, backend="serial",
+                                    runner=runner)
+        first = executor.run_campaign(campaign)
+        assert first.counts() == {"ok": 4}
+        assert runner.run_calls == 4
+
+        second = executor.run_campaign(campaign)
+        assert second.counts() == {"cached": 4}
+        assert runner.run_calls == 4  # nothing re-simulated
+
+    def test_failed_run_recorded_without_killing_campaign(self, tmp_path):
+        bad = tiny_spec(seed=5, benchmark_mix=(("not-a-benchmark", 4),))
+        campaign = tiny_campaign(policies=("Default",), extra_runs=(bad,))
+        store = ResultStore(tmp_path)
+        run = CampaignExecutor(store=store, backend="serial").run_campaign(
+            campaign
+        )
+        assert run.counts() == {"ok": 1, "error": 1}
+        assert "not-a-benchmark" in run.failed()[run_key(bad)]
+        assert store.failures()  # persisted too
+        # the good run is loadable
+        assert store.load(run_key(tiny_spec())).n_ticks == 20
+
+    def test_failed_key_retried_after_discard(self, tmp_path):
+        bad = tiny_spec(seed=5, benchmark_mix=(("not-a-benchmark", 4),))
+        campaign = tiny_campaign(policies=("Default",), extra_runs=(bad,))
+        store = ResultStore(tmp_path)
+        executor = CampaignExecutor(store=store, backend="serial")
+        executor.run_campaign(campaign)
+        # A failed entry does not read as completed, so the next
+        # invocation retries it (and fails again, deterministically).
+        rerun = executor.run_campaign(campaign)
+        assert rerun.counts() == {"cached": 1, "error": 1}
+
+    def test_thermal_indices_shared_through_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        executor = CampaignExecutor(store=store, backend="serial")
+        executor.run_campaign(tiny_campaign(policies=("Default",)))
+        persisted = store.load_thermal_indices(1, (4, 4))
+        assert persisted is not None and len(persisted) == 8
+
+        # A fresh runner seeds from the store instead of re-solving.
+        runner = CountingRunner()
+        executor2 = CampaignExecutor(store=store, backend="serial",
+                                     runner=runner)
+        executor2.run_campaign(tiny_campaign(policies=("Default",),
+                                             seeds=(123,)))
+        assert runner._index_cache[(1, (4, 4))] == persisted
+
+    def test_progress_events(self, tmp_path):
+        events = []
+        store = ResultStore(tmp_path)
+        executor = CampaignExecutor(
+            store=store, backend="serial",
+            progress=lambda event, key, detail: events.append(event),
+        )
+        executor.run_campaign(tiny_campaign(policies=("Default",)))
+        assert events == ["start", "ok"]
+        events.clear()
+        executor.run_campaign(tiny_campaign(policies=("Default",)))
+        assert events == ["cached"]
+
+    def test_run_specs_strict_raises(self, tmp_path):
+        executor = CampaignExecutor(store=ResultStore(tmp_path),
+                                    backend="serial")
+        with pytest.raises(Exception):
+            executor.run_specs(
+                [tiny_spec(benchmark_mix=(("not-a-benchmark", 1),))]
+            )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignExecutor(backend="quantum")
+
+
+class TestDelegation:
+    def test_run_policies_goes_through_executor(self):
+        runner = CountingRunner()
+        results = runner.run_policies(tiny_spec(), ["Default", "Adapt3D"])
+        assert set(results) == {"Default", "Adapt3D"}
+        assert runner.run_calls == 2
+        assert results["Default"].policy_name == "Default"
+
+    def test_run_policies_with_store_executor(self, tmp_path):
+        runner = CountingRunner()
+        store = ResultStore(tmp_path)
+        executor = CampaignExecutor(store=store, backend="serial",
+                                    runner=runner)
+        first = runner.run_policies(tiny_spec(), ["Default"], executor)
+        again = runner.run_policies(tiny_spec(), ["Default"], executor)
+        assert runner.run_calls == 1  # second call served from the store
+        np.testing.assert_array_equal(
+            first["Default"].unit_temps_k, again["Default"].unit_temps_k)
+
+    def test_sweep_default_serial(self):
+        assert sweep([1, 2, 3], lambda v: v * v) == [(1, 1), (2, 4), (3, 9)]
+
+    def test_sweep_accepts_executor(self):
+        executor = CampaignExecutor(backend="serial")
+        assert sweep([2, 4], lambda v: v + 1, executor) == [(2, 3), (4, 5)]
+
+
+class TestReports:
+    def test_status_and_report(self, tmp_path):
+        campaign = tiny_campaign()
+        store = ResultStore(tmp_path)
+        CampaignExecutor(store=store, backend="serial").run_campaign(campaign)
+        status = campaign_status(store, campaign)
+        assert status["ok"] == 2 and status["pending"] == 0
+        text = campaign_report(store, campaign)
+        assert "Adapt3D" in text and "hot%" in text
+
+    def test_report_marks_missing_runs(self, tmp_path):
+        campaign = tiny_campaign()
+        store = ResultStore(tmp_path)
+        text = campaign_report(store, campaign)
+        assert "pending" in text
+        status = campaign_status(store, campaign)
+        assert status["pending"] == 2
+
+
+class TestCampaignCli:
+    def test_run_status_report(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        spec_path = tiny_campaign(name="cli").to_json(tmp_path / "cli.json")
+        assert main(["campaign", "run", str(spec_path), "--serial"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 done" in out
+        # resumes from the default store location (campaigns/<name>)
+        assert main(["campaign", "run", str(spec_path), "--serial"]) == 0
+        assert "cached" in capsys.readouterr().out
+        assert main(["campaign", "status", str(spec_path)]) == 0
+        assert main(["campaign", "report", str(spec_path)]) == 0
+        assert "Adapt3D" in capsys.readouterr().out
+
+    def test_missing_spec_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["campaign", "status", str(tmp_path / "nope.json")]) == 2
+
+
+@pytest.mark.slow
+class TestParallelExecutor:
+    def test_serial_parallel_equivalence(self, tmp_path):
+        campaign = tiny_campaign(seeds=(1, 2))
+        serial_store = ResultStore(tmp_path / "serial")
+        parallel_store = ResultStore(tmp_path / "parallel")
+        CampaignExecutor(store=serial_store, backend="serial").run_campaign(
+            campaign
+        )
+        run = CampaignExecutor(
+            store=parallel_store, backend="parallel", max_workers=2
+        ).run_campaign(campaign)
+        assert run.counts() == {"ok": 4}
+        for key in campaign.keys():
+            a = serial_store.load(key)
+            b = parallel_store.load(key)
+            np.testing.assert_array_equal(a.unit_temps_k, b.unit_temps_k)
+            np.testing.assert_array_equal(a.vf_indices, b.vf_indices)
+            assert a.energy_j == b.energy_j
+
+    def test_worker_failure_isolated(self, tmp_path):
+        bad = tiny_spec(seed=5, benchmark_mix=(("not-a-benchmark", 4),))
+        campaign = tiny_campaign(policies=("Default",), extra_runs=(bad,))
+        store = ResultStore(tmp_path)
+        run = CampaignExecutor(
+            store=store, backend="parallel", max_workers=2
+        ).run_campaign(campaign)
+        assert run.counts() == {"ok": 1, "error": 1}
+        assert "not-a-benchmark" in store.failures()[run_key(bad)]
+
+    def test_parallel_resume(self, tmp_path):
+        campaign = tiny_campaign()
+        store = ResultStore(tmp_path)
+        executor = CampaignExecutor(store=store, backend="parallel",
+                                    max_workers=2)
+        assert executor.run_campaign(campaign).counts() == {"ok": 2}
+        assert executor.run_campaign(campaign).counts() == {"cached": 2}
