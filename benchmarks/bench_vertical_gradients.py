@@ -22,18 +22,26 @@ def build_table(runner):
             RunSpec(exp_id=exp_id, policy="Default", duration_s=30.0,
                     seed=BENCH_SEED)
         )
-        worst = 0.0
-        # Sample the vertical gradients every 10 ticks of a manual run.
-        import repro.sched.engine as engine_mod
-
+        # Sample the vertical gradients after every thermal step (the
+        # event-heap loop steps through step_vector, the legacy loop
+        # through step — hook both).
         original_step = engine.thermal.step
+        original_step_vector = engine.thermal.step_vector
         samples = []
+
+        def sample():
+            samples.append(max(engine.thermal.vertical_gradients()))
 
         def step(powers):
             original_step(powers)
-            samples.append(max(engine.thermal.vertical_gradients()))
+            sample()
+
+        def step_vector(unit_power_vec):
+            original_step_vector(unit_power_vec)
+            sample()
 
         engine.thermal.step = step
+        engine.thermal.step_vector = step_vector
         engine.run()
         rows.append([f"EXP{exp_id}", round(max(samples), 3)])
     return rows

@@ -22,7 +22,7 @@ from repro.power.vf import DEFAULT_VF_TABLE
 from repro.sched.dpm import FixedTimeoutDPM
 from repro.sched.engine import EngineConfig, SimulationEngine, SimulationResult
 from repro.sched.workload_source import ClosedLoopSource, WorkloadSource
-from repro.thermal.model import ThermalModel
+from repro.thermal.model import ThermalAssembly, ThermalModel
 from repro.workload.benchmarks import default_server_mix
 from repro.workload.generator import SyntheticWorkload
 
@@ -68,20 +68,49 @@ class RunSpec:
 class ExperimentRunner:
     """Builds engines from :class:`RunSpec` values, caching system setup.
 
-    The thermal-index computation (a steady-state solve) is cached per
-    (exp_id, grid) because every policy on the same stack shares it.
+    Three caches amortize engine assembly across the runs of a campaign
+    worker, keyed so every run on the same stack shares them:
+
+    - thermal indices per (exp_id, grid) — a steady-state solve that
+      every policy on the same stack shares,
+    - the :class:`~repro.thermal.model.ThermalAssembly` per (exp_id,
+      grid) — RC network assembly and LU factorizations; the runner
+      always builds stacks from the experiment configuration with the
+      default sampling parameters, so the key fully determines the
+      assembly,
+    - the (stateless) :class:`ChipPowerModel` per exp_id.
     """
 
     def __init__(self) -> None:
         self._index_cache: Dict[Tuple[int, Tuple[int, int]], Dict[str, float]] = {}
+        self._assembly_cache: Dict[Tuple[int, Tuple[int, int]], ThermalAssembly] = {}
+        self._power_cache: Dict[int, ChipPowerModel] = {}
 
     # ------------------------------------------------------------------
+
+    def _build_thermal(
+        self, exp_id: int, grid: Tuple[int, int], config: ExperimentConfig
+    ) -> ThermalModel:
+        key = (exp_id, (grid[0], grid[1]))
+        thermal = ThermalModel(
+            config,
+            nrows=grid[0],
+            ncols=grid[1],
+            assembly=self._assembly_cache.get(key),
+        )
+        self._assembly_cache[key] = thermal.assembly
+        return thermal
+
+    def _build_power(self, exp_id: int, config: ExperimentConfig) -> ChipPowerModel:
+        if exp_id not in self._power_cache:
+            self._power_cache[exp_id] = ChipPowerModel(config)
+        return self._power_cache[exp_id]
 
     def build_engine(self, spec: RunSpec) -> SimulationEngine:
         """Assemble the full simulation stack for one run."""
         config = build_experiment(spec.exp_id)
-        thermal = ThermalModel(config, nrows=spec.grid[0], ncols=spec.grid[1])
-        power = ChipPowerModel(config)
+        thermal = self._build_thermal(spec.exp_id, spec.grid, config)
+        power = self._build_power(spec.exp_id, config)
         indices = self._thermal_indices(spec, config, thermal, power)
 
         positions = {}
@@ -155,8 +184,8 @@ class ExperimentRunner:
         key = (exp_id, (grid[0], grid[1]))
         if key not in self._index_cache:
             config = build_experiment(exp_id)
-            thermal = ThermalModel(config, nrows=grid[0], ncols=grid[1])
-            power = ChipPowerModel(config)
+            thermal = self._build_thermal(exp_id, grid, config)
+            power = self._build_power(exp_id, config)
             self._index_cache[key] = compute_thermal_indices(thermal, power)
         return self._index_cache[key]
 
@@ -165,6 +194,12 @@ class ExperimentRunner:
     ) -> None:
         """Pre-populate the index cache (e.g. from a campaign store)."""
         self._index_cache[(exp_id, (grid[0], grid[1]))] = dict(indices)
+
+    def seeded_indices(
+        self,
+    ) -> Dict[Tuple[int, Tuple[int, int]], Dict[str, float]]:
+        """Snapshot of the whole index cache, in worker-seeding form."""
+        return {key: dict(value) for key, value in self._index_cache.items()}
 
     def _thermal_indices(
         self,

@@ -21,6 +21,13 @@ def sweep(
     parallel :class:`~repro.campaign.executor.CampaignExecutor` to fan
     the sweep out over a process pool — ``run`` and the values must
     then be picklable (module-level function, not a lambda).
+
+    Parallel pools are spawned through the campaign worker initializer,
+    seeded with the executor runner's thermal-index cache; a ``run``
+    that simulates should build its engines via
+    :func:`repro.campaign.worker_runner` to pick up the seeded indices
+    and the per-worker network/solver caches instead of redoing the
+    characterization per process.
     """
     from repro.campaign.executor import CampaignExecutor
 

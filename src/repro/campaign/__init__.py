@@ -24,6 +24,7 @@ from repro.campaign.executor import (
     CampaignExecutor,
     CampaignRun,
     RunOutcome,
+    worker_runner,
 )
 from repro.campaign.reports import (
     campaign_report,
@@ -50,4 +51,5 @@ __all__ = [
     "run_key",
     "spec_from_dict",
     "spec_to_dict",
+    "worker_runner",
 ]

@@ -5,10 +5,12 @@ into completed entries in a :class:`ResultStore`:
 
 - runs whose key is already in the store are skipped (resume),
 - thermal indices are characterized once per (exp_id, grid) in the
-  driver, persisted, and seeded into every worker, so no process redoes
-  the steady-state solve,
+  driver, persisted, and seeded into every worker — ``map`` pools
+  included — so no process redoes the steady-state solve,
 - the parallel backend keeps one :class:`ExperimentRunner` per worker
-  process for the whole campaign (engine assembly caches amortize),
+  process for the whole campaign (thermal assemblies, factorizations,
+  and power models amortize across every run the worker executes;
+  :func:`worker_runner` exposes the same runner to ``map`` payloads),
 - a run that raises is recorded as an ``error`` entry and the campaign
   continues; a hard worker crash (e.g. OOM kill) is attributed to the
   first run observed failing, the pool is rebuilt, and the remaining
@@ -60,6 +62,22 @@ def _init_worker(
     _WORKER_RUNNER = ExperimentRunner()
     for (exp_id, grid), indices in seeded_indices.items():
         _WORKER_RUNNER.seed_thermal_indices(exp_id, grid, indices)
+
+
+def worker_runner() -> ExperimentRunner:
+    """The process-local :class:`ExperimentRunner` of a pool worker.
+
+    Inside a worker spawned by this module's backends the runner comes
+    pre-seeded with the driver's thermal indices and keeps its
+    network/solver assembly caches warm across every run the worker
+    executes. Called outside a pool (serial backend, driver process,
+    tests) it lazily creates a plain runner, so ``sweep`` functions can
+    use it unconditionally.
+    """
+    global _WORKER_RUNNER
+    if _WORKER_RUNNER is None:
+        _WORKER_RUNNER = ExperimentRunner()
+    return _WORKER_RUNNER
 
 
 def _run_in_worker(payload: Tuple[str, RunSpec]) -> Tuple[str, SimulationResult]:
@@ -176,12 +194,22 @@ class CampaignExecutor:
         Generic escape hatch used by :func:`repro.analysis.sweep.sweep`;
         the parallel backend requires ``fn`` and the values to be
         picklable (module-level functions, not lambdas).
+
+        The parallel pool is spawned through the same
+        :func:`_init_worker` initializer as campaign runs, seeded with
+        this executor's runner's thermal-index cache — a mapped ``fn``
+        that simulates via :func:`worker_runner` skips the per-process
+        steady-state characterization instead of silently redoing it.
         """
         values = list(values)
         if self.backend == "serial" or len(values) <= 1:
             return [fn(value) for value in values]
         workers = min(self.max_workers, len(values))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(self.runner.seeded_indices(),),
+        ) as pool:
             return list(pool.map(fn, values))
 
     # ------------------------------------------------------------------

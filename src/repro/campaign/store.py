@@ -39,6 +39,17 @@ STATUS_ERROR = "error"
 
 _INDEX_VERSION = 1
 
+#: Files save_result() writes per run; has() verifies they all exist so
+#: a crash between payload write and index flush (or a manually pruned
+#: run dir) reads as "absent" instead of surfacing a broken load later.
+_RESULT_SUFFIXES = (
+    "_temps.csv",
+    "_cores.csv",
+    "_jobs.csv",
+    "_series.csv",
+    "_meta.json",
+)
+
 
 class ResultStore:
     """Persistent map from run key to saved result (or failure record)."""
@@ -97,16 +108,40 @@ class ResultStore:
     # results
 
     def has(self, key: str) -> bool:
-        """Whether ``key`` holds a successfully completed run."""
+        """Whether ``key`` holds a successfully completed, loadable run.
+
+        Tolerates a manifest entry whose payload files are missing
+        (e.g. a run dir lost to a crash or manual cleanup): such an
+        entry reads as absent, so the campaign re-runs the spec instead
+        of failing at load time.
+        """
         entry = self._index.get(key)
-        return bool(entry) and entry["status"] == STATUS_OK
+        if not entry or entry["status"] != STATUS_OK:
+            return False
+        stem = self.root / entry.get("stem", f"runs/{key}/result")
+        return all(
+            stem.with_name(stem.name + suffix).exists()
+            for suffix in _RESULT_SUFFIXES
+        )
 
     def _stem(self, key: str) -> Path:
         return self.root / "runs" / key / "result"
 
+    def _clear_run_dir(self, key: str) -> None:
+        """Drop any stale payload under ``runs/<key>/``.
+
+        A previous ``save`` that crashed between ``save_result`` and
+        ``_flush_index`` can leave partial files behind; clearing first
+        guarantees a later ``load`` never mixes files from two saves.
+        """
+        run_dir = self.root / "runs" / key
+        if run_dir.exists():
+            shutil.rmtree(run_dir)
+
     def save(self, spec: RunSpec, result: SimulationResult) -> str:
         """Persist one completed run; returns its key."""
         key = run_key(spec)
+        self._clear_run_dir(key)
         stem = self._stem(key)
         stem.parent.mkdir(parents=True, exist_ok=True)
         save_result(result, stem)
@@ -119,8 +154,13 @@ class ResultStore:
         return key
 
     def record_failure(self, spec: RunSpec, error: str) -> str:
-        """Record a failed run without a result payload; returns its key."""
+        """Record a failed run without a result payload; returns its key.
+
+        Any stale payload from an earlier crashed save of the same key
+        is removed, so the manifest and the run dirs stay consistent.
+        """
         key = run_key(spec)
+        self._clear_run_dir(key)
         self._index[key] = {
             "status": STATUS_ERROR,
             "spec": spec_to_dict(spec),
@@ -152,9 +192,7 @@ class ResultStore:
         if key not in self._index:
             return
         del self._index[key]
-        run_dir = self.root / "runs" / key
-        if run_dir.exists():
-            shutil.rmtree(run_dir)
+        self._clear_run_dir(key)
         self._flush_index()
 
     def query(

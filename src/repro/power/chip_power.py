@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Tuple
 
+import numpy as np
+
 from repro.errors import PowerModelError
 from repro.floorplan.experiments import ExperimentConfig
 from repro.floorplan.unit import UnitKind
@@ -26,7 +28,7 @@ from repro.power.cache_power import CachePowerModel
 from repro.power.core_power import CorePowerModel
 from repro.power.crossbar import CrossbarPowerModel
 from repro.power.leakage import DEFAULT_LEAKAGE, LeakageModel
-from repro.power.states import CoreState
+from repro.power.states import STATE_CODE, CoreState
 from repro.power.vf import VFLevel
 
 # Dynamic power density of miscellaneous logic (I/O, FPU, buffers) at
@@ -91,6 +93,84 @@ class ChipPowerModel:
                     self._xbar_layer[unit.name] = layer_index
 
         self._cache_cores = self._assign_caches()
+        self._build_vector_tables()
+
+    def _build_vector_tables(self) -> None:
+        """Precompute the index/weight arrays of the vectorized path.
+
+        Every array is laid out in the canonical unit order (the
+        insertion order of ``config.layers``, which matches
+        ``ThermalModel.unit_names``), so :meth:`unit_power_vector` is a
+        handful of NumPy expressions with per-element arithmetic
+        identical to the scalar dict path.
+        """
+        unit_names = list(self._unit_kind)
+        self._unit_names = unit_names
+        unit_index = {name: i for i, name in enumerate(unit_names)}
+        core_index = {name: i for i, name in enumerate(self._core_names)}
+
+        kinds = [self._unit_kind[name] for name in unit_names]
+        areas_mm2 = np.array(
+            [self._unit_area[name] * 1e6 for name in unit_names]
+        )
+        # density * area_mm2 is the first product of the scalar leakage
+        # evaluation, so precomputing it keeps bitwise parity.
+        self._leak_dens_area = np.array(
+            [
+                self.leakage_model.densities[kind] for kind in kinds
+            ]
+        ) * areas_mm2
+        self._areas_mm2 = areas_mm2
+
+        self._core_idx = np.array(
+            [unit_index[n] for n in self._core_names], dtype=np.intp
+        )
+        self._cache_idx = np.array(
+            [unit_index[n] for n in self._cache_names], dtype=np.intp
+        )
+        self._xbar_names = list(self._xbar_layer)
+        self._xbar_idx = np.array(
+            [unit_index[n] for n in self._xbar_names], dtype=np.intp
+        )
+        other_names = [
+            n for n, k in self._unit_kind.items() if k is UnitKind.OTHER
+        ]
+        self._other_idx = np.array(
+            [unit_index[n] for n in other_names], dtype=np.intp
+        )
+
+        # Cache banks: concatenated served-core indices + segment
+        # offsets, so each bank's mean utilization is one reduceat
+        # (sequential accumulation, identical to the scalar sum()).
+        served_counts = [len(self._cache_cores[n]) for n in self._cache_names]
+        served_flat: List[int] = []
+        for name in self._cache_names:
+            served_flat.extend(core_index[c] for c in self._cache_cores[name])
+        self._cache_served_idx = np.array(served_flat, dtype=np.intp)
+        self._cache_counts = np.array(served_counts, dtype=np.float64)
+        nonempty = np.array([c > 0 for c in served_counts])
+        self._cache_nonempty = np.nonzero(nonempty)[0]
+        self._cache_offsets = np.searchsorted(
+            np.repeat(np.arange(len(served_counts)), served_counts),
+            self._cache_nonempty,
+        )
+
+        # Crossbars: per-layer core index segments (empty layers fall
+        # back to whole-chip activity).
+        self._xbar_core_segments = [
+            np.array(
+                [core_index[c] for c in self._layer_cores[layer]],
+                dtype=np.intp,
+            )
+            for layer in (self._xbar_layer[n] for n in self._xbar_names)
+        ]
+
+        # Value order of the unit_powers() dict (cores, caches,
+        # crossbars, misc) — total_power() folds in this order so it
+        # matches ``sum(unit_powers(...).values())`` bit for bit.
+        self._dict_order = np.concatenate(
+            [self._core_idx, self._cache_idx, self._xbar_idx, self._other_idx]
+        )
 
     def _assign_caches(self) -> Dict[str, List[str]]:
         """Distribute cores over L2 banks in canonical order (2 per bank)."""
@@ -109,6 +189,12 @@ class ChipPowerModel:
     def core_names(self) -> List[str]:
         """Core unit names in canonical order."""
         return list(self._core_names)
+
+    @property
+    def unit_names(self) -> List[str]:
+        """All unit names in canonical order (matches the thermal
+        model's ``unit_names`` for the same configuration)."""
+        return list(self._unit_names)
 
     def cache_serving(self, cache_name: str) -> List[str]:
         """Core names served by one L2 bank."""
@@ -198,6 +284,120 @@ class ChipPowerModel:
             powers[name] = dyn + leak
 
         return powers
+
+    def unit_power_vector(
+        self,
+        core_states: np.ndarray,
+        core_utils: np.ndarray,
+        core_dyn_scale: np.ndarray,
+        core_voltage: np.ndarray,
+        unit_temps: np.ndarray,
+        memory_intensity: float,
+    ) -> np.ndarray:
+        """Vector-in/vector-out :meth:`unit_powers` for the tick loop.
+
+        Parameters
+        ----------
+        core_states:
+            Per-core :data:`~repro.power.states.STATE_CODE` codes, in
+            canonical ``core_names`` order.
+        core_utils:
+            Per-core busy fraction of the interval, in [0, 1].
+        core_dyn_scale, core_voltage:
+            Per-core ``VFLevel.dynamic_scale`` and relative voltage.
+        unit_temps:
+            Per-unit temperatures (K) in canonical ``unit_names`` order.
+        memory_intensity:
+            Normalized L2 traffic of the running mix, in [0, 1].
+
+        Returns per-unit power (W) in canonical ``unit_names`` order,
+        element-for-element identical to the dict path (the expressions
+        replicate the scalar models' operation order).
+        """
+        sleep_code = STATE_CODE[CoreState.SLEEP]
+        gated_code = STATE_CODE[CoreState.GATED]
+        active_code = STATE_CODE[CoreState.ACTIVE]
+
+        powers = np.zeros(len(self._unit_names))
+        leak_norm = self.leakage_model.normalized_array(unit_temps)
+        # density*area times the polynomial — the shared prefix of every
+        # unit's leakage term (voltage scaling applied per kind below).
+        leak_all = self._leak_dens_area * leak_norm
+
+        # Cores: per-state dynamic power + polynomial leakage (sleep
+        # already includes leakage in its state power).
+        core = self.core_model
+        busy = core.active_w * core_utils + core.idle_w * (1.0 - core_utils)
+        dyn = busy * core_dyn_scale
+        dyn = np.where(core_states == gated_code, core.gated_w, dyn)
+        core_leak = leak_all[self._core_idx] * (core_voltage * core_voltage)
+        core_power = np.where(
+            core_states == sleep_code, core.sleep_w, dyn + core_leak
+        )
+        powers[self._core_idx] = core_power
+
+        # L2 banks: served-core mean utilization scales the access rate.
+        mean_util = np.zeros(len(self._cache_idx))
+        if self._cache_nonempty.size:
+            mean_util[self._cache_nonempty] = (
+                np.add.reduceat(
+                    core_utils[self._cache_served_idx], self._cache_offsets
+                )
+                / self._cache_counts[self._cache_nonempty]
+            )
+        cache = self.cache_model
+        access = mean_util * memory_intensity
+        cache_dyn = cache.full_power_w * (
+            cache.baseline_fraction
+            + (1.0 - cache.baseline_fraction) * access
+        )
+        powers[self._cache_idx] = cache_dyn + leak_all[self._cache_idx] * 1.0
+
+        # Crossbars: scaled by their layer's active-core fraction.
+        active = (core_states == active_code) | (core_utils > 0.0)
+        chip_active = (
+            float(np.count_nonzero(active)) / len(self._core_names)
+            if self._core_names
+            else 0.0
+        )
+        if self._xbar_idx.size:
+            fractions = np.array(
+                [
+                    float(np.count_nonzero(active[seg])) / seg.size
+                    if seg.size
+                    else chip_active
+                    for seg in self._xbar_core_segments
+                ]
+            )
+            xbar = self.crossbar_model
+            activity = fractions * (0.5 + 0.5 * memory_intensity)
+            xbar_dyn = xbar.full_power_w * (
+                xbar.baseline_fraction
+                + (1.0 - xbar.baseline_fraction) * activity
+            )
+            powers[self._xbar_idx] = xbar_dyn + leak_all[self._xbar_idx] * 1.0
+
+        # Miscellaneous logic: small area-proportional dynamic floor.
+        if self._other_idx.size:
+            scale = (
+                OTHER_BASELINE_FRACTION
+                + (1.0 - OTHER_BASELINE_FRACTION) * chip_active
+            )
+            other_dyn = (
+                OTHER_DENSITY_W_PER_MM2 * self._areas_mm2[self._other_idx]
+            ) * scale
+            powers[self._other_idx] = other_dyn + leak_all[self._other_idx] * 1.0
+
+        return powers
+
+    def total_power(self, unit_power_vec: np.ndarray) -> float:
+        """Chip total (W) of a canonical-order power vector.
+
+        Left-fold sum in the :meth:`unit_powers` dict value order, so
+        the result is bit-identical to
+        ``sum(unit_powers(...).values())``.
+        """
+        return sum(unit_power_vec[self._dict_order].tolist())
 
     @staticmethod
     def _active_fraction(

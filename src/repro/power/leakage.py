@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+import numpy as np
+
 from repro.errors import PowerModelError
 from repro.floorplan.unit import UnitKind
 
@@ -82,6 +84,13 @@ class LeakageModel:
         dt = temperature_k - REFERENCE_TEMPERATURE_K
         value = 1.0 + self.k1 * dt + self.k2 * dt * dt
         return min(max(value, self.floor), self.ceiling)
+
+    def normalized_array(self, temperatures_k: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`normalized` — identical per-element results
+        (same operation order and clamping as the scalar path)."""
+        dt = temperatures_k - REFERENCE_TEMPERATURE_K
+        value = 1.0 + self.k1 * dt + self.k2 * dt * dt
+        return np.minimum(np.maximum(value, self.floor), self.ceiling)
 
     def power(
         self,

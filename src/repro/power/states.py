@@ -25,3 +25,8 @@ class CoreState(enum.Enum):
     def executes(self) -> bool:
         """Whether a core in this state makes forward progress."""
         return self in (CoreState.ACTIVE, CoreState.IDLE)
+
+
+#: Stable small-int encoding of the states, shared by the engine's
+#: recorded ``core_states`` arrays and the vectorized power path.
+STATE_CODE = {state: code for code, state in enumerate(CoreState)}

@@ -17,6 +17,21 @@ at each tick boundary the engine
 Performance model: jobs execute at a rate equal to the core's relative
 frequency (the paper assumes performance scales linearly with f);
 gated and sleeping cores make no progress.
+
+Two interval-execution loops are provided, selected by
+``EngineConfig.event_loop``:
+
+- ``"event_heap"`` (default): each core's next completion time is
+  cached in an indexed min-heap and invalidated lazily whenever the
+  core's state changes (dispatch, completion, migration, V/f change,
+  gating, sleep). Advancing to the next event pops the earliest cached
+  entry and recomputes only that core, instead of rescanning every
+  core on every event. The tick boundary additionally uses the
+  vectorized power/thermal path (no per-unit dicts).
+- ``"legacy_scan"``: the original O(events x cores) scan with the
+  dict-based power pipeline, kept for differential testing; both loops
+  produce bit-identical :class:`SimulationResult` arrays (covered by
+  ``tests/test_engine_heap.py``).
 """
 
 from __future__ import annotations
@@ -38,7 +53,7 @@ from repro.core.base import (
 )
 from repro.errors import SchedulerError
 from repro.power.chip_power import ChipPowerModel, CoreActivity
-from repro.power.states import CoreState
+from repro.power.states import STATE_CODE, CoreState
 from repro.power.vf import DEFAULT_VF_TABLE, VFTable
 from repro.sched.dpm import FixedTimeoutDPM
 from repro.sched.queue import DispatchQueue
@@ -50,6 +65,8 @@ from repro.workload.job import Job
 _TIME_EPS = 1e-9
 
 DEFAULT_MIGRATION_COST_S = 0.001
+
+EVENT_LOOPS = ("event_heap", "legacy_scan")
 
 
 @dataclass(frozen=True)
@@ -74,6 +91,10 @@ class EngineConfig:
     warmup_utilization:
         Uniform core utilization assumed for the steady-state
         initialization of the thermal model.
+    event_loop:
+        ``"event_heap"`` (default) or ``"legacy_scan"`` — the debug
+        flag keeping the old all-core rescan loop available for
+        differential testing.
     """
 
     duration_s: float = 300.0
@@ -84,21 +105,29 @@ class EngineConfig:
     sensor_quantization: float = 0.0
     seed: int = 1
     warmup_utilization: float = 0.3
+    event_loop: str = "event_heap"
 
 
 class _CoreRuntime:
     """Mutable per-core scheduling state."""
 
-    def __init__(self, name: str, vf_index: int) -> None:
+    def __init__(self, name: str, vf_index: int, speed: float) -> None:
         self.name = name
         self.queue = DispatchQueue(name)
         self.vf_index = vf_index
+        self.speed = speed
         self.gated = False
         self.sleeping = False
+        # Derived ``gated or sleeping``, kept in sync at every flip so
+        # the per-event hot path tests one attribute.
+        self.halted = False
         self.idle_since = 0.0
         self.stall_until = 0.0
         self.busy_in_tick = 0.0
         self.last_utilization = 0.0
+        # Generation counter of this core's cached event-heap entry;
+        # entries whose sequence number is stale are discarded on pop.
+        self.heap_seq = 0
 
     def executing(self, now: float) -> bool:
         """Whether the core makes progress at time ``now``."""
@@ -175,6 +204,11 @@ class SimulationEngine:
         self.vf_table = vf_table
 
         self.core_names = power.core_names
+        if thermal.unit_names != power.unit_names:
+            raise SchedulerError(
+                "thermal and power models disagree on unit order; "
+                "build both from the same experiment configuration"
+            )
         if system_view is None:
             system_view = self._default_system_view()
         self.system_view = system_view
@@ -186,16 +220,36 @@ class SimulationEngine:
             quantization_step=config.sensor_quantization,
             seed=config.seed,
         )
+        nominal_speed = vf_table[vf_table.nominal_index].frequency
         self._cores: Dict[str, _CoreRuntime] = {
-            name: _CoreRuntime(name, vf_table.nominal_index)
+            name: _CoreRuntime(name, vf_table.nominal_index, nominal_speed)
             for name in self.core_names
         }
+        self._core_list: List[_CoreRuntime] = list(self._cores.values())
         self._arrivals: List[Tuple[float, int, Job]] = []
         self._arrival_seq = itertools.count()
         self._jobs: List[Job] = []
         self._thread_last_core: Dict[int, str] = {}
         self._sensor_temps: Dict[str, float] = {}
         self._migration_count = 0
+
+        # Event heap of (cached completion time, core.heap_seq, name);
+        # maintained only when the event_heap loop is active, together
+        # with incrementally updated queue-length / power-state caches
+        # consumed by dispatch contexts and policy snapshots.
+        self._event_heap: List[Tuple[float, int, str]] = []
+        self._use_heap = False
+        self._queue_len: Dict[str, int] = {}
+        self._core_state: Dict[str, CoreState] = {}
+        # Cores whose queue head crossed the completion threshold since
+        # the last _process_completions call (heap mode checks only
+        # these instead of rescanning every core).
+        self._finished_cores: List[_CoreRuntime] = []
+
+        # Per-level V/f lookup tables for the vectorized power path.
+        levels = [vf_table[i] for i in range(len(vf_table))]
+        self._vf_dyn_scale = np.array([lvl.dynamic_scale for lvl in levels])
+        self._vf_voltage = np.array([lvl.voltage for lvl in levels])
 
     # ------------------------------------------------------------------
 
@@ -219,10 +273,23 @@ class SimulationEngine:
     def run(self) -> SimulationResult:
         """Execute the configured simulation and return the recording."""
         cfg = self.config
+        if cfg.event_loop not in EVENT_LOOPS:
+            raise SchedulerError(
+                f"unknown event loop {cfg.event_loop!r}; "
+                f"expected one of {EVENT_LOOPS}"
+            )
         dt = cfg.sampling_interval_s
         n_ticks = int(round(cfg.duration_s / dt))
         if n_ticks < 1:
             raise SchedulerError("duration shorter than one sampling interval")
+
+        self._use_heap = cfg.event_loop == "event_heap"
+        self._event_heap = []
+        self._finished_cores = []
+        self._queue_len = {name: 0 for name in self.core_names}
+        self._core_state = {
+            name: core.power_state() for name, core in self._cores.items()
+        }
 
         self._initialize_thermal_state()
         for time, job in self.workload.initial_arrivals():
@@ -242,7 +309,6 @@ class SimulationEngine:
         vf_indices = np.zeros((n_ticks, n_cores), dtype=int)
         core_states = np.zeros((n_ticks, n_cores), dtype=int)
         total_power = np.zeros(n_ticks)
-        state_codes = {s: i for i, s in enumerate(CoreState)}
 
         # Recording layout, computed once: the thermal model's vector
         # readback is already in unit_names order, so a core->column
@@ -255,14 +321,133 @@ class SimulationEngine:
             count=n_cores,
         )
         die_slices = self.thermal.die_unit_slices()
-        core_list = [self._cores[name] for name in self.core_names]
+        core_list = self._core_list
 
         self._sensor_temps = self.sensors.read_cores()
+        energy = 0.0
+
+        if self._use_heap:
+            energy = self._run_heap_ticks(
+                n_ticks, dt, times, unit_temps, core_temps, core_peaks,
+                spreads, utilization, vf_indices, core_states, total_power,
+                core_cols, die_slices,
+            )
+        else:
+            energy = self._run_scan_ticks(
+                n_ticks, dt, times, unit_temps, core_temps, core_peaks,
+                spreads, utilization, vf_indices, core_states, total_power,
+                core_cols, die_slices,
+            )
+
+        return SimulationResult(
+            times=times,
+            unit_names=list(unit_names),
+            unit_temps_k=unit_temps,
+            core_names=list(self.core_names),
+            core_temps_k=core_temps,
+            core_peak_temps_k=core_peaks,
+            layer_spreads_k=spreads,
+            utilization=utilization,
+            vf_indices=vf_indices,
+            core_states=core_states,
+            total_power_w=total_power,
+            energy_j=energy,
+            jobs=self._jobs,
+            migrations=self._migration_count,
+            policy_name=self.policy.name,
+            sampling_interval_s=dt,
+        )
+
+    def _run_heap_ticks(
+        self, n_ticks, dt, times, unit_temps, core_temps, core_peaks,
+        spreads, utilization, vf_indices, core_states, total_power,
+        core_cols, die_slices,
+    ) -> float:
+        """Tick loop of the event-heap mode: indexed event pops inside
+        the interval, vectorized power/thermal at the boundary."""
+        core_list = self._core_list
+        n_cores = len(core_list)
+        energy = 0.0
+        # Post-step readback of tick k is the pre-step temperature of
+        # tick k+1, so one vector readback per tick suffices.
+        unit_row = self.thermal.unit_temperature_vector()
+        util_arr = np.zeros(n_cores)
+        state_arr = np.zeros(n_cores, dtype=np.int64)
+        vf_arr = np.zeros(n_cores, dtype=np.int64)
+        # die_slices are contiguous and ordered, so per-die max/min
+        # reduce to one reduceat pair over the unit row.
+        die_starts = np.fromiter(
+            (sl.start for sl in die_slices), dtype=np.intp,
+            count=len(die_slices),
+        )
+        for tick in range(n_ticks):
+            t0 = tick * dt
+            t1 = t0 + dt
+            self._advance_interval_heap(t0, t1)
+
+            # Per-core activity over [t0, t1), straight into arrays.
+            for i, core in enumerate(core_list):
+                util = min(1.0, core.busy_in_tick / dt)
+                core.last_utilization = util
+                util_arr[i] = util
+                state_arr[i] = STATE_CODE[core.power_state()]
+                vf_arr[i] = core.vf_index
+                core.busy_in_tick = 0.0
+
+            powers_vec = self.power.unit_power_vector(
+                state_arr,
+                util_arr,
+                self._vf_dyn_scale[vf_arr],
+                self._vf_voltage[vf_arr],
+                unit_row,
+                self._memory_intensity(),
+            )
+            self.thermal.step_vector(powers_vec)
+            peak_row = self.thermal.unit_max_vector()
+            self._sensor_temps = self.sensors.read_cores(peak_row)
+
+            self._apply_dpm(t1)
+            self._run_policy(t1)
+
+            # Record the end-of-interval state.
+            times[tick] = t1
+            unit_row = self.thermal.unit_temperature_vector()
+            unit_temps[tick] = unit_row
+            core_temps[tick] = unit_row[core_cols]
+            core_peaks[tick] = peak_row[core_cols]
+            spreads[tick] = np.maximum.reduceat(
+                unit_row, die_starts
+            ) - np.minimum.reduceat(unit_row, die_starts)
+            utilization[tick] = util_arr
+            vf_indices[tick] = np.fromiter(
+                (core.vf_index for core in core_list),
+                dtype=np.int64,
+                count=n_cores,
+            )
+            core_states[tick] = np.fromiter(
+                (STATE_CODE[core.power_state()] for core in core_list),
+                dtype=np.int64,
+                count=n_cores,
+            )
+            tick_power = self.power.total_power(powers_vec)
+            total_power[tick] = tick_power
+            energy += tick_power * dt
+        return energy
+
+    def _run_scan_ticks(
+        self, n_ticks, dt, times, unit_temps, core_temps, core_peaks,
+        spreads, utilization, vf_indices, core_states, total_power,
+        core_cols, die_slices,
+    ) -> float:
+        """Tick loop of the legacy mode: all-core rescans inside the
+        interval, dict-based power pipeline at the boundary."""
+        core_list = self._core_list
+        n_cores = len(core_list)
         energy = 0.0
         for tick in range(n_ticks):
             t0 = tick * dt
             t1 = t0 + dt
-            self._advance_interval(t0, t1)
+            self._advance_interval_scan(t0, t1)
 
             # Per-core activity over [t0, t1).
             activities: Dict[str, CoreActivity] = {}
@@ -284,7 +469,7 @@ class SimulationEngine:
             self._sensor_temps = self.sensors.read_cores()
 
             self._apply_dpm(t1)
-            self._run_policy(t1, activities)
+            self._run_policy(t1)
 
             # Record the end-of-interval state.
             times[tick] = t1
@@ -307,32 +492,14 @@ class SimulationEngine:
                 count=n_cores,
             )
             core_states[tick] = np.fromiter(
-                (state_codes[core.power_state()] for core in core_list),
+                (STATE_CODE[core.power_state()] for core in core_list),
                 dtype=np.int64,
                 count=n_cores,
             )
             tick_power = sum(powers.values())
             total_power[tick] = tick_power
             energy += tick_power * dt
-
-        return SimulationResult(
-            times=times,
-            unit_names=list(unit_names),
-            unit_temps_k=unit_temps,
-            core_names=list(self.core_names),
-            core_temps_k=core_temps,
-            core_peak_temps_k=core_peaks,
-            layer_spreads_k=spreads,
-            utilization=utilization,
-            vf_indices=vf_indices,
-            core_states=core_states,
-            total_power_w=total_power,
-            energy_j=energy,
-            jobs=self._jobs,
-            migrations=self._migration_count,
-            policy_name=self.policy.name,
-            sampling_interval_s=dt,
-        )
+        return energy
 
     # ------------------------------------------------------------------
     # initialization
@@ -361,7 +528,9 @@ class SimulationEngine:
         heapq.heappush(self._arrivals, (time, next(self._arrival_seq), job))
         self._jobs.append(job)
 
-    def _advance_interval(self, t0: float, t1: float) -> None:
+    def _advance_interval_scan(self, t0: float, t1: float) -> None:
+        """Legacy interval loop: recompute every core's next event at
+        every boundary (O(events x cores))."""
         now = t0
         while now < t1 - _TIME_EPS:
             next_time = t1
@@ -369,7 +538,7 @@ class SimulationEngine:
             if self._arrivals and self._arrivals[0][0] < next_time:
                 next_time = max(self._arrivals[0][0], now)
             # Earliest completion or stall expiry.
-            for core in self._cores.values():
+            for core in self._core_list:
                 event = self._next_core_event(core, now)
                 if event is not None and event < next_time:
                     next_time = event
@@ -380,33 +549,123 @@ class SimulationEngine:
             self._process_completions(now)
             self._process_arrivals(now)
 
+    def _advance_interval_heap(self, t0: float, t1: float) -> None:
+        """Event-heap interval loop.
+
+        Each core's next completion time is cached in ``_event_heap``
+        and only invalidated (sequence bump + fresh push) when the
+        core's state changes. Finding the next event pops the earliest
+        live entry and recomputes that single core — the recompute
+        guards against the ulp-level drift a cached absolute time
+        accumulates as the running job's remaining work is re-rounded
+        at intermediate boundaries, keeping boundary times bit-identical
+        to the legacy rescan loop.
+        """
+        now = t0
+        heap = self._event_heap
+        cores = self._cores
+        while now < t1 - _TIME_EPS:
+            next_time = t1
+            # Earliest arrival.
+            if self._arrivals and self._arrivals[0][0] < next_time:
+                next_time = max(self._arrivals[0][0], now)
+            # Earliest cached core event, recomputed on pop.
+            best: Optional[float] = None
+            while heap:
+                cached_time, seq, name = heap[0]
+                core = cores[name]
+                if seq != core.heap_seq:
+                    heapq.heappop(heap)  # stale entry
+                    continue
+                if best is not None and best <= cached_time:
+                    break
+                heapq.heappop(heap)
+                core.heap_seq += 1
+                event = self._next_core_event(core, now)
+                if event is not None:
+                    heapq.heappush(heap, (event, core.heap_seq, name))
+                    if best is None or event < best:
+                        best = event
+            if best is not None and best < next_time:
+                next_time = best
+            next_time = min(max(next_time, now), t1)
+
+            self._execute(now, next_time)
+            now = next_time
+            self._process_completions(now)
+            self._process_arrivals(now)
+
+    def _invalidate_event(self, core: _CoreRuntime, now: float) -> None:
+        """Drop the core's cached event and push a fresh one (if any).
+
+        Call sites are every mutation that changes when the core's
+        running job completes: dispatch, completion pop, migration
+        (source and destination), V/f change, gating flip, and sleep
+        transitions. The queue-length / power-state caches are synced
+        here too, since their inputs change at exactly these sites.
+        """
+        if not self._use_heap:
+            return
+        self._queue_len[core.name] = len(core.queue.entries)
+        self._core_state[core.name] = core.power_state()
+        core.heap_seq += 1
+        event = self._next_core_event(core, now)
+        if event is not None:
+            heapq.heappush(
+                self._event_heap, (event, core.heap_seq, core.name)
+            )
+
     def _next_core_event(self, core: _CoreRuntime, now: float) -> Optional[float]:
-        if len(core.queue) == 0 or core.gated or core.sleeping:
+        jobs = core.queue.entries
+        if not jobs or core.halted:
             return None
         start = max(now, core.stall_until)
-        job = core.queue.running
-        speed = self.vf_table[core.vf_index].frequency
-        return start + job.remaining_s / speed
+        return start + jobs[0].remaining_s / core.speed
 
     def _execute(self, start: float, end: float) -> None:
         if end <= start + _TIME_EPS:
             return
-        for core in self._cores.values():
-            if len(core.queue) == 0 or core.gated or core.sleeping:
+        for core in self._core_list:
+            if core.halted:
+                continue
+            jobs = core.queue.entries
+            if not jobs:
                 continue
             exec_start = max(start, core.stall_until)
             exec_time = end - exec_start
             if exec_time <= 0.0:
                 continue
-            speed = self.vf_table[core.vf_index].frequency
-            job = core.queue.running
+            speed = core.speed
+            job = jobs[0]
             done = min(job.remaining_s, exec_time * speed)
             job.remaining_s -= done
             core.busy_in_tick += done / speed
+            if job.remaining_s <= _TIME_EPS:
+                self._finished_cores.append(core)
 
     def _process_completions(self, now: float) -> None:
-        for core in self._cores.values():
-            while len(core.queue) > 0 and core.queue.running.remaining_s <= _TIME_EPS:
+        if self._use_heap:
+            # Only cores flagged since the last call can hold a finished
+            # head: _execute flags the crossing, and _dispatch /
+            # _place_migrated flag the (degenerate) arrival of an
+            # already-finished head. _core_list order is preserved
+            # because _execute iterates it in order.
+            finished = self._finished_cores
+            if not finished:
+                return
+            self._finished_cores = []
+            candidates: List[_CoreRuntime] = finished
+        else:
+            self._finished_cores.clear()
+            candidates = self._core_list
+        for core in candidates:
+            jobs = core.queue.entries
+            if not jobs or jobs[0].remaining_s > _TIME_EPS:
+                continue
+            while True:
+                job = core.queue.running
+                if job is None or job.remaining_s > _TIME_EPS:
+                    break
                 job = core.queue.pop_finished()
                 job.completion_time = now
                 self._thread_last_core[job.thread_id] = core.name
@@ -415,6 +674,7 @@ class SimulationEngine:
                     self._push_arrival(*follow_up)
                 if len(core.queue) == 0:
                     core.idle_since = now
+            self._invalidate_event(core, now)
 
     def _process_arrivals(self, now: float) -> None:
         while self._arrivals and self._arrivals[0][0] <= now + _TIME_EPS:
@@ -422,11 +682,19 @@ class SimulationEngine:
             self._dispatch(job, now)
 
     def _dispatch(self, job: Job, now: float) -> None:
+        if self._use_heap:
+            # The caches mirror len(queue)/power_state() exactly (synced
+            # in _invalidate_event), so the context is two dict copies.
+            queue_lengths = dict(self._queue_len)
+            states = dict(self._core_state)
+        else:
+            queue_lengths = {n: len(c.queue) for n, c in self._cores.items()}
+            states = {n: c.power_state() for n, c in self._cores.items()}
         ctx = AllocationContext(
             time=now,
-            queue_lengths={n: len(c.queue) for n, c in self._cores.items()},
+            queue_lengths=queue_lengths,
             temperatures_k=dict(self._sensor_temps),
-            states={n: c.power_state() for n, c in self._cores.items()},
+            states=states,
             last_core=self._thread_last_core.get(job.thread_id),
         )
         target = self.policy.select_core(job, ctx)
@@ -437,9 +705,16 @@ class SimulationEngine:
         core = self._cores[target]
         if core.sleeping:
             core.sleeping = False
+            core.halted = core.gated
             wake = self.config.dpm.wake_latency_s if self.config.dpm else 0.0
             core.stall_until = max(core.stall_until, now + wake)
         core.queue.push(job)
+        if job.remaining_s <= _TIME_EPS and len(core.queue.entries) == 1:
+            # Degenerate zero-work job became the head without ever
+            # executing; flag it so heap-mode completion processing
+            # still sees it (the legacy scan finds it by rescanning).
+            self._finished_cores.append(core)
+        self._invalidate_event(core, now)
 
     # ------------------------------------------------------------------
     # tick-boundary control
@@ -448,32 +723,56 @@ class SimulationEngine:
         dpm = self.config.dpm
         if dpm is None:
             return
-        for core in self._cores.values():
+        for core in self._core_list:
             if core.sleeping or len(core.queue) > 0:
                 continue
             if dpm.should_sleep(now - core.idle_since):
                 core.sleeping = True
+                core.halted = True
+                self._invalidate_event(core, now)
 
-    def _run_policy(self, now: float, activities: Dict[str, CoreActivity]) -> None:
-        snapshots = {
-            name: CoreSnapshot(
-                temperature_k=self._sensor_temps[name],
-                utilization=activities[name].utilization,
-                state=self._cores[name].power_state(),
-                vf_index=self._cores[name].vf_index,
-                queue_length=len(self._cores[name].queue),
-            )
-            for name in self.core_names
-        }
+    def _run_policy(self, now: float) -> None:
+        if self._use_heap:
+            queue_len = self._queue_len
+            core_state = self._core_state
+            snapshots = {
+                name: CoreSnapshot(
+                    temperature_k=self._sensor_temps[name],
+                    utilization=core.last_utilization,
+                    state=core_state[name],
+                    vf_index=core.vf_index,
+                    queue_length=queue_len[name],
+                )
+                for name, core in self._cores.items()
+            }
+        else:
+            snapshots = {
+                name: CoreSnapshot(
+                    temperature_k=self._sensor_temps[name],
+                    utilization=self._cores[name].last_utilization,
+                    state=self._cores[name].power_state(),
+                    vf_index=self._cores[name].vf_index,
+                    queue_length=len(self._cores[name].queue),
+                )
+                for name in self.core_names
+            }
         actions = self.policy.on_tick(TickContext(time=now, cores=snapshots))
 
         for name, level in actions.vf_settings.items():
-            self.vf_table[level]  # validates the index
-            self._cores[name].vf_index = level
+            level_speed = self.vf_table[level].frequency  # validates index
+            core = self._cores[name]
+            if core.vf_index != level:
+                core.vf_index = level
+                core.speed = level_speed
+                self._invalidate_event(core, now)
 
         gated = set(actions.gated)
         for name, core in self._cores.items():
-            core.gated = name in gated
+            is_gated = name in gated
+            if core.gated != is_gated:
+                core.gated = is_gated
+                core.halted = is_gated or core.sleeping
+                self._invalidate_event(core, now)
 
         for migration in actions.migrations:
             self._migrate(migration, now)
@@ -486,7 +785,12 @@ class SimulationEngine:
         if migration.move_running:
             job = src.queue.steal()
         else:
-            job = src.queue.steal(src.queue.jobs()[-1])
+            queued = src.queue.jobs()
+            if len(queued) == 1:
+                # The only queued job is the running one and the policy
+                # asked not to preempt it — nothing to migrate.
+                return
+            job = src.queue.steal(queued[-1])
 
         swapped: Optional[Job] = None
         if migration.swap and len(dst.queue) > 0:
@@ -495,25 +799,33 @@ class SimulationEngine:
         self._place_migrated(job, dst, now)
         if swapped is not None:
             self._place_migrated(swapped, src, now)
+        self._invalidate_event(src, now)
 
     def _place_migrated(self, job: Job, core: _CoreRuntime, now: float) -> None:
         cost = self.config.migration_cost_s
         if core.sleeping:
             core.sleeping = False
+            core.halted = core.gated
             wake = self.config.dpm.wake_latency_s if self.config.dpm else 0.0
             cost += wake
         core.queue.push(job)
+        if core.queue.entries[0].remaining_s <= _TIME_EPS:
+            # A finished head landed here without executing (possible
+            # only for degenerate zero-work jobs); keep it visible to
+            # heap-mode completion processing.
+            self._finished_cores.append(core)
         core.stall_until = max(core.stall_until, now + cost)
         job.migrations += 1
         self._migration_count += 1
+        self._invalidate_event(core, now)
 
     # ------------------------------------------------------------------
 
     def _memory_intensity(self) -> float:
         running = [
-            core.queue.running.benchmark.memory_intensity
-            for core in self._cores.values()
-            if core.queue.running is not None
+            core.queue.entries[0].benchmark.memory_intensity
+            for core in self._core_list
+            if core.queue.entries
         ]
         if not running:
             return 0.0

@@ -19,34 +19,37 @@ class DispatchQueue:
 
     def __init__(self, core_name: str) -> None:
         self.core_name = core_name
-        self._jobs: Deque[Job] = deque()
+        #: The underlying deque, head first. Public so the engine's hot
+        #: path can inspect the head without a method-call round trip;
+        #: mutate only through the queue methods.
+        self.entries: Deque[Job] = deque()
 
     def __len__(self) -> int:
-        return len(self._jobs)
+        return len(self.entries)
 
     def __iter__(self) -> Iterator[Job]:
-        return iter(self._jobs)
+        return iter(self.entries)
 
     @property
     def running(self) -> Optional[Job]:
         """The job at the head of the queue (currently executing)."""
-        return self._jobs[0] if self._jobs else None
+        return self.entries[0] if self.entries else None
 
     def push(self, job: Job) -> None:
         """Enqueue a job at the tail and bind it to this core."""
         job.core = self.core_name
-        self._jobs.append(job)
+        self.entries.append(job)
 
     def pop_finished(self) -> Job:
         """Remove and return the head job (must be complete)."""
-        if not self._jobs:
+        if not self.entries:
             raise SchedulerError(f"{self.core_name}: queue empty")
-        job = self._jobs[0]
+        job = self.entries[0]
         if job.remaining_s > 1e-12:
             raise SchedulerError(
                 f"{self.core_name}: popping unfinished job {job.job_id}"
             )
-        return self._jobs.popleft()
+        return self.entries.popleft()
 
     def steal(self, job: Optional[Job] = None) -> Job:
         """Remove a job for migration: the given one, or the head.
@@ -54,12 +57,12 @@ class DispatchQueue:
         The stolen job keeps its progress; the caller re-enqueues it on
         the destination core and charges the migration cost.
         """
-        if not self._jobs:
+        if not self.entries:
             raise SchedulerError(f"{self.core_name}: nothing to steal")
         if job is None:
-            return self._jobs.popleft()
+            return self.entries.popleft()
         try:
-            self._jobs.remove(job)
+            self.entries.remove(job)
         except ValueError:
             raise SchedulerError(
                 f"{self.core_name}: job {job.job_id} not in queue"
@@ -68,8 +71,8 @@ class DispatchQueue:
 
     def jobs(self) -> List[Job]:
         """Snapshot of queued jobs, head first."""
-        return list(self._jobs)
+        return list(self.entries)
 
     def total_remaining_s(self) -> float:
         """Outstanding CPU demand in the queue (nominal-frequency s)."""
-        return sum(job.remaining_s for job in self._jobs)
+        return sum(job.remaining_s for job in self.entries)

@@ -50,8 +50,8 @@ class GridMapper:
         self._overlap = self._build_overlap()
         # Fraction of each unit inside each cell; rows sum to 1 because
         # floorplans tile the die.
-        unit_areas = np.array([u.area for u in floorplan.units])
-        self._power_weights = self._overlap / unit_areas[:, None]
+        self._unit_areas = np.array([u.area for u in floorplan.units])
+        self._power_weights = self._overlap / self._unit_areas[:, None]
         # Per-unit normalized temperature weights (identical to power
         # weights for exact tilings; kept separate for clarity).
         self._temp_weights = self._power_weights
@@ -59,6 +59,15 @@ class GridMapper:
         # precomputed so per-tick readback is pure NumPy.
         self._max_mask = self._overlap > 1e-3 * self.cell_area
         self._has_max_cells = self._max_mask.any(axis=1)
+        # Flattened cell indices + segment offsets of the masked cells,
+        # so the per-tick max readback is a single gather + reduceat
+        # instead of materializing an (n_units x n_cells) where-matrix.
+        unit_rows, cell_cols = np.nonzero(self._max_mask)
+        self._max_cell_idx = cell_cols
+        self._max_offsets = np.searchsorted(
+            unit_rows, np.arange(len(self.unit_names))[self._has_max_cells]
+        )
+        self._max_scatter = np.nonzero(self._has_max_cells)[0]
 
     # ------------------------------------------------------------------
 
@@ -119,8 +128,16 @@ class GridMapper:
             raise ThermalModelError(
                 f"expected power vector of length {len(self.unit_names)}"
             )
-        unit_areas = np.array([u.area for u in self.floorplan.units])
-        return self._overlap.T @ (unit_power_vec / unit_areas)
+        return self._overlap.T @ (unit_power_vec / self._unit_areas)
+
+    @property
+    def power_weights(self) -> np.ndarray:
+        """The (n_units x n_cells) cell-weight rows, ``overlap / area``.
+
+        ``cell_powers = power_weights.T @ unit_power_vec``; the thermal
+        model stacks these blocks into its sparse node projection.
+        """
+        return self._power_weights
 
     # ------------------------------------------------------------------
     # temperature readback
@@ -139,8 +156,12 @@ class GridMapper:
     def unit_max_vector(self, cell_temps: np.ndarray) -> np.ndarray:
         """Max overlapped-cell temperature per unit, ``unit_names`` order."""
         self._check_cells(cell_temps)
-        maxes = np.where(self._max_mask, cell_temps[None, :], -np.inf).max(axis=1)
-        return np.where(self._has_max_cells, maxes, np.nan)
+        out = np.full(len(self.unit_names), np.nan)
+        if self._max_cell_idx.size:
+            out[self._max_scatter] = np.maximum.reduceat(
+                cell_temps[self._max_cell_idx], self._max_offsets
+            )
+        return out
 
     def unit_temperatures(self, cell_temps: np.ndarray) -> Dict[str, float]:
         """Area-weighted mean temperature of every unit."""

@@ -9,25 +9,63 @@ the operations the runtime needs:
 - per-layer hottest/coolest spread for the spatial-gradient metric,
 - steady-state initialization (the paper initializes HotSpot with steady
   state temperatures).
+
+Power injection is one sparse matvec: a precomputed
+(n_nodes x n_units) cell-weight projection expands a per-unit power
+vector onto the grid nodes, so the 100 ms tick loop never touches
+per-die dicts (:meth:`ThermalModel.step_vector`).
+
+The expensive immutable parts of a model — stack, RC network, the
+factorized solvers, grid mappers, and the projection — live in a
+:class:`ThermalAssembly` that can be shared between ThermalModel
+instances of the same configuration. Campaign workers reuse one
+assembly across every run on the same (experiment, grid) stack, so
+repeated runs skip ``build_network`` and the LU factorizations; only
+the temperature state vector is per-instance.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
+from scipy import sparse
 
 from repro.errors import ThermalModelError
 from repro.floorplan.experiments import ExperimentConfig
 from repro.floorplan.unit import UnitKind
 from repro.thermal.grid import GridMapper
 from repro.thermal.materials import AMBIENT_K
-from repro.thermal.network import build_network
+from repro.thermal.network import ThermalNetwork, build_network
 from repro.thermal.solver import SteadyStateSolver, TransientSolver
 from repro.thermal.stack import Stack3D, build_stack
 
 DEFAULT_GRID_ROWS = 8
 DEFAULT_GRID_COLS = 8
+
+
+@dataclass
+class ThermalAssembly:
+    """The immutable, shareable parts of one thermal configuration.
+
+    Everything here is a pure function of (stack, grid, sampling
+    parameters): the RC network, the factorized transient/steady
+    solvers, the per-die grid mappers, and the node-power projection.
+    None of it holds simulation state, so one assembly can back any
+    number of :class:`ThermalModel` instances — sequentially or
+    concurrently — as long as they were built for the same stack.
+    """
+
+    stack: Stack3D
+    network: ThermalNetwork
+    transient: TransientSolver
+    steady: SteadyStateSolver
+    mappers: List[GridMapper]
+    die_stack_indices: List[int]
+    sampling_interval: float
+    substeps: int
+    node_projection: sparse.csr_matrix
 
 
 class ThermalModel:
@@ -48,6 +86,12 @@ class ThermalModel:
     stack:
         Optional pre-built stack (overrides ``config``-derived assembly);
         used by ablation studies that perturb package parameters.
+    assembly:
+        Optional pre-built :class:`ThermalAssembly` from an earlier
+        model of the *same* configuration; skips network assembly and
+        solver factorization. The grid and sampling parameters must
+        match; the stack is trusted to match (callers key their caches
+        accordingly).
     """
 
     def __init__(
@@ -59,32 +103,64 @@ class ThermalModel:
         sampling_interval: float = 0.1,
         substeps: int = 2,
         stack: Optional[Stack3D] = None,
+        assembly: Optional[ThermalAssembly] = None,
     ) -> None:
         self.config = config
-        self.stack = stack if stack is not None else build_stack(config)
-        self.network = build_network(self.stack, nrows, ncols, ambient_k)
-        self.sampling_interval = float(sampling_interval)
-        self._transient = TransientSolver(
-            self.network, dt=self.sampling_interval, substeps=substeps
-        )
-        self._steady = SteadyStateSolver(self.network)
-
-        # One mapper per die slab; remember each die's stack index.
-        self._mappers: List[GridMapper] = []
-        self._die_stack_indices: List[int] = []
-        for stack_index, layer in self.stack.die_layers():
-            self._mappers.append(GridMapper(layer.floorplan, nrows, ncols))
-            self._die_stack_indices.append(stack_index)
+        if assembly is not None:
+            if stack is not None and stack is not assembly.stack:
+                raise ThermalModelError(
+                    "pass either a stack or a pre-built assembly, not "
+                    "both: the assembly's network/factorizations were "
+                    "built from its own stack and would silently ignore "
+                    "the explicit one"
+                )
+            self._check_assembly(
+                assembly, nrows, ncols, ambient_k, sampling_interval, substeps
+            )
+            self.assembly = assembly
+        else:
+            built_stack = stack if stack is not None else build_stack(config)
+            network = build_network(built_stack, nrows, ncols, ambient_k)
+            mappers: List[GridMapper] = []
+            die_stack_indices: List[int] = []
+            for stack_index, layer in built_stack.die_layers():
+                mappers.append(GridMapper(layer.floorplan, nrows, ncols))
+                die_stack_indices.append(stack_index)
+            self.assembly = ThermalAssembly(
+                stack=built_stack,
+                network=network,
+                transient=TransientSolver(
+                    network, dt=float(sampling_interval), substeps=substeps
+                ),
+                steady=SteadyStateSolver(network),
+                mappers=mappers,
+                die_stack_indices=die_stack_indices,
+                sampling_interval=float(sampling_interval),
+                substeps=substeps,
+                node_projection=_build_node_projection(
+                    network, mappers, die_stack_indices
+                ),
+            )
+        self.stack = self.assembly.stack
+        self.network = self.assembly.network
+        self.sampling_interval = self.assembly.sampling_interval
+        self._transient = self.assembly.transient
+        self._steady = self.assembly.steady
+        self._mappers = self.assembly.mappers
+        self._die_stack_indices = self.assembly.die_stack_indices
+        self._projection = self.assembly.node_projection
 
         # Global unit name -> (die ordinal, name); names are unique across
         # layers by construction of the experiment configs.
         self._unit_die: Dict[str, int] = {}
+        self._unit_global_index: Dict[str, int] = {}
         for die_ordinal, mapper in enumerate(self._mappers):
             for name in mapper.unit_names:
                 if name in self._unit_die:
                     raise ThermalModelError(
                         f"unit name {name!r} appears on multiple dies"
                     )
+                self._unit_global_index[name] = len(self._unit_die)
                 self._unit_die[name] = die_ordinal
 
         self._core_names = [
@@ -103,6 +179,36 @@ class ThermalModel:
             count = len(mapper.unit_names)
             self._die_unit_slices.append(slice(offset, offset + count))
             offset += count
+
+    @staticmethod
+    def _check_assembly(
+        assembly: ThermalAssembly,
+        nrows: int,
+        ncols: int,
+        ambient_k: float,
+        sampling_interval: float,
+        substeps: int,
+    ) -> None:
+        network = assembly.network
+        if (network.nrows, network.ncols) != (nrows, ncols):
+            raise ThermalModelError(
+                f"assembly grid {network.nrows}x{network.ncols} does not "
+                f"match requested {nrows}x{ncols}"
+            )
+        if network.ambient_k != ambient_k:
+            raise ThermalModelError(
+                f"assembly ambient {network.ambient_k} K does not match "
+                f"requested {ambient_k} K"
+            )
+        if (assembly.sampling_interval, assembly.substeps) != (
+            float(sampling_interval),
+            substeps,
+        ):
+            raise ThermalModelError(
+                "assembly sampling parameters "
+                f"({assembly.sampling_interval}s x{assembly.substeps}) do "
+                f"not match requested ({sampling_interval}s x{substeps})"
+            )
 
     # ------------------------------------------------------------------
     # introspection
@@ -150,19 +256,35 @@ class ThermalModel:
     # ------------------------------------------------------------------
     # power handling
 
+    def unit_power_vector(self, unit_powers: Dict[str, float]) -> np.ndarray:
+        """Pack a per-unit power dict into ``unit_names`` order.
+
+        Unknown unit names raise; units omitted from the dict get 0 W.
+        """
+        vec = np.zeros(len(self._unit_global_index))
+        index = self._unit_global_index
+        for name, power in unit_powers.items():
+            try:
+                vec[index[name]] = power
+            except KeyError:
+                raise ThermalModelError(f"unknown unit {name!r}") from None
+        return vec
+
     def node_powers(self, unit_powers: Dict[str, float]) -> np.ndarray:
         """Expand a per-unit power dict (W) to the node power vector."""
-        per_die: List[Dict[str, float]] = [dict() for _ in self._mappers]
-        for name, power in unit_powers.items():
-            per_die[self._require_die(name)][name] = power
-        vec = np.zeros(self.network.n_nodes)
-        for die_ordinal, powers in enumerate(per_die):
-            if not powers:
-                continue
-            stack_index = self._die_stack_indices[die_ordinal]
-            sl = self.network.layer_slice(stack_index)
-            vec[sl] += self._mappers[die_ordinal].cell_powers(powers)
-        return vec
+        return self.node_powers_from_vector(self.unit_power_vector(unit_powers))
+
+    def node_powers_from_vector(self, unit_power_vec: np.ndarray) -> np.ndarray:
+        """Expand a ``unit_names``-ordered power vector onto the nodes.
+
+        One sparse matvec against the precomputed cell-weight
+        projection — this is the hot-path power injection.
+        """
+        if unit_power_vec.shape != (self._projection.shape[1],):
+            raise ThermalModelError(
+                f"expected power vector of length {self._projection.shape[1]}"
+            )
+        return self._projection @ unit_power_vec
 
     # ------------------------------------------------------------------
     # simulation
@@ -180,6 +302,13 @@ class ThermalModel:
         """Advance one sampling interval under the given constant powers."""
         self.temperatures = self._transient.step(
             self.temperatures, self.node_powers(unit_powers)
+        )
+
+    def step_vector(self, unit_power_vec: np.ndarray) -> None:
+        """Advance one sampling interval from a ``unit_names``-ordered
+        power vector (the dict-free hot path)."""
+        self.temperatures = self._transient.step(
+            self.temperatures, self.node_powers_from_vector(unit_power_vec)
         )
 
     def steady_state(self, unit_powers: Dict[str, float]) -> Dict[str, float]:
@@ -274,3 +403,38 @@ class ThermalModel:
             for d in range(self.n_dies)
         ]
         return float(max(values))
+
+
+def _build_node_projection(
+    network: ThermalNetwork,
+    mappers: List[GridMapper],
+    die_stack_indices: List[int],
+) -> sparse.csr_matrix:
+    """Sparse (n_nodes x n_units) matrix of per-cell power weights.
+
+    Column ``u`` holds ``overlap(u, c) / area(u)`` at the node of each
+    grid cell ``c`` on unit ``u``'s die, so ``projection @ unit_powers``
+    is the node power vector.
+    """
+    rows: List[np.ndarray] = []
+    cols: List[np.ndarray] = []
+    vals: List[np.ndarray] = []
+    unit_offset = 0
+    for die_ordinal, mapper in enumerate(mappers):
+        weights = mapper.power_weights  # (n_units_die, n_cells)
+        unit_idx, cell_idx = np.nonzero(weights)
+        node_start = network.layer_slice(die_stack_indices[die_ordinal]).start
+        rows.append(node_start + cell_idx)
+        cols.append(unit_offset + unit_idx)
+        vals.append(weights[unit_idx, cell_idx])
+        unit_offset += len(mapper.unit_names)
+    return sparse.csr_matrix(
+        (
+            np.concatenate(vals) if vals else np.zeros(0),
+            (
+                np.concatenate(rows) if rows else np.zeros(0, dtype=np.intp),
+                np.concatenate(cols) if cols else np.zeros(0, dtype=np.intp),
+            ),
+        ),
+        shape=(network.n_nodes, unit_offset),
+    )

@@ -81,14 +81,22 @@ class SensorBank:
         )
         self._ideal = noise_sigma == 0.0 and quantization_step == 0.0
 
-    def read_cores(self) -> Dict[str, float]:
+    def read_cores(
+        self, max_vector: Optional[np.ndarray] = None
+    ) -> Dict[str, float]:
         """Current sensor reading (K) for every core.
 
         Sensors are placed at each core's hottest location (standard
         practice — thermal sensors guard the known hot spot), so the
         reading is the max cell temperature over the core's area.
+
+        ``max_vector`` lets the hot path pass a per-unit max readback it
+        already computed this tick (must equal
+        ``model.unit_max_vector()`` for the current state).
         """
-        true_temps = self.model.unit_max_vector()[self._core_cols]
+        if max_vector is None:
+            max_vector = self.model.unit_max_vector()
+        true_temps = max_vector[self._core_cols]
         if self._ideal:
             return {
                 name: float(temp)

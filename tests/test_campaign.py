@@ -356,6 +356,94 @@ class TestDelegation:
         assert sweep([2, 4], lambda v: v + 1, executor) == [(2, 3), (4, 5)]
 
 
+def _worker_seeded_index_keys(_value):
+    """Module-level map() payload: the worker runner's seeded combos."""
+    from repro.campaign.executor import worker_runner
+
+    return sorted(worker_runner().seeded_indices())
+
+
+class TestMapSeeding:
+    def test_serial_map_unchanged(self):
+        executor = CampaignExecutor(backend="serial")
+        assert executor.map(len, ["ab", "c"]) == [2, 1]
+
+    @pytest.mark.slow
+    def test_parallel_map_seeds_worker_indices(self):
+        runner = ExperimentRunner()
+        runner.seed_thermal_indices(1, (4, 4), {"cpu0_0": 1.0})
+        runner.seed_thermal_indices(2, (8, 8), {"cpu0_0": 0.5})
+        executor = CampaignExecutor(
+            backend="parallel", max_workers=2, runner=runner
+        )
+        for keys in executor.map(_worker_seeded_index_keys, [0, 1, 2]):
+            # Every worker ran _init_worker with the driver's cache, so
+            # no process redoes the steady-state characterization.
+            assert keys == [(1, (4, 4)), (2, (8, 8))]
+
+
+class TestStoreStalePayloads:
+    """Crash-consistency: run dirs must never mix files across saves."""
+
+    def _stale_file(self, store, key):
+        run_dir = store.root / "runs" / key
+        run_dir.mkdir(parents=True, exist_ok=True)
+        stale = run_dir / "leftover.csv"
+        stale.write_text("partial write from a crashed save\n")
+        return stale
+
+    def test_save_clears_stale_run_dir(self, tiny_result, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = tiny_spec()
+        stale = self._stale_file(store, run_key(spec))
+        store.save(spec, tiny_result)
+        assert not stale.exists()
+        assert store.has(run_key(spec))
+        store.load(run_key(spec))  # round-trips cleanly
+
+    def test_record_failure_clears_stale_run_dir(self, tiny_result, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = tiny_spec()
+        stale = self._stale_file(store, run_key(spec))
+        store.record_failure(spec, "boom")
+        assert not stale.exists()
+        assert not (store.root / "runs" / run_key(spec)).exists()
+        assert run_key(spec) in store.failures()
+
+    def test_has_tolerates_missing_payload(self, tiny_result, tmp_path):
+        import shutil
+
+        store = ResultStore(tmp_path)
+        spec = tiny_spec()
+        key = store.save(spec, tiny_result)
+        assert store.has(key)
+        shutil.rmtree(store.root / "runs" / key)
+        # Manifest says ok but the payload is gone: treat as absent so
+        # the campaign re-runs the spec instead of failing at load.
+        assert not store.has(key)
+
+    def test_has_tolerates_partial_payload(self, tiny_result, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = tiny_spec()
+        key = store.save(spec, tiny_result)
+        (store.root / "runs" / key / "result_meta.json").unlink()
+        assert not store.has(key)
+
+    def test_missing_payload_triggers_rerun(self, tmp_path):
+        import shutil
+
+        runner = CountingRunner()
+        store = ResultStore(tmp_path)
+        executor = CampaignExecutor(store=store, backend="serial",
+                                    runner=runner)
+        spec = tiny_spec()
+        executor.run_specs([spec])
+        assert runner.run_calls == 1
+        shutil.rmtree(store.root / "runs" / run_key(spec))
+        executor.run_specs([spec])
+        assert runner.run_calls == 2
+
+
 class TestReports:
     def test_status_and_report(self, tmp_path):
         campaign = tiny_campaign()

@@ -1,0 +1,231 @@
+"""Event-heap engine tests.
+
+Two families:
+
+- differential tests proving the event-heap interval loop reproduces
+  the legacy all-core scan loop bit for bit (every recorded array,
+  energy, jobs, migrations) — a fast subset runs in tier-1, the full
+  policy x DPM x experiment matrix under the ``slow`` marker;
+- unit tests of the heap invalidation edges: dispatch, completion,
+  V/f change, gating, sleep, and migration must each refresh the
+  core's cached completion event.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analysis.runner import ExperimentRunner, RunSpec
+from repro.errors import SchedulerError
+from repro.sched.engine import EngineConfig
+from repro.workload.benchmarks import benchmark
+from repro.workload.job import Job
+
+RUNNER = ExperimentRunner()
+
+RESULT_ARRAYS = (
+    "times",
+    "unit_temps_k",
+    "core_temps_k",
+    "core_peak_temps_k",
+    "layer_spreads_k",
+    "utilization",
+    "vf_indices",
+    "core_states",
+    "total_power_w",
+)
+
+
+def run_with_loop(spec: RunSpec, event_loop: str):
+    engine = RUNNER.build_engine(spec)
+    engine.config = replace(engine.config, event_loop=event_loop)
+    return engine.run()
+
+
+def assert_bit_identical(spec: RunSpec):
+    heap = run_with_loop(spec, "event_heap")
+    scan = run_with_loop(spec, "legacy_scan")
+    for name in RESULT_ARRAYS:
+        np.testing.assert_array_equal(
+            getattr(heap, name), getattr(scan, name), err_msg=name
+        )
+    assert heap.energy_j == scan.energy_j
+    assert heap.migrations == scan.migrations
+    assert len(heap.jobs) == len(scan.jobs)
+    for h, s in zip(heap.jobs, scan.jobs):
+        assert h.completion_time == s.completion_time
+        assert h.remaining_s == s.remaining_s
+        assert h.migrations == s.migrations
+        assert h.core == s.core
+
+
+class TestDifferentialFast:
+    """Tier-1 smoke slice of the differential matrix."""
+
+    @pytest.mark.parametrize("exp_id", [1, 4])
+    @pytest.mark.parametrize("policy", ["Default", "Adapt3D&DVFS_TT"])
+    def test_heap_matches_scan(self, exp_id, policy):
+        assert_bit_identical(
+            RunSpec(exp_id=exp_id, policy=policy, duration_s=6.0, seed=2009)
+        )
+
+    def test_heap_matches_scan_with_dpm(self):
+        assert_bit_identical(
+            RunSpec(
+                exp_id=1, policy="Migr", duration_s=6.0, with_dpm=True,
+                seed=7,
+            )
+        )
+
+
+@pytest.mark.slow
+class TestDifferentialMatrix:
+    """Full policy x DPM x experiment differential matrix."""
+
+    @pytest.mark.parametrize("exp_id", [1, 2, 3, 4])
+    @pytest.mark.parametrize(
+        "policy",
+        ["Default", "Adapt3D", "Adapt3D&DVFS_TT", "Migr", "CGate",
+         "DVFS_Util"],
+    )
+    @pytest.mark.parametrize("with_dpm", [False, True])
+    def test_heap_matches_scan(self, exp_id, policy, with_dpm):
+        assert_bit_identical(
+            RunSpec(
+                exp_id=exp_id, policy=policy, duration_s=12.0,
+                with_dpm=with_dpm, seed=2009,
+            )
+        )
+
+    @pytest.mark.parametrize("seed", [1, 42])
+    def test_heap_matches_scan_across_seeds(self, seed):
+        assert_bit_identical(
+            RunSpec(exp_id=3, policy="Adapt3D", duration_s=12.0, seed=seed)
+        )
+
+
+def heap_engine():
+    """An engine with heap maintenance armed, outside run()."""
+    engine = RUNNER.build_engine(
+        RunSpec(exp_id=1, policy="Default", duration_s=5.0)
+    )
+    engine._use_heap = True
+    return engine
+
+
+def live_events(engine):
+    """(name -> cached time) of the non-stale heap entries."""
+    return {
+        name: time
+        for time, seq, name in engine._event_heap
+        if seq == engine._cores[name].heap_seq
+    }
+
+
+def make_job(job_id=1, work_s=2.0):
+    return Job(
+        job_id=job_id,
+        thread_id=job_id,
+        benchmark=benchmark("gcc"),
+        arrival_time=0.0,
+        work_s=work_s,
+    )
+
+
+class TestHeapInvalidation:
+    def test_push_creates_completion_event(self):
+        engine = heap_engine()
+        core = engine._cores[engine.core_names[0]]
+        core.queue.push(make_job(work_s=2.0))
+        engine._invalidate_event(core, 0.0)
+        events = live_events(engine)
+        # Nominal relative frequency is 1.0: completion after 2 s.
+        assert events[core.name] == pytest.approx(2.0)
+
+    def test_invalidation_staleness(self):
+        engine = heap_engine()
+        core = engine._cores[engine.core_names[0]]
+        core.queue.push(make_job(work_s=2.0))
+        engine._invalidate_event(core, 0.0)
+        engine._invalidate_event(core, 1.0)
+        # Two entries on the heap, only the latest is live.
+        assert len(engine._event_heap) == 2
+        events = live_events(engine)
+        assert len(events) == 1
+        assert events[core.name] == pytest.approx(3.0)
+
+    def test_vf_change_stretches_event(self):
+        engine = heap_engine()
+        name = engine.core_names[0]
+        core = engine._cores[name]
+        core.queue.push(make_job(work_s=2.0))
+        engine._invalidate_event(core, 0.0)
+        slow_index = engine.vf_table.lowest_index
+        core.vf_index = slow_index
+        core.speed = engine.vf_table[slow_index].frequency
+        engine._invalidate_event(core, 0.0)
+        events = live_events(engine)
+        assert events[name] == pytest.approx(2.0 / 0.85)
+
+    def test_gated_core_has_no_event(self):
+        engine = heap_engine()
+        core = engine._cores[engine.core_names[0]]
+        core.queue.push(make_job())
+        engine._invalidate_event(core, 0.0)
+        core.gated = True
+        core.halted = True
+        engine._invalidate_event(core, 0.0)
+        assert live_events(engine) == {}
+
+    def test_sleeping_core_has_no_event(self):
+        engine = heap_engine()
+        core = engine._cores[engine.core_names[0]]
+        core.queue.push(make_job())
+        engine._invalidate_event(core, 0.0)
+        core.sleeping = True
+        core.halted = True
+        engine._invalidate_event(core, 0.0)
+        assert live_events(engine) == {}
+
+    def test_migration_refreshes_both_cores(self):
+        from repro.core.base import Migration
+
+        engine = heap_engine()
+        src_name, dst_name = engine.core_names[0], engine.core_names[1]
+        src = engine._cores[src_name]
+        src.queue.push(make_job(job_id=1, work_s=2.0))
+        src.queue.push(make_job(job_id=2, work_s=4.0))
+        engine._invalidate_event(src, 0.0)
+
+        engine._migrate(
+            Migration(src_name, dst_name, move_running=True, swap=False), 0.0
+        )
+        events = live_events(engine)
+        # Source now runs the 4 s job; destination stalls for the 1 ms
+        # migration cost before its 2 s job.
+        assert events[src_name] == pytest.approx(4.0)
+        assert events[dst_name] == pytest.approx(
+            engine.config.migration_cost_s + 2.0
+        )
+
+    def test_event_time_accounts_for_stall(self):
+        engine = heap_engine()
+        core = engine._cores[engine.core_names[0]]
+        core.stall_until = 0.5
+        core.queue.push(make_job(work_s=2.0))
+        engine._invalidate_event(core, 0.0)
+        assert live_events(engine)[core.name] == pytest.approx(2.5)
+
+
+class TestEngineConfigValidation:
+    def test_unknown_event_loop_rejected(self):
+        engine = RUNNER.build_engine(
+            RunSpec(exp_id=1, policy="Default", duration_s=1.0)
+        )
+        engine.config = replace(engine.config, event_loop="bogus")
+        with pytest.raises(SchedulerError):
+            engine.run()
+
+    def test_default_is_event_heap(self):
+        assert EngineConfig().event_loop == "event_heap"

@@ -79,6 +79,59 @@ class TestSwap:
         assert max(job.migrations for job in result.jobs) >= 1
 
 
+class TestNonPreemptiveMigration:
+    """move_running=False must never steal the running job."""
+
+    def _engine(self):
+        return RUNNER.build_engine(
+            RunSpec(exp_id=1, policy="Default", duration_s=5.0)
+        )
+
+    @staticmethod
+    def _job(job_id, work_s=2.0):
+        from repro.workload.benchmarks import benchmark
+        from repro.workload.job import Job
+
+        return Job(
+            job_id=job_id, thread_id=job_id, benchmark=benchmark("gcc"),
+            arrival_time=0.0, work_s=work_s,
+        )
+
+    def test_single_job_queue_is_a_noop(self):
+        engine = self._engine()
+        src_name, dst_name = engine.core_names[0], engine.core_names[1]
+        src = engine._cores[src_name]
+        job = self._job(1)
+        src.queue.push(job)
+        engine._migrate(
+            Migration(src_name, dst_name, move_running=False, swap=False), 0.0
+        )
+        # The policy asked not to preempt and only the running job is
+        # queued: nothing moves, nothing is charged.
+        assert src.queue.jobs() == [job]
+        assert len(engine._cores[dst_name].queue) == 0
+        assert engine._migration_count == 0
+        assert job.migrations == 0
+        assert src.stall_until == 0.0
+        assert engine._cores[dst_name].stall_until == 0.0
+
+    def test_waiting_job_still_migrates(self):
+        engine = self._engine()
+        src_name, dst_name = engine.core_names[0], engine.core_names[1]
+        src, dst = engine._cores[src_name], engine._cores[dst_name]
+        running, waiting = self._job(1), self._job(2)
+        src.queue.push(running)
+        src.queue.push(waiting)
+        engine._migrate(
+            Migration(src_name, dst_name, move_running=False, swap=False), 0.0
+        )
+        assert src.queue.jobs() == [running]
+        assert dst.queue.jobs() == [waiting]
+        assert engine._migration_count == 1
+        assert waiting.migrations == 1
+        assert running.migrations == 0
+
+
 class TestWakeLatency:
     def test_wake_latency_costs_response_time(self):
         light = (("MPlayer", 8),)

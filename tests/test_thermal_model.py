@@ -112,6 +112,45 @@ class TestReadback:
             assert temp == pytest.approx(unit_temps[name])
 
 
+class TestAssemblySharing:
+    def test_shared_assembly_reproduces_results(self, model):
+        import numpy as np
+
+        fresh = ThermalModel(build_experiment(1), nrows=6, ncols=6)
+        shared = ThermalModel(
+            build_experiment(1), nrows=6, ncols=6, assembly=model.assembly
+        )
+        assert shared.assembly is model.assembly
+        donor_state = model.temperatures.copy()
+        powers = uniform_powers(model)
+        fresh.step(powers)
+        shared.step(powers)
+        np.testing.assert_array_equal(
+            fresh.unit_temperature_vector(), shared.unit_temperature_vector()
+        )
+        # State is per-instance: stepping the borrower leaves the donor
+        # model untouched.
+        np.testing.assert_array_equal(model.temperatures, donor_state)
+
+    def test_mismatched_assembly_grid_rejected(self, model):
+        with pytest.raises(ThermalModelError):
+            ThermalModel(
+                build_experiment(1), nrows=8, ncols=8, assembly=model.assembly
+            )
+
+    def test_conflicting_stack_and_assembly_rejected(self, model):
+        from repro.thermal.stack import build_stack
+
+        with pytest.raises(ThermalModelError):
+            ThermalModel(
+                build_experiment(1),
+                nrows=6,
+                ncols=6,
+                stack=build_stack(build_experiment(1)),
+                assembly=model.assembly,
+            )
+
+
 class TestFourTier:
     def test_upper_die_hotter_than_lower(self):
         model = ThermalModel(build_experiment(3), nrows=6, ncols=6)
