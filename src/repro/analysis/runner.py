@@ -53,6 +53,10 @@ class RunSpec:
         Optional (name, value) pairs forwarded to the policy
         constructor — lets ablation sweeps (e.g. Adapt3D's beta
         constants) stay declarative and campaign-hashable.
+    thermal_solver:
+        Transient integrator: ``"exponential"`` (default, exact under
+        piecewise-constant power), ``"backward_euler"`` or
+        ``"crank_nicolson"``.
     """
 
     exp_id: int
@@ -63,6 +67,7 @@ class RunSpec:
     grid: Tuple[int, int] = (8, 8)
     benchmark_mix: Optional[Tuple[Tuple[str, int], ...]] = None
     policy_params: Optional[Tuple[Tuple[str, float], ...]] = None
+    thermal_solver: str = "exponential"
 
 
 class ExperimentRunner:
@@ -89,13 +94,18 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
 
     def _build_thermal(
-        self, exp_id: int, grid: Tuple[int, int], config: ExperimentConfig
+        self,
+        exp_id: int,
+        grid: Tuple[int, int],
+        config: ExperimentConfig,
+        solver_method: str = "exponential",
     ) -> ThermalModel:
         key = (exp_id, (grid[0], grid[1]))
         thermal = ThermalModel(
             config,
             nrows=grid[0],
             ncols=grid[1],
+            solver_method=solver_method,
             assembly=self._assembly_cache.get(key),
         )
         self._assembly_cache[key] = thermal.assembly
@@ -109,7 +119,9 @@ class ExperimentRunner:
     def build_engine(self, spec: RunSpec) -> SimulationEngine:
         """Assemble the full simulation stack for one run."""
         config = build_experiment(spec.exp_id)
-        thermal = self._build_thermal(spec.exp_id, spec.grid, config)
+        thermal = self._build_thermal(
+            spec.exp_id, spec.grid, config, spec.thermal_solver
+        )
         power = self._build_power(spec.exp_id, config)
         indices = self._thermal_indices(spec, config, thermal, power)
 
@@ -132,6 +144,7 @@ class ExperimentRunner:
             duration_s=spec.duration_s,
             dpm=FixedTimeoutDPM() if spec.with_dpm else None,
             seed=spec.seed,
+            thermal_solver=spec.thermal_solver,
         )
         return SimulationEngine(
             thermal=thermal,

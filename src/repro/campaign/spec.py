@@ -28,7 +28,9 @@ from repro.errors import ConfigurationError
 
 # Bump when RunSpec serialization changes incompatibly; stored results
 # keyed under an older version are simply recomputed.
-KEY_VERSION = 1
+# v2: RunSpec gained thermal_solver and the exponential propagator
+# became the default integrator (recorded temperatures changed).
+KEY_VERSION = 2
 
 
 def _canonical(value: Any) -> Any:

@@ -35,6 +35,11 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dpm", action="store_true",
                         help="enable the fixed-timeout power manager")
     parser.add_argument("--seed", type=int, default=2009)
+    parser.add_argument("--thermal-solver", default="exponential",
+                        choices=("exponential", "backward_euler",
+                                 "crank_nicolson"),
+                        help="transient integrator (exponential is exact "
+                             "under piecewise-constant power)")
 
 
 def _report_lines(report, with_delay: bool) -> List[List[object]]:
@@ -55,7 +60,8 @@ def _report_lines(report, with_delay: bool) -> List[List[object]]:
 def cmd_run(args: argparse.Namespace) -> int:
     runner = ExperimentRunner()
     spec = RunSpec(exp_id=args.exp, policy=args.policy,
-                   duration_s=args.duration, with_dpm=args.dpm, seed=args.seed)
+                   duration_s=args.duration, with_dpm=args.dpm, seed=args.seed,
+                   thermal_solver=args.thermal_solver)
     result = runner.run(spec)
     report = summarize(result)
     print(format_table(
@@ -76,7 +82,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     runner = ExperimentRunner()
     base_spec = RunSpec(exp_id=args.exp, policy="Default",
                         duration_s=args.duration, with_dpm=args.dpm,
-                        seed=args.seed)
+                        seed=args.seed, thermal_solver=args.thermal_solver)
     results = runner.run_policies(base_spec, names)
     baseline = results.get("Default") or runner.run(base_spec)
     rows = []

@@ -23,10 +23,14 @@ hooks: ``select_core`` (job allocation at arrival) and ``on_tick``
 
 from repro.core.base import (
     AllocationContext,
+    ArrayBackedMapping,
+    CoreSnapshot,
     Migration,
     Policy,
     PolicyActions,
+    SnapshotArrayMapping,
     SystemView,
+    TickArrays,
     TickContext,
 )
 from repro.core.default import DefaultLoadBalancing
@@ -47,7 +51,11 @@ __all__ = [
     "Migration",
     "SystemView",
     "TickContext",
+    "TickArrays",
     "AllocationContext",
+    "ArrayBackedMapping",
+    "SnapshotArrayMapping",
+    "CoreSnapshot",
     "DefaultLoadBalancing",
     "ClockGating",
     "DVFSTemperatureTriggered",

@@ -14,13 +14,17 @@ threshold in the last interval get probability zero.
 Indices come from the system view. They can be produced offline from a
 steady-state analysis (:func:`repro.core.thermal_index
 .compute_thermal_indices` — the option the paper settled on) or online
-from a long temperature history; the paper found both equivalent.
+from a long temperature history; the paper found both equivalent. The
+online estimator keeps its long history in a circular (n_cores x
+window) buffer and re-derives the whole index vector with array
+arithmetic — no per-core deque walking on the tick path.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, Mapping, Optional
+from typing import Mapping, Optional
+
+import numpy as np
 
 from repro.core.base import PolicyActions, SystemView, TickContext
 from repro.core.probabilistic import (
@@ -63,7 +67,9 @@ class Adapt3D(ProbabilisticAllocator):
         if online_index_window is not None and online_index_window < 2:
             raise PolicyError("online index window must cover >= 2 samples")
         self.online_index_window = online_index_window
-        self._long_history: Dict[str, Deque[float]] = {}
+        self._long_hist = np.zeros((0, 0))
+        self._long_len = 0
+        self._long_pos = 0
 
     def thermal_indices(self, system: SystemView) -> Mapping[str, float]:
         if not system.thermal_indices:
@@ -76,39 +82,39 @@ class Adapt3D(ProbabilisticAllocator):
     def attach(self, system: SystemView) -> None:
         super().attach(system)
         if self.online_index_window is not None:
-            self._long_history = {
-                core: deque(maxlen=self.online_index_window)
-                for core in system.core_names
-            }
+            self._long_hist = np.zeros(
+                (len(system.core_names), self.online_index_window)
+            )
+            self._long_len = 0
+            self._long_pos = 0
 
     def on_tick(self, ctx: TickContext) -> PolicyActions:
         actions = super().on_tick(ctx)
         if self.online_index_window is not None:
-            self._update_online_indices(ctx)
+            self._update_online_indices()
         return actions
 
-    def _update_online_indices(self, ctx: TickContext) -> None:
+    def _update_online_indices(self) -> None:
         """Re-estimate alpha from the long-run mean temperature per core.
 
         Short intervals are misleading (paper §III-B), so the estimate
         only engages once the long window is full; until then the
         offline indices remain in effect.
         """
-        for core, snap in ctx.cores.items():
-            self._long_history[core].append(snap.temperature_k)
         window = self.online_index_window
-        if any(len(h) < window for h in self._long_history.values()):
-            return
-        means = {
-            core: sum(history) / len(history)
-            for core, history in self._long_history.items()
-        }
-        t_min = min(means.values())
-        t_max = max(means.values())
+        self._long_hist[:, self._long_pos] = self._last_tick_temps
+        self._long_pos = (self._long_pos + 1) % window
+        if self._long_len < window:
+            self._long_len += 1
+            if self._long_len < window:
+                return
+        means = self._long_hist.sum(axis=1) / window
+        t_min = float(means.min())
+        t_max = float(means.max())
         if t_max - t_min < 1e-9:
             return
         span = ALPHA_MAX - ALPHA_MIN
+        self._alpha_arr = ALPHA_MIN + span * (means - t_min) / (t_max - t_min)
         self._alphas = {
-            core: ALPHA_MIN + span * (mean - t_min) / (t_max - t_min)
-            for core, mean in means.items()
+            name: float(a) for name, a in zip(self._names, self._alpha_arr)
         }

@@ -18,10 +18,12 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import PolicyError
-from repro.power.states import CoreState
+from repro.power.states import CODE_STATE, CoreState
 from repro.power.vf import VFTable
 from repro.thermal.materials import kelvin
 from repro.workload.job import Job
@@ -77,6 +79,94 @@ class SystemView:
                 )
 
 
+class ArrayBackedMapping(Mapping):
+    """Read-only, *live* name->value Mapping view over a NumPy array.
+
+    The engine maintains its per-core state as parallel arrays; this
+    view gives dict-shaped consumers (policies written against the
+    Mapping contract) access without copying. Reads always reflect the
+    array's current contents — exactly the semantics the per-dispatch
+    dict copies used to snapshot, since the engine mutates the arrays
+    at the same sites it used to rebuild the dicts.
+    """
+
+    __slots__ = ("_index", "_array", "_convert")
+
+    def __init__(
+        self,
+        index: Mapping[str, int],
+        array: np.ndarray,
+        convert: Callable = float,
+    ) -> None:
+        self._index = index
+        self._array = array
+        self._convert = convert
+
+    def __getitem__(self, name: str):
+        return self._convert(self._array[self._index[name]])
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._index)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+
+def state_from_code(code) -> CoreState:
+    """Decode a :data:`~repro.power.states.STATE_CODE` array element."""
+    return CODE_STATE[int(code)]
+
+
+@dataclass(frozen=True)
+class TickArrays:
+    """Structure-of-arrays twin of the per-core tick snapshots.
+
+    All arrays are indexed by position in ``core_names``. Policies that
+    understand arrays (the probabilistic allocators) vectorize over
+    these directly; everything else reads the lazily materialized
+    :class:`CoreSnapshot` mapping built on top.
+    """
+
+    core_names: Tuple[str, ...]
+    temperature_k: np.ndarray
+    utilization: np.ndarray
+    state_codes: np.ndarray
+    vf_index: np.ndarray
+    queue_length: np.ndarray
+
+
+class SnapshotArrayMapping(Mapping):
+    """Mapping of name -> :class:`CoreSnapshot` materialized on access.
+
+    Backed by a :class:`TickArrays`; policies that inspect only a few
+    cores (or none) no longer pay for building every snapshot object
+    each tick.
+    """
+
+    __slots__ = ("_arrays", "_index")
+
+    def __init__(self, index: Mapping[str, int], arrays: "TickArrays") -> None:
+        self._index = index
+        self._arrays = arrays
+
+    def __getitem__(self, name: str) -> "CoreSnapshot":
+        i = self._index[name]
+        a = self._arrays
+        return CoreSnapshot(
+            temperature_k=float(a.temperature_k[i]),
+            utilization=float(a.utilization[i]),
+            state=CODE_STATE[int(a.state_codes[i])],
+            vf_index=int(a.vf_index[i]),
+            queue_length=int(a.queue_length[i]),
+        )
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._index)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+
 @dataclass(frozen=True)
 class CoreSnapshot:
     """One core's observable state at a tick boundary.
@@ -104,23 +194,37 @@ class CoreSnapshot:
 
 @dataclass(frozen=True)
 class TickContext:
-    """Everything a policy sees at a sampling tick."""
+    """Everything a policy sees at a sampling tick.
+
+    ``arrays`` is the optional structure-of-arrays view the engine's
+    hot path provides; ``cores`` is always available (materialized
+    lazily when arrays back the context).
+    """
 
     time: float
     cores: Mapping[str, CoreSnapshot]
+    arrays: Optional[TickArrays] = None
 
     def temperature(self, core: str) -> float:
         """Sensor temperature (K) of one core."""
         return self.cores[core].temperature_k
 
     def hottest_first(self) -> List[str]:
-        """Core names sorted hottest to coolest."""
+        """Core names sorted hottest to coolest (stable on ties)."""
+        if self.arrays is not None:
+            names = self.arrays.core_names
+            order = np.argsort(-self.arrays.temperature_k, kind="stable")
+            return [names[i] for i in order]
         return sorted(
             self.cores, key=lambda c: self.cores[c].temperature_k, reverse=True
         )
 
     def coolest_first(self) -> List[str]:
-        """Core names sorted coolest to hottest."""
+        """Core names sorted coolest to hottest (stable on ties)."""
+        if self.arrays is not None:
+            names = self.arrays.core_names
+            order = np.argsort(self.arrays.temperature_k, kind="stable")
+            return [names[i] for i in order]
         return sorted(self.cores, key=lambda c: self.cores[c].temperature_k)
 
 
@@ -140,6 +244,12 @@ class AllocationContext:
         Current core states.
     last_core:
         Where the job's thread ran previously (locality hint), if known.
+    core_names, queue_lengths_vec, temperatures_vec, state_codes:
+        Optional structure-of-arrays view of the same data (positions
+        follow ``core_names``); the engine's hot path sets these so
+        vectorized policies skip the Mapping interface entirely. The
+        arrays are live views of engine state — valid for the duration
+        of the ``select_core`` call.
     """
 
     time: float
@@ -147,6 +257,10 @@ class AllocationContext:
     temperatures_k: Mapping[str, float]
     states: Mapping[str, CoreState]
     last_core: Optional[str] = None
+    core_names: Optional[Tuple[str, ...]] = None
+    queue_lengths_vec: Optional[np.ndarray] = None
+    temperatures_vec: Optional[np.ndarray] = None
+    state_codes: Optional[np.ndarray] = None
 
 
 @dataclass(frozen=True)

@@ -30,3 +30,8 @@ class CoreState(enum.Enum):
 #: Stable small-int encoding of the states, shared by the engine's
 #: recorded ``core_states`` arrays and the vectorized power path.
 STATE_CODE = {state: code for code, state in enumerate(CoreState)}
+
+#: Inverse of :data:`STATE_CODE`: ``CODE_STATE[code]`` is the state, so
+#: array-backed snapshots can hand policies real :class:`CoreState`
+#: values without a dict round trip.
+CODE_STATE = tuple(CoreState)

@@ -26,8 +26,12 @@ Two interval-execution loops are provided, selected by
   core's state changes (dispatch, completion, migration, V/f change,
   gating, sleep). Advancing to the next event pops the earliest cached
   entry and recomputes only that core, instead of rescanning every
-  core on every event. The tick boundary additionally uses the
-  vectorized power/thermal path (no per-unit dicts).
+  core on every event. Per-core bookkeeping (head-job remaining work,
+  speed, stall deadline, queue length, state code, sensor reading) is
+  kept in parallel NumPy arrays maintained at the same invalidation
+  sites, so interval execution is a few vector expressions, dispatch
+  contexts are live array views instead of dict copies, and the tick
+  boundary uses the vectorized power/thermal path (no per-unit dicts).
 - ``"legacy_scan"``: the original O(events x cores) scan with the
   dict-based power pipeline, kept for differential testing; both loops
   produce bit-identical :class:`SimulationResult` arrays (covered by
@@ -45,11 +49,15 @@ import numpy as np
 
 from repro.core.base import (
     AllocationContext,
+    ArrayBackedMapping,
     CoreSnapshot,
     Migration,
     Policy,
+    SnapshotArrayMapping,
     SystemView,
+    TickArrays,
     TickContext,
+    state_from_code,
 )
 from repro.errors import SchedulerError
 from repro.power.chip_power import ChipPowerModel, CoreActivity
@@ -59,6 +67,7 @@ from repro.sched.dpm import FixedTimeoutDPM
 from repro.sched.queue import DispatchQueue
 from repro.sched.workload_source import WorkloadSource
 from repro.thermal.model import ThermalModel
+from repro.thermal.solver import SOLVER_METHODS
 from repro.thermal.sensors import SensorBank
 from repro.workload.job import Job
 
@@ -95,6 +104,10 @@ class EngineConfig:
         ``"event_heap"`` (default) or ``"legacy_scan"`` — the debug
         flag keeping the old all-core rescan loop available for
         differential testing.
+    thermal_solver:
+        Transient integrator for the thermal step: ``"exponential"``
+        (default — exact under the engine's piecewise-constant power
+        contract), ``"backward_euler"`` or ``"crank_nicolson"``.
     """
 
     duration_s: float = 300.0
@@ -106,13 +119,17 @@ class EngineConfig:
     seed: int = 1
     warmup_utilization: float = 0.3
     event_loop: str = "event_heap"
+    thermal_solver: str = "exponential"
 
 
 class _CoreRuntime:
     """Mutable per-core scheduling state."""
 
-    def __init__(self, name: str, vf_index: int, speed: float) -> None:
+    def __init__(self, name: str, vf_index: int, speed: float, idx: int = 0) -> None:
         self.name = name
+        #: Position in the engine's canonical core order — the row this
+        #: core owns in every structure-of-arrays buffer.
+        self.idx = idx
         self.queue = DispatchQueue(name)
         self.vf_index = vf_index
         self.speed = speed
@@ -222,8 +239,8 @@ class SimulationEngine:
         )
         nominal_speed = vf_table[vf_table.nominal_index].frequency
         self._cores: Dict[str, _CoreRuntime] = {
-            name: _CoreRuntime(name, vf_table.nominal_index, nominal_speed)
-            for name in self.core_names
+            name: _CoreRuntime(name, vf_table.nominal_index, nominal_speed, i)
+            for i, name in enumerate(self.core_names)
         }
         self._core_list: List[_CoreRuntime] = list(self._cores.values())
         self._arrivals: List[Tuple[float, int, Job]] = []
@@ -234,22 +251,60 @@ class SimulationEngine:
         self._migration_count = 0
 
         # Event heap of (cached completion time, core.heap_seq, name);
-        # maintained only when the event_heap loop is active, together
-        # with incrementally updated queue-length / power-state caches
-        # consumed by dispatch contexts and policy snapshots.
+        # maintained only when the event_heap loop is active.
         self._event_heap: List[Tuple[float, int, str]] = []
         self._use_heap = False
-        self._queue_len: Dict[str, int] = {}
-        self._core_state: Dict[str, CoreState] = {}
         # Cores whose queue head crossed the completion threshold since
         # the last _process_completions call (heap mode checks only
         # these instead of rescanning every core).
         self._finished_cores: List[_CoreRuntime] = []
 
-        # Per-level V/f lookup tables for the vectorized power path.
+        # Structure-of-arrays core bookkeeping (event_heap mode). Every
+        # array is indexed by _CoreRuntime.idx and maintained at the
+        # heap-invalidation sites (plus the tick boundary for sensor
+        # temperatures), so dispatch contexts and policy snapshots read
+        # vectors instead of rebuilding per-core dicts. Span execution
+        # itself stays a scalar loop over the core objects: at the
+        # paper's core counts (<= 16) NumPy's fixed per-op overhead
+        # makes a vectorized execute ~2x slower than the tight loop
+        # (measured; see docs/ENGINE.md).
+        n_cores = len(self._core_list)
+        self._core_names_tuple: Tuple[str, ...] = tuple(self.core_names)
+        self._core_index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.core_names)
+        }
+        self._ql_arr = np.zeros(n_cores, dtype=np.int64)
+        self._state_arr = np.full(
+            n_cores, STATE_CODE[CoreState.IDLE], dtype=np.int64
+        )
+        self._vf_arr = np.full(n_cores, vf_table.nominal_index, dtype=np.int64)
+        self._temps_arr = np.zeros(n_cores)
+        self._any_gated = False
+        # Live Mapping views over the arrays, shared by every dispatch
+        # context (the arrays mutate in place, so one view each is
+        # enough for the whole run).
+        self._alloc_queue_view = ArrayBackedMapping(
+            self._core_index, self._ql_arr, int
+        )
+        self._alloc_temp_view = ArrayBackedMapping(
+            self._core_index, self._temps_arr, float
+        )
+        self._alloc_state_view = ArrayBackedMapping(
+            self._core_index, self._state_arr, state_from_code
+        )
+
+        # Per-level V/f lookup tables for the vectorized power path,
+        # plus per-core rows maintained alongside _vf_arr so the tick
+        # boundary skips the per-tick gather.
         levels = [vf_table[i] for i in range(len(vf_table))]
         self._vf_dyn_scale = np.array([lvl.dynamic_scale for lvl in levels])
         self._vf_voltage = np.array([lvl.voltage for lvl in levels])
+        self._dyn_scale_arr = np.full(
+            n_cores, self._vf_dyn_scale[vf_table.nominal_index]
+        )
+        self._voltage_arr = np.full(
+            n_cores, self._vf_voltage[vf_table.nominal_index]
+        )
 
     # ------------------------------------------------------------------
 
@@ -278,18 +333,23 @@ class SimulationEngine:
                 f"unknown event loop {cfg.event_loop!r}; "
                 f"expected one of {EVENT_LOOPS}"
             )
+        if cfg.thermal_solver not in SOLVER_METHODS:
+            raise SchedulerError(
+                f"unknown thermal solver {cfg.thermal_solver!r}; "
+                f"expected one of {SOLVER_METHODS}"
+            )
         dt = cfg.sampling_interval_s
         n_ticks = int(round(cfg.duration_s / dt))
         if n_ticks < 1:
             raise SchedulerError("duration shorter than one sampling interval")
 
+        self.thermal.use_solver(cfg.thermal_solver)
         self._use_heap = cfg.event_loop == "event_heap"
         self._event_heap = []
         self._finished_cores = []
-        self._queue_len = {name: 0 for name in self.core_names}
-        self._core_state = {
-            name: core.power_state() for name, core in self._cores.items()
-        }
+        if self._use_heap:
+            for core in self._core_list:
+                self._sync_core_arrays(core)
 
         self._initialize_thermal_state()
         for time, job in self.workload.initial_arrivals():
@@ -321,18 +381,18 @@ class SimulationEngine:
             count=n_cores,
         )
         die_slices = self.thermal.die_unit_slices()
-        core_list = self._core_list
 
-        self._sensor_temps = self.sensors.read_cores()
         energy = 0.0
 
         if self._use_heap:
+            self._temps_arr[:] = self.sensors.read_cores_vector()
             energy = self._run_heap_ticks(
                 n_ticks, dt, times, unit_temps, core_temps, core_peaks,
                 spreads, utilization, vf_indices, core_states, total_power,
                 core_cols, die_slices,
             )
         else:
+            self._sensor_temps = self.sensors.read_cores()
             energy = self._run_scan_ticks(
                 n_ticks, dt, times, unit_temps, core_temps, core_peaks,
                 spreads, utilization, vf_indices, core_states, total_power,
@@ -364,16 +424,14 @@ class SimulationEngine:
         core_cols, die_slices,
     ) -> float:
         """Tick loop of the event-heap mode: indexed event pops inside
-        the interval, vectorized power/thermal at the boundary."""
+        the interval, structure-of-arrays activity readout and the
+        vectorized power/thermal path at the boundary."""
         core_list = self._core_list
         n_cores = len(core_list)
         energy = 0.0
         # Post-step readback of tick k is the pre-step temperature of
         # tick k+1, so one vector readback per tick suffices.
         unit_row = self.thermal.unit_temperature_vector()
-        util_arr = np.zeros(n_cores)
-        state_arr = np.zeros(n_cores, dtype=np.int64)
-        vf_arr = np.zeros(n_cores, dtype=np.int64)
         # die_slices are contiguous and ordered, so per-die max/min
         # reduce to one reduceat pair over the unit row.
         die_starts = np.fromiter(
@@ -385,29 +443,32 @@ class SimulationEngine:
             t1 = t0 + dt
             self._advance_interval_heap(t0, t1)
 
-            # Per-core activity over [t0, t1), straight into arrays.
-            for i, core in enumerate(core_list):
-                util = min(1.0, core.busy_in_tick / dt)
-                core.last_utilization = util
-                util_arr[i] = util
-                state_arr[i] = STATE_CODE[core.power_state()]
-                vf_arr[i] = core.vf_index
+            # Per-core activity over [t0, t1): the state/vf arrays are
+            # already current (maintained at the invalidation sites),
+            # utilization is one gather over the busy accumulators.
+            util_arr = np.fromiter(
+                (core.busy_in_tick for core in core_list),
+                dtype=np.float64,
+                count=n_cores,
+            )
+            util_arr = np.minimum(1.0, util_arr / dt)
+            for core in core_list:
                 core.busy_in_tick = 0.0
 
             powers_vec = self.power.unit_power_vector(
-                state_arr,
+                self._state_arr,
                 util_arr,
-                self._vf_dyn_scale[vf_arr],
-                self._vf_voltage[vf_arr],
+                self._dyn_scale_arr,
+                self._voltage_arr,
                 unit_row,
                 self._memory_intensity(),
             )
             self.thermal.step_vector(powers_vec)
             peak_row = self.thermal.unit_max_vector()
-            self._sensor_temps = self.sensors.read_cores(peak_row)
+            self._temps_arr[:] = self.sensors.read_cores_vector(peak_row)
 
             self._apply_dpm(t1)
-            self._run_policy(t1)
+            self._run_policy(t1, util_arr)
 
             # Record the end-of-interval state.
             times[tick] = t1
@@ -419,16 +480,8 @@ class SimulationEngine:
                 unit_row, die_starts
             ) - np.minimum.reduceat(unit_row, die_starts)
             utilization[tick] = util_arr
-            vf_indices[tick] = np.fromiter(
-                (core.vf_index for core in core_list),
-                dtype=np.int64,
-                count=n_cores,
-            )
-            core_states[tick] = np.fromiter(
-                (STATE_CODE[core.power_state()] for core in core_list),
-                dtype=np.int64,
-                count=n_cores,
-            )
+            vf_indices[tick] = self._vf_arr
+            core_states[tick] = self._state_arr
             tick_power = self.power.total_power(powers_vec)
             total_power[tick] = tick_power
             energy += tick_power * dt
@@ -595,19 +648,29 @@ class SimulationEngine:
             self._process_completions(now)
             self._process_arrivals(now)
 
+    def _sync_core_arrays(self, core: _CoreRuntime) -> None:
+        """Refresh one core's row of the structure-of-arrays state."""
+        i = core.idx
+        vf = core.vf_index
+        self._ql_arr[i] = len(core.queue.entries)
+        self._state_arr[i] = STATE_CODE[core.power_state()]
+        self._vf_arr[i] = vf
+        self._dyn_scale_arr[i] = self._vf_dyn_scale[vf]
+        self._voltage_arr[i] = self._vf_voltage[vf]
+
     def _invalidate_event(self, core: _CoreRuntime, now: float) -> None:
         """Drop the core's cached event and push a fresh one (if any).
 
         Call sites are every mutation that changes when the core's
         running job completes: dispatch, completion pop, migration
         (source and destination), V/f change, gating flip, and sleep
-        transitions. The queue-length / power-state caches are synced
-        here too, since their inputs change at exactly these sites.
+        transitions. The structure-of-arrays row (queue length, state
+        code, V/f level) is synced here too, since its inputs change at
+        exactly these sites.
         """
         if not self._use_heap:
             return
-        self._queue_len[core.name] = len(core.queue.entries)
-        self._core_state[core.name] = core.power_state()
+        self._sync_core_arrays(core)
         core.heap_seq += 1
         event = self._next_core_event(core, now)
         if event is not None:
@@ -619,10 +682,15 @@ class SimulationEngine:
         jobs = core.queue.entries
         if not jobs or core.halted:
             return None
-        start = max(now, core.stall_until)
+        stall = core.stall_until
+        start = now if now >= stall else stall
         return start + jobs[0].remaining_s / core.speed
 
     def _execute(self, start: float, end: float) -> None:
+        # A vectorized (structure-of-arrays) variant of this loop was
+        # measured ~2x slower at the paper's core counts: ~12 NumPy ops
+        # of fixed ~1 us overhead lose to 16 trivial loop bodies. Span
+        # execution therefore stays scalar; see docs/ENGINE.md.
         if end <= start + _TIME_EPS:
             return
         for core in self._core_list:
@@ -631,16 +699,20 @@ class SimulationEngine:
             jobs = core.queue.entries
             if not jobs:
                 continue
-            exec_start = max(start, core.stall_until)
+            stall = core.stall_until
+            exec_start = start if start >= stall else stall
             exec_time = end - exec_start
             if exec_time <= 0.0:
                 continue
             speed = core.speed
             job = jobs[0]
-            done = min(job.remaining_s, exec_time * speed)
-            job.remaining_s -= done
+            remaining = job.remaining_s
+            available = exec_time * speed
+            done = remaining if remaining <= available else available
+            remaining -= done
+            job.remaining_s = remaining
             core.busy_in_tick += done / speed
-            if job.remaining_s <= _TIME_EPS:
+            if remaining <= _TIME_EPS:
                 self._finished_cores.append(core)
 
     def _process_completions(self, now: float) -> None:
@@ -683,20 +755,31 @@ class SimulationEngine:
 
     def _dispatch(self, job: Job, now: float) -> None:
         if self._use_heap:
-            # The caches mirror len(queue)/power_state() exactly (synced
-            # in _invalidate_event), so the context is two dict copies.
-            queue_lengths = dict(self._queue_len)
-            states = dict(self._core_state)
+            # The arrays mirror len(queue)/power_state()/sensor reads
+            # exactly (synced in _invalidate_event and at the tick
+            # boundary), so the context is live views — no per-dispatch
+            # dict assembly.
+            ctx = AllocationContext(
+                time=now,
+                queue_lengths=self._alloc_queue_view,
+                temperatures_k=self._alloc_temp_view,
+                states=self._alloc_state_view,
+                last_core=self._thread_last_core.get(job.thread_id),
+                core_names=self._core_names_tuple,
+                queue_lengths_vec=self._ql_arr,
+                temperatures_vec=self._temps_arr,
+                state_codes=self._state_arr,
+            )
         else:
-            queue_lengths = {n: len(c.queue) for n, c in self._cores.items()}
-            states = {n: c.power_state() for n, c in self._cores.items()}
-        ctx = AllocationContext(
-            time=now,
-            queue_lengths=queue_lengths,
-            temperatures_k=dict(self._sensor_temps),
-            states=states,
-            last_core=self._thread_last_core.get(job.thread_id),
-        )
+            ctx = AllocationContext(
+                time=now,
+                queue_lengths={
+                    n: len(c.queue) for n, c in self._cores.items()
+                },
+                temperatures_k=dict(self._sensor_temps),
+                states={n: c.power_state() for n, c in self._cores.items()},
+                last_core=self._thread_last_core.get(job.thread_id),
+            )
         target = self.policy.select_core(job, ctx)
         if target not in self._cores:
             raise SchedulerError(
@@ -731,32 +814,41 @@ class SimulationEngine:
                 core.halted = True
                 self._invalidate_event(core, now)
 
-    def _run_policy(self, now: float) -> None:
+    def _run_policy(
+        self, now: float, util_arr: Optional[np.ndarray] = None
+    ) -> None:
         if self._use_heap:
-            queue_len = self._queue_len
-            core_state = self._core_state
-            snapshots = {
-                name: CoreSnapshot(
-                    temperature_k=self._sensor_temps[name],
-                    utilization=core.last_utilization,
-                    state=core_state[name],
-                    vf_index=core.vf_index,
-                    queue_length=queue_len[name],
-                )
-                for name, core in self._cores.items()
-            }
+            # Structure-of-arrays snapshot: the CoreSnapshot mapping is
+            # materialized lazily, so policies that vectorize (or look
+            # at few cores) skip per-core object assembly entirely.
+            arrays = TickArrays(
+                core_names=self._core_names_tuple,
+                temperature_k=self._temps_arr.copy(),
+                utilization=util_arr.copy(),
+                state_codes=self._state_arr.copy(),
+                vf_index=self._vf_arr.copy(),
+                queue_length=self._ql_arr.copy(),
+            )
+            ctx = TickContext(
+                time=now,
+                cores=SnapshotArrayMapping(self._core_index, arrays),
+                arrays=arrays,
+            )
         else:
-            snapshots = {
-                name: CoreSnapshot(
-                    temperature_k=self._sensor_temps[name],
-                    utilization=self._cores[name].last_utilization,
-                    state=self._cores[name].power_state(),
-                    vf_index=self._cores[name].vf_index,
-                    queue_length=len(self._cores[name].queue),
-                )
-                for name in self.core_names
-            }
-        actions = self.policy.on_tick(TickContext(time=now, cores=snapshots))
+            ctx = TickContext(
+                time=now,
+                cores={
+                    name: CoreSnapshot(
+                        temperature_k=self._sensor_temps[name],
+                        utilization=self._cores[name].last_utilization,
+                        state=self._cores[name].power_state(),
+                        vf_index=self._cores[name].vf_index,
+                        queue_length=len(self._cores[name].queue),
+                    )
+                    for name in self.core_names
+                },
+            )
+        actions = self.policy.on_tick(ctx)
 
         for name, level in actions.vf_settings.items():
             level_speed = self.vf_table[level].frequency  # validates index
@@ -767,12 +859,14 @@ class SimulationEngine:
                 self._invalidate_event(core, now)
 
         gated = set(actions.gated)
-        for name, core in self._cores.items():
-            is_gated = name in gated
-            if core.gated != is_gated:
-                core.gated = is_gated
-                core.halted = is_gated or core.sleeping
-                self._invalidate_event(core, now)
+        if gated or self._any_gated:
+            for name, core in self._cores.items():
+                is_gated = name in gated
+                if core.gated != is_gated:
+                    core.gated = is_gated
+                    core.halted = is_gated or core.sleeping
+                    self._invalidate_event(core, now)
+            self._any_gated = bool(gated)
 
         for migration in actions.migrations:
             self._migrate(migration, now)

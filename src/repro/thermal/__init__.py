@@ -11,8 +11,9 @@ re-implements the same physics from scratch:
   :class:`~repro.floorplan.experiments.ExperimentConfig`,
 - :mod:`~repro.thermal.grid` — floorplan-to-grid area-overlap mapping,
 - :mod:`~repro.thermal.network` — sparse conductance/capacitance assembly,
-- :mod:`~repro.thermal.solver` — steady-state and transient (backward
-  Euler / Crank-Nicolson) solvers with cached sparse factorizations,
+- :mod:`~repro.thermal.solver` — steady-state and transient solvers
+  (exact exponential propagator, backward Euler, Crank-Nicolson) with
+  cached factorizations,
 - :mod:`~repro.thermal.model` — the :class:`ThermalModel` facade used by
   the simulation engine,
 - :mod:`~repro.thermal.sensors` — per-core temperature sensors.

@@ -163,6 +163,17 @@ class GridMapper:
             )
         return out
 
+    def max_readback_index(self):
+        """``(cell_idx, segment_offsets, unit_idx)`` behind the max readback.
+
+        ``maximum.reduceat(cell_temps[cell_idx], segment_offsets)``
+        yields the per-unit max rows for the units listed in
+        ``unit_idx`` (units overlapping no cell are absent). The thermal
+        model stacks these per-die triples into its global readback
+        index.
+        """
+        return self._max_cell_idx, self._max_offsets, self._max_scatter
+
     def unit_temperatures(self, cell_temps: np.ndarray) -> Dict[str, float]:
         """Area-weighted mean temperature of every unit."""
         means = self.unit_temperature_vector(cell_temps)

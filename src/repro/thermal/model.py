@@ -15,19 +15,29 @@ Power injection is one sparse matvec: a precomputed
 vector onto the grid nodes, so the 100 ms tick loop never touches
 per-die dicts (:meth:`ThermalModel.step_vector`).
 
+Temperature readback is flat as well: the per-die mapper weights are
+stacked once into a global (n_units x n_nodes) dense weight matrix and
+a global max-cell gather, so the two per-tick readbacks
+(:meth:`unit_temperature_vector`, :meth:`unit_max_vector`) are a single
+GEMV / ``maximum.reduceat`` over the node state with no per-die
+splitting or concatenation.
+
 The expensive immutable parts of a model — stack, RC network, the
-factorized solvers, grid mappers, and the projection — live in a
-:class:`ThermalAssembly` that can be shared between ThermalModel
-instances of the same configuration. Campaign workers reuse one
-assembly across every run on the same (experiment, grid) stack, so
-repeated runs skip ``build_network`` and the LU factorizations; only
-the temperature state vector is per-instance.
+factorized solvers, grid mappers, the projection, and the readback
+index — live in a :class:`ThermalAssembly` that can be shared between
+ThermalModel instances of the same configuration. Campaign workers
+reuse one assembly across every run on the same (experiment, grid)
+stack, so repeated runs skip ``build_network``, the LU factorizations
+and the exponential-propagator ``expm``; only the temperature state
+vector is per-instance. The assembly lazily builds and caches one
+:class:`~repro.thermal.solver.TransientSolver` per method, so runs
+selecting different integrators still share everything else.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -38,11 +48,40 @@ from repro.floorplan.unit import UnitKind
 from repro.thermal.grid import GridMapper
 from repro.thermal.materials import AMBIENT_K
 from repro.thermal.network import ThermalNetwork, build_network
-from repro.thermal.solver import SteadyStateSolver, TransientSolver
+from repro.thermal.solver import (
+    SOLVER_METHODS,
+    SteadyStateSolver,
+    TransientSolver,
+)
 from repro.thermal.stack import Stack3D, build_stack
 
 DEFAULT_GRID_ROWS = 8
 DEFAULT_GRID_COLS = 8
+
+#: Solver used by new models unless a caller opts out. The exponential
+#: propagator is exact for the engine's piecewise-constant power, so it
+#: is both the fastest and the most accurate option at the paper grids.
+DEFAULT_SOLVER_METHOD = "exponential"
+
+
+@dataclass
+class ReadbackIndex:
+    """Global node-to-unit readback gathers shared by both readbacks.
+
+    ``mean_weights @ temps`` is the per-unit area-weighted mean row and
+    ``maximum.reduceat(temps[max_node_idx], max_offsets)`` the per-unit
+    max row (scattered through ``max_scatter``), both in the global
+    die-major ``unit_names`` order — one precomputed index, no per-die
+    slicing or concatenation on the tick path. ``mean_weights`` is kept
+    dense: at tens of units x a few hundred nodes, one BLAS GEMV beats
+    scipy's sparse-matvec fixed overhead.
+    """
+
+    mean_weights: np.ndarray
+    max_node_idx: np.ndarray
+    max_offsets: np.ndarray
+    max_scatter: np.ndarray
+    n_units: int
 
 
 @dataclass
@@ -66,6 +105,61 @@ class ThermalAssembly:
     sampling_interval: float
     substeps: int
     node_projection: sparse.csr_matrix
+    readback: ReadbackIndex
+    solvers: Dict[str, TransientSolver] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.solvers.setdefault(self.transient.method, self.transient)
+        self._exponential_step: Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = None
+
+    def transient_solver(self, method: str) -> TransientSolver:
+        """The transient solver for ``method``, built once per assembly.
+
+        Lazily constructed so runs that switch integrators (e.g. the
+        differential benches) share the network, steady factorization,
+        mappers and projection while each method pays its own setup
+        exactly once.
+        """
+        if method not in SOLVER_METHODS:
+            raise ThermalModelError(
+                f"unknown solver method {method!r}; "
+                f"expected one of {SOLVER_METHODS}"
+            )
+        if method not in self.solvers:
+            self.solvers[method] = TransientSolver(
+                self.network,
+                dt=self.sampling_interval,
+                substeps=self.substeps,
+                method=method,
+                steady_lu=self.steady.lu,
+            )
+        return self.solvers[method]
+
+    def exponential_step(
+        self,
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """``(propagator, steady_gain, ambient_vec)`` of the exact step.
+
+        ``T_inf = steady_gain @ unit_powers + ambient_vec`` followed by
+        ``T' = T_inf + propagator @ (T - T_inf)`` advances one sampling
+        interval with no per-tick triangular solve: ``steady_gain`` is
+        the dense ``G^-1 @ node_projection`` (n_nodes x n_units),
+        computed once per assembly. Returns None when the exponential
+        method resolved to an implicit fallback (network too large).
+        """
+        solver = self.transient_solver("exponential")
+        if solver.resolved_method != "exponential":
+            return None
+        if self._exponential_step is None:
+            lu = self.steady.lu
+            gain = lu.solve(np.asarray(self.node_projection.todense()))
+            ambient = lu.solve(
+                self.network.ambient_conductance * self.network.ambient_k
+            )
+            self._exponential_step = (solver.propagator, gain, ambient)
+        return self._exponential_step
 
 
 class ThermalModel:
@@ -82,7 +176,12 @@ class ThermalModel:
     sampling_interval:
         External step size in seconds (the paper samples at 100 ms).
     substeps:
-        Internal integrator subdivisions per sampling interval.
+        Internal integrator subdivisions per sampling interval (implicit
+        methods only).
+    solver_method:
+        Transient integrator: ``"exponential"`` (default; exact under
+        piecewise-constant power), ``"backward_euler"`` or
+        ``"crank_nicolson"``. Switchable later via :meth:`use_solver`.
     stack:
         Optional pre-built stack (overrides ``config``-derived assembly);
         used by ablation studies that perturb package parameters.
@@ -102,6 +201,7 @@ class ThermalModel:
         ambient_k: float = AMBIENT_K,
         sampling_interval: float = 0.1,
         substeps: int = 2,
+        solver_method: str = DEFAULT_SOLVER_METHOD,
         stack: Optional[Stack3D] = None,
         assembly: Optional[ThermalAssembly] = None,
     ) -> None:
@@ -126,13 +226,18 @@ class ThermalModel:
             for stack_index, layer in built_stack.die_layers():
                 mappers.append(GridMapper(layer.floorplan, nrows, ncols))
                 die_stack_indices.append(stack_index)
+            steady = SteadyStateSolver(network)
             self.assembly = ThermalAssembly(
                 stack=built_stack,
                 network=network,
                 transient=TransientSolver(
-                    network, dt=float(sampling_interval), substeps=substeps
+                    network,
+                    dt=float(sampling_interval),
+                    substeps=substeps,
+                    method=solver_method,
+                    steady_lu=steady.lu,
                 ),
-                steady=SteadyStateSolver(network),
+                steady=steady,
                 mappers=mappers,
                 die_stack_indices=die_stack_indices,
                 sampling_interval=float(sampling_interval),
@@ -140,15 +245,17 @@ class ThermalModel:
                 node_projection=_build_node_projection(
                     network, mappers, die_stack_indices
                 ),
+                readback=_build_readback(network, mappers, die_stack_indices),
             )
         self.stack = self.assembly.stack
         self.network = self.assembly.network
         self.sampling_interval = self.assembly.sampling_interval
-        self._transient = self.assembly.transient
         self._steady = self.assembly.steady
         self._mappers = self.assembly.mappers
         self._die_stack_indices = self.assembly.die_stack_indices
         self._projection = self.assembly.node_projection
+        self._readback = self.assembly.readback
+        self.use_solver(solver_method)
 
         # Global unit name -> (die ordinal, name); names are unique across
         # layers by construction of the experiment configs.
@@ -233,6 +340,25 @@ class ThermalModel:
         """Ambient temperature in kelvin."""
         return self.network.ambient_k
 
+    @property
+    def solver_method(self) -> str:
+        """Requested method of the active transient solver."""
+        return self._transient.method
+
+    def use_solver(self, method: str) -> TransientSolver:
+        """Select the transient integrator (cached per assembly).
+
+        Switching is cheap after the first use of a method: the
+        factorization / propagator is built once per assembly and
+        shared by every model on it.
+        """
+        self._transient = self.assembly.transient_solver(method)
+        if self._transient.resolved_method == "exponential":
+            self._exp_step = self.assembly.exponential_step()
+        else:
+            self._exp_step = None
+        return self._transient
+
     def die_mapper(self, die_ordinal: int) -> GridMapper:
         """The grid mapper of die ``die_ordinal`` (0 = nearest the sink)."""
         return self._mappers[die_ordinal]
@@ -300,13 +426,31 @@ class ThermalModel:
 
     def step(self, unit_powers: Dict[str, float]) -> None:
         """Advance one sampling interval under the given constant powers."""
-        self.temperatures = self._transient.step(
-            self.temperatures, self.node_powers(unit_powers)
-        )
+        self.step_vector(self.unit_power_vector(unit_powers))
 
     def step_vector(self, unit_power_vec: np.ndarray) -> None:
         """Advance one sampling interval from a ``unit_names``-ordered
-        power vector (the dict-free hot path)."""
+        power vector (the dict-free hot path).
+
+        With the exponential solver this is three GEMVs against
+        precomputed matrices — no triangular solve on the tick path.
+        """
+        exp_step = self._exp_step
+        if exp_step is not None:
+            if unit_power_vec.shape != (self._projection.shape[1],):
+                raise ThermalModelError(
+                    "expected power vector of length "
+                    f"{self._projection.shape[1]}"
+                )
+            propagator, gain, ambient = exp_step
+            t_inf = gain @ unit_power_vec
+            t_inf += ambient
+            deviation = self.temperatures
+            deviation = deviation - t_inf
+            step = propagator @ deviation
+            step += t_inf
+            self.temperatures = step
+            return
         self.temperatures = self._transient.step(
             self.temperatures, self.node_powers_from_vector(unit_power_vec)
         )
@@ -323,12 +467,12 @@ class ThermalModel:
         stack_index = self._die_stack_indices[die_ordinal]
         return self.network.layer_temperatures(temps, stack_index)
 
+    def _mean_vector_from(self, temps: np.ndarray) -> np.ndarray:
+        return self._readback.mean_weights @ temps
+
     def _unit_temps_from(self, temps: np.ndarray) -> Dict[str, float]:
-        out: Dict[str, float] = {}
-        for die_ordinal, mapper in enumerate(self._mappers):
-            cells = self._die_cell_temps(die_ordinal, temps)
-            out.update(mapper.unit_temperatures(cells))
-        return out
+        vector = self._mean_vector_from(temps)
+        return {name: float(vector[i]) for i, name in enumerate(self._unit_die)}
 
     def unit_temperatures(self) -> Dict[str, float]:
         """Current area-weighted mean temperature (K) of every unit."""
@@ -349,22 +493,26 @@ class ThermalModel:
         return list(self._die_unit_slices)
 
     def unit_temperature_vector(self) -> np.ndarray:
-        """Current per-unit mean temperatures (K), ``unit_names`` order."""
-        return np.concatenate([
-            mapper.unit_temperature_vector(
-                self._die_cell_temps(die_ordinal, self.temperatures)
-            )
-            for die_ordinal, mapper in enumerate(self._mappers)
-        ])
+        """Current per-unit mean temperatures (K), ``unit_names`` order.
+
+        One dense GEMV against the precomputed global readback weights
+        (no per-die splitting/concatenation).
+        """
+        return self._mean_vector_from(self.temperatures)
 
     def unit_max_vector(self) -> np.ndarray:
-        """Current per-unit max temperatures (K), ``unit_names`` order."""
-        return np.concatenate([
-            mapper.unit_max_vector(
-                self._die_cell_temps(die_ordinal, self.temperatures)
+        """Current per-unit max temperatures (K), ``unit_names`` order.
+
+        One gather + ``maximum.reduceat`` over the precomputed global
+        max-cell node index.
+        """
+        rb = self._readback
+        out = np.full(rb.n_units, np.nan)
+        if rb.max_node_idx.size:
+            out[rb.max_scatter] = np.maximum.reduceat(
+                self.temperatures[rb.max_node_idx], rb.max_offsets
             )
-            for die_ordinal, mapper in enumerate(self._mappers)
-        ])
+        return out
 
     def core_temperatures(self) -> Dict[str, float]:
         """Current per-core temperatures (K), canonical order preserved."""
@@ -437,4 +585,58 @@ def _build_node_projection(
             ),
         ),
         shape=(network.n_nodes, unit_offset),
+    )
+
+
+def _build_readback(
+    network: ThermalNetwork,
+    mappers: List[GridMapper],
+    die_stack_indices: List[int],
+) -> ReadbackIndex:
+    """Stack the per-die mapper readbacks into one global node index.
+
+    The mean readback becomes a (n_units x n_nodes) dense GEMV and the
+    max readback one gather + segment reduce, both shared by every
+    tick of every run on the assembly.
+    """
+    rows: List[np.ndarray] = []
+    cols: List[np.ndarray] = []
+    vals: List[np.ndarray] = []
+    max_idx: List[np.ndarray] = []
+    max_offsets: List[np.ndarray] = []
+    max_scatter: List[np.ndarray] = []
+    unit_offset = 0
+    gathered = 0
+    for die_ordinal, mapper in enumerate(mappers):
+        node_start = network.layer_slice(die_stack_indices[die_ordinal]).start
+        weights = mapper.power_weights  # identical to the temp weights
+        unit_idx, cell_idx = np.nonzero(weights)
+        rows.append(unit_offset + unit_idx)
+        cols.append(node_start + cell_idx)
+        vals.append(weights[unit_idx, cell_idx])
+        cell_i, offsets_i, scatter_i = mapper.max_readback_index()
+        max_idx.append(node_start + cell_i)
+        max_offsets.append(gathered + offsets_i)
+        max_scatter.append(unit_offset + scatter_i)
+        gathered += cell_i.size
+        unit_offset += len(mapper.unit_names)
+    mean = np.zeros((unit_offset, network.n_nodes))
+    if rows:
+        mean[np.concatenate(rows), np.concatenate(cols)] = np.concatenate(vals)
+    return ReadbackIndex(
+        mean_weights=mean,
+        max_node_idx=(
+            np.concatenate(max_idx) if max_idx else np.zeros(0, dtype=np.intp)
+        ),
+        max_offsets=(
+            np.concatenate(max_offsets)
+            if max_offsets
+            else np.zeros(0, dtype=np.intp)
+        ),
+        max_scatter=(
+            np.concatenate(max_scatter)
+            if max_scatter
+            else np.zeros(0, dtype=np.intp)
+        ),
+        n_units=unit_offset,
     )

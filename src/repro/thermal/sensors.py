@@ -106,3 +106,22 @@ class SensorBank:
             name: self._sensors[name].read(float(temp))
             for name, temp in zip(self.core_names, true_temps)
         }
+
+    def read_cores_vector(
+        self, max_vector: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Current sensor readings (K) as a per-core array.
+
+        Array twin of :meth:`read_cores` (same values, same RNG draw
+        order for noisy sensors), consumed by the engine's
+        structure-of-arrays tick path.
+        """
+        if max_vector is None:
+            max_vector = self.model.unit_max_vector()
+        true_temps = max_vector[self._core_cols]
+        if self._ideal:
+            return true_temps
+        return np.array([
+            self._sensors[name].read(float(temp))
+            for name, temp in zip(self.core_names, true_temps)
+        ])

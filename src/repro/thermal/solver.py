@@ -1,15 +1,30 @@
 """Steady-state and transient solvers over a :class:`ThermalNetwork`.
 
 The transient solver integrates ``C dT/dt = -G T + P + g_amb T_amb``
-with backward Euler (default) or Crank-Nicolson. Both are A-stable,
-which matters: cell capacitances span five orders of magnitude (silicon
-grid cells ~1e-4 J/K vs the 140 J/K convection node), so the system is
-stiff and explicit integration would need microsecond steps.
+with one of three methods:
 
-The factorization of the iteration matrix depends only on the internal
-step size, so it is computed once per (dt, substeps) and reused across
-the whole simulation — each 100 ms sampling tick then costs a handful of
-sparse triangular solves.
+- ``"exponential"`` (default for new models): under piecewise-constant
+  power — exactly the engine's contract, power is held constant across
+  each sampling interval — the update
+
+      T' = T_inf + A (T - T_inf),   A = expm(-C^-1 G dt),
+      G T_inf = P + g_amb T_amb
+
+  is the *exact* solution of the linear ODE over the interval. The
+  propagator ``A`` is built once per (network, dt) and each step is one
+  cached sparse steady solve plus one dense GEMV — no substep
+  discretization error and no per-substep triangular solve pair.
+- ``"backward_euler"`` / ``"crank_nicolson"``: A-stable fixed-substep
+  implicit integrators, kept as config options (and as the automatic
+  fallback when the network is too large for a dense propagator to
+  pay). A-stability matters: cell capacitances span five orders of
+  magnitude (silicon grid cells ~1e-4 J/K vs the 140 J/K convection
+  node), so the system is stiff and explicit integration would need
+  microsecond steps.
+
+All factorizations and the propagator depend only on the network and
+the step size, so they are computed once and reused across the whole
+simulation.
 """
 
 from __future__ import annotations
@@ -18,12 +33,29 @@ from typing import Optional
 
 import numpy as np
 from scipy import sparse
+from scipy.linalg import expm
 from scipy.sparse.linalg import splu
 
 from repro.errors import ThermalModelError
 from repro.thermal.network import ThermalNetwork
 
-_METHODS = ("backward_euler", "crank_nicolson")
+SOLVER_METHODS = ("exponential", "backward_euler", "crank_nicolson")
+_IMPLICIT_METHODS = ("backward_euler", "crank_nicolson")
+
+#: Above this node count the dense ``expm`` propagator stops paying
+#: (quadratic GEMV + cubic build); ``method="exponential"`` then
+#: resolves to backward Euler. The paper grids are 257-385 nodes.
+DENSE_PROPAGATOR_NODE_LIMIT = 1024
+
+
+def build_propagator(network: ThermalNetwork, dt: float) -> np.ndarray:
+    """The dense interval propagator ``expm(-C^-1 G dt)``.
+
+    Exact for piecewise-constant power; built once per (network, dt)
+    and amortized across every step of every run sharing the assembly.
+    """
+    rate = sparse.diags(1.0 / network.capacitance) @ network.conductance
+    return expm((-float(dt)) * rate.toarray())
 
 
 class SteadyStateSolver:
@@ -32,6 +64,12 @@ class SteadyStateSolver:
     def __init__(self, network: ThermalNetwork) -> None:
         self.network = network
         self._lu = splu(network.conductance)
+
+    @property
+    def lu(self):
+        """The cached SuperLU factorization of ``G`` (shared with the
+        exponential transient solver, which needs the same solve)."""
+        return self._lu
 
     def solve(self, node_powers: np.ndarray) -> np.ndarray:
         """Equilibrium node temperatures (K) for the given power vector."""
@@ -45,7 +83,7 @@ class SteadyStateSolver:
 
 
 class TransientSolver:
-    """Fixed-step implicit integrator with a cached factorization.
+    """Fixed-step integrator with cached factorizations/propagator.
 
     Parameters
     ----------
@@ -54,11 +92,20 @@ class TransientSolver:
     dt:
         External step size in seconds (one sampling interval).
     substeps:
-        Internal subdivisions of ``dt`` for accuracy. The default of 2
-        resolves the fast silicon dynamics well enough for 100 ms
-        sampling (validated against Crank-Nicolson in the test suite).
+        Internal subdivisions of ``dt`` for the implicit methods. The
+        default of 2 resolves the fast silicon dynamics well enough for
+        100 ms sampling (validated against Crank-Nicolson in the test
+        suite). Ignored by the exponential method, which is exact.
     method:
-        ``"backward_euler"`` (default) or ``"crank_nicolson"``.
+        ``"exponential"``, ``"backward_euler"`` or ``"crank_nicolson"``.
+    steady_lu:
+        Optional pre-computed SuperLU factorization of ``G`` (e.g. from
+        a :class:`SteadyStateSolver` on the same network); the
+        exponential method reuses it instead of refactorizing.
+    dense_node_limit:
+        Node count above which ``"exponential"`` falls back to backward
+        Euler (the dense propagator would not pay). ``resolved_method``
+        reports what actually runs.
     """
 
     def __init__(
@@ -67,29 +114,51 @@ class TransientSolver:
         dt: float,
         substeps: int = 2,
         method: str = "backward_euler",
+        steady_lu=None,
+        dense_node_limit: int = DENSE_PROPAGATOR_NODE_LIMIT,
     ) -> None:
         if dt <= 0.0:
             raise ThermalModelError(f"dt must be positive, got {dt}")
         if substeps < 1:
             raise ThermalModelError(f"substeps must be >= 1, got {substeps}")
-        if method not in _METHODS:
+        if method not in SOLVER_METHODS:
             raise ThermalModelError(
-                f"unknown method {method!r}; expected one of {_METHODS}"
+                f"unknown method {method!r}; expected one of {SOLVER_METHODS}"
             )
         self.network = network
         self.dt = float(dt)
         self.substeps = int(substeps)
         self.method = method
-        h = self.dt / self.substeps
-        c_over_h = sparse.diags(network.capacitance / h)
-        if method == "backward_euler":
-            lhs = (c_over_h + network.conductance).tocsc()
-            self._explicit: Optional[sparse.csc_matrix] = None
+        resolved = method
+        if method == "exponential" and network.n_nodes > dense_node_limit:
+            resolved = "backward_euler"
+        self.resolved_method = resolved
+
+        self._propagator: Optional[np.ndarray] = None
+        self._steady_lu = None
+        self._explicit: Optional[sparse.csc_matrix] = None
+        self._c_over_h: Optional[np.ndarray] = None
+        self._lu = None
+        if resolved == "exponential":
+            self._propagator = build_propagator(network, self.dt)
+            self._steady_lu = steady_lu if steady_lu is not None else splu(
+                network.conductance
+            )
         else:
-            lhs = (c_over_h + 0.5 * network.conductance).tocsc()
-            self._explicit = (c_over_h - 0.5 * network.conductance).tocsc()
-        self._c_over_h = network.capacitance / h
-        self._lu = splu(lhs)
+            h = self.dt / self.substeps
+            c_over_h = sparse.diags(network.capacitance / h)
+            if resolved == "backward_euler":
+                lhs = (c_over_h + network.conductance).tocsc()
+            else:
+                lhs = (c_over_h + 0.5 * network.conductance).tocsc()
+                self._explicit = (c_over_h - 0.5 * network.conductance).tocsc()
+            self._c_over_h = network.capacitance / h
+            self._lu = splu(lhs)
+
+    @property
+    def propagator(self) -> Optional[np.ndarray]:
+        """Dense interval propagator (exponential method only)."""
+        return self._propagator
 
     def step(self, temps: np.ndarray, node_powers: np.ndarray) -> np.ndarray:
         """Advance one external step ``dt`` under constant power.
@@ -116,9 +185,12 @@ class TransientSolver:
                 f"expected {net.n_nodes} node powers, got {node_powers.shape}"
             )
         source = node_powers + net.ambient_conductance * net.ambient_k
+        if self.resolved_method == "exponential":
+            t_inf = self._steady_lu.solve(source)
+            return t_inf + self._propagator @ (temps - t_inf)
         current = temps
         for _ in range(self.substeps):
-            if self.method == "backward_euler":
+            if self.resolved_method == "backward_euler":
                 rhs = self._c_over_h * current + source
             else:
                 rhs = self._explicit @ current + source

@@ -78,6 +78,19 @@ class TestDifferentialFast:
             )
         )
 
+    @pytest.mark.parametrize(
+        "solver", ["backward_euler", "crank_nicolson"]
+    )
+    def test_heap_matches_scan_with_implicit_solvers(self, solver):
+        """The differential contract holds for every selectable
+        integrator, not just the exponential default."""
+        assert_bit_identical(
+            RunSpec(
+                exp_id=4, policy="Adapt3D", duration_s=6.0, seed=2009,
+                thermal_solver=solver,
+            )
+        )
+
 
 @pytest.mark.slow
 class TestDifferentialMatrix:
