@@ -24,6 +24,7 @@ slower than the reference machine.
 """
 
 import json
+import os
 import time
 from dataclasses import replace
 from pathlib import Path
@@ -35,8 +36,17 @@ from repro.campaign.spec import run_key
 
 from benchmarks.conftest import BENCH_SEED, emit
 
-BENCH_SIM_S = 30.0  # 300 ticks per measurement
-REPS = 3
+#: REPRO_BENCH_SMOKE=1 shortens the measurement and skips the timing
+#: gates — CI runs the bench on every push for the BENCH_engine.json
+#: artifact and the bit-identity spot checks, not for wall-clock
+#: assertions on shared runners.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+BENCH_SIM_S = 6.0 if SMOKE else 30.0  # 300 ticks per full measurement
+# 5 interleaved rounds: the per-cell min needs several chances to land
+# in a quiet slice of a shared machine (cgroup throttling after a
+# bursty neighbour inflates whole rounds by tens of percent).
+REPS = 1 if SMOKE else 5
 #: PR 2's recorded EXP-4 figures on the trajectory machine.
 PR2_HEAP_EXP4_MS = 0.37
 PR2_SCAN_EXP4_MS = 0.57
@@ -58,19 +68,28 @@ def _spec(exp_id: int) -> RunSpec:
     )
 
 
-def _ms_per_tick(
-    runner: ExperimentRunner, spec: RunSpec, loop: str, solver: str
-) -> float:
-    best = float("inf")
+def _measure_cells(runner: ExperimentRunner) -> dict:
+    """Best-of-REPS ms/tick for every (stack, config) cell.
+
+    Rounds are interleaved — each round measures every cell once — so a
+    transient load spike on a shared machine degrades one *round*, not
+    one config's entire measurement (the per-cell min then drops it).
+    """
+    cells = {}
     for _ in range(REPS):
-        engine = runner.build_engine(spec)
-        engine.config = replace(
-            engine.config, event_loop=loop, thermal_solver=solver
-        )
-        start = time.perf_counter()
-        result = engine.run()
-        best = min(best, time.perf_counter() - start)
-    return best / result.n_ticks * 1000.0
+        for exp_id in (1, 2, 3, 4):
+            for label, loop, solver in CONFIGS:
+                engine = runner.build_engine(_spec(exp_id))
+                engine.config = replace(
+                    engine.config, event_loop=loop, thermal_solver=solver
+                )
+                start = time.perf_counter()
+                result = engine.run()
+                elapsed = time.perf_counter() - start
+                key = (exp_id, label)
+                ms = elapsed / result.n_ticks * 1000.0
+                cells[key] = min(cells.get(key, float("inf")), ms)
+    return cells
 
 
 def test_engine_hotpath(results_dir):
@@ -87,14 +106,12 @@ def test_engine_hotpath(results_dir):
         runner.build_engine(_spec(4))
     cached_build_ms = (time.perf_counter() - start) * 1000.0 / 5
 
+    cells = _measure_cells(runner)
     per_exp = {}
     for exp_id in (1, 2, 3, 4):
-        spec = _spec(exp_id)
         row = {}
-        for label, loop, solver in CONFIGS:
-            row[f"{label}_ms_per_tick"] = round(
-                _ms_per_tick(runner, spec, loop, solver), 4
-            )
+        for label, _, _ in CONFIGS:
+            row[f"{label}_ms_per_tick"] = round(cells[(exp_id, label)], 4)
         row["drop_vs_scan_pct"] = round(
             100.0
             * (1.0 - row["exponential_heap_ms_per_tick"]
@@ -118,6 +135,7 @@ def test_engine_hotpath(results_dir):
     exp4 = per_exp["exp4"]
     exp4_ms = exp4["exponential_heap_ms_per_tick"]
     payload = {
+        "smoke": SMOKE,
         "simulated_s": BENCH_SIM_S,
         "policy": "Adapt3D",
         "run_key_exp4": run_key(_spec(4)),
@@ -130,11 +148,24 @@ def test_engine_hotpath(results_dir):
         "assembly_first_build_ms": round(first_build_ms, 2),
         "assembly_cached_build_ms": round(cached_build_ms, 2),
     }
+    # Preserve the batch-engine section bench_batch_engine.py merges
+    # into the same artifact (collection order is alphabetical, so the
+    # batch bench usually runs first); fall back to the tracked
+    # repo-root mirror when results/ starts clean so a standalone run
+    # does not silently drop the recorded batch numbers.
+    existing = results_dir / "BENCH_engine.json"
+    source = existing if existing.exists() else REPO_ROOT / "BENCH_engine.json"
+    if source.exists():
+        previous = json.loads(source.read_text())
+        if "batch" in previous:
+            payload["batch"] = previous["batch"]
     text = json.dumps(payload, indent=2) + "\n"
-    (results_dir / "BENCH_engine.json").write_text(text)
+    existing.write_text(text)
     # Mirror to the repo root so the perf trajectory is tracked at top
-    # level alongside BENCH_campaign.json.
-    (REPO_ROOT / "BENCH_engine.json").write_text(text)
+    # level alongside BENCH_campaign.json — full runs only; smoke-mode
+    # figures must never replace the tracked trajectory numbers.
+    if not SMOKE:
+        (REPO_ROOT / "BENCH_engine.json").write_text(text)
 
     lines = [
         "Engine hot path (ms per 100 ms tick, best of "
@@ -155,10 +186,19 @@ def test_engine_hotpath(results_dir):
     )
     emit(results_dir, "engine_hotpath", "\n".join(lines))
 
+    if SMOKE:
+        return
+
     # Acceptance: EXP-4 at or below 0.28 ms/tick with the shipping
     # configuration — on hosts slower than the trajectory machine the
-    # target scales with the measured legacy-scan cost.
-    machine_scale = max(1.0, exp4["scan_ms_per_tick"] / PR2_SCAN_EXP4_MS)
+    # target scales with the measured cost of the retained reference
+    # configurations (scan and implicit heap; the max of the two tracks
+    # whichever reveals the slowdown).
+    machine_scale = max(
+        1.0,
+        exp4["scan_ms_per_tick"] / PR2_SCAN_EXP4_MS,
+        exp4["implicit_heap_ms_per_tick"] / PR2_HEAP_EXP4_MS,
+    )
     assert exp4_ms <= TARGET_EXP4_MS * machine_scale, (
         f"EXP-4 exponential+heap {exp4_ms} ms/tick missed the "
         f"{TARGET_EXP4_MS} ms target (machine scale {machine_scale:.2f})"

@@ -17,6 +17,7 @@ Expected shape (paper §V-B):
 import pytest
 
 from repro.analysis.figures import FigureSeries
+from repro.analysis.runner import RunSpec
 from repro.campaign import CampaignSpec
 from repro.core.registry import policy_names
 from repro.metrics.performance import normalized_delay
@@ -29,7 +30,15 @@ EXPS = (1, 2, 3, 4)
 # The whole figure as one declarative grid: every policy on every stack,
 # no DPM. The campaign executor fills the session store (skipping runs
 # a previous bench invocation already produced); the figure is then
-# assembled from stored results.
+# assembled from stored results. One sensor-noise point rides along as
+# an extra run: the same hottest-stack Adapt3D setup with 1 K Gaussian
+# sensor noise, exercising the campaign noise axis end to end (its
+# hot-spot number prints next to the ideal-sensor figure).
+NOISE_SIGMA_K = 1.0
+NOISE_RUN = RunSpec(
+    exp_id=4, policy="Adapt3D", duration_s=BENCH_DURATION_S,
+    seed=BENCH_SEED, sensor_noise_sigma=NOISE_SIGMA_K,
+)
 CAMPAIGN = CampaignSpec(
     name="fig3_hotspots_nodpm",
     exp_ids=EXPS,
@@ -37,6 +46,7 @@ CAMPAIGN = CampaignSpec(
     durations_s=(BENCH_DURATION_S,),
     dpm=(False,),
     seeds=(BENCH_SEED,),
+    extra_runs=(NOISE_RUN,),
 )
 
 
@@ -78,7 +88,20 @@ def test_fig3_hotspots_without_dpm(
         build_figure, args=(campaign_executor, get_result), rounds=1,
         iterations=1,
     )
-    emit(results_dir, "fig3_hotspots_nodpm", fig.to_text())
+    # The sensor-noise extra point (EXP-4 Adapt3D, 1 K sigma) vs its
+    # ideal-sensor twin: noisy sensors blur the allocator's view, so the
+    # hot-spot number should stay in the same regime, not collapse.
+    from repro.campaign import run_key
+
+    noisy = summarize(
+        campaign_executor.run_specs([NOISE_RUN])[run_key(NOISE_RUN)]
+    ).hot_spot_pct
+    ideal = fig.value("EXP4 hot%", "Adapt3D")
+    text = fig.to_text() + (
+        f"\nsensor-noise point: EXP4 Adapt3D at sigma={NOISE_SIGMA_K:.0f} K "
+        f"-> hot% {noisy:.2f} (ideal sensors {ideal:.2f})"
+    )
+    emit(results_dir, "fig3_hotspots_nodpm", text)
 
     # 4-tier stacks suffer far more hot spots than 2-tier (paper's
     # central 3D observation).

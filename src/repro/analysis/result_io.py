@@ -227,6 +227,65 @@ def load_result(stem: Union[str, Path]) -> SimulationResult:
     )
 
 
+def truncate_result(
+    result: SimulationResult, duration_s: float
+) -> SimulationResult:
+    """Slice a recording down to its first ``duration_s`` of simulation.
+
+    The engine's dynamics are independent of the configured duration, so
+    the first N ticks of a long run are *exactly* the recording a short
+    run of the same spec would produce — which is what makes the result
+    store's prefix cache sound. Per-tick series are sliced; jobs are
+    filtered to those completed within the horizon. Two scalar fields
+    are recomputed rather than replayed: ``energy_j`` is re-accumulated
+    from the (possibly CSV-quantized) power series in the engine's
+    left-fold order, and ``migrations`` is re-counted from the surviving
+    jobs — both are documented approximations of what a fresh short run
+    would record (a running job's migrations are not attributable after
+    the fact).
+    """
+    dt = result.sampling_interval_s
+    n = int(round(duration_s / dt))
+    if n < 1:
+        raise ConfigurationError(
+            f"cannot truncate to {duration_s} s: shorter than one "
+            f"{dt} s sampling interval"
+        )
+    if n > result.n_ticks:
+        raise ConfigurationError(
+            f"cannot truncate to {duration_s} s: recording holds only "
+            f"{result.n_ticks} ticks of {dt} s"
+        )
+    if n == result.n_ticks:
+        return result
+    end_time = float(result.times[n - 1])
+    jobs = [
+        job for job in result.jobs
+        if job.finished and job.completion_time <= end_time + 1e-9
+    ]
+    energy = 0.0
+    for power in result.total_power_w[:n].tolist():
+        energy += power * dt
+    return SimulationResult(
+        times=result.times[:n].copy(),
+        unit_names=list(result.unit_names),
+        unit_temps_k=result.unit_temps_k[:n].copy(),
+        core_names=list(result.core_names),
+        core_temps_k=result.core_temps_k[:n].copy(),
+        core_peak_temps_k=result.core_peak_temps_k[:n].copy(),
+        layer_spreads_k=result.layer_spreads_k[:n].copy(),
+        utilization=result.utilization[:n].copy(),
+        vf_indices=result.vf_indices[:n].copy(),
+        core_states=result.core_states[:n].copy(),
+        total_power_w=result.total_power_w[:n].copy(),
+        energy_j=energy,
+        jobs=jobs,
+        migrations=sum(job.migrations for job in jobs),
+        policy_name=result.policy_name,
+        sampling_interval_s=dt,
+    )
+
+
 def load_temperature_csv(
     path: Union[str, Path],
 ) -> Tuple[np.ndarray, List[str], np.ndarray]:

@@ -57,6 +57,14 @@ class RunSpec:
         Transient integrator: ``"exponential"`` (default, exact under
         piecewise-constant power), ``"backward_euler"`` or
         ``"crank_nicolson"``.
+    sensor_noise_sigma:
+        Additive Gaussian sensor noise in kelvin (0 = ideal sensors);
+        the sensor-noise campaign axis plumbs through here.
+    workload_mix:
+        Optional named workload-mix scenario
+        (:func:`repro.workload.benchmarks.named_mix`), scaled to the
+        stack's core count at build time. Mutually exclusive with
+        ``benchmark_mix``.
     """
 
     exp_id: int
@@ -68,6 +76,8 @@ class RunSpec:
     benchmark_mix: Optional[Tuple[Tuple[str, int], ...]] = None
     policy_params: Optional[Tuple[Tuple[str, float], ...]] = None
     thermal_solver: str = "exponential"
+    sensor_noise_sigma: float = 0.0
+    workload_mix: Optional[str] = None
 
 
 class ExperimentRunner:
@@ -143,6 +153,7 @@ class ExperimentRunner:
         engine_config = EngineConfig(
             duration_s=spec.duration_s,
             dpm=FixedTimeoutDPM() if spec.with_dpm else None,
+            sensor_noise_sigma=spec.sensor_noise_sigma,
             seed=spec.seed,
             thermal_solver=spec.thermal_solver,
         )
@@ -158,6 +169,72 @@ class ExperimentRunner:
     def run(self, spec: RunSpec) -> SimulationResult:
         """Build and execute one run."""
         return self.build_engine(spec).run()
+
+    @staticmethod
+    def batch_group_key(spec: RunSpec) -> Tuple:
+        """Compatibility key of the batched engine.
+
+        Runs sharing this key can ride one
+        :class:`~repro.sched.batch.BatchSimulationEngine` tick loop:
+        same stack and grid (one :class:`ThermalAssembly`), same
+        transient solver, and the same duration (the fused loop advances
+        every lane the same number of ticks). Policies, seeds, DPM,
+        mixes and sensor noise may differ within a group.
+        """
+        return (
+            spec.exp_id,
+            (spec.grid[0], spec.grid[1]),
+            spec.thermal_solver,
+            spec.duration_s,
+        )
+
+    @classmethod
+    def group_batchable(
+        cls, specs: Sequence[RunSpec]
+    ) -> List[List[int]]:
+        """Partition spec indices into batch-compatible groups.
+
+        Groups preserve first-occurrence order and each group preserves
+        input order, so callers can map results back by index.
+        """
+        groups: Dict[Tuple, List[int]] = {}
+        order: List[Tuple] = []
+        for i, spec in enumerate(specs):
+            key = cls.batch_group_key(spec)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(i)
+        return [groups[key] for key in order]
+
+    def run_batch(
+        self, specs: Sequence[RunSpec], propagation: str = "exact"
+    ) -> List[SimulationResult]:
+        """Run several specs, batching compatible ones into fused loops.
+
+        Specs are grouped by :meth:`batch_group_key`; each multi-run
+        group advances through one
+        :class:`~repro.sched.batch.BatchSimulationEngine` (every lane
+        shares this runner's cached :class:`ThermalAssembly` and power
+        model), singleton groups fall back to a plain serial run.
+        Results come back in input order. With the default
+        ``propagation="exact"`` every result is bit-identical to
+        :meth:`run` on the same spec; ``"gemm"`` selects the fused
+        one-GEMM thermal propagation (ulp-level deviation, fastest).
+        """
+        from repro.sched.batch import BatchSimulationEngine
+
+        specs = list(specs)
+        results: List[Optional[SimulationResult]] = [None] * len(specs)
+        for group in self.group_batchable(specs):
+            if len(group) == 1:
+                results[group[0]] = self.run(specs[group[0]])
+                continue
+            lanes = [self.build_engine(specs[i]) for i in group]
+            batch = BatchSimulationEngine(lanes, propagation=propagation)
+            for i, result in zip(group, batch.run()):
+                results[i] = result
+        return results  # type: ignore[return-value]
 
     def run_policies(
         self,
@@ -229,7 +306,16 @@ class ExperimentRunner:
     def _build_workload(
         self, spec: RunSpec, config: ExperimentConfig
     ) -> WorkloadSource:
-        if spec.benchmark_mix is None:
+        if spec.workload_mix is not None and spec.benchmark_mix is not None:
+            raise ConfigurationError(
+                "set either workload_mix (named scenario) or "
+                "benchmark_mix (explicit pairs), not both"
+            )
+        if spec.workload_mix is not None:
+            from repro.workload.benchmarks import named_mix
+
+            mix = named_mix(spec.workload_mix, config.n_cores)
+        elif spec.benchmark_mix is None:
             mix = default_server_mix(config.n_cores)
         else:
             from repro.workload.benchmarks import benchmark

@@ -33,6 +33,7 @@ from repro.campaign.reports import (
 )
 from repro.campaign.spec import (
     CampaignSpec,
+    prefix_key,
     run_key,
     spec_from_dict,
     spec_to_dict,
@@ -48,6 +49,7 @@ __all__ = [
     "campaign_report",
     "campaign_status",
     "format_status",
+    "prefix_key",
     "run_key",
     "spec_from_dict",
     "spec_to_dict",

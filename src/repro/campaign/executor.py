@@ -45,10 +45,13 @@ from repro.errors import ConfigurationError
 from repro.sched.engine import SimulationResult
 
 #: ``progress(event, key, detail)`` with event in
-#: {"cached", "start", "ok", "error"}.
+#: {"cached", "prefix", "start", "ok", "error"}.
 ProgressCallback = Callable[[str, str, str], None]
 
-BACKENDS = ("serial", "parallel")
+BACKENDS = ("serial", "parallel", "batched")
+
+#: Default lane count per fused batch of the ``batched`` backend.
+DEFAULT_BATCH_SIZE = 16
 
 # Per-worker state, created once by the pool initializer and reused for
 # every run the worker executes.
@@ -86,13 +89,25 @@ def _run_in_worker(payload: Tuple[str, RunSpec]) -> Tuple[str, SimulationResult]
     return key, _WORKER_RUNNER.run(spec)
 
 
+def _run_batch_in_worker(
+    payload: Tuple[str, Tuple[Tuple[str, RunSpec], ...]],
+) -> List[Tuple[str, SimulationResult]]:
+    """Run one batch unit through the worker's fused batch engine."""
+    propagation, pairs = payload
+    assert _WORKER_RUNNER is not None, "worker initializer did not run"
+    results = _WORKER_RUNNER.run_batch(
+        [spec for _, spec in pairs], propagation=propagation
+    )
+    return [(key, result) for (key, _), result in zip(pairs, results)]
+
+
 @dataclass(frozen=True)
 class RunOutcome:
     """What happened to one run of a campaign."""
 
     key: str
     spec: RunSpec
-    status: str  # "ok" | "error" | "cached"
+    status: str  # "ok" | "error" | "cached" | "prefix"
     error: Optional[str] = None
 
 
@@ -111,8 +126,11 @@ class CampaignRun:
         return tally
 
     def completed_keys(self) -> List[str]:
-        """Keys that hold a result (fresh or cached)."""
-        return [o.key for o in self.outcomes if o.status in ("ok", "cached")]
+        """Keys that hold a result (fresh, cached, or prefix-served)."""
+        return [
+            o.key for o in self.outcomes
+            if o.status in ("ok", "cached", "prefix")
+        ]
 
     def failed(self) -> Dict[str, str]:
         """Key -> error text for failed runs."""
@@ -129,15 +147,31 @@ class CampaignExecutor:
         Result store for resume/persistence; ``None`` keeps results
         in memory only (used by ``run_policies`` and ``sweep``).
     backend:
-        ``"serial"`` (in-process) or ``"parallel"`` (process pool).
+        ``"serial"`` (in-process), ``"parallel"`` (process pool, one
+        run per task) or ``"batched"`` (process pool, compatible runs
+        packed into fused :class:`~repro.sched.batch.\
+BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
+        with no batch partner fall back to the plain per-run pool
+        path).
     max_workers:
-        Pool size for the parallel backend (default: CPU count).
+        Pool size for the pool backends (default: CPU count).
     progress:
         Optional ``(event, key, detail)`` callback.
     runner:
         Runner for the serial backend and for thermal-index
         characterization (default: a fresh one). Passing the caller's
         runner shares its index cache.
+    batch_size:
+        Max lanes per fused batch (``batched`` backend only).
+    propagation:
+        Thermal propagation mode of the batched engine: ``"exact"``
+        (default; batch results bit-identical to serial runs) or
+        ``"gemm"`` (one-GEMM propagation, fastest, ulp-level
+        deviation).
+    prefix_cache:
+        Serve a pending run by truncating a stored longer-duration run
+        of the same spec family (see ``ResultStore.serve_prefix``).
+        On by default when a store is attached.
     """
 
     def __init__(
@@ -147,6 +181,9 @@ class CampaignExecutor:
         max_workers: Optional[int] = None,
         progress: Optional[ProgressCallback] = None,
         runner: Optional[ExperimentRunner] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        propagation: str = "exact",
+        prefix_cache: bool = True,
     ) -> None:
         if backend not in BACKENDS:
             raise ConfigurationError(
@@ -154,11 +191,21 @@ class CampaignExecutor:
             )
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError("max_workers must be >= 1")
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if propagation not in ("exact", "gemm"):
+            raise ConfigurationError(
+                f"unknown propagation mode {propagation!r}; "
+                "known: ['exact', 'gemm']"
+            )
         self.store = store
         self.backend = backend
         self.max_workers = max_workers or (os.cpu_count() or 1)
         self.progress = progress
         self.runner = runner if runner is not None else ExperimentRunner()
+        self.batch_size = batch_size
+        self.propagation = propagation
+        self.prefix_cache = prefix_cache
 
     # ------------------------------------------------------------------
     # public API
@@ -233,6 +280,16 @@ class CampaignExecutor:
             if self.store is not None and self.store.has(key):
                 outcome_by_key[key] = RunOutcome(key, spec, "cached")
                 self._emit("cached", key)
+            elif (
+                self.prefix_cache
+                and self.store is not None
+                and self.store.serve_prefix(spec) is not None
+            ):
+                # A stored longer run of the same spec family covered
+                # this request; serve_prefix saved the truncation under
+                # the exact key, so loads below behave like a cache hit.
+                outcome_by_key[key] = RunOutcome(key, spec, "prefix")
+                self._emit("prefix", key)
             else:
                 pending.append((key, spec))
 
@@ -241,8 +298,9 @@ class CampaignExecutor:
             if self.backend == "serial":
                 self._run_serial(pending, strict, outcome_by_key, results)
             else:
-                self._run_parallel(
-                    pending, seeded, strict, outcome_by_key, results
+                units = self._make_units(pending)
+                self._run_pool(
+                    units, seeded, strict, outcome_by_key, results
                 )
 
         ordered = [
@@ -328,18 +386,54 @@ class CampaignExecutor:
             else:
                 self._record_ok(key, spec, result, outcomes, results)
 
-    def _run_parallel(
+    def _make_units(
+        self, pending: List[Tuple[str, RunSpec]]
+    ) -> List[List[Tuple[str, RunSpec]]]:
+        """Partition pending runs into pool submission units.
+
+        The ``parallel`` backend submits one run per unit. The
+        ``batched`` backend groups batch-compatible runs (same exp,
+        grid, solver, duration — :meth:`ExperimentRunner.\
+batch_group_key`) into units of up to ``batch_size`` lanes that a
+        worker advances through one fused tick loop; incompatible
+        leftovers stay singleton units on the plain per-run path.
+        Within a group the chunk size is also capped so one compatible
+        sweep splits across the whole pool (a single 16-lane batch on
+        an 8-worker pool would leave 7 workers idle and lose to the
+        plain parallel backend); batches keep at least 2 lanes so the
+        fused loop still amortizes something.
+        """
+        if self.backend != "batched":
+            return [[pair] for pair in pending]
+        specs = [spec for _, spec in pending]
+        units: List[List[Tuple[str, RunSpec]]] = []
+        for group in ExperimentRunner.group_batchable(specs):
+            per_worker = -(-len(group) // self.max_workers)  # ceil
+            chunk = min(self.batch_size, max(2, per_worker))
+            for start in range(0, len(group), chunk):
+                units.append(
+                    [pending[i] for i in group[start:start + chunk]]
+                )
+        return units
+
+    def _run_pool(
         self,
-        pending: List[Tuple[str, RunSpec]],
+        units: List[List[Tuple[str, RunSpec]]],
         seeded: Dict[Tuple[int, Tuple[int, int]], Dict[str, float]],
         strict: bool,
         outcomes: Dict[str, RunOutcome],
         results: Dict[str, SimulationResult],
     ) -> None:
-        remaining = list(pending)
+        """Drive submission units through a (re-spawned on crash) pool.
+
+        A unit is either one run or one fused batch. A batch whose
+        worker raised is retried as singletons so the failure isolates
+        to the offending spec instead of poisoning its batch mates.
+        """
+        remaining = list(units)
         while remaining:
             workers = min(self.max_workers, len(remaining))
-            retry: List[Tuple[str, RunSpec]] = []
+            retry: List[List[Tuple[str, RunSpec]]] = []
             first_error: Optional[Exception] = None
             with ProcessPoolExecutor(
                 max_workers=workers,
@@ -347,18 +441,24 @@ class CampaignExecutor:
                 initargs=(seeded,),
             ) as pool:
                 futures = {}
-                for key, spec in remaining:
-                    self._emit("start", key)
-                    futures[pool.submit(_run_in_worker, (key, spec))] = (
-                        key, spec,
-                    )
+                for unit in remaining:
+                    for key, _ in unit:
+                        self._emit("start", key)
+                    if len(unit) == 1:
+                        future = pool.submit(_run_in_worker, unit[0])
+                    else:
+                        future = pool.submit(
+                            _run_batch_in_worker,
+                            (self.propagation, tuple(unit)),
+                        )
+                    futures[future] = unit
                 crashed = False
                 for future in as_completed(futures):
-                    key, spec = futures[future]
+                    unit = futures[future]
                     try:
-                        _, result = future.result()
+                        payload = future.result()
                     except BrokenProcessPool as exc:
-                        # The pool died. Blame the first run observed
+                        # The pool died. Blame the first unit observed
                         # failing (best available attribution), requeue
                         # the rest on a fresh pool.
                         if not crashed:
@@ -369,17 +469,32 @@ class CampaignExecutor:
                             )
                             if strict and first_error is None:
                                 first_error = ConfigurationError(message)
-                            self._record_error(key, spec, message, outcomes)
+                            for key, spec in unit:
+                                self._record_error(
+                                    key, spec, message, outcomes
+                                )
                         else:
-                            retry.append((key, spec))
+                            retry.append(unit)
                     except Exception as exc:
-                        if strict and first_error is None:
-                            first_error = exc
-                        self._record_error(
-                            key, spec, _format_error(exc), outcomes
-                        )
+                        if len(unit) > 1:
+                            # One lane poisoned the whole batch; retry
+                            # its members individually to isolate it.
+                            retry.extend([pair] for pair in unit)
+                        else:
+                            key, spec = unit[0]
+                            if strict and first_error is None:
+                                first_error = exc
+                            self._record_error(
+                                key, spec, _format_error(exc), outcomes
+                            )
                     else:
-                        self._record_ok(key, spec, result, outcomes, results)
+                        if len(unit) == 1:
+                            payload = [payload]
+                        pairs = {key: spec for key, spec in unit}
+                        for key, result in payload:
+                            self._record_ok(
+                                key, pairs[key], result, outcomes, results
+                            )
             if strict and first_error is not None:
                 raise first_error
             remaining = retry

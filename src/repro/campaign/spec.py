@@ -30,7 +30,10 @@ from repro.errors import ConfigurationError
 # keyed under an older version are simply recomputed.
 # v2: RunSpec gained thermal_solver and the exponential propagator
 # became the default integrator (recorded temperatures changed).
-KEY_VERSION = 2
+# v3: RunSpec gained sensor_noise_sigma and workload_mix, campaign
+# grids gained the matching axes, and stores started recording
+# duration-less prefix keys for cross-grid prefix caching.
+KEY_VERSION = 3
 
 
 def _canonical(value: Any) -> Any:
@@ -85,6 +88,28 @@ def run_key(spec: RunSpec) -> str:
     return f"exp{spec.exp_id}-{slug}-{digest}"
 
 
+def prefix_key(spec: RunSpec) -> str:
+    """Content key of a run's *prefix family*: every field but duration.
+
+    Two specs share a prefix key exactly when one run's recording is a
+    tick-for-tick prefix of the other's — the engine's dynamics do not
+    depend on ``duration_s``, so a longer stored run can serve any
+    shorter request in the family by truncation (the store's cross-grid
+    prefix cache). Hashed under the same :data:`KEY_VERSION` as
+    :func:`run_key`, so version bumps invalidate prefix matches too.
+    """
+    data = spec_to_dict(spec)
+    data.pop("duration_s", None)
+    payload = json.dumps(
+        {"v": KEY_VERSION, "prefix": data},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+    slug = re.sub(r"[^A-Za-z0-9]+", "_", spec.policy).strip("_").lower()
+    return f"exp{spec.exp_id}-{slug}-pfx-{digest}"
+
+
 def _as_tuple(value: Union[Sequence[Any], Any]) -> Tuple[Any, ...]:
     if isinstance(value, (list, tuple)):
         return tuple(value)
@@ -108,13 +133,16 @@ class CampaignSpec:
     seeds: Tuple[int, ...] = (2009,)
     grids: Tuple[Tuple[int, int], ...] = ((8, 8),)
     benchmark_mixes: Tuple[Optional[Tuple[Tuple[str, int], ...]], ...] = (None,)
+    workload_mixes: Tuple[Optional[str], ...] = (None,)
+    sensor_noise_sigmas: Tuple[float, ...] = (0.0,)
     extra_runs: Tuple[RunSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("campaign needs a name")
         for axis in ("exp_ids", "policies", "durations_s", "dpm", "seeds",
-                     "grids", "benchmark_mixes"):
+                     "grids", "benchmark_mixes", "workload_mixes",
+                     "sensor_noise_sigmas"):
             if not getattr(self, axis):
                 raise ConfigurationError(f"campaign axis {axis!r} is empty")
 
@@ -130,16 +158,20 @@ class CampaignSpec:
                     for with_dpm in self.dpm:
                         for grid in self.grids:
                             for mix in self.benchmark_mixes:
-                                for seed in self.seeds:
-                                    specs.append(RunSpec(
-                                        exp_id=exp_id,
-                                        policy=policy,
-                                        duration_s=duration,
-                                        with_dpm=with_dpm,
-                                        seed=seed,
-                                        grid=tuple(grid),
-                                        benchmark_mix=mix,
-                                    ))
+                                for wmix in self.workload_mixes:
+                                    for noise in self.sensor_noise_sigmas:
+                                        for seed in self.seeds:
+                                            specs.append(RunSpec(
+                                                exp_id=exp_id,
+                                                policy=policy,
+                                                duration_s=duration,
+                                                with_dpm=with_dpm,
+                                                seed=seed,
+                                                grid=tuple(grid),
+                                                benchmark_mix=mix,
+                                                workload_mix=wmix,
+                                                sensor_noise_sigma=noise,
+                                            ))
         specs.extend(self.extra_runs)
         unique: List[RunSpec] = []
         for spec in specs:
@@ -169,6 +201,8 @@ class CampaignSpec:
                 None if mix is None else [list(pair) for pair in mix]
                 for mix in self.benchmark_mixes
             ],
+            "workload_mixes": list(self.workload_mixes),
+            "sensor_noise_sigmas": list(self.sensor_noise_sigmas),
             "extra_runs": [spec_to_dict(spec) for spec in self.extra_runs],
         }
         return data
@@ -179,13 +213,15 @@ class CampaignSpec:
             raise ConfigurationError("campaign spec needs a 'name'")
         known = {
             "name", "exp_ids", "policies", "durations_s", "dpm", "seeds",
-            "grids", "benchmark_mixes", "extra_runs",
+            "grids", "benchmark_mixes", "workload_mixes",
+            "sensor_noise_sigmas", "extra_runs",
         }
         unknown = sorted(set(data) - known)
         if unknown:
             raise ConfigurationError(f"unknown campaign fields: {unknown}")
         kwargs: Dict[str, Any] = {"name": data["name"]}
-        for axis in ("exp_ids", "policies", "durations_s", "dpm", "seeds"):
+        for axis in ("exp_ids", "policies", "durations_s", "dpm", "seeds",
+                     "workload_mixes", "sensor_noise_sigmas"):
             if axis in data:
                 kwargs[axis] = _as_tuple(data[axis])
         if "grids" in data:

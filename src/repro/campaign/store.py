@@ -28,9 +28,15 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.analysis.result_io import load_result, save_result
+from repro.analysis.result_io import load_result, save_result, truncate_result
 from repro.analysis.runner import RunSpec
-from repro.campaign.spec import run_key, spec_from_dict, spec_to_dict
+from repro.campaign.spec import (
+    KEY_VERSION,
+    prefix_key,
+    run_key,
+    spec_from_dict,
+    spec_to_dict,
+)
 from repro.errors import ConfigurationError
 from repro.sched.engine import SimulationResult
 
@@ -139,7 +145,13 @@ class ResultStore:
             shutil.rmtree(run_dir)
 
     def save(self, spec: RunSpec, result: SimulationResult) -> str:
-        """Persist one completed run; returns its key."""
+        """Persist one completed run; returns its key.
+
+        Besides the payload, the manifest entry records the key version,
+        the duration, and the duration-less :func:`prefix_key`, which is
+        what lets later campaigns serve shorter-duration requests of the
+        same spec family by truncation (:meth:`serve_prefix`).
+        """
         key = run_key(spec)
         self._clear_run_dir(key)
         stem = self._stem(key)
@@ -149,6 +161,9 @@ class ResultStore:
             "status": STATUS_OK,
             "spec": spec_to_dict(spec),
             "stem": str(stem.relative_to(self.root)),
+            "v": KEY_VERSION,
+            "duration_s": float(spec.duration_s),
+            "prefix": prefix_key(spec),
         }
         self._flush_index()
         return key
@@ -224,6 +239,56 @@ class ResultStore:
             for key, entry in self._index.items()
             if entry["status"] == STATUS_ERROR
         }
+
+    # ------------------------------------------------------------------
+    # cross-grid prefix cache
+
+    def find_prefix(self, spec: RunSpec) -> Optional[str]:
+        """Key of a stored run that can serve ``spec`` as a prefix.
+
+        A candidate must be a loadable ``ok`` entry saved under the
+        current :data:`KEY_VERSION` whose spec matches ``spec`` in every
+        field except ``duration_s``, with a duration at least as long.
+        Among candidates the shortest sufficient run wins (least
+        truncation). Entries from older key versions never match — the
+        version bump that invalidated their exact keys invalidates
+        their prefixes too.
+        """
+        target = prefix_key(spec)
+        best: Optional[Tuple[float, str]] = None
+        for key, entry in self._index.items():
+            if entry.get("status") != STATUS_OK:
+                continue
+            if entry.get("v") != KEY_VERSION:
+                continue
+            if entry.get("prefix") != target:
+                continue
+            duration = entry.get("duration_s")
+            if duration is None or duration < spec.duration_s:
+                continue
+            if not self.has(key):
+                continue
+            if best is None or duration < best[0]:
+                best = (float(duration), key)
+        return best[1] if best is not None else None
+
+    def serve_prefix(self, spec: RunSpec) -> Optional[SimulationResult]:
+        """Serve ``spec`` by truncating a stored longer run, if any.
+
+        On a hit the truncated result is saved under ``spec``'s exact
+        key (so subsequent lookups are plain cache hits) and returned;
+        on a miss returns ``None``. Per-tick series of a served result
+        are identical to what simulating ``spec`` would store; see
+        :func:`repro.analysis.result_io.truncate_result` for the two
+        scalar approximations (energy tail precision, migrations of
+        still-running jobs).
+        """
+        source = self.find_prefix(spec)
+        if source is None:
+            return None
+        result = truncate_result(self.load(source), spec.duration_s)
+        self.save(spec, result)
+        return result
 
     # ------------------------------------------------------------------
     # thermal indices (shared per (exp_id, grid) characterization)

@@ -134,12 +134,16 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
             line += f"  {detail}"
         print(line, flush=True)
 
+    backend = args.backend
+    if args.serial:
+        backend = "serial"
     try:
         executor = CampaignExecutor(
             store=store,
-            backend="serial" if args.serial else "parallel",
+            backend=backend,
             max_workers=args.workers,
             progress=progress,
+            batch_size=args.batch_size,
         )
     except ConfigurationError as exc:
         print(exc, file=sys.stderr)
@@ -225,10 +229,19 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="execute pending runs (resumes from the store)"
     )
     _add_campaign_arguments(campaign_run)
+    campaign_run.add_argument("--backend", default="parallel",
+                              choices=("serial", "parallel", "batched"),
+                              help="execution backend: serial (in-process), "
+                                   "parallel (one run per pool task), or "
+                                   "batched (compatible runs fused into one "
+                                   "tick loop per pool task)")
     campaign_run.add_argument("--serial", action="store_true",
-                              help="run in-process instead of a worker pool")
+                              help="alias for --backend serial")
     campaign_run.add_argument("--workers", type=int, default=None,
                               help="worker pool size (default: CPU count)")
+    campaign_run.add_argument("--batch-size", type=int, default=16,
+                              help="max runs fused per batch "
+                                   "(batched backend, default 16)")
     campaign_run.set_defaults(func=cmd_campaign_run)
 
     campaign_status_parser = campaign_sub.add_parser(

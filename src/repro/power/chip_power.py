@@ -17,7 +17,7 @@ temperature-leakage feedback loop through the thermal model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -164,6 +164,37 @@ class ChipPowerModel:
             )
             for layer in (self._xbar_layer[n] for n in self._xbar_names)
         ]
+        # Fused-kernel form of the segments: one concatenated gather +
+        # one segment reduceat replaces the per-segment Python loop of
+        # count_nonzero calls. Counts are exact integers, so the
+        # resulting fractions are bit-identical to the loop.
+        nonempty_segs = [
+            (i, seg) for i, seg in enumerate(self._xbar_core_segments)
+            if seg.size
+        ]
+        self._xbar_nonempty = np.array(
+            [i for i, _ in nonempty_segs], dtype=np.intp
+        )
+        self._xbar_empty = np.array(
+            [
+                i for i, seg in enumerate(self._xbar_core_segments)
+                if not seg.size
+            ],
+            dtype=np.intp,
+        )
+        if nonempty_segs:
+            sizes = [seg.size for _, seg in nonempty_segs]
+            self._xbar_seg_concat = np.concatenate(
+                [seg for _, seg in nonempty_segs]
+            )
+            self._xbar_seg_offsets = np.concatenate(
+                ([0], np.cumsum(sizes)[:-1])
+            ).astype(np.intp)
+            self._xbar_seg_sizes = np.array(sizes, dtype=np.float64)
+        else:
+            self._xbar_seg_concat = np.zeros(0, dtype=np.intp)
+            self._xbar_seg_offsets = np.zeros(0, dtype=np.intp)
+            self._xbar_seg_sizes = np.zeros(0, dtype=np.float64)
 
         # Value order of the unit_powers() dict (cores, caches,
         # crossbars, misc) — total_power() folds in this order so it
@@ -293,6 +324,7 @@ class ChipPowerModel:
         core_voltage: np.ndarray,
         unit_temps: np.ndarray,
         memory_intensity: float,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Vector-in/vector-out :meth:`unit_powers` for the tick loop.
 
@@ -309,16 +341,25 @@ class ChipPowerModel:
             Per-unit temperatures (K) in canonical ``unit_names`` order.
         memory_intensity:
             Normalized L2 traffic of the running mix, in [0, 1].
+        out:
+            Optional preallocated output vector of length ``n_units``
+            (the engine reuses one buffer per run to skip the per-tick
+            allocation).
 
         Returns per-unit power (W) in canonical ``unit_names`` order,
         element-for-element identical to the dict path (the expressions
-        replicate the scalar models' operation order).
+        replicate the scalar models' operation order; the crossbar
+        fractions come from the precomputed segment reduceat, whose
+        integer counts match the scalar count loop exactly).
         """
         sleep_code = STATE_CODE[CoreState.SLEEP]
         gated_code = STATE_CODE[CoreState.GATED]
         active_code = STATE_CODE[CoreState.ACTIVE]
 
-        powers = np.zeros(len(self._unit_names))
+        if out is None:
+            powers = np.zeros(len(self._unit_names))
+        else:
+            powers = out
         leak_norm = self.leakage_model.normalized_array(unit_temps)
         # density*area times the polynomial — the shared prefix of every
         # unit's leakage term (voltage scaling applied per kind below).
@@ -353,7 +394,8 @@ class ChipPowerModel:
         )
         powers[self._cache_idx] = cache_dyn + leak_all[self._cache_idx] * 1.0
 
-        # Crossbars: scaled by their layer's active-core fraction.
+        # Crossbars: scaled by their layer's active-core fraction (one
+        # gather + segment reduceat over the precomputed layer index).
         active = (core_states == active_code) | (core_utils > 0.0)
         chip_active = (
             float(np.count_nonzero(active)) / len(self._core_names)
@@ -361,14 +403,15 @@ class ChipPowerModel:
             else 0.0
         )
         if self._xbar_idx.size:
-            fractions = np.array(
-                [
-                    float(np.count_nonzero(active[seg])) / seg.size
-                    if seg.size
-                    else chip_active
-                    for seg in self._xbar_core_segments
-                ]
-            )
+            fractions = np.empty(len(self._xbar_core_segments))
+            if self._xbar_nonempty.size:
+                counts = np.add.reduceat(
+                    active[self._xbar_seg_concat].astype(np.float64),
+                    self._xbar_seg_offsets,
+                )
+                fractions[self._xbar_nonempty] = counts / self._xbar_seg_sizes
+            if self._xbar_empty.size:
+                fractions[self._xbar_empty] = chip_active
             xbar = self.crossbar_model
             activity = fractions * (0.5 + 0.5 * memory_intensity)
             xbar_dyn = xbar.full_power_w * (
@@ -390,6 +433,110 @@ class ChipPowerModel:
 
         return powers
 
+    def unit_power_matrix(
+        self,
+        core_states: np.ndarray,
+        core_utils: np.ndarray,
+        core_dyn_scale: np.ndarray,
+        core_voltage: np.ndarray,
+        unit_temps: np.ndarray,
+        memory_intensity: np.ndarray,
+    ) -> np.ndarray:
+        """Batched :meth:`unit_power_vector` over R runs at once.
+
+        Every argument gains a leading run axis — ``(R, n_cores)`` for
+        the core arrays, ``(R, n_units)`` for the temperatures, and a
+        length-R vector of per-run memory intensities — and the result
+        is ``(R, n_units)`` watts. Each row is bit-identical to a
+        :meth:`unit_power_vector` call with that run's inputs: every
+        operation is elementwise, a segment ``reduceat`` along the core
+        axis, or an exact integer count, none of which change per-element
+        rounding when a run axis is added. This is the power kernel of
+        the batched multi-run engine: one set of NumPy ops regardless of
+        how many runs share the tick loop.
+        """
+        sleep_code = STATE_CODE[CoreState.SLEEP]
+        gated_code = STATE_CODE[CoreState.GATED]
+        active_code = STATE_CODE[CoreState.ACTIVE]
+        n_runs = core_states.shape[0]
+        mem = np.asarray(memory_intensity, dtype=np.float64).reshape(n_runs, 1)
+
+        powers = np.zeros((n_runs, len(self._unit_names)))
+        leak_norm = self.leakage_model.normalized_array(unit_temps)
+        leak_all = self._leak_dens_area * leak_norm
+
+        core = self.core_model
+        busy = core.active_w * core_utils + core.idle_w * (1.0 - core_utils)
+        dyn = busy * core_dyn_scale
+        dyn = np.where(core_states == gated_code, core.gated_w, dyn)
+        core_leak = leak_all[:, self._core_idx] * (core_voltage * core_voltage)
+        powers[:, self._core_idx] = np.where(
+            core_states == sleep_code, core.sleep_w, dyn + core_leak
+        )
+
+        mean_util = np.zeros((n_runs, len(self._cache_idx)))
+        if self._cache_nonempty.size:
+            mean_util[:, self._cache_nonempty] = (
+                np.add.reduceat(
+                    core_utils[:, self._cache_served_idx],
+                    self._cache_offsets,
+                    axis=1,
+                )
+                / self._cache_counts[self._cache_nonempty]
+            )
+        cache = self.cache_model
+        access = mean_util * mem
+        cache_dyn = cache.full_power_w * (
+            cache.baseline_fraction
+            + (1.0 - cache.baseline_fraction) * access
+        )
+        powers[:, self._cache_idx] = cache_dyn + leak_all[:, self._cache_idx] * 1.0
+
+        active = (core_states == active_code) | (core_utils > 0.0)
+        if self._core_names:
+            chip_active = (
+                np.count_nonzero(active, axis=1).astype(np.float64)
+                / len(self._core_names)
+            )
+        else:
+            chip_active = np.zeros(n_runs)
+        if self._xbar_idx.size:
+            fractions = np.empty((n_runs, len(self._xbar_core_segments)))
+            if self._xbar_nonempty.size:
+                counts = np.add.reduceat(
+                    active[:, self._xbar_seg_concat].astype(np.float64),
+                    self._xbar_seg_offsets,
+                    axis=1,
+                )
+                fractions[:, self._xbar_nonempty] = (
+                    counts / self._xbar_seg_sizes
+                )
+            if self._xbar_empty.size:
+                fractions[:, self._xbar_empty] = chip_active[:, None]
+            xbar = self.crossbar_model
+            activity = fractions * (0.5 + 0.5 * mem)
+            xbar_dyn = xbar.full_power_w * (
+                xbar.baseline_fraction
+                + (1.0 - xbar.baseline_fraction) * activity
+            )
+            powers[:, self._xbar_idx] = (
+                xbar_dyn + leak_all[:, self._xbar_idx] * 1.0
+            )
+
+        if self._other_idx.size:
+            scale = (
+                OTHER_BASELINE_FRACTION
+                + (1.0 - OTHER_BASELINE_FRACTION) * chip_active
+            )
+            other_dyn = (
+                OTHER_DENSITY_W_PER_MM2 * self._areas_mm2[self._other_idx]
+            ) * scale[:, None]
+            powers[:, self._other_idx] = (
+                other_dyn + leak_all[:, self._other_idx] * 1.0
+            )
+
+        return powers
+
     def total_power(self, unit_power_vec: np.ndarray) -> float:
         """Chip total (W) of a canonical-order power vector.
 
@@ -398,6 +545,18 @@ class ChipPowerModel:
         ``sum(unit_powers(...).values())``.
         """
         return sum(unit_power_vec[self._dict_order].tolist())
+
+    def total_power_rows(self, unit_power_mat: np.ndarray) -> List[float]:
+        """Per-run chip totals (W) of a ``(R, n_units)`` power matrix.
+
+        Each row is left-folded in the same dict value order as
+        :meth:`total_power`, so element ``r`` equals
+        ``total_power(unit_power_mat[r])`` bit for bit; the fancy-index
+        gather is just done once for the whole batch.
+        """
+        return [
+            sum(row) for row in unit_power_mat[:, self._dict_order].tolist()
+        ]
 
     @staticmethod
     def _active_fraction(

@@ -1,0 +1,309 @@
+"""Batched multi-run engine: one tick loop shared by R simulations.
+
+A campaign grid is mostly *independent* runs over the same stack —
+seeds, policies, noise points. After the exponential-propagator rework
+each serial run spends its tick boundary in a fixed set of small NumPy
+calls (power kernel, thermal step, readback, recording) whose ~1 us/op
+dispatch overhead is paid once per run per tick. The
+:class:`BatchSimulationEngine` advances R runs that share one
+:class:`~repro.thermal.model.ThermalAssembly` through a single fused
+tick loop, so that overhead is paid once per *batch* per tick:
+
+- the thermal state is one ``(n_nodes, R)`` matrix advanced by
+  :meth:`~repro.thermal.model.ThermalModel.step_block` — with the
+  exponential solver, (up to) one GEMM ``A @ T`` over the whole batch;
+- power injection is one
+  :meth:`~repro.power.chip_power.ChipPowerModel.unit_power_matrix` call
+  on ``(R, n_cores)`` state/utilization/V-f matrices;
+- sensor and recording readback is one blocked gather
+  (:meth:`~repro.thermal.model.ThermalModel.unit_max_block` /
+  :meth:`unit_mean_block`) plus per-tick ``(R, ...)`` plane writes.
+
+Per-run scheduler state — event heaps, dispatch queues, policies, DPM,
+workload generators — stays scalar: each run's
+:class:`~repro.sched.engine.SimulationEngine` acts as its lane's state
+machine, driven lock-step by the shared boundary sweep. The lanes'
+structure-of-arrays bookkeeping is re-homed onto rows of batch-owned
+``(R, n_cores)`` matrices at construction, so the boundary reads them
+with zero per-lane gathering.
+
+Bit-identity
+------------
+
+Everything except the three dense products of the exponential solver
+(steady gain, propagator, mean readback) batches with *exactly* the
+serial engine's floating-point behavior: elementwise ops, segment
+``reduceat``, sparse matmat and SuperLU multi-RHS solves all process a
+run's lane independently of its neighbors. The dense products are the
+one exception — BLAS GEMM kernels accumulate differently from the
+single-column GEMV — so the engine offers two propagation modes:
+
+- ``propagation="exact"`` (default): dense products are applied
+  column-by-column with the same GEMV calls the serial engine makes.
+  Results are **bit-identical** to running each lane through
+  :meth:`SimulationEngine.run` (covered across the policy x stack
+  matrix by ``tests/test_engine_batch.py``).
+- ``propagation="gemm"``: the dense products are single GEMMs over the
+  state matrix — the fastest path — at BLAS-kernel-level deviation
+  (~1e-13 K per step, nine orders below the solver accuracy budget).
+  Scheduling decisions compare temperatures against thresholds, so in
+  practice the discrete stream (jobs, migrations, V/f) still matches.
+
+Implicit solvers (``backward_euler``/``crank_nicolson``) have a
+bit-identical batched *step* in both modes — multi-RHS triangular
+solves, which SuperLU performs per column — but ``gemm`` mode still
+runs the mean temperature readback as one GEMM, so only ``exact`` mode
+is end-to-end bitwise for them too.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.base import TickArrays
+from repro.errors import SchedulerError
+from repro.sched.engine import SimulationEngine, _Recording
+
+PROPAGATION_MODES = ("exact", "gemm")
+
+
+class BatchSimulationEngine:
+    """Run R compatible simulations through one fused tick loop.
+
+    Parameters
+    ----------
+    engines:
+        The lanes: one fully-built :class:`SimulationEngine` per run.
+        All lanes must share the same :class:`ThermalAssembly` and
+        :class:`ChipPowerModel` instances (the
+        :class:`~repro.analysis.runner.ExperimentRunner` caches
+        guarantee this for runs on the same (exp, grid)), the same
+        sampling interval, duration, thermal solver and the
+        ``event_heap`` loop. Policies, workloads, seeds, DPM and sensor
+        noise may differ per lane.
+    propagation:
+        ``"exact"`` (bit-identical to serial runs, default) or
+        ``"gemm"`` (single-GEMM thermal propagation, see module docs).
+    """
+
+    def __init__(
+        self,
+        engines: Sequence[SimulationEngine],
+        propagation: str = "exact",
+    ) -> None:
+        lanes = list(engines)
+        if not lanes:
+            raise SchedulerError("batch engine needs at least one run")
+        if propagation not in PROPAGATION_MODES:
+            raise SchedulerError(
+                f"unknown propagation mode {propagation!r}; "
+                f"expected one of {PROPAGATION_MODES}"
+            )
+        base = lanes[0]
+        for lane in lanes[1:]:
+            if lane.thermal.assembly is not base.thermal.assembly:
+                raise SchedulerError(
+                    "batched runs must share one ThermalAssembly; build "
+                    "the engines through one ExperimentRunner so the "
+                    "(exp, grid) cache hands every lane the same assembly"
+                )
+            if lane.power is not base.power:
+                raise SchedulerError(
+                    "batched runs must share one ChipPowerModel instance"
+                )
+            if (
+                lane.config.sampling_interval_s
+                != base.config.sampling_interval_s
+            ):
+                raise SchedulerError(
+                    "batched runs must share the sampling interval"
+                )
+            if lane.config.duration_s != base.config.duration_s:
+                raise SchedulerError("batched runs must share the duration")
+            if lane.config.thermal_solver != base.config.thermal_solver:
+                raise SchedulerError(
+                    "batched runs must share the thermal solver"
+                )
+        for lane in lanes:
+            if lane.config.event_loop != "event_heap":
+                raise SchedulerError(
+                    "the batched engine drives the event-heap state "
+                    "machine; legacy_scan lanes are not supported"
+                )
+        self.lanes = lanes
+        self.propagation = propagation
+
+    @property
+    def n_runs(self) -> int:
+        """Number of lanes in the batch."""
+        return len(self.lanes)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> List["object"]:
+        """Advance every lane to completion; results in lane order.
+
+        Returns one :class:`~repro.sched.engine.SimulationResult` per
+        lane, each indistinguishable from (and in ``exact`` mode
+        bit-identical to) the lane's own :meth:`SimulationEngine.run`.
+        """
+        lanes = self.lanes
+        n_lanes = len(lanes)
+        base = lanes[0]
+        exact = self.propagation == "exact"
+
+        shapes = [lane._prepare_run() for lane in lanes]
+        n_ticks, dt = shapes[0]
+        if any(shape != (n_ticks, dt) for shape in shapes[1:]):
+            raise SchedulerError("batched runs disagree on tick layout")
+
+        # Initial sensor read (the serial engine does this between
+        # preparation and the first tick).
+        for lane in lanes:
+            lane._temps_arr[:] = lane.sensors.read_cores_vector()
+
+        # Re-home each lane's structure-of-arrays state onto rows of
+        # batch-owned matrices: every heap-invalidation-site update now
+        # writes straight into the batch view.
+        n_cores = len(base.core_names)
+        ql_mat = np.zeros((n_lanes, n_cores), dtype=np.int64)
+        state_mat = np.zeros((n_lanes, n_cores), dtype=np.int64)
+        vf_mat = np.zeros((n_lanes, n_cores), dtype=np.int64)
+        temps_mat = np.zeros((n_lanes, n_cores))
+        dyn_mat = np.zeros((n_lanes, n_cores))
+        volt_mat = np.zeros((n_lanes, n_cores))
+        for r, lane in enumerate(lanes):
+            lane._adopt_core_rows(
+                ql_mat[r], state_mat[r], vf_mat[r],
+                temps_mat[r], dyn_mat[r], volt_mat[r],
+            )
+
+        thermal = base.thermal
+        power = base.power
+        n_nodes = thermal.network.n_nodes
+        n_units = len(thermal.unit_names)
+        n_dies = thermal.n_dies
+
+        # (n_nodes, R) thermal state: column r is lane r's node vector.
+        temps_block = np.empty((n_nodes, n_lanes))
+        for r, lane in enumerate(lanes):
+            temps_block[:, r] = lane.thermal.temperatures
+
+        # Post-step readback of tick k is the pre-step temperature of
+        # tick k+1; the initial row uses the same per-lane GEMV the
+        # serial engine starts from.
+        unit_block = np.empty((n_units, n_lanes))
+        for r, lane in enumerate(lanes):
+            unit_block[:, r] = lane.thermal.unit_temperature_vector()
+
+        recs = [_Recording.allocate(lane, n_ticks) for lane in lanes]
+        core_cols = recs[0].core_cols
+        die_starts = recs[0].die_starts
+
+        # Per-tick planes, written once per field per tick and unpacked
+        # into the per-lane recordings at the end.
+        plane_unit = np.empty((n_ticks, n_lanes, n_units))
+        plane_core = np.empty((n_ticks, n_lanes, n_cores))
+        plane_peak = np.empty((n_ticks, n_lanes, n_cores))
+        plane_spread = np.empty((n_ticks, n_lanes, n_dies))
+        plane_util = np.empty((n_ticks, n_lanes, n_cores))
+        plane_vf = np.empty((n_ticks, n_lanes, n_cores), dtype=np.int64)
+        plane_state = np.empty((n_ticks, n_lanes, n_cores), dtype=np.int64)
+        plane_power = np.empty((n_ticks, n_lanes))
+        times = np.empty(n_ticks)
+
+        energies = [0.0] * n_lanes
+        mem_vec = np.empty(n_lanes)
+        util_mat = np.empty((n_lanes, n_cores))
+        core_names_tuples = [lane._core_names_tuple for lane in lanes]
+
+        for tick in range(n_ticks):
+            t0 = tick * dt
+            t1 = t0 + dt
+
+            # Per-lane interval execution (scalar state machines, in
+            # lane order — lanes are independent).
+            for lane in lanes:
+                lane._advance_interval_heap(t0, t1)
+            for r, lane in enumerate(lanes):
+                util_mat[r] = lane._gather_utilization(dt)
+                mem_vec[r] = lane._memory_intensity()
+
+            # Fused boundary: one power kernel, one thermal block step,
+            # one blocked max-readback for the whole batch.
+            power_mat = power.unit_power_matrix(
+                state_mat, util_mat, dyn_mat, volt_mat,
+                unit_block.T, mem_vec,
+            )
+            temps_block = thermal.step_block(
+                power_mat, temps_block, column_exact=exact
+            )
+            peak_block = thermal.unit_max_block(temps_block)
+            for r, lane in enumerate(lanes):
+                lane._temps_arr[:] = lane.sensors.read_cores_vector(
+                    peak_block[:, r]
+                )
+
+            # DPM before the policy snapshots, as in the serial loop.
+            for lane in lanes:
+                lane._apply_dpm(t1)
+
+            # One batch copy per snapshot field; each lane's TickArrays
+            # is a row view of the copies (identical values to the
+            # serial per-run copies, without R small allocations).
+            temps_snap = temps_mat.copy()
+            state_snap = state_mat.copy()
+            vf_snap = vf_mat.copy()
+            ql_snap = ql_mat.copy()
+            util_snap = util_mat.copy()
+            for r, lane in enumerate(lanes):
+                arrays = TickArrays(
+                    core_names=core_names_tuples[r],
+                    temperature_k=temps_snap[r],
+                    utilization=util_snap[r],
+                    state_codes=state_snap[r],
+                    vf_index=vf_snap[r],
+                    queue_length=ql_snap[r],
+                )
+                lane._run_policy(t1, util_mat[r], arrays=arrays)
+
+            # Record the end-of-interval state: one blocked mean
+            # readback, then one plane write per field.
+            unit_block = thermal.unit_mean_block(
+                temps_block, column_exact=exact
+            )
+            times[tick] = t1
+            plane_unit[tick] = unit_block.T
+            plane_core[tick] = unit_block[core_cols].T
+            plane_peak[tick] = peak_block[core_cols].T
+            plane_spread[tick] = (
+                np.maximum.reduceat(unit_block, die_starts, axis=0)
+                - np.minimum.reduceat(unit_block, die_starts, axis=0)
+            ).T
+            plane_util[tick] = util_mat
+            plane_vf[tick] = vf_mat
+            plane_state[tick] = state_mat
+            tick_powers = power.total_power_rows(power_mat)
+            plane_power[tick] = tick_powers
+            for r in range(n_lanes):
+                energies[r] += tick_powers[r] * dt
+
+        # Unpack the planes into per-lane recordings and hand each lane
+        # its state back.
+        results = []
+        for r, lane in enumerate(lanes):
+            rec = recs[r]
+            rec.times[:] = times
+            rec.unit_temps[:] = plane_unit[:, r]
+            rec.core_temps[:] = plane_core[:, r]
+            rec.core_peaks[:] = plane_peak[:, r]
+            rec.spreads[:] = plane_spread[:, r]
+            rec.utilization[:] = plane_util[:, r]
+            rec.vf_indices[:] = plane_vf[:, r]
+            rec.core_states[:] = plane_state[:, r]
+            rec.total_power[:] = plane_power[:, r]
+            lane.thermal.temperatures = temps_block[:, r].copy()
+            results.append(lane._build_result(rec, energies[r], dt))
+        return results

@@ -125,12 +125,22 @@ class EngineConfig:
 class _CoreRuntime:
     """Mutable per-core scheduling state."""
 
+    __slots__ = (
+        "name", "idx", "queue", "jobs", "vf_index", "speed", "gated",
+        "sleeping", "halted", "idle_since", "stall_until", "busy_in_tick",
+        "last_utilization", "heap_seq",
+    )
+
     def __init__(self, name: str, vf_index: int, speed: float, idx: int = 0) -> None:
         self.name = name
         #: Position in the engine's canonical core order — the row this
         #: core owns in every structure-of-arrays buffer.
         self.idx = idx
         self.queue = DispatchQueue(name)
+        #: Direct alias of ``queue.entries`` — the deque is created once
+        #: and only ever mutated, so the hot loops skip one attribute
+        #: hop per access.
+        self.jobs = self.queue.entries
         self.vf_index = vf_index
         self.speed = speed
         self.gated = False
@@ -200,8 +210,75 @@ class SimulationResult:
         return [job for job in self.jobs if job.finished]
 
 
+@dataclass
+class _Recording:
+    """Per-run recording buffers plus the precomputed readout layout.
+
+    Extracted from the tick loops so one allocation/readout scheme is
+    shared by the serial engine and the batched multi-run engine (which
+    records whole ``(R, ...)`` planes per tick and hands each run a
+    contiguous copy of its slice at the end).
+    """
+
+    times: np.ndarray
+    unit_temps: np.ndarray
+    core_temps: np.ndarray
+    core_peaks: np.ndarray
+    spreads: np.ndarray
+    utilization: np.ndarray
+    vf_indices: np.ndarray
+    core_states: np.ndarray
+    total_power: np.ndarray
+    core_cols: np.ndarray
+    die_slices: List[slice]
+    die_starts: np.ndarray
+
+    @classmethod
+    def allocate(cls, engine: "SimulationEngine", n_ticks: int) -> "_Recording":
+        unit_names = engine.thermal.unit_names
+        n_units = len(unit_names)
+        n_cores = len(engine.core_names)
+        n_dies = engine.thermal.n_dies
+        # Recording layout, computed once: the thermal model's vector
+        # readback is already in unit_names order, so a core->column
+        # gather and per-die slices replace per-tick name lookups.
+        unit_index = {name: i for i, name in enumerate(unit_names)}
+        core_cols = np.fromiter(
+            (unit_index[name] for name in engine.core_names),
+            dtype=np.intp,
+            count=n_cores,
+        )
+        die_slices = engine.thermal.die_unit_slices()
+        # die_slices are contiguous and ordered, so per-die max/min
+        # reduce to one reduceat pair over a unit row.
+        die_starts = np.fromiter(
+            (sl.start for sl in die_slices), dtype=np.intp,
+            count=len(die_slices),
+        )
+        return cls(
+            times=np.zeros(n_ticks),
+            unit_temps=np.zeros((n_ticks, n_units)),
+            core_temps=np.zeros((n_ticks, n_cores)),
+            core_peaks=np.zeros((n_ticks, n_cores)),
+            spreads=np.zeros((n_ticks, n_dies)),
+            utilization=np.zeros((n_ticks, n_cores)),
+            vf_indices=np.zeros((n_ticks, n_cores), dtype=int),
+            core_states=np.zeros((n_ticks, n_cores), dtype=int),
+            total_power=np.zeros(n_ticks),
+            core_cols=core_cols,
+            die_slices=die_slices,
+            die_starts=die_starts,
+        )
+
+
 class SimulationEngine:
-    """One policy, one workload, one 3D system — run to completion."""
+    """One policy, one workload, one 3D system — run to completion.
+
+    The class doubles as the per-run state machine of the batched
+    multi-run engine (:class:`repro.sched.batch.BatchSimulationEngine`):
+    scheduler state, interval execution, DPM and policy control are all
+    per-run methods here, while the batch engine replaces only the
+    tick-boundary power/thermal/readback calls with blocked ones."""
 
     def __init__(
         self,
@@ -325,8 +402,14 @@ class SimulationEngine:
     # ------------------------------------------------------------------
     # main loop
 
-    def run(self) -> SimulationResult:
-        """Execute the configured simulation and return the recording."""
+    def _prepare_run(self) -> Tuple[int, float]:
+        """Validate the configuration and arm the run-time state.
+
+        Shared by :meth:`run` and the batched engine: selects the
+        thermal solver, arms the event heap and the structure-of-arrays
+        bookkeeping, initializes the thermal state and pushes the
+        workload's initial arrivals. Returns ``(n_ticks, dt)``.
+        """
         cfg = self.config
         if cfg.event_loop not in EVENT_LOOPS:
             raise SchedulerError(
@@ -354,63 +437,23 @@ class SimulationEngine:
         self._initialize_thermal_state()
         for time, job in self.workload.initial_arrivals():
             self._push_arrival(time, job)
+        return n_ticks, dt
 
-        unit_names = self.thermal.unit_names
-        n_units = len(unit_names)
-        n_cores = len(self.core_names)
-        n_dies = self.thermal.n_dies
-
-        times = np.zeros(n_ticks)
-        unit_temps = np.zeros((n_ticks, n_units))
-        core_temps = np.zeros((n_ticks, n_cores))
-        core_peaks = np.zeros((n_ticks, n_cores))
-        spreads = np.zeros((n_ticks, n_dies))
-        utilization = np.zeros((n_ticks, n_cores))
-        vf_indices = np.zeros((n_ticks, n_cores), dtype=int)
-        core_states = np.zeros((n_ticks, n_cores), dtype=int)
-        total_power = np.zeros(n_ticks)
-
-        # Recording layout, computed once: the thermal model's vector
-        # readback is already in unit_names order, so a core->column
-        # gather and per-die slices replace the per-tick name-lookup
-        # list comprehensions.
-        unit_index = {name: i for i, name in enumerate(unit_names)}
-        core_cols = np.fromiter(
-            (unit_index[name] for name in self.core_names),
-            dtype=np.intp,
-            count=n_cores,
-        )
-        die_slices = self.thermal.die_unit_slices()
-
-        energy = 0.0
-
-        if self._use_heap:
-            self._temps_arr[:] = self.sensors.read_cores_vector()
-            energy = self._run_heap_ticks(
-                n_ticks, dt, times, unit_temps, core_temps, core_peaks,
-                spreads, utilization, vf_indices, core_states, total_power,
-                core_cols, die_slices,
-            )
-        else:
-            self._sensor_temps = self.sensors.read_cores()
-            energy = self._run_scan_ticks(
-                n_ticks, dt, times, unit_temps, core_temps, core_peaks,
-                spreads, utilization, vf_indices, core_states, total_power,
-                core_cols, die_slices,
-            )
-
+    def _build_result(self, rec: _Recording, energy: float, dt: float
+                      ) -> SimulationResult:
+        """Package a finished recording (shared with the batch engine)."""
         return SimulationResult(
-            times=times,
-            unit_names=list(unit_names),
-            unit_temps_k=unit_temps,
+            times=rec.times,
+            unit_names=list(self.thermal.unit_names),
+            unit_temps_k=rec.unit_temps,
             core_names=list(self.core_names),
-            core_temps_k=core_temps,
-            core_peak_temps_k=core_peaks,
-            layer_spreads_k=spreads,
-            utilization=utilization,
-            vf_indices=vf_indices,
-            core_states=core_states,
-            total_power_w=total_power,
+            core_temps_k=rec.core_temps,
+            core_peak_temps_k=rec.core_peaks,
+            layer_spreads_k=rec.spreads,
+            utilization=rec.utilization,
+            vf_indices=rec.vf_indices,
+            core_states=rec.core_states,
+            total_power_w=rec.total_power,
             energy_j=energy,
             jobs=self._jobs,
             migrations=self._migration_count,
@@ -418,26 +461,65 @@ class SimulationEngine:
             sampling_interval_s=dt,
         )
 
-    def _run_heap_ticks(
-        self, n_ticks, dt, times, unit_temps, core_temps, core_peaks,
-        spreads, utilization, vf_indices, core_states, total_power,
-        core_cols, die_slices,
-    ) -> float:
+    def run(self) -> SimulationResult:
+        """Execute the configured simulation and return the recording."""
+        n_ticks, dt = self._prepare_run()
+        rec = _Recording.allocate(self, n_ticks)
+        if self._use_heap:
+            self._temps_arr[:] = self.sensors.read_cores_vector()
+            energy = self._run_heap_ticks(rec, n_ticks, dt)
+        else:
+            self._sensor_temps = self.sensors.read_cores()
+            energy = self._run_scan_ticks(rec, n_ticks, dt)
+        return self._build_result(rec, energy, dt)
+
+    def _gather_utilization(self, dt: float) -> np.ndarray:
+        """Per-core busy fraction of the elapsed interval (resets the
+        accumulators); one gather over the structure-of-arrays state."""
+        core_list = self._core_list
+        util_arr = np.fromiter(
+            (core.busy_in_tick for core in core_list),
+            dtype=np.float64,
+            count=len(core_list),
+        )
+        util_arr = np.minimum(1.0, util_arr / dt)
+        for core in core_list:
+            core.busy_in_tick = 0.0
+        return util_arr
+
+    def _record_tick(
+        self,
+        rec: _Recording,
+        tick: int,
+        t1: float,
+        unit_row: np.ndarray,
+        peak_row: np.ndarray,
+        util_arr: np.ndarray,
+        tick_power: float,
+    ) -> None:
+        """Write one end-of-interval row of the heap-mode recording."""
+        rec.times[tick] = t1
+        rec.unit_temps[tick] = unit_row
+        rec.core_temps[tick] = unit_row[rec.core_cols]
+        rec.core_peaks[tick] = peak_row[rec.core_cols]
+        rec.spreads[tick] = np.maximum.reduceat(
+            unit_row, rec.die_starts
+        ) - np.minimum.reduceat(unit_row, rec.die_starts)
+        rec.utilization[tick] = util_arr
+        rec.vf_indices[tick] = self._vf_arr
+        rec.core_states[tick] = self._state_arr
+        rec.total_power[tick] = tick_power
+
+    def _run_heap_ticks(self, rec: _Recording, n_ticks: int, dt: float
+                        ) -> float:
         """Tick loop of the event-heap mode: indexed event pops inside
         the interval, structure-of-arrays activity readout and the
         vectorized power/thermal path at the boundary."""
-        core_list = self._core_list
-        n_cores = len(core_list)
         energy = 0.0
+        powers_buf = np.zeros(len(self.thermal.unit_names))
         # Post-step readback of tick k is the pre-step temperature of
         # tick k+1, so one vector readback per tick suffices.
         unit_row = self.thermal.unit_temperature_vector()
-        # die_slices are contiguous and ordered, so per-die max/min
-        # reduce to one reduceat pair over the unit row.
-        die_starts = np.fromiter(
-            (sl.start for sl in die_slices), dtype=np.intp,
-            count=len(die_slices),
-        )
         for tick in range(n_ticks):
             t0 = tick * dt
             t1 = t0 + dt
@@ -446,14 +528,7 @@ class SimulationEngine:
             # Per-core activity over [t0, t1): the state/vf arrays are
             # already current (maintained at the invalidation sites),
             # utilization is one gather over the busy accumulators.
-            util_arr = np.fromiter(
-                (core.busy_in_tick for core in core_list),
-                dtype=np.float64,
-                count=n_cores,
-            )
-            util_arr = np.minimum(1.0, util_arr / dt)
-            for core in core_list:
-                core.busy_in_tick = 0.0
+            util_arr = self._gather_utilization(dt)
 
             powers_vec = self.power.unit_power_vector(
                 self._state_arr,
@@ -462,6 +537,7 @@ class SimulationEngine:
                 self._voltage_arr,
                 unit_row,
                 self._memory_intensity(),
+                out=powers_buf,
             )
             self.thermal.step_vector(powers_vec)
             peak_row = self.thermal.unit_max_vector()
@@ -471,27 +547,16 @@ class SimulationEngine:
             self._run_policy(t1, util_arr)
 
             # Record the end-of-interval state.
-            times[tick] = t1
             unit_row = self.thermal.unit_temperature_vector()
-            unit_temps[tick] = unit_row
-            core_temps[tick] = unit_row[core_cols]
-            core_peaks[tick] = peak_row[core_cols]
-            spreads[tick] = np.maximum.reduceat(
-                unit_row, die_starts
-            ) - np.minimum.reduceat(unit_row, die_starts)
-            utilization[tick] = util_arr
-            vf_indices[tick] = self._vf_arr
-            core_states[tick] = self._state_arr
             tick_power = self.power.total_power(powers_vec)
-            total_power[tick] = tick_power
+            self._record_tick(
+                rec, tick, t1, unit_row, peak_row, util_arr, tick_power
+            )
             energy += tick_power * dt
         return energy
 
-    def _run_scan_ticks(
-        self, n_ticks, dt, times, unit_temps, core_temps, core_peaks,
-        spreads, utilization, vf_indices, core_states, total_power,
-        core_cols, die_slices,
-    ) -> float:
+    def _run_scan_ticks(self, rec: _Recording, n_ticks: int, dt: float
+                        ) -> float:
         """Tick loop of the legacy mode: all-core rescans inside the
         interval, dict-based power pipeline at the boundary."""
         core_list = self._core_list
@@ -525,32 +590,33 @@ class SimulationEngine:
             self._run_policy(t1)
 
             # Record the end-of-interval state.
-            times[tick] = t1
+            rec.times[tick] = t1
             unit_row = self.thermal.unit_temperature_vector()
             peak_row = self.thermal.unit_max_vector()
-            unit_temps[tick] = unit_row
-            core_temps[tick] = unit_row[core_cols]
-            core_peaks[tick] = peak_row[core_cols]
-            spreads[tick] = [
-                unit_row[sl].max() - unit_row[sl].min() for sl in die_slices
+            rec.unit_temps[tick] = unit_row
+            rec.core_temps[tick] = unit_row[rec.core_cols]
+            rec.core_peaks[tick] = peak_row[rec.core_cols]
+            rec.spreads[tick] = [
+                unit_row[sl].max() - unit_row[sl].min()
+                for sl in rec.die_slices
             ]
-            utilization[tick] = np.fromiter(
+            rec.utilization[tick] = np.fromiter(
                 (core.last_utilization for core in core_list),
                 dtype=np.float64,
                 count=n_cores,
             )
-            vf_indices[tick] = np.fromiter(
+            rec.vf_indices[tick] = np.fromiter(
                 (core.vf_index for core in core_list),
                 dtype=np.int64,
                 count=n_cores,
             )
-            core_states[tick] = np.fromiter(
+            rec.core_states[tick] = np.fromiter(
                 (STATE_CODE[core.power_state()] for core in core_list),
                 dtype=np.int64,
                 count=n_cores,
             )
             tick_power = sum(powers.values())
-            total_power[tick] = tick_power
+            rec.total_power[tick] = tick_power
             energy += tick_power * dt
         return energy
 
@@ -652,11 +718,51 @@ class SimulationEngine:
         """Refresh one core's row of the structure-of-arrays state."""
         i = core.idx
         vf = core.vf_index
-        self._ql_arr[i] = len(core.queue.entries)
+        self._ql_arr[i] = len(core.jobs)
         self._state_arr[i] = STATE_CODE[core.power_state()]
         self._vf_arr[i] = vf
         self._dyn_scale_arr[i] = self._vf_dyn_scale[vf]
         self._voltage_arr[i] = self._vf_voltage[vf]
+
+    def _adopt_core_rows(
+        self,
+        ql_row: np.ndarray,
+        state_row: np.ndarray,
+        vf_row: np.ndarray,
+        temps_row: np.ndarray,
+        dyn_row: np.ndarray,
+        volt_row: np.ndarray,
+    ) -> None:
+        """Re-home the structure-of-arrays state onto caller-owned rows.
+
+        The batched engine owns one ``(R, n_cores)`` matrix per field
+        and hands each lane its row, so every invalidation-site update
+        writes straight into the batch matrices and the tick boundary
+        reads them with zero per-lane gathering. Current values are
+        copied over and the live Mapping views are rebuilt against the
+        new storage.
+        """
+        ql_row[:] = self._ql_arr
+        state_row[:] = self._state_arr
+        vf_row[:] = self._vf_arr
+        temps_row[:] = self._temps_arr
+        dyn_row[:] = self._dyn_scale_arr
+        volt_row[:] = self._voltage_arr
+        self._ql_arr = ql_row
+        self._state_arr = state_row
+        self._vf_arr = vf_row
+        self._temps_arr = temps_row
+        self._dyn_scale_arr = dyn_row
+        self._voltage_arr = volt_row
+        self._alloc_queue_view = ArrayBackedMapping(
+            self._core_index, self._ql_arr, int
+        )
+        self._alloc_temp_view = ArrayBackedMapping(
+            self._core_index, self._temps_arr, float
+        )
+        self._alloc_state_view = ArrayBackedMapping(
+            self._core_index, self._state_arr, state_from_code
+        )
 
     def _invalidate_event(self, core: _CoreRuntime, now: float) -> None:
         """Drop the core's cached event and push a fresh one (if any).
@@ -679,7 +785,7 @@ class SimulationEngine:
             )
 
     def _next_core_event(self, core: _CoreRuntime, now: float) -> Optional[float]:
-        jobs = core.queue.entries
+        jobs = core.jobs
         if not jobs or core.halted:
             return None
         stall = core.stall_until
@@ -693,10 +799,11 @@ class SimulationEngine:
         # execution therefore stays scalar; see docs/ENGINE.md.
         if end <= start + _TIME_EPS:
             return
+        finished = self._finished_cores
         for core in self._core_list:
             if core.halted:
                 continue
-            jobs = core.queue.entries
+            jobs = core.jobs
             if not jobs:
                 continue
             stall = core.stall_until
@@ -713,7 +820,7 @@ class SimulationEngine:
             job.remaining_s = remaining
             core.busy_in_tick += done / speed
             if remaining <= _TIME_EPS:
-                self._finished_cores.append(core)
+                finished.append(core)
 
     def _process_completions(self, now: float) -> None:
         if self._use_heap:
@@ -731,7 +838,7 @@ class SimulationEngine:
             self._finished_cores.clear()
             candidates = self._core_list
         for core in candidates:
-            jobs = core.queue.entries
+            jobs = core.jobs
             if not jobs or jobs[0].remaining_s > _TIME_EPS:
                 continue
             while True:
@@ -792,7 +899,7 @@ class SimulationEngine:
             wake = self.config.dpm.wake_latency_s if self.config.dpm else 0.0
             core.stall_until = max(core.stall_until, now + wake)
         core.queue.push(job)
-        if job.remaining_s <= _TIME_EPS and len(core.queue.entries) == 1:
+        if job.remaining_s <= _TIME_EPS and len(core.jobs) == 1:
             # Degenerate zero-work job became the head without ever
             # executing; flag it so heap-mode completion processing
             # still sees it (the legacy scan finds it by rescanning).
@@ -815,20 +922,26 @@ class SimulationEngine:
                 self._invalidate_event(core, now)
 
     def _run_policy(
-        self, now: float, util_arr: Optional[np.ndarray] = None
+        self,
+        now: float,
+        util_arr: Optional[np.ndarray] = None,
+        arrays: Optional[TickArrays] = None,
     ) -> None:
         if self._use_heap:
             # Structure-of-arrays snapshot: the CoreSnapshot mapping is
             # materialized lazily, so policies that vectorize (or look
-            # at few cores) skip per-core object assembly entirely.
-            arrays = TickArrays(
-                core_names=self._core_names_tuple,
-                temperature_k=self._temps_arr.copy(),
-                utilization=util_arr.copy(),
-                state_codes=self._state_arr.copy(),
-                vf_index=self._vf_arr.copy(),
-                queue_length=self._ql_arr.copy(),
-            )
+            # at few cores) skip per-core object assembly entirely. The
+            # batch engine passes a prebuilt ``arrays`` (rows of one
+            # per-tick batch copy) so lanes skip the per-run copies.
+            if arrays is None:
+                arrays = TickArrays(
+                    core_names=self._core_names_tuple,
+                    temperature_k=self._temps_arr.copy(),
+                    utilization=util_arr.copy(),
+                    state_codes=self._state_arr.copy(),
+                    vf_index=self._vf_arr.copy(),
+                    queue_length=self._ql_arr.copy(),
+                )
             ctx = TickContext(
                 time=now,
                 cores=SnapshotArrayMapping(self._core_index, arrays),
@@ -903,7 +1016,7 @@ class SimulationEngine:
             wake = self.config.dpm.wake_latency_s if self.config.dpm else 0.0
             cost += wake
         core.queue.push(job)
-        if core.queue.entries[0].remaining_s <= _TIME_EPS:
+        if core.jobs[0].remaining_s <= _TIME_EPS:
             # A finished head landed here without executing (possible
             # only for degenerate zero-work jobs); keep it visible to
             # heap-mode completion processing.
@@ -917,9 +1030,9 @@ class SimulationEngine:
 
     def _memory_intensity(self) -> float:
         running = [
-            core.queue.entries[0].benchmark.memory_intensity
+            core.jobs[0].benchmark.memory_intensity
             for core in self._core_list
-            if core.queue.entries
+            if core.jobs
         ]
         if not running:
             return 0.0

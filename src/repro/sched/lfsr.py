@@ -64,8 +64,14 @@ class GaloisLFSR:
             raise PolicyError("all weights are zero")
         threshold = self.random() * total
         cumulative = 0.0
+        last_positive = 0
         for index, w in enumerate(weights):
             cumulative += w
-            if threshold < cumulative:
-                return index
-        return len(weights) - 1
+            if w > 0.0:
+                last_positive = index
+                if threshold < cumulative:
+                    return index
+        # Rounding edge: ``threshold`` can reach ``total`` when the
+        # weights are subnormal (r * total rounds up). Never hand back
+        # a zero-weight index — fall back to the last positive one.
+        return last_positive

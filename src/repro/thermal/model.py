@@ -455,6 +455,109 @@ class ThermalModel:
             self.temperatures, self.node_powers_from_vector(unit_power_vec)
         )
 
+    def step_block(
+        self,
+        unit_power_matrix: np.ndarray,
+        temps_block: np.ndarray,
+        column_exact: bool = False,
+    ) -> np.ndarray:
+        """Advance R runs one sampling interval in a single block step.
+
+        Parameters
+        ----------
+        unit_power_matrix:
+            ``(R, n_units)`` per-run unit powers in canonical order
+            (one :meth:`~repro.power.chip_power.ChipPowerModel.\
+unit_power_matrix` result).
+        temps_block:
+            ``(n_nodes, R)`` node-temperature state matrix; column ``r``
+            is run ``r``'s state. Not modified; the advanced block is
+            returned.
+        column_exact:
+            Apply the dense products column-by-column with the same
+            GEMVs :meth:`step_vector` uses, making every column
+            bit-identical to a serial step at ~3x the propagation cost.
+            With the default one-GEMM path, columns deviate from serial
+            steps only at BLAS-kernel rounding level (~1e-13 K).
+
+        With the exponential solver this is the batched analogue of
+        :meth:`step_vector`: ``T' = T_inf + A (T - T_inf)`` evaluated as
+        (up to) three GEMMs over the whole batch. Implicit solvers take
+        the multi-RHS route through
+        :meth:`~repro.thermal.solver.TransientSolver.step_matrix`,
+        which is bit-identical to per-run stepping for every method.
+        """
+        n_units = self._projection.shape[1]
+        if unit_power_matrix.ndim != 2 or unit_power_matrix.shape[1] != n_units:
+            raise ThermalModelError(
+                f"expected (R, {n_units}) power matrix, "
+                f"got {unit_power_matrix.shape}"
+            )
+        n_runs = unit_power_matrix.shape[0]
+        if temps_block.shape != (self.network.n_nodes, n_runs):
+            raise ThermalModelError(
+                f"expected ({self.network.n_nodes}, {n_runs}) temperature "
+                f"block, got {temps_block.shape}"
+            )
+        exp_step = self._exp_step
+        if exp_step is not None:
+            propagator, gain, ambient = exp_step
+            if column_exact:
+                t_inf = np.empty_like(temps_block)
+                for r in range(n_runs):
+                    t_inf[:, r] = gain @ unit_power_matrix[r]
+            else:
+                t_inf = gain @ unit_power_matrix.T
+            t_inf += ambient[:, None]
+            deviation = temps_block - t_inf
+            if column_exact:
+                step = np.empty_like(temps_block)
+                for r in range(n_runs):
+                    step[:, r] = propagator @ deviation[:, r]
+            else:
+                step = propagator @ deviation
+            step += t_inf
+            return step
+        node_powers = self._projection @ unit_power_matrix.T
+        return self._transient.step_matrix(
+            temps_block, node_powers, column_exact=column_exact
+        )
+
+    def unit_mean_block(
+        self, temps_block: np.ndarray, column_exact: bool = False
+    ) -> np.ndarray:
+        """Per-unit mean temperatures of R runs, ``(n_units, R)``.
+
+        Column ``r`` is :meth:`unit_temperature_vector` evaluated on
+        state column ``r``: one readback GEMM for the whole batch, or
+        per-column GEMVs under ``column_exact`` (bitwise-equal to the
+        serial readback).
+        """
+        if column_exact:
+            out = np.empty((self._readback.mean_weights.shape[0],
+                            temps_block.shape[1]))
+            for r in range(temps_block.shape[1]):
+                out[:, r] = self._readback.mean_weights @ temps_block[:, r]
+            return out
+        return self._readback.mean_weights @ temps_block
+
+    def unit_max_block(self, temps_block: np.ndarray) -> np.ndarray:
+        """Per-unit max temperatures of R runs, ``(n_units, R)``.
+
+        The blocked gather behind the batched sensor readback: one fancy
+        gather plus a segment ``maximum.reduceat`` down the node axis.
+        ``reduceat`` reduces each column independently in the same
+        order as the 1-D readback, so every column is bit-identical to
+        :meth:`unit_max_vector` on that run's state.
+        """
+        rb = self._readback
+        out = np.full((rb.n_units, temps_block.shape[1]), np.nan)
+        if rb.max_node_idx.size:
+            out[rb.max_scatter] = np.maximum.reduceat(
+                temps_block[rb.max_node_idx], rb.max_offsets, axis=0
+            )
+        return out
+
     def steady_state(self, unit_powers: Dict[str, float]) -> Dict[str, float]:
         """Equilibrium per-unit temperatures without changing the state."""
         temps = self._steady.solve(self.node_powers(unit_powers))

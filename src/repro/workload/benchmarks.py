@@ -120,22 +120,12 @@ def benchmark_names() -> List[str]:
     return list(BENCHMARKS)
 
 
-def default_server_mix(n_threads: int) -> List[Tuple[BenchmarkSpec, int]]:
-    """A representative consolidated-server mix for ``n_threads`` threads.
-
-    Weighted toward the web/database loads that dominate the paper's
-    motivation (a typical server), with a tail of batch and multimedia
-    threads. Used by the figure-regeneration benches.
-    """
+def _expand_weights(
+    weights: List[Tuple[str, int]], n_threads: int
+) -> List[Tuple[BenchmarkSpec, int]]:
+    """Scale a weighted benchmark list to an exact thread count."""
     if n_threads < 1:
         raise WorkloadError("mix needs at least one thread")
-    weights = [
-        ("Web-high", 3),
-        ("Web&DB", 2),
-        ("Web-med", 1),
-        ("Database", 1),
-        ("MPlayer&Web", 1),
-    ]
     total = sum(w for _, w in weights)
     counts = [max(0, round(n_threads * w / total)) for _, w in weights]
     # Fix rounding drift by adjusting the largest class.
@@ -146,3 +136,60 @@ def default_server_mix(n_threads: int) -> List[Tuple[BenchmarkSpec, int]]:
         for (name, _), count in zip(weights, counts)
         if count > 0
     ]
+
+
+#: Named workload-mix scenarios for campaign sweeps (the weights of the
+#: ``server`` mix are the historical :func:`default_server_mix` ones).
+#: Each entry is a weighted benchmark list scaled to the chip's thread
+#: count at run time, so one name covers every EXP stack.
+NAMED_MIXES: Dict[str, List[Tuple[str, int]]] = {
+    "server": [
+        ("Web-high", 3),
+        ("Web&DB", 2),
+        ("Web-med", 1),
+        ("Database", 1),
+        ("MPlayer&Web", 1),
+    ],
+    "web_heavy": [
+        ("Web-high", 4),
+        ("Web-med", 2),
+        ("Web&DB", 2),
+    ],
+    "batch_compute": [
+        ("gcc", 3),
+        ("gzip", 2),
+        ("Database", 1),
+    ],
+    "multimedia": [
+        ("MPlayer", 3),
+        ("MPlayer&Web", 2),
+        ("Web-med", 1),
+    ],
+}
+
+
+def mix_names() -> List[str]:
+    """Known named workload mixes."""
+    return list(NAMED_MIXES)
+
+
+def named_mix(name: str, n_threads: int) -> List[Tuple[BenchmarkSpec, int]]:
+    """Expand a named workload-mix scenario to ``n_threads`` threads."""
+    try:
+        weights = NAMED_MIXES[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload mix {name!r}; known: {sorted(NAMED_MIXES)}"
+        ) from None
+    return _expand_weights(weights, n_threads)
+
+
+def default_server_mix(n_threads: int) -> List[Tuple[BenchmarkSpec, int]]:
+    """A representative consolidated-server mix for ``n_threads`` threads.
+
+    Weighted toward the web/database loads that dominate the paper's
+    motivation (a typical server), with a tail of batch and multimedia
+    threads. Used by the figure-regeneration benches. Equivalent to
+    ``named_mix("server", n_threads)``.
+    """
+    return _expand_weights(NAMED_MIXES["server"], n_threads)

@@ -79,6 +79,8 @@ class TestRunKey:
             replace(base, grid=(8, 8)),
             replace(base, benchmark_mix=(("gzip", 4),)),
             replace(base, policy_params=(("beta_inc", 0.02),)),
+            replace(base, sensor_noise_sigma=0.5),
+            replace(base, workload_mix="web_heavy"),
         ]
         keys = {run_key(spec) for spec in [base] + variants}
         assert len(keys) == len(variants) + 1
@@ -518,3 +520,199 @@ class TestParallelExecutor:
                                     max_workers=2)
         assert executor.run_campaign(campaign).counts() == {"ok": 2}
         assert executor.run_campaign(campaign).counts() == {"cached": 2}
+
+
+class TestPrefixCache:
+    """Cross-grid prefix serving: duration-d requests filled by
+    truncating stored longer runs of the same spec family."""
+
+    def test_find_prefix_picks_shortest_sufficient(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = ExperimentRunner()
+        long_spec = tiny_spec(duration_s=4.0)
+        longest_spec = tiny_spec(duration_s=6.0)
+        store.save(long_spec, runner.run(long_spec))
+        store.save(longest_spec, runner.run(longest_spec))
+        want = tiny_spec(duration_s=2.0)
+        assert store.find_prefix(want) == run_key(long_spec)
+        assert store.find_prefix(tiny_spec(duration_s=5.0)) == run_key(
+            longest_spec
+        )
+        assert store.find_prefix(tiny_spec(duration_s=8.0)) is None
+        # Different family members never match.
+        assert store.find_prefix(tiny_spec(duration_s=2.0, seed=9)) is None
+        assert store.find_prefix(
+            tiny_spec(duration_s=2.0, policy="Adapt3D")
+        ) is None
+
+    def test_serve_prefix_series_match_fresh_run(self, tmp_path):
+        """A served prefix stores exactly the per-tick series a fresh
+        short run of the same spec would store."""
+        store = ResultStore(tmp_path)
+        runner = ExperimentRunner()
+        long_spec = tiny_spec(duration_s=4.0)
+        store.save(long_spec, runner.run(long_spec))
+        short_spec = tiny_spec(duration_s=2.0)
+        served = store.serve_prefix(short_spec)
+        assert served is not None
+        assert store.has(run_key(short_spec))
+        fresh = runner.run(short_spec)
+        stem = tmp_path / "fresh" / "result"
+        save_result(fresh, stem)
+        fresh_rt = load_result(stem)
+        for name in ("times", "unit_temps_k", "core_temps_k",
+                     "core_peak_temps_k", "layer_spreads_k", "utilization",
+                     "vf_indices", "core_states", "total_power_w"):
+            np.testing.assert_array_equal(
+                getattr(store.load(run_key(short_spec)), name),
+                getattr(fresh_rt, name),
+                err_msg=name,
+            )
+        assert len(served.completed_jobs()) == len(fresh_rt.completed_jobs())
+
+    def test_executor_serves_prefix_and_reports_it(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = CountingRunner()
+        long_campaign = tiny_campaign(policies=("Default",),
+                                      durations_s=(4.0,))
+        executor = CampaignExecutor(store=store, backend="serial",
+                                    runner=runner)
+        executor.run_campaign(long_campaign)
+        assert runner.run_calls == 1
+
+        events = []
+        short_campaign = tiny_campaign(policies=("Default",),
+                                       durations_s=(2.0,))
+        executor2 = CampaignExecutor(
+            store=store, backend="serial", runner=runner,
+            progress=lambda e, k, d: events.append(e),
+        )
+        run = executor2.run_campaign(short_campaign)
+        assert run.counts() == {"prefix": 1}
+        assert events == ["prefix"]
+        assert runner.run_calls == 1  # nothing was simulated
+        # The truncation was persisted under the exact key: the next
+        # invocation is a plain cache hit.
+        assert executor2.run_campaign(short_campaign).counts() == {
+            "cached": 1
+        }
+
+    def test_prefix_cache_can_be_disabled(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = CountingRunner()
+        executor = CampaignExecutor(store=store, backend="serial",
+                                    runner=runner, prefix_cache=False)
+        executor.run_campaign(tiny_campaign(policies=("Default",),
+                                            durations_s=(4.0,)))
+        run = executor.run_campaign(tiny_campaign(policies=("Default",),
+                                                  durations_s=(2.0,)))
+        assert run.counts() == {"ok": 1}
+        assert runner.run_calls == 2
+
+    def test_run_specs_round_trips_served_prefix(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = ExperimentRunner()
+        long_spec = tiny_spec(duration_s=4.0)
+        store.save(long_spec, runner.run(long_spec))
+        short_spec = tiny_spec(duration_s=2.0)
+        executor = CampaignExecutor(store=store, backend="serial",
+                                    runner=CountingRunner())
+        results = executor.run_specs([short_spec])
+        assert results[run_key(short_spec)].n_ticks == 20
+
+    def test_old_version_entries_never_serve(self, tmp_path):
+        """Entries saved before a KEY_VERSION bump must not serve
+        prefixes — the bump invalidated their semantics."""
+        store = ResultStore(tmp_path)
+        runner = ExperimentRunner()
+        long_spec = tiny_spec(duration_s=4.0)
+        key = store.save(long_spec, runner.run(long_spec))
+        store._index[key].pop("v")
+        store._flush_index()
+        reopened = ResultStore(tmp_path)
+        assert reopened.find_prefix(tiny_spec(duration_s=2.0)) is None
+
+    def test_truncate_result_validation(self):
+        from repro.analysis.result_io import truncate_result
+
+        result = ExperimentRunner().run(tiny_spec(duration_s=2.0))
+        with pytest.raises(ConfigurationError):
+            truncate_result(result, 4.0)  # cannot extend
+        with pytest.raises(ConfigurationError):
+            truncate_result(result, 0.01)  # sub-tick
+        assert truncate_result(result, 2.0) is result
+        half = truncate_result(result, 1.0)
+        assert half.n_ticks == 10
+        np.testing.assert_array_equal(half.unit_temps_k,
+                                      result.unit_temps_k[:10])
+
+
+class TestBatchedBackendUnits:
+    """In-process tests of the batched backend's packing logic."""
+
+    def test_units_pack_compatible_runs(self):
+        executor = CampaignExecutor(backend="batched", batch_size=2)
+        pending = [
+            ("k0", tiny_spec(seed=1)),
+            ("k1", tiny_spec(seed=2)),
+            ("k2", tiny_spec(seed=3)),
+            ("k3", tiny_spec(seed=4, duration_s=4.0)),
+        ]
+        units = executor._make_units(pending)
+        assert [[key for key, _ in unit] for unit in units] == [
+            ["k0", "k1"], ["k2"], ["k3"],
+        ]
+
+    def test_parallel_backend_keeps_singleton_units(self):
+        executor = CampaignExecutor(backend="parallel")
+        pending = [("k0", tiny_spec(seed=1)), ("k1", tiny_spec(seed=2))]
+        assert [len(u) for u in executor._make_units(pending)] == [1, 1]
+
+    def test_invalid_batch_options_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignExecutor(backend="batched", batch_size=0)
+        with pytest.raises(ConfigurationError):
+            CampaignExecutor(backend="batched", propagation="bogus")
+
+
+@pytest.mark.slow
+class TestBatchedExecutor:
+    def test_batched_matches_serial_store(self, tmp_path):
+        campaign = tiny_campaign(seeds=(1, 2))
+        serial_store = ResultStore(tmp_path / "serial")
+        batched_store = ResultStore(tmp_path / "batched")
+        CampaignExecutor(store=serial_store, backend="serial").run_campaign(
+            campaign
+        )
+        run = CampaignExecutor(
+            store=batched_store, backend="batched", max_workers=2,
+            batch_size=4,
+        ).run_campaign(campaign)
+        assert run.counts() == {"ok": 4}
+        for key in campaign.keys():
+            a = serial_store.load(key)
+            b = batched_store.load(key)
+            np.testing.assert_array_equal(a.unit_temps_k, b.unit_temps_k)
+            np.testing.assert_array_equal(a.vf_indices, b.vf_indices)
+            assert a.energy_j == b.energy_j
+
+    def test_poisoned_batch_isolates_failure(self, tmp_path):
+        """A bad spec fails alone: its batch mates are retried
+        individually and complete."""
+        bad = tiny_spec(seed=5, benchmark_mix=(("not-a-benchmark", 4),))
+        campaign = tiny_campaign(policies=("Default",), seeds=(1, 2),
+                                 extra_runs=(bad,))
+        store = ResultStore(tmp_path)
+        run = CampaignExecutor(
+            store=store, backend="batched", max_workers=2, batch_size=8,
+        ).run_campaign(campaign)
+        assert run.counts() == {"ok": 2, "error": 1}
+        assert "not-a-benchmark" in store.failures()[run_key(bad)]
+
+    def test_batched_resume(self, tmp_path):
+        campaign = tiny_campaign(seeds=(1, 2, 3))
+        store = ResultStore(tmp_path)
+        executor = CampaignExecutor(store=store, backend="batched",
+                                    max_workers=2)
+        assert executor.run_campaign(campaign).counts() == {"ok": 6}
+        assert executor.run_campaign(campaign).counts() == {"cached": 6}

@@ -1,0 +1,271 @@
+"""Batched multi-run engine tests.
+
+Three families:
+
+- differential tests proving a :class:`BatchSimulationEngine` in
+  ``exact`` propagation mode reproduces per-run serial
+  :meth:`SimulationEngine.run` results bit for bit (every recorded
+  array, energy, jobs, migrations) — a fast multi-seed slice runs in
+  tier-1, the full stack x policy x DPM matrix under the ``slow``
+  marker;
+- ``gemm`` propagation tests pinning the fused one-GEMM path to the
+  serial results within BLAS-kernel rounding (and, for the implicit
+  solvers, still bit-identical — their batched step is multi-RHS
+  triangular solves);
+- unit tests of the batching contract: compatibility validation,
+  ``run_batch`` grouping/order, and the noise/mix plumbing through the
+  batched path.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analysis.runner import ExperimentRunner, RunSpec
+from repro.errors import ConfigurationError, SchedulerError
+from repro.sched.batch import BatchSimulationEngine
+
+RUNNER = ExperimentRunner()
+
+RESULT_ARRAYS = (
+    "times",
+    "unit_temps_k",
+    "core_temps_k",
+    "core_peak_temps_k",
+    "layer_spreads_k",
+    "utilization",
+    "vf_indices",
+    "core_states",
+    "total_power_w",
+)
+
+DISCRETE_ARRAYS = ("times", "utilization", "vf_indices", "core_states")
+
+
+def seed_sweep(exp_id, policy, n_seeds=3, duration_s=6.0, **overrides):
+    """A small multi-seed batch of otherwise identical specs."""
+    return [
+        RunSpec(exp_id=exp_id, policy=policy, duration_s=duration_s,
+                seed=2009 + i, **overrides)
+        for i in range(n_seeds)
+    ]
+
+
+def run_serial(specs):
+    return [RUNNER.run(spec) for spec in specs]
+
+
+def run_batched(specs, propagation="exact"):
+    lanes = [RUNNER.build_engine(spec) for spec in specs]
+    return BatchSimulationEngine(lanes, propagation=propagation).run()
+
+
+def assert_results_identical(serial, batched):
+    for s, b in zip(serial, batched):
+        for name in RESULT_ARRAYS:
+            np.testing.assert_array_equal(
+                getattr(s, name), getattr(b, name), err_msg=name
+            )
+        assert s.energy_j == b.energy_j
+        assert s.migrations == b.migrations
+        assert_jobs_identical(s, b)
+
+
+def assert_jobs_identical(s, b):
+    assert len(s.jobs) == len(b.jobs)
+    for js, jb in zip(s.jobs, b.jobs):
+        assert js.completion_time == jb.completion_time
+        assert js.remaining_s == jb.remaining_s
+        assert js.migrations == jb.migrations
+        assert js.core == jb.core
+
+
+class TestBatchDifferentialFast:
+    """Tier-1 smoke slice: batched exact mode is bit-identical."""
+
+    @pytest.mark.parametrize("exp_id", [1, 4])
+    @pytest.mark.parametrize("policy", ["Default", "Adapt3D&DVFS_TT"])
+    def test_batch_matches_serial(self, exp_id, policy):
+        specs = seed_sweep(exp_id, policy)
+        assert_results_identical(run_serial(specs), run_batched(specs))
+
+    def test_batch_matches_serial_with_dpm(self):
+        specs = seed_sweep(1, "Migr", with_dpm=True)
+        assert_results_identical(run_serial(specs), run_batched(specs))
+
+    def test_batch_matches_serial_with_sensor_noise(self):
+        """Per-lane sensor RNG draws stay in serial order, so even noisy
+        runs batch bit-identically."""
+        specs = seed_sweep(4, "Adapt3D", sensor_noise_sigma=1.0)
+        assert_results_identical(run_serial(specs), run_batched(specs))
+
+    @pytest.mark.parametrize("solver", ["backward_euler", "crank_nicolson"])
+    def test_implicit_solvers_batch_bitwise(self, solver):
+        """Implicit batched steps are multi-RHS solves, bit-identical in
+        exact mode; gemm mode still runs the mean *readback* as one
+        GEMM, so temperatures track at rounding level there."""
+        specs = seed_sweep(4, "Adapt3D", n_seeds=2, thermal_solver=solver)
+        serial = run_serial(specs)
+        assert_results_identical(serial, run_batched(specs, "exact"))
+        for s, b in zip(serial, run_batched(specs, "gemm")):
+            np.testing.assert_allclose(
+                s.unit_temps_k, b.unit_temps_k, rtol=0.0, atol=1e-9
+            )
+            np.testing.assert_allclose(
+                s.core_peak_temps_k, b.core_peak_temps_k, rtol=0.0, atol=1e-9
+            )
+            assert_jobs_identical(s, b)
+
+    def test_gemm_mode_tracks_serial_within_ulp(self):
+        """The one-GEMM propagation deviates only at BLAS-kernel
+        rounding; the discrete scheduling stream stays identical."""
+        specs = seed_sweep(4, "Adapt3D")
+        serial = run_serial(specs)
+        batched = run_batched(specs, propagation="gemm")
+        for s, b in zip(serial, batched):
+            np.testing.assert_allclose(
+                s.unit_temps_k, b.unit_temps_k, rtol=0.0, atol=1e-9
+            )
+            np.testing.assert_allclose(
+                s.core_peak_temps_k, b.core_peak_temps_k, rtol=0.0, atol=1e-9
+            )
+            for name in DISCRETE_ARRAYS:
+                np.testing.assert_array_equal(
+                    getattr(s, name), getattr(b, name), err_msg=name
+                )
+            assert s.migrations == b.migrations
+            assert_jobs_identical(s, b)
+
+    def test_single_lane_batch_is_bitwise(self):
+        spec = RunSpec(exp_id=1, policy="Adapt3D", duration_s=6.0, seed=2009)
+        assert_results_identical(run_serial([spec]), run_batched([spec]))
+
+
+@pytest.mark.slow
+class TestBatchDifferentialMatrix:
+    """Full stack x policy x DPM differential matrix, multi-seed."""
+
+    @pytest.mark.parametrize("exp_id", [1, 2, 3, 4])
+    @pytest.mark.parametrize(
+        "policy",
+        ["Default", "Adapt3D", "Adapt3D&DVFS_TT", "Migr", "CGate",
+         "DVFS_Util"],
+    )
+    @pytest.mark.parametrize("with_dpm", [False, True])
+    def test_batch_matches_serial(self, exp_id, policy, with_dpm):
+        specs = seed_sweep(
+            exp_id, policy, n_seeds=2, duration_s=12.0, with_dpm=with_dpm
+        )
+        assert_results_identical(run_serial(specs), run_batched(specs))
+
+    def test_mixed_policy_batch(self):
+        """Lanes need not be homogeneous: one batch may mix policies."""
+        specs = [
+            RunSpec(exp_id=3, policy=policy, duration_s=12.0, seed=2009)
+            for policy in ("Default", "Adapt3D", "Migr", "Adapt3D&DVFS_TT")
+        ]
+        assert_results_identical(run_serial(specs), run_batched(specs))
+
+
+class TestBatchValidation:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(SchedulerError):
+            BatchSimulationEngine([])
+
+    def test_unknown_propagation_rejected(self):
+        engine = RUNNER.build_engine(
+            RunSpec(exp_id=1, policy="Default", duration_s=2.0)
+        )
+        with pytest.raises(SchedulerError):
+            BatchSimulationEngine([engine], propagation="bogus")
+
+    def test_mixed_duration_rejected(self):
+        a = RUNNER.build_engine(
+            RunSpec(exp_id=1, policy="Default", duration_s=2.0)
+        )
+        b = RUNNER.build_engine(
+            RunSpec(exp_id=1, policy="Default", duration_s=3.0, seed=2)
+        )
+        with pytest.raises(SchedulerError):
+            BatchSimulationEngine([a, b])
+
+    def test_mixed_solver_rejected(self):
+        a = RUNNER.build_engine(
+            RunSpec(exp_id=1, policy="Default", duration_s=2.0)
+        )
+        b = RUNNER.build_engine(
+            RunSpec(exp_id=1, policy="Default", duration_s=2.0, seed=2,
+                    thermal_solver="backward_euler")
+        )
+        with pytest.raises(SchedulerError):
+            BatchSimulationEngine([a, b])
+
+    def test_foreign_assembly_rejected(self):
+        """Lanes from different runners hold different assemblies."""
+        a = RUNNER.build_engine(
+            RunSpec(exp_id=1, policy="Default", duration_s=2.0)
+        )
+        b = ExperimentRunner().build_engine(
+            RunSpec(exp_id=1, policy="Default", duration_s=2.0, seed=2)
+        )
+        with pytest.raises(SchedulerError):
+            BatchSimulationEngine([a, b])
+
+    def test_legacy_scan_lane_rejected(self):
+        engine = RUNNER.build_engine(
+            RunSpec(exp_id=1, policy="Default", duration_s=2.0)
+        )
+        engine.config = replace(engine.config, event_loop="legacy_scan")
+        with pytest.raises(SchedulerError):
+            BatchSimulationEngine([engine])
+
+
+class TestRunBatch:
+    def test_groups_and_preserves_order(self):
+        """Mixed-stack spec lists come back in input order, each result
+        bit-identical to a serial run."""
+        specs = [
+            RunSpec(exp_id=1, policy="Default", duration_s=4.0, seed=1),
+            RunSpec(exp_id=4, policy="Adapt3D", duration_s=4.0, seed=1),
+            RunSpec(exp_id=1, policy="Adapt3D", duration_s=4.0, seed=2),
+            RunSpec(exp_id=4, policy="Adapt3D", duration_s=4.0, seed=2),
+            RunSpec(exp_id=1, policy="Default", duration_s=2.0, seed=3),
+        ]
+        serial = run_serial(specs)
+        batched = RUNNER.run_batch(specs)
+        assert_results_identical(serial, batched)
+
+    def test_group_batchable_partitions_by_compatibility(self):
+        specs = [
+            RunSpec(exp_id=1, policy="Default", duration_s=4.0, seed=1),
+            RunSpec(exp_id=4, policy="Default", duration_s=4.0, seed=1),
+            RunSpec(exp_id=1, policy="Adapt3D", duration_s=4.0, seed=2),
+            RunSpec(exp_id=1, policy="Default", duration_s=8.0, seed=1),
+        ]
+        groups = ExperimentRunner.group_batchable(specs)
+        assert groups == [[0, 2], [1], [3]]
+
+    def test_named_mix_plumbs_through_batch(self):
+        specs = seed_sweep(
+            1, "Default", n_seeds=2, duration_s=4.0,
+            workload_mix="batch_compute",
+        )
+        assert_results_identical(run_serial(specs), run_batched(specs))
+
+    def test_conflicting_mix_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RUNNER.build_engine(
+                RunSpec(exp_id=1, policy="Default", duration_s=2.0,
+                        workload_mix="server",
+                        benchmark_mix=(("gzip", 4),))
+            )
+
+    def test_unknown_named_mix_rejected(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            RUNNER.build_engine(
+                RunSpec(exp_id=1, policy="Default", duration_s=2.0,
+                        workload_mix="nope")
+            )
