@@ -10,18 +10,24 @@ Measures the campaign-shaped workload the batch engine exists for — a
   ``EngineConfig(event_loop="legacy_scan")``);
 - ``batch exact`` — :class:`BatchSimulationEngine` with column-exact
   dense products (bit-identical to ``serial``);
-- ``batch gemm`` — the fused one-GEMM thermal propagation.
+- ``batch gemm`` — the fused one-GEMM thermal propagation;
+- ``batch span`` — ``fidelity="span"`` lanes on the gemm propagation:
+  lazy per-core span execution, trusted completion events, and the
+  across-lane probabilistic policy tick (docs/ENGINE.md).
 
-Where the speedup ceiling comes from (measured on the bench machine,
-see docs/ENGINE.md): a serial EXP-4 tick spends ~57% of its time in the
+Where the eager ceiling comes from (measured on the bench machine, see
+docs/ENGINE.md): a serial EXP-4 tick spends ~57% of its time in the
 per-run scalar scheduler (interval sweep, dispatch, policy, workload
-generator) that batching cannot amortize, so by Amdahl the batch
-speedup over the *shipping* serial engine saturates near
+generator) that batching cannot amortize, so by Amdahl the *eager*
+batch speedup over the shipping serial engine saturates near
 ``1 / 0.57 ~ 1.75x`` regardless of batch width — the measured 16-lane
-figures are ~1.45x (exact) and ~1.65x (gemm). Against the legacy-scan
-replay (the engine the ROADMAP's batching target was framed against)
-the fused loop clears 3x. Both ratios are gated below, each against its
-own measured baseline so the gates are machine-relative.
+figures are ~1.45x (exact) and ~1.6x (gemm). Span fidelity attacks the
+scalar term itself instead of the batched boundary, which is what
+breaks the cap: the measured 16-lane span+gemm figure is ~2.6x vs the
+shipping serial engine (gated at 2.5x below). Against the legacy-scan
+replay (the engine the ROADMAP's batching target was originally framed
+against) the fused loop clears 3x. Every ratio is gated against its
+own measured baseline so the gates stay machine-relative.
 
 Emits a ``batch`` section merged into ``BENCH_engine.json`` (results
 dir + repo-root mirror). ``REPRO_BENCH_SMOKE=1`` shortens the runs and
@@ -57,6 +63,10 @@ REPS = 1 if SMOKE else 2
 GATE_GEMM_VS_SCAN = 2.6
 GATE_GEMM_VS_SERIAL = 1.35
 GATE_EXACT_VS_SERIAL = 1.2
+#: The span-compiled scheduler fast path must clear the eager Amdahl
+#: cap (~1.75x) with room to spare: measured ~2.6x on the bench
+#: machine.
+GATE_SPAN_VS_SERIAL = 2.5
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -87,8 +97,13 @@ def test_batch_engine_throughput(results_dir):
             )
             engine.run()
 
-    def run_batch(propagation):
-        lanes = [runner.build_engine(spec) for spec in specs]
+    def run_batch(propagation, fidelity="eager"):
+        lanes = []
+        for spec in specs:
+            engine = runner.build_engine(spec)
+            if fidelity != "eager":
+                engine.config = replace(engine.config, fidelity=fidelity)
+            lanes.append(engine)
         BatchSimulationEngine(lanes, propagation=propagation).run()
 
     configs = {
@@ -96,6 +111,7 @@ def test_batch_engine_throughput(results_dir):
         "scan": replay_scan,
         "batch_exact": lambda: run_batch("exact"),
         "batch_gemm": lambda: run_batch("gemm"),
+        "batch_span": lambda: run_batch("gemm", fidelity="span"),
     }
     # Interleaved rounds: each round times every config once, the
     # per-config min drops rounds hit by transient machine load.
@@ -109,6 +125,7 @@ def test_batch_engine_throughput(results_dir):
     scan_s = rows["scan"]
     exact_s = rows["batch_exact"]
     gemm_s = rows["batch_gemm"]
+    span_s = rows["batch_span"]
 
     n_runs = len(specs)
     runs_per_s = {name: n_runs / secs for name, secs in rows.items()}
@@ -124,6 +141,23 @@ def test_batch_engine_throughput(results_dir):
         np.testing.assert_array_equal(a.unit_temps_k, b.unit_temps_k)
         assert a.energy_j == b.energy_j
 
+    # Span tolerance spot check: the fast path must track the serial
+    # reference within the documented contract (full matrix in
+    # tests/test_engine_span.py).
+    span_lanes = []
+    for spec in check_specs:
+        engine = runner.build_engine(spec)
+        engine.config = replace(engine.config, fidelity="span")
+        span_lanes.append(engine)
+    for a, b in zip(serial_results,
+                    BatchSimulationEngine(span_lanes,
+                                          propagation="gemm").run()):
+        np.testing.assert_allclose(
+            a.unit_temps_k, b.unit_temps_k, rtol=0.0, atol=1e-3
+        )
+        np.testing.assert_array_equal(a.vf_indices, b.vf_indices)
+        assert len(a.completed_jobs()) == len(b.completed_jobs())
+
     payload_section = {
         "n_seeds": n_runs,
         "simulated_s": BENCH_SIM_S,
@@ -134,10 +168,12 @@ def test_batch_engine_throughput(results_dir):
         "speedup_gemm_vs_serial": round(serial_s / gemm_s, 2),
         "speedup_exact_vs_serial": round(serial_s / exact_s, 2),
         "speedup_gemm_vs_scan": round(scan_s / gemm_s, 2),
+        "speedup_span_vs_serial": round(serial_s / span_s, 2),
         "gates": {
             "gemm_vs_scan": GATE_GEMM_VS_SCAN,
             "gemm_vs_serial": GATE_GEMM_VS_SERIAL,
             "exact_vs_serial": GATE_EXACT_VS_SERIAL,
+            "span_vs_serial": GATE_SPAN_VS_SERIAL,
         },
     }
 
@@ -162,7 +198,8 @@ def test_batch_engine_throughput(results_dir):
         + (" [SMOKE]" if SMOKE else ""),
         f"{'config':14s} {'total s':>9s} {'runs/s':>8s} {'speedup':>8s}",
     ]
-    for name in ("scan", "serial", "batch_exact", "batch_gemm"):
+    for name in ("scan", "serial", "batch_exact", "batch_gemm",
+                 "batch_span"):
         lines.append(
             f"{name:14s} {rows[name]:9.2f} {runs_per_s[name]:8.2f} "
             f"{serial_s / rows[name]:7.2f}x"
@@ -171,7 +208,9 @@ def test_batch_engine_throughput(results_dir):
         f"gemm vs scan replay: {scan_s / gemm_s:.2f}x "
         f"(gate {GATE_GEMM_VS_SCAN}x); "
         f"gemm vs serial: {serial_s / gemm_s:.2f}x "
-        f"(gate {GATE_GEMM_VS_SERIAL}x)"
+        f"(gate {GATE_GEMM_VS_SERIAL}x); "
+        f"span vs serial: {serial_s / span_s:.2f}x "
+        f"(gate {GATE_SPAN_VS_SERIAL}x)"
     )
     emit(results_dir, "batch_engine", "\n".join(lines))
 
@@ -188,4 +227,8 @@ def test_batch_engine_throughput(results_dir):
     assert serial_s / exact_s >= GATE_EXACT_VS_SERIAL, (
         f"exact batch {serial_s / exact_s:.2f}x vs serial replay missed "
         f"the {GATE_EXACT_VS_SERIAL}x gate"
+    )
+    assert serial_s / span_s >= GATE_SPAN_VS_SERIAL, (
+        f"span batch {serial_s / span_s:.2f}x vs serial replay missed "
+        f"the {GATE_SPAN_VS_SERIAL}x gate"
     )

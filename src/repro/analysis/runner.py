@@ -65,6 +65,12 @@ class RunSpec:
         (:func:`repro.workload.benchmarks.named_mix`), scaled to the
         stack's core count at build time. Mutually exclusive with
         ``benchmark_mix``.
+    fidelity:
+        Interval-execution fidelity: ``"eager"`` (default, the
+        bit-identity reference semantics) or ``"span"`` (lazy
+        span-compiled scheduling, approximately equal within the
+        tolerance documented in docs/ENGINE.md and markedly faster in
+        batched campaigns).
     """
 
     exp_id: int
@@ -78,6 +84,7 @@ class RunSpec:
     thermal_solver: str = "exponential"
     sensor_noise_sigma: float = 0.0
     workload_mix: Optional[str] = None
+    fidelity: str = "eager"
 
 
 class ExperimentRunner:
@@ -156,6 +163,7 @@ class ExperimentRunner:
             sensor_noise_sigma=spec.sensor_noise_sigma,
             seed=spec.seed,
             thermal_solver=spec.thermal_solver,
+            fidelity=spec.fidelity,
         )
         return SimulationEngine(
             thermal=thermal,
@@ -177,15 +185,18 @@ class ExperimentRunner:
         Runs sharing this key can ride one
         :class:`~repro.sched.batch.BatchSimulationEngine` tick loop:
         same stack and grid (one :class:`ThermalAssembly`), same
-        transient solver, and the same duration (the fused loop advances
-        every lane the same number of ticks). Policies, seeds, DPM,
-        mixes and sensor noise may differ within a group.
+        transient solver, the same duration (the fused loop advances
+        every lane the same number of ticks) and the same fidelity
+        (span and eager lanes advance their intervals differently).
+        Policies, seeds, DPM, mixes and sensor noise may differ within
+        a group.
         """
         return (
             spec.exp_id,
             (spec.grid[0], spec.grid[1]),
             spec.thermal_solver,
             spec.duration_s,
+            spec.fidelity,
         )
 
     @classmethod

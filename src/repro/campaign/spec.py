@@ -33,7 +33,11 @@ from repro.errors import ConfigurationError
 # v3: RunSpec gained sensor_noise_sigma and workload_mix, campaign
 # grids gained the matching axes, and stores started recording
 # duration-less prefix keys for cross-grid prefix caching.
-KEY_VERSION = 3
+# v4: RunSpec gained the fidelity axis (span-compiled scheduling) and
+# the workload generator moved to bulk-drawn exponentials (same
+# distribution, different realization per seed), so stored trajectories
+# from v3 are not reproducible under v4.
+KEY_VERSION = 4
 
 
 def _canonical(value: Any) -> Any:
@@ -135,6 +139,7 @@ class CampaignSpec:
     benchmark_mixes: Tuple[Optional[Tuple[Tuple[str, int], ...]], ...] = (None,)
     workload_mixes: Tuple[Optional[str], ...] = (None,)
     sensor_noise_sigmas: Tuple[float, ...] = (0.0,)
+    fidelities: Tuple[str, ...] = ("eager",)
     extra_runs: Tuple[RunSpec, ...] = ()
 
     def __post_init__(self) -> None:
@@ -142,9 +147,15 @@ class CampaignSpec:
             raise ConfigurationError("campaign needs a name")
         for axis in ("exp_ids", "policies", "durations_s", "dpm", "seeds",
                      "grids", "benchmark_mixes", "workload_mixes",
-                     "sensor_noise_sigmas"):
+                     "sensor_noise_sigmas", "fidelities"):
             if not getattr(self, axis):
                 raise ConfigurationError(f"campaign axis {axis!r} is empty")
+        for fidelity in self.fidelities:
+            if fidelity not in ("eager", "span"):
+                raise ConfigurationError(
+                    f"unknown fidelity {fidelity!r}; "
+                    "expected 'eager' or 'span'"
+                )
 
     # ------------------------------------------------------------------
 
@@ -160,18 +171,20 @@ class CampaignSpec:
                             for mix in self.benchmark_mixes:
                                 for wmix in self.workload_mixes:
                                     for noise in self.sensor_noise_sigmas:
-                                        for seed in self.seeds:
-                                            specs.append(RunSpec(
-                                                exp_id=exp_id,
-                                                policy=policy,
-                                                duration_s=duration,
-                                                with_dpm=with_dpm,
-                                                seed=seed,
-                                                grid=tuple(grid),
-                                                benchmark_mix=mix,
-                                                workload_mix=wmix,
-                                                sensor_noise_sigma=noise,
-                                            ))
+                                        for fid in self.fidelities:
+                                            for seed in self.seeds:
+                                                specs.append(RunSpec(
+                                                    exp_id=exp_id,
+                                                    policy=policy,
+                                                    duration_s=duration,
+                                                    with_dpm=with_dpm,
+                                                    seed=seed,
+                                                    grid=tuple(grid),
+                                                    benchmark_mix=mix,
+                                                    workload_mix=wmix,
+                                                    sensor_noise_sigma=noise,
+                                                    fidelity=fid,
+                                                ))
         specs.extend(self.extra_runs)
         unique: List[RunSpec] = []
         for spec in specs:
@@ -203,6 +216,7 @@ class CampaignSpec:
             ],
             "workload_mixes": list(self.workload_mixes),
             "sensor_noise_sigmas": list(self.sensor_noise_sigmas),
+            "fidelities": list(self.fidelities),
             "extra_runs": [spec_to_dict(spec) for spec in self.extra_runs],
         }
         return data
@@ -214,14 +228,14 @@ class CampaignSpec:
         known = {
             "name", "exp_ids", "policies", "durations_s", "dpm", "seeds",
             "grids", "benchmark_mixes", "workload_mixes",
-            "sensor_noise_sigmas", "extra_runs",
+            "sensor_noise_sigmas", "fidelities", "extra_runs",
         }
         unknown = sorted(set(data) - known)
         if unknown:
             raise ConfigurationError(f"unknown campaign fields: {unknown}")
         kwargs: Dict[str, Any] = {"name": data["name"]}
         for axis in ("exp_ids", "policies", "durations_s", "dpm", "seeds",
-                     "workload_mixes", "sensor_noise_sigmas"):
+                     "workload_mixes", "sensor_noise_sigmas", "fidelities"):
             if axis in data:
                 kwargs[axis] = _as_tuple(data[axis])
         if "grids" in data:

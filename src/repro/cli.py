@@ -40,6 +40,12 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                                  "crank_nicolson"),
                         help="transient integrator (exponential is exact "
                              "under piecewise-constant power)")
+    parser.add_argument("--fidelity", default="eager",
+                        choices=("eager", "span"),
+                        help="interval-execution fidelity: eager "
+                             "(bit-identity reference) or span "
+                             "(span-compiled scheduling, approximate "
+                             "within the documented tolerance, faster)")
 
 
 def _report_lines(report, with_delay: bool) -> List[List[object]]:
@@ -61,7 +67,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     runner = ExperimentRunner()
     spec = RunSpec(exp_id=args.exp, policy=args.policy,
                    duration_s=args.duration, with_dpm=args.dpm, seed=args.seed,
-                   thermal_solver=args.thermal_solver)
+                   thermal_solver=args.thermal_solver,
+                   fidelity=args.fidelity)
     result = runner.run(spec)
     report = summarize(result)
     print(format_table(
@@ -82,7 +89,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
     runner = ExperimentRunner()
     base_spec = RunSpec(exp_id=args.exp, policy="Default",
                         duration_s=args.duration, with_dpm=args.dpm,
-                        seed=args.seed, thermal_solver=args.thermal_solver)
+                        seed=args.seed, thermal_solver=args.thermal_solver,
+                        fidelity=args.fidelity)
     results = runner.run_policies(base_spec, names)
     baseline = results.get("Default") or runner.run(base_spec)
     rows = []
@@ -122,6 +130,18 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         print(exc, file=sys.stderr)
         return 2
 
+    if args.fidelity is not None:
+        # Override the spec's fidelity axis for this invocation; run
+        # keys include the fidelity, so span results live alongside
+        # (not instead of) eager ones in the store.
+        from dataclasses import replace as dc_replace
+
+        try:
+            spec = dc_replace(spec, fidelities=(args.fidelity,))
+        except ConfigurationError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+
     total = len(spec.expand())
     done = {"n": 0}
 
@@ -144,6 +164,7 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
             max_workers=args.workers,
             progress=progress,
             batch_size=args.batch_size,
+            propagation=args.propagation,
         )
     except ConfigurationError as exc:
         print(exc, file=sys.stderr)
@@ -242,6 +263,20 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument("--batch-size", type=int, default=16,
                               help="max runs fused per batch "
                                    "(batched backend, default 16)")
+    campaign_run.add_argument("--propagation", default="exact",
+                              choices=("exact", "gemm"),
+                              help="thermal propagation of the batched "
+                                   "backend: exact (bit-identical to "
+                                   "serial runs) or gemm (one-GEMM "
+                                   "batching, fastest, ~1e-13 K "
+                                   "deviation)")
+    campaign_run.add_argument("--fidelity", default=None,
+                              choices=("eager", "span"),
+                              help="override the campaign's fidelity axis "
+                                   "for every run: eager (reference) or "
+                                   "span (span-compiled scheduling, "
+                                   "approximate, fastest with the batched "
+                                   "backend)")
     campaign_run.set_defaults(func=cmd_campaign_run)
 
     campaign_status_parser = campaign_sub.add_parser(

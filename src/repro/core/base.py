@@ -250,6 +250,12 @@ class AllocationContext:
         vectorized policies skip the Mapping interface entirely. The
         arrays are live views of engine state — valid for the duration
         of the ``select_core`` call.
+    queue_lengths_list, state_codes_list:
+        Optional plain-list mirrors of ``queue_lengths_vec`` /
+        ``state_codes`` (same positions, live). Scalar scoring loops
+        (the probabilistic allocators) consume lists; the engine
+        maintains these at the same sync sites as the arrays so
+        per-dispatch ``tolist()`` unloads disappear.
     """
 
     time: float
@@ -261,6 +267,8 @@ class AllocationContext:
     queue_lengths_vec: Optional[np.ndarray] = None
     temperatures_vec: Optional[np.ndarray] = None
     state_codes: Optional[np.ndarray] = None
+    queue_lengths_list: Optional[List[int]] = None
+    state_codes_list: Optional[List[int]] = None
 
 
 @dataclass(frozen=True)

@@ -86,6 +86,9 @@ class ProbabilisticAllocator(Policy):
         self._lfsr = GaloisLFSR(seed)
         self._names: tuple = ()
         self._prob = np.zeros(0)
+        #: Plain-list cache of ``_prob`` for the scalar scoring loop,
+        #: rebuilt lazily after every probability update.
+        self._prob_list = None
         self._alpha_arr = np.zeros(0)
         self._hist = np.zeros((0, history_window))
         self._hist_len = 0
@@ -113,9 +116,28 @@ class ProbabilisticAllocator(Policy):
         self._names = names
         self._alpha_arr = np.array([self._alphas[name] for name in names])
         self._prob = np.full(n, 1.0 / n)
+        self._prob_list = None
         self._hist = np.zeros((n, self.history_window))
         self._hist_len = 0
         self._hist_pos = 0
+
+    def _adopt_batch_rows(
+        self, prob_row: np.ndarray, hist_row: np.ndarray
+    ) -> None:
+        """Re-home the probability/history state onto caller-owned rows.
+
+        The batched multi-run engine stacks R compatible allocators
+        into one ``(R, n)`` probability matrix and one ``(R, n,
+        window)`` history block so the per-tick §III-B update runs once
+        for the whole batch; per-dispatch scoring keeps reading this
+        policy's (now shared-storage) row. Mirrors the engine's
+        ``_adopt_core_rows`` idiom.
+        """
+        prob_row[:] = self._prob
+        hist_row[:] = self._hist
+        self._prob = prob_row
+        self._hist = hist_row
+        self._prob_list = None
 
     @property
     def probabilities(self) -> Dict[str, float]:
@@ -169,6 +191,7 @@ class ProbabilisticAllocator(Policy):
         total = prob.sum()
         if total > 0.0:
             prob /= total
+        self._prob_list = None  # scoring cache follows the update
         return PolicyActions()
 
     # --------------------------------------------------------------
@@ -191,8 +214,12 @@ class ProbabilisticAllocator(Policy):
             ctx.queue_lengths_vec is not None
             and ctx.core_names == names
         ):
-            queue_lengths = ctx.queue_lengths_vec.tolist()
-            codes = ctx.state_codes.tolist()
+            queue_lengths = ctx.queue_lengths_list
+            if queue_lengths is None:
+                queue_lengths = ctx.queue_lengths_vec.tolist()
+            codes = ctx.state_codes_list
+            if codes is None:
+                codes = ctx.state_codes.tolist()
             temps_vec = ctx.temperatures_vec
         else:
             queue_lengths = [ctx.queue_lengths[c] for c in names]
@@ -206,12 +233,16 @@ class ProbabilisticAllocator(Policy):
         # core with an equally short queue exists (sleeping cores are
         # the coolest, so a pure probability draw would constantly wake
         # them and erase the power manager's savings).
-        awake = [i for i in candidates if codes[i] != _SLEEP_CODE]
-        if awake:
-            candidates = awake
-        probs = self._prob.tolist()
+        if _SLEEP_CODE in codes:
+            awake = [i for i in candidates if codes[i] != _SLEEP_CODE]
+            if awake:
+                candidates = awake
+        probs = self._prob_list
+        if probs is None:
+            probs = self._prob_list = self._prob.tolist()
         weights = [probs[i] for i in candidates]
-        if sum(weights) <= 0.0:
+        total = sum(weights)
+        if total <= 0.0:
             # Every shortest-queue core is hot: take the coolest of them
             # (never queue behind longer queues — allocation must not
             # cost performance, §V-A).
@@ -220,4 +251,4 @@ class ProbabilisticAllocator(Policy):
             else:
                 temps = temps_vec.tolist()
             return names[min(candidates, key=temps.__getitem__)]
-        return names[candidates[self._lfsr.choice(weights)]]
+        return names[candidates[self._lfsr.choice(weights, total)]]

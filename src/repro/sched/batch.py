@@ -27,6 +27,19 @@ structure-of-arrays bookkeeping is re-homed onto rows of batch-owned
 ``(R, n_cores)`` matrices at construction, so the boundary reads them
 with zero per-lane gathering.
 
+With ``EngineConfig(fidelity="span")`` lanes (uniform across the
+batch), the per-lane interval advance switches to the span-compiled
+fast path — lazy per-core spans, trusted completion events — and two
+further batch-level fusions engage: ideal-sensor reads become one
+gather over the peak block, and batches whose policies are all plain
+probabilistic allocators tick their probability state through one
+stacked ``(R, n_cores)`` update (:class:`_ProbabilisticBatchTick`)
+instead of R per-lane ``on_tick`` sweeps. This is what breaks the
+eager batch's scalar Amdahl cap (docs/ENGINE.md): measured ~2.6x over
+the shipping serial engine on the 16-seed EXP-4 bench, vs ~1.6x for
+eager gemm lanes. Span fidelity trades the bit-identity contract for a
+documented tolerance (``tests/test_engine_span.py``).
+
 Bit-identity
 ------------
 
@@ -58,15 +71,117 @@ is end-to-end bitwise for them too.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.adapt3d import Adapt3D
 from repro.core.base import TickArrays
+from repro.core.probabilistic import ProbabilisticAllocator
 from repro.errors import SchedulerError
 from repro.sched.engine import SimulationEngine, _Recording
 
 PROPAGATION_MODES = ("exact", "gemm")
+
+
+class _ProbabilisticBatchTick:
+    """One §III-B probability update per tick for a whole span batch.
+
+    When every lane's policy is a plain probabilistic allocator (base
+    ``on_tick``, or Adapt3D without the online index estimator), the
+    per-tick update is R independent copies of the same handful of
+    vector expressions. This helper re-homes each policy's probability
+    row and temperature history onto stacked ``(R, n)`` / ``(R, n,
+    window)`` matrices and applies the update once per tick for the
+    batch — row ``r`` evolves exactly as lane ``r``'s own ``on_tick``
+    would evolve it (all operations are row-independent), and the
+    allocators issue no tick actions, so the per-lane policy sweep
+    disappears entirely. Span fidelity only; the eager batch keeps the
+    per-lane calls that its bit-identity contract is proven against.
+    """
+
+    @staticmethod
+    def build(lanes) -> Optional["_ProbabilisticBatchTick"]:
+        policies = [lane.policy for lane in lanes]
+        for policy in policies:
+            if not isinstance(policy, ProbabilisticAllocator):
+                return None
+            tick = type(policy).on_tick
+            if tick is ProbabilisticAllocator.on_tick:
+                continue
+            if (
+                tick is Adapt3D.on_tick
+                and policy.online_index_window is None
+            ):
+                continue
+            return None
+        base = policies[0]
+        n = len(base._names)
+        window = base.history_window
+        for policy in policies:
+            if (
+                len(policy._names) != n
+                or policy.history_window != window
+                or policy._hist_len != base._hist_len
+                or policy._hist_pos != base._hist_pos
+            ):
+                return None
+        return _ProbabilisticBatchTick(policies, n, window)
+
+    def __init__(self, policies, n: int, window: int) -> None:
+        r = len(policies)
+        self.policies = policies
+        self.window = window
+        self.prob_mat = np.empty((r, n))
+        self.hist_block = np.empty((r, n, window))
+        for i, policy in enumerate(policies):
+            policy._adopt_batch_rows(self.prob_mat[i], self.hist_block[i])
+        self.alpha_mat = np.stack([p._alpha_arr for p in policies])
+        self.binc_col = np.array([[p.beta_inc] for p in policies])
+        self.bdec_col = np.array([[p.beta_dec] for p in policies])
+        self.pref_col = np.array(
+            [[p.system.preferred_temperature_k] for p in policies]
+        )
+        self.thr_col = np.array(
+            [[p.system.thermal_threshold_k] for p in policies]
+        )
+        self.hist_pos = policies[0]._hist_pos
+        self.hist_len = policies[0]._hist_len
+
+    def tick(self, temps_mat: np.ndarray) -> None:
+        """Advance every lane's probability state by one tick."""
+        self.hist_block[:, :, self.hist_pos] = temps_mat
+        self.hist_pos = (self.hist_pos + 1) % self.window
+        if self.hist_len < self.window:
+            self.hist_len += 1
+        t_avg = (
+            self.hist_block[:, :, : self.hist_len].sum(axis=2)
+            / self.hist_len
+        )
+        w_diff = self.pref_col - t_avg
+        weight = np.where(
+            w_diff >= 0.0,
+            self.binc_col * w_diff / self.alpha_mat,
+            self.bdec_col * w_diff * self.alpha_mat,
+        )
+        prob = self.prob_mat
+        prob += weight
+        prob[temps_mat >= self.thr_col] = 0.0
+        np.maximum(prob, 0.0, out=prob)
+        totals = prob.sum(axis=1)
+        positive = totals > 0.0
+        if positive.all():
+            prob /= totals[:, None]
+        elif positive.any():
+            prob[positive] /= totals[positive, None]
+        for policy in self.policies:
+            policy._prob_list = None
+
+    def finish(self) -> None:
+        """Write the shared cursor back to the per-lane policies."""
+        for policy in self.policies:
+            policy._hist_pos = self.hist_pos
+            policy._hist_len = self.hist_len
 
 
 class BatchSimulationEngine:
@@ -126,6 +241,11 @@ class BatchSimulationEngine:
                 raise SchedulerError(
                     "batched runs must share the thermal solver"
                 )
+            if lane.config.fidelity != base.config.fidelity:
+                raise SchedulerError(
+                    "batched runs must share the fidelity mode; span "
+                    "and eager lanes advance their intervals differently"
+                )
         for lane in lanes:
             if lane.config.event_loop != "event_heap":
                 raise SchedulerError(
@@ -153,6 +273,14 @@ class BatchSimulationEngine:
         n_lanes = len(lanes)
         base = lanes[0]
         exact = self.propagation == "exact"
+        # Span lanes advance event-to-event (lazy per-core spans,
+        # trusted completion heap) and report utilization from span
+        # anchors; the fused boundary below is identical in both
+        # fidelities. The serial engine's quiet-stretch fast-forward
+        # does not engage here — the batch already amortizes the
+        # boundary it would skip, and R lanes are almost never quiet
+        # simultaneously.
+        use_span = base.config.fidelity == "span"
 
         shapes = [lane._prepare_run() for lane in lanes]
         n_ticks, dt = shapes[0]
@@ -201,6 +329,15 @@ class BatchSimulationEngine:
         recs = [_Recording.allocate(lane, n_ticks) for lane in lanes]
         core_cols = recs[0].core_cols
         die_starts = recs[0].die_starts
+        # Span batches of plain probabilistic allocators tick their
+        # probability state once per tick for the whole batch.
+        policy_batch = (
+            _ProbabilisticBatchTick.build(lanes) if use_span else None
+        )
+        # Ideal sensors read the true per-core peaks, so the whole
+        # batch's sensor sweep is one gather (bitwise equal to the
+        # per-lane reads); noisy lanes keep their per-lane RNG draws.
+        all_ideal = all(lane.sensors.ideal for lane in lanes)
 
         # Per-tick planes, written once per field per tick and unpacked
         # into the per-lane recordings at the end.
@@ -218,6 +355,7 @@ class BatchSimulationEngine:
         mem_vec = np.empty(n_lanes)
         util_mat = np.empty((n_lanes, n_cores))
         core_names_tuples = [lane._core_names_tuple for lane in lanes]
+        dpm_lanes = [lane for lane in lanes if lane.config.dpm is not None]
 
         for tick in range(n_ticks):
             t0 = tick * dt
@@ -225,11 +363,18 @@ class BatchSimulationEngine:
 
             # Per-lane interval execution (scalar state machines, in
             # lane order — lanes are independent).
-            for lane in lanes:
-                lane._advance_interval_heap(t0, t1)
-            for r, lane in enumerate(lanes):
-                util_mat[r] = lane._gather_utilization(dt)
-                mem_vec[r] = lane._memory_intensity()
+            if use_span:
+                for lane in lanes:
+                    lane._advance_interval_span(t0, t1)
+                for r, lane in enumerate(lanes):
+                    util_mat[r] = lane._span_utilization(dt, t1)
+                    mem_vec[r] = lane._memory_intensity()
+            else:
+                for lane in lanes:
+                    lane._advance_interval_heap(t0, t1)
+                for r, lane in enumerate(lanes):
+                    util_mat[r] = lane._gather_utilization(dt)
+                    mem_vec[r] = lane._memory_intensity()
 
             # Fused boundary: one power kernel, one thermal block step,
             # one blocked max-readback for the whole batch.
@@ -241,33 +386,45 @@ class BatchSimulationEngine:
                 power_mat, temps_block, column_exact=exact
             )
             peak_block = thermal.unit_max_block(temps_block)
-            for r, lane in enumerate(lanes):
-                lane._temps_arr[:] = lane.sensors.read_cores_vector(
-                    peak_block[:, r]
-                )
+            if all_ideal:
+                temps_mat[:, :] = peak_block[core_cols].T
+            else:
+                for r, lane in enumerate(lanes):
+                    lane._temps_arr[:] = lane.sensors.read_cores_vector(
+                        peak_block[:, r]
+                    )
 
             # DPM before the policy snapshots, as in the serial loop.
-            for lane in lanes:
+            for lane in dpm_lanes:
                 lane._apply_dpm(t1)
 
-            # One batch copy per snapshot field; each lane's TickArrays
-            # is a row view of the copies (identical values to the
-            # serial per-run copies, without R small allocations).
-            temps_snap = temps_mat.copy()
-            state_snap = state_mat.copy()
-            vf_snap = vf_mat.copy()
-            ql_snap = ql_mat.copy()
-            util_snap = util_mat.copy()
-            for r, lane in enumerate(lanes):
-                arrays = TickArrays(
-                    core_names=core_names_tuples[r],
-                    temperature_k=temps_snap[r],
-                    utilization=util_snap[r],
-                    state_codes=state_snap[r],
-                    vf_index=vf_snap[r],
-                    queue_length=ql_snap[r],
-                )
-                lane._run_policy(t1, util_mat[r], arrays=arrays)
+            if policy_batch is not None:
+                policy_batch.tick(temps_mat)
+            elif use_span:
+                # Span lanes view their live batch rows through one
+                # persistent per-lane context (no snapshot copies).
+                for lane in lanes:
+                    lane._run_policy(t1)
+            else:
+                # One batch copy per snapshot field; each lane's
+                # TickArrays is a row view of the copies (identical
+                # values to the serial per-run copies, without R small
+                # allocations).
+                temps_snap = temps_mat.copy()
+                state_snap = state_mat.copy()
+                vf_snap = vf_mat.copy()
+                ql_snap = ql_mat.copy()
+                util_snap = util_mat.copy()
+                for r, lane in enumerate(lanes):
+                    arrays = TickArrays(
+                        core_names=core_names_tuples[r],
+                        temperature_k=temps_snap[r],
+                        utilization=util_snap[r],
+                        state_codes=state_snap[r],
+                        vf_index=vf_snap[r],
+                        queue_length=ql_snap[r],
+                    )
+                    lane._run_policy(t1, util_mat[r], arrays=arrays)
 
             # Record the end-of-interval state: one blocked mean
             # readback, then one plane write per field.
@@ -289,6 +446,9 @@ class BatchSimulationEngine:
             plane_power[tick] = tick_powers
             for r in range(n_lanes):
                 energies[r] += tick_powers[r] * dt
+
+        if policy_batch is not None:
+            policy_batch.finish()
 
         # Unpack the planes into per-lane recordings and hand each lane
         # its state back.

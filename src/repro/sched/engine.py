@@ -36,6 +36,24 @@ Two interval-execution loops are provided, selected by
   dict-based power pipeline, kept for differential testing; both loops
   produce bit-identical :class:`SimulationResult` arrays (covered by
   ``tests/test_engine_heap.py``).
+
+Orthogonally, ``EngineConfig.fidelity`` selects how strictly the
+interval execution reproduces the eager reference semantics:
+
+- ``"eager"`` (default): the loops above, with their bit-identity
+  contracts (heap vs scan, batch vs serial) intact.
+- ``"span"`` (opt-in, approximate-equality): each core's work between
+  its own boundary events — dispatch, completion, migration, DPM or
+  V/f/gating transition, stall expiry — is compiled into a lazy span:
+  the head job's remaining work is decremented in one closed-form
+  update when the next event or readback *materializes* the span,
+  utilization is accumulated from span timestamps instead of per-event
+  execution sweeps, cached completion events are trusted (no
+  recompute-on-pop), and fully quiet multi-tick stretches fast-forward
+  through the thermal model's multi-interval propagator with
+  span-compiled readback rows. Deviations from eager execution are
+  bounded at the documented tolerance (``docs/ENGINE.md``); the
+  differential harness lives in ``tests/test_engine_span.py``.
 """
 
 from __future__ import annotations
@@ -73,9 +91,24 @@ from repro.workload.job import Job
 
 _TIME_EPS = 1e-9
 
+# Inline state codes for the hot-path row sync (match power_state()).
+_IDLE_CODE = STATE_CODE[CoreState.IDLE]
+_ACTIVE_CODE = STATE_CODE[CoreState.ACTIVE]
+_GATED_CODE = STATE_CODE[CoreState.GATED]
+_SLEEP_CODE = STATE_CODE[CoreState.SLEEP]
+
 DEFAULT_MIGRATION_COST_S = 0.001
 
 EVENT_LOOPS = ("event_heap", "legacy_scan")
+
+FIDELITY_MODES = ("eager", "span")
+
+#: Default cap (in ticks) on one quiet-stretch fast-forward of the span
+#: engine. Power is held constant across the stretch, so the cap bounds
+#: the leakage-feedback lag error (measured well under 1e-3 K at 8
+#: ticks on all four paper stacks) and the size of the span-compiled
+#: readback cache on the shared assembly.
+DEFAULT_SPAN_HORIZON_TICKS = 8
 
 
 @dataclass(frozen=True)
@@ -108,6 +141,25 @@ class EngineConfig:
         Transient integrator for the thermal step: ``"exponential"``
         (default — exact under the engine's piecewise-constant power
         contract), ``"backward_euler"`` or ``"crank_nicolson"``.
+    fidelity:
+        ``"eager"`` (default — per-event execution sweeps, keeps the
+        bit-identity contracts) or ``"span"`` (lazy per-core span
+        execution with trusted completion events and quiet-stretch
+        fast-forward; approximately equal to eager within the
+        documented tolerance). Span mode requires the event-heap loop.
+    span_horizon_ticks:
+        Cap on one quiet-stretch fast-forward in span mode (see
+        :data:`DEFAULT_SPAN_HORIZON_TICKS`).
+    span_settle_k:
+        Thermal settledness gate of the fast-forward: a quiet stretch
+        only compiles when the last tick moved every unit readback by
+        less than this many kelvin AND the second difference (the
+        drift's change per tick) is equally small — drift alone is
+        fooled by the slow-moving extremum right after a transient.
+        Holding power constant is then exact to well under the
+        documented tolerance (leakage feedback lags by at most the
+        residual drift); lowering it tightens span-vs-eager agreement
+        at the cost of fewer compiled spans.
     """
 
     duration_s: float = 300.0
@@ -120,6 +172,9 @@ class EngineConfig:
     warmup_utilization: float = 0.3
     event_loop: str = "event_heap"
     thermal_solver: str = "exponential"
+    fidelity: str = "eager"
+    span_horizon_ticks: int = DEFAULT_SPAN_HORIZON_TICKS
+    span_settle_k: float = 0.001
 
 
 class _CoreRuntime:
@@ -128,7 +183,8 @@ class _CoreRuntime:
     __slots__ = (
         "name", "idx", "queue", "jobs", "vf_index", "speed", "gated",
         "sleeping", "halted", "idle_since", "stall_until", "busy_in_tick",
-        "last_utilization", "heap_seq",
+        "last_utilization", "heap_seq", "span_start", "busy_anchor",
+        "head_mem",
     )
 
     def __init__(self, name: str, vf_index: int, speed: float, idx: int = 0) -> None:
@@ -155,6 +211,16 @@ class _CoreRuntime:
         # Generation counter of this core's cached event-heap entry;
         # entries whose sequence number is stale are discarded on pop.
         self.heap_seq = 0
+        # Span-fidelity bookkeeping: simulation time up to which the
+        # head job's progress has been materialized, and up to which
+        # busy time has been accounted into busy_in_tick. Between a
+        # core's own events the job is untouched; both anchors advance
+        # at materialization sites only.
+        self.span_start = 0.0
+        self.busy_anchor = 0.0
+        # Head job's memory intensity (None when idle) — feeds the
+        # span engine's incremental mix-intensity accumulator.
+        self.head_mem: Optional[float] = None
 
     def executing(self, now: float) -> bool:
         """Whether the core makes progress at time ``now``."""
@@ -336,6 +402,24 @@ class SimulationEngine:
         # these instead of rescanning every core).
         self._finished_cores: List[_CoreRuntime] = []
 
+        # Span-fidelity state: incremental head-job memory-intensity
+        # accumulator (maintained at the same invalidation sites that
+        # change queue heads), the mutation flag that closes a quiet
+        # fast-forward, and the flag suppressing busy accounting while
+        # fast-forward ticks record utilization in closed form.
+        self._use_span = False
+        self._mem_sum = 0.0
+        self._mem_count = 0
+        self._span_dirty = False
+        self._in_fast_forward = False
+        # Span mode reuses one AllocationContext / TickContext shell
+        # per run (the payloads are live array views; only the scalar
+        # fields change between calls), rebuilt whenever the backing
+        # arrays are re-homed.
+        self._span_alloc_ctx: Optional[AllocationContext] = None
+        self._span_tick_ctx: Optional[TickContext] = None
+        self._span_snap: Optional[TickArrays] = None
+
         # Structure-of-arrays core bookkeeping (event_heap mode). Every
         # array is indexed by _CoreRuntime.idx and maintained at the
         # heap-invalidation sites (plus the tick boundary for sensor
@@ -354,6 +438,12 @@ class SimulationEngine:
         self._state_arr = np.full(
             n_cores, STATE_CODE[CoreState.IDLE], dtype=np.int64
         )
+        # Plain-list mirrors of the queue-length/state rows, maintained
+        # at the same sync sites: the scalar dispatch scoring loops
+        # consume lists, so mirroring here removes two per-dispatch
+        # ``tolist()`` unloads.
+        self._ql_list: List[int] = [0] * n_cores
+        self._state_list: List[int] = [_IDLE_CODE] * n_cores
         self._vf_arr = np.full(n_cores, vf_table.nominal_index, dtype=np.int64)
         self._temps_arr = np.zeros(n_cores)
         self._any_gated = False
@@ -421,6 +511,18 @@ class SimulationEngine:
                 f"unknown thermal solver {cfg.thermal_solver!r}; "
                 f"expected one of {SOLVER_METHODS}"
             )
+        if cfg.fidelity not in FIDELITY_MODES:
+            raise SchedulerError(
+                f"unknown fidelity {cfg.fidelity!r}; "
+                f"expected one of {FIDELITY_MODES}"
+            )
+        if cfg.fidelity == "span" and cfg.event_loop != "event_heap":
+            raise SchedulerError(
+                "span fidelity compiles the event-heap state machine; "
+                "it cannot drive the legacy_scan loop"
+            )
+        if cfg.fidelity == "span" and cfg.span_horizon_ticks < 1:
+            raise SchedulerError("span_horizon_ticks must be >= 1")
         dt = cfg.sampling_interval_s
         n_ticks = int(round(cfg.duration_s / dt))
         if n_ticks < 1:
@@ -428,10 +530,20 @@ class SimulationEngine:
 
         self.thermal.use_solver(cfg.thermal_solver)
         self._use_heap = cfg.event_loop == "event_heap"
+        self._use_span = cfg.fidelity == "span"
         self._event_heap = []
         self._finished_cores = []
+        self._mem_sum = 0.0
+        self._mem_count = 0
+        self._span_alloc_ctx = None
+        self._span_tick_ctx = None
+        self._span_snap = None
+        self._util_buf = np.zeros(len(self._core_list))
         if self._use_heap:
             for core in self._core_list:
+                core.span_start = 0.0
+                core.busy_anchor = 0.0
+                core.head_mem = None
                 self._sync_core_arrays(core)
 
         self._initialize_thermal_state()
@@ -465,7 +577,10 @@ class SimulationEngine:
         """Execute the configured simulation and return the recording."""
         n_ticks, dt = self._prepare_run()
         rec = _Recording.allocate(self, n_ticks)
-        if self._use_heap:
+        if self._use_span:
+            self._temps_arr[:] = self.sensors.read_cores_vector()
+            energy = self._run_span_ticks(rec, n_ticks, dt)
+        elif self._use_heap:
             self._temps_arr[:] = self.sensors.read_cores_vector()
             energy = self._run_heap_ticks(rec, n_ticks, dt)
         else:
@@ -554,6 +669,338 @@ class SimulationEngine:
             )
             energy += tick_power * dt
         return energy
+
+    # ------------------------------------------------------------------
+    # span-fidelity execution
+
+    def _run_span_ticks(self, rec: _Recording, n_ticks: int, dt: float
+                        ) -> float:
+        """Tick loop of the span fidelity mode.
+
+        Identical tick-boundary pipeline to the heap loop (power,
+        thermal step, sensors, DPM, policy, recording), but interval
+        execution is lazy per-core spans and provably quiet multi-tick
+        stretches fast-forward through the thermal model's
+        span-compiled closed forms.
+        """
+        energy = 0.0
+        powers_buf = np.zeros(len(self.thermal.unit_names))
+        unit_row = self.thermal.unit_temperature_vector()
+        prev_row: Optional[np.ndarray] = None
+        prev2_row: Optional[np.ndarray] = None
+        tick = 0
+        while tick < n_ticks:
+            t0 = tick * dt
+            quiet = self._quiet_ticks(t0, dt, n_ticks - tick)
+            if quiet >= 2:
+                # Thermal settledness gate: holding power constant is
+                # only tolerance-clean once the leakage inputs have
+                # stopped moving (see EngineConfig.span_settle_k). Both
+                # the first difference (drift) and the second
+                # difference (curvature) must be under the threshold —
+                # a trajectory can pass through a slow-moving extremum
+                # right after a transient, where drift alone looks
+                # settled but the stretch is anything but.
+                settle = self.config.span_settle_k
+                if (
+                    prev_row is None
+                    or prev2_row is None
+                    or np.abs(unit_row - prev_row).max() > settle
+                    or np.abs(
+                        unit_row - 2.0 * prev_row + prev2_row
+                    ).max() > settle
+                ):
+                    quiet = 0
+            if quiet >= 2:
+                consumed, span_energy, ff_rows = self._fast_forward(
+                    rec, tick, dt, quiet, powers_buf, unit_row
+                )
+                if consumed:
+                    energy += span_energy
+                    prev2_row, prev_row, unit_row = ff_rows
+                    tick += consumed
+                    continue
+            t1 = t0 + dt
+            self._advance_interval_span(t0, t1)
+            util_arr = self._span_utilization(dt, t1)
+
+            powers_vec = self.power.unit_power_vector(
+                self._state_arr,
+                util_arr,
+                self._dyn_scale_arr,
+                self._voltage_arr,
+                unit_row,
+                self._memory_intensity(),
+                out=powers_buf,
+            )
+            self.thermal.step_vector(powers_vec)
+            peak_row = self.thermal.unit_max_vector()
+            self._temps_arr[:] = self.sensors.read_cores_vector(peak_row)
+
+            self._apply_dpm(t1)
+            self._run_policy(t1, util_arr)
+
+            prev2_row = prev_row
+            prev_row = unit_row
+            unit_row = self.thermal.unit_temperature_vector()
+            tick_power = self.power.total_power(powers_vec)
+            self._record_tick(
+                rec, tick, t1, unit_row, peak_row, util_arr, tick_power
+            )
+            energy += tick_power * dt
+            tick += 1
+        return energy
+
+    def _quiet_ticks(self, t0: float, dt: float, max_ticks: int) -> int:
+        """Whole upcoming ticks guaranteed free of scheduler events.
+
+        Returns 0 when fast-forwarding is not worthwhile or not safe:
+        pending completion flags, a stalled busy core (its utilization
+        would flip mid-stretch when the stall expires), or an event
+        within the next two ticks.
+        """
+        if self._finished_cores:
+            return 0
+        horizon: Optional[float] = None
+        if self._arrivals:
+            horizon = self._arrivals[0][0]
+        heap = self._event_heap
+        cores = self._cores
+        while heap:
+            cached_time, seq, name = heap[0]
+            if cores[name].heap_seq != seq:
+                heapq.heappop(heap)
+                continue
+            if horizon is None or cached_time < horizon:
+                horizon = cached_time
+            break
+        cap = self.config.span_horizon_ticks
+        if max_ticks < cap:
+            cap = max_ticks
+        if horizon is None:
+            quiet = cap
+        else:
+            quiet = int((horizon - t0 - _TIME_EPS) / dt)
+            if quiet > cap:
+                quiet = cap
+        if quiet < 2:
+            return 0
+        for core in self._core_list:
+            if (
+                core.jobs
+                and not core.halted
+                and core.stall_until > t0 + _TIME_EPS
+            ):
+                return 0
+        return quiet
+
+    def _fast_forward(
+        self,
+        rec: _Recording,
+        tick: int,
+        dt: float,
+        quiet: int,
+        powers_buf: np.ndarray,
+        unit_row: np.ndarray,
+    ) -> Tuple[int, float, np.ndarray]:
+        """Advance up to ``quiet`` event-free ticks in closed form.
+
+        Power is held at its span-start value (the documented
+        approximation — leakage feedback lags by at most the span
+        cap), the per-tick recorded/sensed readbacks come from the
+        assembly's span-compiled rows, and the node state jumps to the
+        consumed interval through the multi-interval propagator.
+        Sensors, DPM and the policy still run every tick on the
+        reconstructed observations; the first mutation any of them
+        makes closes the span at that tick. Returns ``(ticks_consumed,
+        energy, last_three_rows)`` (the caller's settledness window) —
+        zero consumed when the active solver has no exponential
+        propagator.
+        """
+        t0 = tick * dt
+        core_list = self._core_list
+        util_arr = self._util_buf
+        util_arr.fill(0.0)
+        for core in core_list:
+            if core.jobs and not core.halted:
+                util_arr[core.idx] = 1.0
+        powers_vec = self.power.unit_power_vector(
+            self._state_arr,
+            util_arr,
+            self._dyn_scale_arr,
+            self._voltage_arr,
+            unit_row,
+            self._memory_intensity(),
+            out=powers_buf,
+        )
+        cursor = self.thermal.span_cursor(powers_vec, quiet)
+        if cursor is None:
+            return 0, 0.0, (unit_row, unit_row, unit_row)
+        tick_power = self.power.total_power(powers_vec)
+        self._span_dirty = False
+        self._in_fast_forward = True
+        consumed = 0
+        rows = (unit_row, unit_row, unit_row)
+        try:
+            for i in range(1, quiet + 1):
+                # Same float arithmetic as the per-tick loops (t0 + dt
+                # for the absolute tick), so recorded times and policy
+                # timestamps match the eager recording bitwise.
+                t_i = (tick + i - 1) * dt + dt
+                mean_row, peak_row = cursor.rows(i)
+                rows = (rows[1], rows[2], mean_row)
+                self._temps_arr[:] = self.sensors.read_cores_vector(peak_row)
+                self._apply_dpm(t_i)
+                self._run_policy(t_i, util_arr)
+                self._record_tick(
+                    rec, tick + i - 1, t_i, mean_row, peak_row, util_arr,
+                    tick_power,
+                )
+                consumed = i
+                if self._span_dirty:
+                    break
+            # Jump the node state to the consumed interval and
+            # materialize every core there (busy accounting stays off:
+            # the consumed ticks' utilization was recorded in closed
+            # form above).
+            cursor.finish(consumed)
+            t_end = (tick + consumed - 1) * dt + dt
+            for core in core_list:
+                self._touch_core(core, t_end)
+                core.busy_in_tick = 0.0
+        finally:
+            self._in_fast_forward = False
+        return consumed, tick_power * dt * consumed, rows
+
+    def _advance_interval_span(self, t0: float, t1: float) -> None:
+        """Span-mode interval loop: trusted event pops, lazy execution.
+
+        Cached completion times are exact in span mode — nothing
+        touches a running job between its own invalidation sites — so
+        the loop pops events straight off the heap (no
+        recompute-on-pop) and materializes only the affected cores;
+        there is no per-boundary all-core execution sweep.
+        """
+        now = t0
+        arrivals = self._arrivals
+        heap = self._event_heap
+        cores = self._cores
+        while now < t1 - _TIME_EPS:
+            next_time = t1
+            if arrivals and arrivals[0][0] < next_time:
+                next_time = arrivals[0][0]
+            cached_time = None
+            while heap:
+                cached_time, seq, name = heap[0]
+                if cores[name].heap_seq != seq:
+                    heapq.heappop(heap)  # stale entry
+                    cached_time = None
+                    continue
+                if cached_time < next_time:
+                    next_time = cached_time
+                break
+            if next_time < now:
+                next_time = now
+            elif next_time > t1:
+                next_time = t1
+            now = next_time
+            if cached_time is not None and cached_time <= now + _TIME_EPS:
+                self._pop_due_completions(now)
+            if self._finished_cores:
+                self._process_completions(now)
+            if arrivals and arrivals[0][0] <= now + _TIME_EPS:
+                self._process_arrivals(now)
+
+    def _pop_due_completions(self, now: float) -> None:
+        """Consume every live heap event due at ``now`` and materialize
+        the owning cores (their heads complete here, up to eps-scale
+        boundary coincidences, which re-arm)."""
+        heap = self._event_heap
+        cores = self._cores
+        due = now + _TIME_EPS
+        while heap:
+            cached_time, seq, name = heap[0]
+            core = cores[name]
+            if seq != core.heap_seq:
+                heapq.heappop(heap)
+                continue
+            if cached_time > due:
+                break
+            heapq.heappop(heap)
+            core.heap_seq += 1
+            self._touch_core(core, now)
+            if not (core.jobs and core.jobs[0].remaining_s <= _TIME_EPS):
+                self._invalidate_event(core, now)
+
+    def _touch_core(self, core: _CoreRuntime, now: float) -> None:
+        """Materialize a core's lazy span up to ``now``.
+
+        Called at every site that mutates what the span compiled over
+        — dispatch, completion, migration, V/f or gating change, DPM
+        transition — and at due completion events. Decrements the head
+        job's remaining work in one closed-form update and accounts
+        the unaccounted busy time (suppressed during fast-forward,
+        which records utilization in closed form instead).
+        """
+        start = core.span_start
+        if now <= start:
+            return
+        if core.jobs and not core.halted:
+            stall = core.stall_until
+            exec_start = start if start >= stall else stall
+            if now > exec_start:
+                job = core.jobs[0]
+                remaining = job.remaining_s - (now - exec_start) * core.speed
+                if remaining <= _TIME_EPS:
+                    remaining = 0.0
+                    self._finished_cores.append(core)
+                job.remaining_s = remaining
+                if not self._in_fast_forward:
+                    busy_from = core.busy_anchor
+                    if busy_from < exec_start:
+                        busy_from = exec_start
+                    if now > busy_from:
+                        core.busy_in_tick += now - busy_from
+        core.span_start = now
+        core.busy_anchor = now
+
+    def _span_utilization(self, dt: float, t1: float) -> np.ndarray:
+        """Closed-form per-core busy fraction of the tick ending at
+        ``t1`` (resets the accumulators; the span twin of
+        :meth:`_gather_utilization`). Fills and returns the persistent
+        utilization buffer the span tick context views."""
+        core_list = self._core_list
+        vals = []
+        append = vals.append
+        for core in core_list:
+            busy = core.busy_in_tick
+            if core.jobs and not core.halted:
+                start = core.busy_anchor
+                stall = core.stall_until
+                if start < stall:
+                    start = stall
+                if t1 > start:
+                    busy += t1 - start
+            core.busy_anchor = t1
+            core.busy_in_tick = 0.0
+            append(busy)
+        util_arr = self._util_buf
+        util_arr[:] = vals
+        np.divide(util_arr, dt, out=util_arr)
+        np.minimum(util_arr, 1.0, out=util_arr)
+        return util_arr
+
+    def _next_core_event_span(
+        self, core: _CoreRuntime
+    ) -> Optional[float]:
+        """Completion time of the core's lazy span (exact while the
+        span stays untouched — the heap can trust it)."""
+        jobs = core.jobs
+        if not jobs or core.halted:
+            return None
+        stall = core.stall_until
+        start = core.span_start if core.span_start >= stall else stall
+        return start + jobs[0].remaining_s / core.speed
 
     def _run_scan_ticks(self, rec: _Recording, n_ticks: int, dt: float
                         ) -> float:
@@ -715,14 +1162,61 @@ class SimulationEngine:
             self._process_arrivals(now)
 
     def _sync_core_arrays(self, core: _CoreRuntime) -> None:
-        """Refresh one core's row of the structure-of-arrays state."""
+        """Refresh one core's full row of the structure-of-arrays state."""
+        self._sync_queue_state(core)
+        self._sync_vf_row(core)
+
+    def _sync_vf_row(self, core: _CoreRuntime) -> None:
+        """Refresh the V/f-derived row entries (V/f changes only)."""
         i = core.idx
         vf = core.vf_index
-        self._ql_arr[i] = len(core.jobs)
-        self._state_arr[i] = STATE_CODE[core.power_state()]
         self._vf_arr[i] = vf
         self._dyn_scale_arr[i] = self._vf_dyn_scale[vf]
         self._voltage_arr[i] = self._vf_voltage[vf]
+
+    def _sync_queue_state(self, core: _CoreRuntime) -> None:
+        """Refresh the queue-length/state row entries.
+
+        Split from the V/f row because queue and state flip at every
+        dispatch/completion while the V/f level changes only at policy
+        actions — the split keeps the per-event sync to two array
+        writes. The state code is computed inline in
+        :meth:`power_state`'s precedence order.
+        """
+        i = core.idx
+        jobs = core.jobs
+        ql = len(jobs)
+        self._ql_arr[i] = ql
+        self._ql_list[i] = ql
+        if core.sleeping:
+            code = _SLEEP_CODE
+        elif core.gated:
+            code = _GATED_CODE
+        elif jobs:
+            code = _ACTIVE_CODE
+        else:
+            code = _IDLE_CODE
+        self._state_arr[i] = code
+        self._state_list[i] = code
+        if self._use_span:
+            # Incremental head-job memory-intensity accumulator: queue
+            # heads only change at sites that sync this row, so the
+            # span engine reads the mix intensity in O(1) instead of
+            # sweeping every core each tick.
+            new_mem = jobs[0].benchmark.memory_intensity if jobs else None
+            old_mem = core.head_mem
+            if old_mem is None:
+                if new_mem is not None:
+                    self._mem_sum += new_mem
+                    self._mem_count += 1
+            elif new_mem is None:
+                self._mem_sum -= old_mem
+                self._mem_count -= 1
+                if not self._mem_count:
+                    self._mem_sum = 0.0  # shed accumulated drift
+            elif new_mem != old_mem:
+                self._mem_sum += new_mem - old_mem
+            core.head_mem = new_mem
 
     def _adopt_core_rows(
         self,
@@ -748,6 +1242,9 @@ class SimulationEngine:
         temps_row[:] = self._temps_arr
         dyn_row[:] = self._dyn_scale_arr
         volt_row[:] = self._voltage_arr
+        self._span_alloc_ctx = None  # views below are re-homed
+        self._span_tick_ctx = None
+        self._span_snap = None
         self._ql_arr = ql_row
         self._state_arr = state_row
         self._vf_arr = vf_row
@@ -776,9 +1273,17 @@ class SimulationEngine:
         """
         if not self._use_heap:
             return
-        self._sync_core_arrays(core)
+        self._sync_queue_state(core)
         core.heap_seq += 1
-        event = self._next_core_event(core, now)
+        if self._use_span:
+            # Invalidation implies a state mutation — close any open
+            # fast-forward — and the fresh event is computed from the
+            # span anchor (every mutation site materializes first, so
+            # the cached time stays exact until the next invalidation).
+            self._span_dirty = True
+            event = self._next_core_event_span(core)
+        else:
+            event = self._next_core_event(core, now)
         if event is not None:
             heapq.heappush(
                 self._event_heap, (event, core.heap_seq, core.name)
@@ -837,9 +1342,25 @@ class SimulationEngine:
         else:
             self._finished_cores.clear()
             candidates = self._core_list
+        use_span = self._use_span
         for core in candidates:
             jobs = core.jobs
             if not jobs or jobs[0].remaining_s > _TIME_EPS:
+                continue
+            if use_span:
+                # Heads reaching this path were just materialized to
+                # zero remaining work; pop them without the re-checks.
+                pop = core.queue.pop_head
+                while jobs and jobs[0].remaining_s <= _TIME_EPS:
+                    job = pop()
+                    job.completion_time = now
+                    self._thread_last_core[job.thread_id] = core.name
+                    follow_up = self.workload.on_completion(job, now)
+                    if follow_up is not None:
+                        self._push_arrival(*follow_up)
+                if not jobs:
+                    core.idle_since = now
+                self._invalidate_event(core, now)
                 continue
             while True:
                 job = core.queue.running
@@ -861,7 +1382,31 @@ class SimulationEngine:
             self._dispatch(job, now)
 
     def _dispatch(self, job: Job, now: float) -> None:
-        if self._use_heap:
+        if self._use_span:
+            ctx = self._span_alloc_ctx
+            if ctx is None:
+                ctx = AllocationContext(
+                    time=now,
+                    queue_lengths=self._alloc_queue_view,
+                    temperatures_k=self._alloc_temp_view,
+                    states=self._alloc_state_view,
+                    last_core=self._thread_last_core.get(job.thread_id),
+                    core_names=self._core_names_tuple,
+                    queue_lengths_vec=self._ql_arr,
+                    temperatures_vec=self._temps_arr,
+                    state_codes=self._state_arr,
+                    queue_lengths_list=self._ql_list,
+                    state_codes_list=self._state_list,
+                )
+                self._span_alloc_ctx = ctx
+            else:
+                # One frozen shell per run; only the scalars move.
+                object.__setattr__(ctx, "time", now)
+                object.__setattr__(
+                    ctx, "last_core",
+                    self._thread_last_core.get(job.thread_id),
+                )
+        elif self._use_heap:
             # The arrays mirror len(queue)/power_state()/sensor reads
             # exactly (synced in _invalidate_event and at the tick
             # boundary), so the context is live views — no per-dispatch
@@ -876,6 +1421,8 @@ class SimulationEngine:
                 queue_lengths_vec=self._ql_arr,
                 temperatures_vec=self._temps_arr,
                 state_codes=self._state_arr,
+                queue_lengths_list=self._ql_list,
+                state_codes_list=self._state_list,
             )
         else:
             ctx = AllocationContext(
@@ -893,6 +1440,15 @@ class SimulationEngine:
                 f"policy {self.policy.name} selected unknown core {target!r}"
             )
         core = self._cores[target]
+        if self._use_span:
+            if core.jobs:
+                # Tail insert behind a running head: the cached
+                # completion event stays valid (a core with queued work
+                # is never sleeping), so only the queue row changes.
+                core.queue.push(job)
+                self._sync_queue_state(core)
+                return
+            self._touch_core(core, now)
         if core.sleeping:
             core.sleeping = False
             core.halted = core.gated
@@ -917,6 +1473,8 @@ class SimulationEngine:
             if core.sleeping or len(core.queue) > 0:
                 continue
             if dpm.should_sleep(now - core.idle_since):
+                if self._use_span:
+                    self._touch_core(core, now)
                 core.sleeping = True
                 core.halted = True
                 self._invalidate_event(core, now)
@@ -927,7 +1485,34 @@ class SimulationEngine:
         util_arr: Optional[np.ndarray] = None,
         arrays: Optional[TickArrays] = None,
     ) -> None:
-        if self._use_heap:
+        if self._use_span:
+            # Span mode hands policies live views of the engine's own
+            # row state through one persistent context shell: no
+            # snapshot copies, no per-tick context objects. Values at
+            # ``on_tick`` time equal the eager snapshots (nothing
+            # mutates between the gather and the call); policies must
+            # not hold the arrays across ticks (the registry policies
+            # do not).
+            ctx = self._span_tick_ctx
+            if ctx is None:
+                snap = TickArrays(
+                    core_names=self._core_names_tuple,
+                    temperature_k=self._temps_arr,
+                    utilization=self._util_buf,
+                    state_codes=self._state_arr,
+                    vf_index=self._vf_arr,
+                    queue_length=self._ql_arr,
+                )
+                ctx = TickContext(
+                    time=now,
+                    cores=SnapshotArrayMapping(self._core_index, snap),
+                    arrays=snap,
+                )
+                self._span_tick_ctx = ctx
+                self._span_snap = snap
+            else:
+                object.__setattr__(ctx, "time", now)
+        elif self._use_heap:
             # Structure-of-arrays snapshot: the CoreSnapshot mapping is
             # materialized lazily, so policies that vectorize (or look
             # at few cores) skip per-core object assembly entirely. The
@@ -967,8 +1552,11 @@ class SimulationEngine:
             level_speed = self.vf_table[level].frequency  # validates index
             core = self._cores[name]
             if core.vf_index != level:
+                if self._use_span:
+                    self._touch_core(core, now)
                 core.vf_index = level
                 core.speed = level_speed
+                self._sync_vf_row(core)
                 self._invalidate_event(core, now)
 
         gated = set(actions.gated)
@@ -976,6 +1564,8 @@ class SimulationEngine:
             for name, core in self._cores.items():
                 is_gated = name in gated
                 if core.gated != is_gated:
+                    if self._use_span:
+                        self._touch_core(core, now)
                     core.gated = is_gated
                     core.halted = is_gated or core.sleeping
                     self._invalidate_event(core, now)
@@ -989,6 +1579,11 @@ class SimulationEngine:
         dst = self._cores[migration.destination]
         if len(src.queue) == 0:
             return
+        if self._use_span:
+            # Materialize both ends before any job moves: the stolen
+            # head's progress and the swap victim's progress are lazy.
+            self._touch_core(src, now)
+            self._touch_core(dst, now)
         if migration.move_running:
             job = src.queue.steal()
         else:
@@ -1010,6 +1605,8 @@ class SimulationEngine:
 
     def _place_migrated(self, job: Job, core: _CoreRuntime, now: float) -> None:
         cost = self.config.migration_cost_s
+        if self._use_span:
+            self._touch_core(core, now)
         if core.sleeping:
             core.sleeping = False
             core.halted = core.gated
@@ -1029,6 +1626,10 @@ class SimulationEngine:
     # ------------------------------------------------------------------
 
     def _memory_intensity(self) -> float:
+        if self._use_span:
+            if not self._mem_count:
+                return 0.0
+            return self._mem_sum / self._mem_count
         running = [
             core.jobs[0].benchmark.memory_intensity
             for core in self._core_list

@@ -48,18 +48,22 @@ class GaloisLFSR:
         """A float in [0, 1) with 16-bit resolution."""
         return self.next_word() / (_MAX_STATE + 1)
 
-    def choice(self, weights: Sequence[float]) -> int:
+    def choice(self, weights: Sequence[float], total: float = None) -> int:
         """Sample an index proportionally to non-negative ``weights``.
 
         Raises if the weights are all zero or any is negative — callers
         decide the fallback (the adaptive policies fall back to the
-        coolest core).
+        coolest core). A caller that already summed the weights may
+        pass ``total`` (it must equal ``sum(weights)``) to skip the
+        validation scan — the draw is bitwise identical because the
+        threshold is computed from the same left-fold sum.
         """
-        total = 0.0
-        for w in weights:
-            if w < 0.0:
-                raise PolicyError(f"negative weight {w}")
-            total += w
+        if total is None:
+            total = 0.0
+            for w in weights:
+                if w < 0.0:
+                    raise PolicyError(f"negative weight {w}")
+                total += w
         if total <= 0.0:
             raise PolicyError("all weights are zero")
         threshold = self.random() * total

@@ -81,6 +81,12 @@ class SensorBank:
         )
         self._ideal = noise_sigma == 0.0 and quantization_step == 0.0
 
+    @property
+    def ideal(self) -> bool:
+        """Whether readings are the true temperatures (no noise or
+        quantization) — lets batched callers fuse the gather."""
+        return self._ideal
+
     def read_cores(
         self, max_vector: Optional[np.ndarray] = None
     ) -> Dict[str, float]:

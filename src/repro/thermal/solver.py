@@ -135,6 +135,11 @@ class TransientSolver:
         self.resolved_method = resolved
 
         self._propagator: Optional[np.ndarray] = None
+        # Multi-interval propagators ``A^k = expm(-C^-1 G k dt)``,
+        # keyed by k and built on demand (the span-compiled engine jumps
+        # a quiet k-tick stretch in one GEMV). k=1 aliases the base
+        # propagator.
+        self._propagator_powers: dict = {}
         self._steady_lu = None
         self._explicit: Optional[sparse.csc_matrix] = None
         self._c_over_h: Optional[np.ndarray] = None
@@ -159,6 +164,35 @@ class TransientSolver:
     def propagator(self) -> Optional[np.ndarray]:
         """Dense interval propagator (exponential method only)."""
         return self._propagator
+
+    def propagator_power(self, n_intervals: int) -> np.ndarray:
+        """The multi-interval propagator ``A^k``, cached per ``k``.
+
+        Because the matrix exponential satisfies
+        ``expm(-C^-1 G * k dt) = expm(-C^-1 G dt)^k``, the k-interval
+        jump under constant power is exactly ``T' = T_inf + A^k (T -
+        T_inf)`` — the span-compiled engine's way of crossing a quiet
+        stretch without touching the intermediate states. Powers are
+        built by successive multiplication with the cached base
+        propagator and memoized on this solver, so every run sharing
+        the assembly pays each ``k`` once. Exponential method only.
+        """
+        if self.resolved_method != "exponential":
+            raise ThermalModelError(
+                "multi-interval propagators require the exponential "
+                f"method (resolved method is {self.resolved_method!r})"
+            )
+        if n_intervals < 1:
+            raise ThermalModelError(
+                f"n_intervals must be >= 1, got {n_intervals}"
+            )
+        if n_intervals == 1:
+            return self._propagator
+        cached = self._propagator_powers.get(n_intervals)
+        if cached is None:
+            cached = self.propagator_power(n_intervals - 1) @ self._propagator
+            self._propagator_powers[n_intervals] = cached
+        return cached
 
     def step(self, temps: np.ndarray, node_powers: np.ndarray) -> np.ndarray:
         """Advance one external step ``dt`` under constant power.

@@ -35,7 +35,7 @@ _BURST_DWELL_S = 6.0
 _LULL_DWELL_S = 12.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _ModulatorState:
     """Per-thread burst/lull state."""
 
@@ -81,6 +81,28 @@ class SyntheticWorkload:
             t.thread_id: _ModulatorState(in_burst=False, until=0.0)
             for t in self.threads
         }
+        # Bulk-drawn standard-exponential block: NumPy's
+        # ``exponential(scale)`` is bitwise ``scale *
+        # standard_exponential()``, so scaling values popped from a
+        # pre-drawn block amortizes the per-call Generator overhead the
+        # engine's event handlers would otherwise pay per job. Note the
+        # block refill advances the underlying stream past draws other
+        # call sites (initial_arrivals' uniform offsets) would have
+        # consumed, so per-seed realizations differ from pre-block
+        # versions — same distributions, different samples (campaign
+        # KEY_VERSION 4 invalidated stored trajectories accordingly).
+        self._exp_buf = np.empty(0)
+        self._exp_pos = 0
+
+    def _draw_exp(self, scale: float) -> float:
+        """One exponential draw with the given scale (block-buffered)."""
+        pos = self._exp_pos
+        buf = self._exp_buf
+        if pos >= buf.shape[0]:
+            buf = self._exp_buf = self._rng.standard_exponential(256)
+            pos = 0
+        self._exp_pos = pos + 1
+        return scale * buf[pos]
 
     @property
     def n_threads(self) -> int:
@@ -119,7 +141,7 @@ class SyntheticWorkload:
             raise WorkloadError(f"unknown thread id {thread_id}") from None
 
     def _make_job(self, thread: WorkloadThread, arrival: float) -> Job:
-        work = float(self._rng.exponential(thread.benchmark.mean_busy_s))
+        work = float(self._draw_exp(thread.benchmark.mean_busy_s))
         # Avoid degenerate zero-length jobs from the exponential tail.
         work = max(work, 1e-3)
         job = Job(
@@ -137,7 +159,7 @@ class SyntheticWorkload:
     def _draw_think(self, thread: WorkloadThread, now: float) -> float:
         scale = self._modulation_scale(thread, now)
         mean = thread.benchmark.mean_think_s * scale
-        return float(self._rng.exponential(max(mean, 1e-3)))
+        return float(self._draw_exp(max(mean, 1e-3)))
 
     def _modulation_scale(self, thread: WorkloadThread, now: float) -> float:
         """Burst/lull think-time multiplier with time-average one."""
@@ -147,9 +169,9 @@ class SyntheticWorkload:
         mod = self._modulators[thread.thread_id]
         while now >= mod.until:
             if mod.in_burst:
-                dwell = float(self._rng.exponential(_LULL_DWELL_S))
+                dwell = float(self._draw_exp(_LULL_DWELL_S))
             else:
-                dwell = float(self._rng.exponential(_BURST_DWELL_S))
+                dwell = float(self._draw_exp(_BURST_DWELL_S))
             mod.in_burst = not mod.in_burst
             mod.until = max(mod.until, now) + dwell
         # Burst fraction of time under the dwell means above.

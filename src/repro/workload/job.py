@@ -21,7 +21,7 @@ from repro.errors import WorkloadError
 from repro.workload.benchmarks import BenchmarkSpec
 
 
-@dataclass
+@dataclass(slots=True)
 class Job:
     """One busy interval of a workload thread.
 
@@ -90,7 +90,7 @@ class ThreadState(enum.Enum):
     RUNNABLE = "runnable"
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkloadThread:
     """One closed-loop thread: alternates think and busy phases.
 

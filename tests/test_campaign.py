@@ -81,6 +81,7 @@ class TestRunKey:
             replace(base, policy_params=(("beta_inc", 0.02),)),
             replace(base, sensor_noise_sigma=0.5),
             replace(base, workload_mix="web_heavy"),
+            replace(base, fidelity="span"),
         ]
         keys = {run_key(spec) for spec in [base] + variants}
         assert len(keys) == len(variants) + 1
@@ -158,6 +159,22 @@ class TestCampaignSpec:
     def test_unknown_field_rejected(self):
         with pytest.raises(ConfigurationError):
             CampaignSpec.from_dict({"name": "x", "nope": 1})
+
+    def test_fidelity_axis_expands_and_round_trips(self, tmp_path):
+        campaign = tiny_campaign(fidelities=("eager", "span"))
+        specs = campaign.expand()
+        assert len(specs) == 4
+        assert {s.fidelity for s in specs} == {"eager", "span"}
+        # Span and eager runs address different store entries.
+        assert len(set(campaign.keys())) == 4
+        loaded = CampaignSpec.from_json(
+            campaign.to_json(tmp_path / "spec.json")
+        )
+        assert loaded == campaign
+
+    def test_unknown_fidelity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tiny_campaign(fidelities=("sloppy",))
 
 
 @pytest.fixture(scope="module")
@@ -619,6 +636,41 @@ class TestPrefixCache:
                                     runner=CountingRunner())
         results = executor.run_specs([short_spec])
         assert results[run_key(short_spec)].n_ticks == 20
+
+    def test_equal_duration_serves_as_degenerate_prefix(self, tmp_path):
+        """A stored run of exactly the requested duration is a valid
+        prefix source — the truncation is a no-op and the served series
+        equal the stored ones tick for tick."""
+        store = ResultStore(tmp_path)
+        runner = ExperimentRunner()
+        spec = tiny_spec(duration_s=2.0)
+        key = store.save(spec, runner.run(spec))
+        assert store.find_prefix(spec) == key
+        served = store.serve_prefix(spec)
+        assert served is not None
+        assert served.n_ticks == 20
+        stored = store.load(key)
+        np.testing.assert_array_equal(served.unit_temps_k,
+                                      stored.unit_temps_k)
+        np.testing.assert_array_equal(served.times, stored.times)
+        assert served.energy_j == stored.energy_j
+
+    def test_shorter_stored_run_never_serves_longer_request(self, tmp_path):
+        """A stored 2 s run must not serve a 4 s request — prefixes only
+        truncate, never extrapolate — so the executor simulates."""
+        store = ResultStore(tmp_path)
+        runner = CountingRunner()
+        short_spec = tiny_spec(duration_s=2.0)
+        store.save(short_spec, ExperimentRunner().run(short_spec))
+        long_spec = tiny_spec(duration_s=4.0)
+        assert store.find_prefix(long_spec) is None
+        assert store.serve_prefix(long_spec) is None
+        executor = CampaignExecutor(store=store, backend="serial",
+                                    runner=runner)
+        run = executor.run_campaign(tiny_campaign(policies=("Default",),
+                                                  durations_s=(4.0,)))
+        assert run.counts() == {"ok": 1}
+        assert runner.run_calls == 1
 
     def test_old_version_entries_never_serve(self, tmp_path):
         """Entries saved before a KEY_VERSION bump must not serve
