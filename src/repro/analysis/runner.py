@@ -17,6 +17,7 @@ from repro.core.registry import build_policy
 from repro.core.thermal_index import compute_thermal_indices
 from repro.errors import ConfigurationError
 from repro.floorplan.experiments import ExperimentConfig, build_experiment
+from repro.obs.telemetry import TelemetryConfig
 from repro.power.chip_power import ChipPowerModel
 from repro.power.vf import DEFAULT_VF_TABLE
 from repro.sched.dpm import FixedTimeoutDPM
@@ -71,6 +72,14 @@ class RunSpec:
         span-compiled scheduling, approximately equal within the
         tolerance documented in docs/ENGINE.md and markedly faster in
         batched campaigns).
+    telemetry:
+        Collect engine telemetry (metrics registry, per-job latency
+        stats, tick-phase profile) during the run. Strictly
+        observational — results are identical either way — so the flag
+        is **excluded from the campaign run key** (see
+        ``repro.campaign.spec``): cached results satisfy telemetry-on
+        requests and vice versa. Trace-event recording is not enabled
+        here (it is sized per run by the ``repro trace`` CLI).
     """
 
     exp_id: int
@@ -85,6 +94,7 @@ class RunSpec:
     sensor_noise_sigma: float = 0.0
     workload_mix: Optional[str] = None
     fidelity: str = "eager"
+    telemetry: bool = False
 
 
 class ExperimentRunner:
@@ -133,8 +143,18 @@ class ExperimentRunner:
             self._power_cache[exp_id] = ChipPowerModel(config)
         return self._power_cache[exp_id]
 
-    def build_engine(self, spec: RunSpec) -> SimulationEngine:
-        """Assemble the full simulation stack for one run."""
+    def build_engine(
+        self,
+        spec: RunSpec,
+        telemetry_config: Optional[TelemetryConfig] = None,
+    ) -> SimulationEngine:
+        """Assemble the full simulation stack for one run.
+
+        ``telemetry_config`` overrides the default telemetry wiring
+        (the ``repro trace`` CLI passes one with trace recording on);
+        without it ``spec.telemetry`` selects a plain
+        :class:`TelemetryConfig` or none at all.
+        """
         config = build_experiment(spec.exp_id)
         thermal = self._build_thermal(
             spec.exp_id, spec.grid, config, spec.thermal_solver
@@ -164,6 +184,11 @@ class ExperimentRunner:
             seed=spec.seed,
             thermal_solver=spec.thermal_solver,
             fidelity=spec.fidelity,
+            telemetry=(
+                telemetry_config
+                if telemetry_config is not None
+                else (TelemetryConfig() if spec.telemetry else None)
+            ),
         )
         return SimulationEngine(
             thermal=thermal,

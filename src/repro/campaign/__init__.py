@@ -29,7 +29,9 @@ from repro.campaign.executor import (
 from repro.campaign.reports import (
     campaign_report,
     campaign_status,
+    campaign_telemetry,
     format_status,
+    format_telemetry,
 )
 from repro.campaign.spec import (
     CampaignSpec,
@@ -48,7 +50,9 @@ __all__ = [
     "RunOutcome",
     "campaign_report",
     "campaign_status",
+    "campaign_telemetry",
     "format_status",
+    "format_telemetry",
     "prefix_key",
     "run_key",
     "spec_from_dict",

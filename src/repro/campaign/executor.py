@@ -26,7 +26,7 @@ import os
 import traceback
 from concurrent.futures import as_completed, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
     Any,
     Callable,
@@ -172,6 +172,11 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
         Serve a pending run by truncating a stored longer-duration run
         of the same spec family (see ``ResultStore.serve_prefix``).
         On by default when a store is attached.
+    telemetry:
+        Collect engine telemetry (metrics registry, job stats, tick
+        profiler) for every run this executor computes. Observational:
+        run keys ignore the flag, so telemetry-on campaigns still reuse
+        plain cached results (those simply lack a telemetry sidecar).
     """
 
     def __init__(
@@ -184,6 +189,7 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
         batch_size: int = DEFAULT_BATCH_SIZE,
         propagation: str = "exact",
         prefix_cache: bool = True,
+        telemetry: bool = False,
     ) -> None:
         if backend not in BACKENDS:
             raise ConfigurationError(
@@ -206,6 +212,7 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
         self.batch_size = batch_size
         self.propagation = propagation
         self.prefix_cache = prefix_cache
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     # public API
@@ -291,6 +298,10 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
                 outcome_by_key[key] = RunOutcome(key, spec, "prefix")
                 self._emit("prefix", key)
             else:
+                if self.telemetry and not spec.telemetry:
+                    # Key-neutral: run_key ignores the telemetry flag,
+                    # so resume/caching behave exactly as without it.
+                    spec = replace(spec, telemetry=True)
                 pending.append((key, spec))
 
         if pending:
@@ -500,17 +511,36 @@ batch_group_key`) into units of up to ``batch_size`` lanes that a
             remaining = retry
 
 
-def _format_error(exc: Exception) -> str:
-    """One-line error class + message plus the innermost useful frame.
+def _format_error(exc: BaseException) -> str:
+    """One-line error class + message plus the root-cause frame.
 
-    Frames inside ``concurrent.futures`` are skipped: exceptions from a
-    worker re-raise through the pool machinery, and those frames say
-    nothing about the failing run.
+    The location comes from the end of the exception's cause chain
+    (``__cause__``, falling back to a non-suppressed ``__context__``),
+    so a run that wraps a low-level failure — ``raise
+    ConfigurationError(...) from exc`` — still points at the line that
+    actually went wrong, and the root cause's own type/message is
+    appended when it differs from the outer exception. Frames inside
+    ``concurrent.futures`` are skipped: exceptions from a worker
+    re-raise through the pool machinery, and those frames say nothing
+    about the failing run.
     """
+    root = exc
+    seen = {id(root)}
+    while True:
+        nxt = root.__cause__
+        if nxt is None and not root.__suppress_context__:
+            nxt = root.__context__
+        if nxt is None or id(nxt) in seen:
+            break
+        seen.add(id(nxt))
+        root = nxt
     frames = [
         frame
-        for frame in traceback.extract_tb(exc.__traceback__)
+        for frame in traceback.extract_tb(root.__traceback__)
         if "concurrent/futures" not in frame.filename.replace("\\", "/")
     ]
     location = f" [{frames[-1].filename}:{frames[-1].lineno}]" if frames else ""
-    return f"{type(exc).__name__}: {exc}{location}"
+    message = f"{type(exc).__name__}: {exc}"
+    if root is not exc:
+        message += f" (caused by {type(root).__name__}: {root})"
+    return message + location

@@ -5,6 +5,8 @@ failed / pending); ``campaign_report`` loads every completed run,
 summarizes it with :func:`repro.metrics.report.summarize` — normalizing
 delay against the campaign's baseline policy run on the same
 (exp, duration, DPM, seed, grid, mix) — and renders one table.
+``campaign_telemetry`` folds the per-run ``telemetry.json`` sidecars
+(if any) into one tick-phase profile and job-statistics roll-up.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from repro.analysis.tables import format_table
 from repro.campaign.spec import CampaignSpec, run_key
 from repro.campaign.store import ResultStore
 from repro.metrics.report import summarize
+from repro.obs.profiler import merge_phase_summaries
 
 
 def campaign_status(store: ResultStore, campaign: CampaignSpec) -> Dict[str, object]:
@@ -57,6 +60,83 @@ def format_status(status: Dict[str, object]) -> str:
     ]
     for key, error in sorted(dict(status["failures"]).items()):  # type: ignore[arg-type]
         lines.append(f"  FAILED {key}: {error}")
+    return "\n".join(lines)
+
+
+def campaign_telemetry(
+    store: ResultStore, campaign: CampaignSpec
+) -> Dict[str, object]:
+    """Aggregate the telemetry sidecars of a campaign's completed runs.
+
+    Returns ``{"ok", "with_telemetry"}`` plus — when any run carries a
+    snapshot — ``"phases"`` (tick-phase profile merged across runs via
+    :func:`merge_phase_summaries`), ``"job_totals"`` (summed lifecycle
+    counts) and ``"mean_response_s"`` (completion-weighted mean).
+    Telemetry is optional per run, so partially covered campaigns —
+    e.g. resumed ones whose early runs predate ``--telemetry`` — still
+    aggregate what exists.
+    """
+    n_ok = 0
+    snapshots: List[Dict[str, object]] = []
+    for spec in campaign.expand():
+        key = run_key(spec)
+        if not store.has(key):
+            continue
+        n_ok += 1
+        telemetry = store.load_telemetry(key)
+        if telemetry is not None:
+            snapshots.append(telemetry)
+    out: Dict[str, object] = {"ok": n_ok, "with_telemetry": len(snapshots)}
+    phases = [
+        snap["phases"] for snap in snapshots
+        if isinstance(snap.get("phases"), dict)
+    ]
+    if phases:
+        out["phases"] = merge_phase_summaries(phases)
+    if snapshots:
+        totals = {"arrivals": 0, "completions": 0, "migrations": 0,
+                  "preemptions": 0}
+        weighted = 0.0
+        samples = 0
+        for snap in snapshots:
+            stats = snap.get("job_stats") or {}
+            for name in totals:
+                totals[name] += int(stats.get(name, 0))
+            response = stats.get("response_time_s") or {}
+            count = int(response.get("count", 0))
+            weighted += float(response.get("mean", 0.0)) * count
+            samples += count
+        out["job_totals"] = totals
+        out["mean_response_s"] = weighted / samples if samples else 0.0
+    return out
+
+
+def format_telemetry(summary: Dict[str, object]) -> str:
+    """Human-readable rendering of :func:`campaign_telemetry`."""
+    lines = [
+        f"telemetry: {summary['with_telemetry']}/{summary['ok']} "
+        "completed runs carry a snapshot"
+    ]
+    totals = summary.get("job_totals")
+    if totals:
+        lines.append(
+            "  jobs: {completions} completed / {arrivals} arrived, "
+            "{migrations} migrations ({preemptions} preemptive), "
+            "mean response {mean:.3f} s".format(
+                mean=summary["mean_response_s"], **totals
+            )
+        )
+    phases = summary.get("phases")
+    if phases:
+        lines.append(
+            f"  tick phases over {phases['ticks']} ticks "
+            f"({phases['ms_per_tick']:.3f} ms/tick):"
+        )
+        for name, entry in phases["phases"].items():
+            lines.append(
+                f"    {name:<14s} {entry['ms_per_tick']:.4f} ms/tick "
+                f"({entry['share_pct']:.1f}%)"
+            )
     return "\n".join(lines)
 
 

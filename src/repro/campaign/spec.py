@@ -50,8 +50,17 @@ def _canonical(value: Any) -> Any:
 
 
 def spec_to_dict(spec: RunSpec) -> Dict[str, Any]:
-    """A JSON-serializable dict capturing every RunSpec field."""
-    return _canonical(asdict(spec))
+    """A JSON-serializable dict capturing every *identity* field.
+
+    ``telemetry`` is excluded: it is purely observational (the engine
+    guarantees identical trajectories with it on or off), so it must
+    not feed :func:`run_key` — a telemetry-enabled campaign can reuse
+    results stored by a plain one and vice versa. Keys therefore stay
+    identical to v4 and no ``KEY_VERSION`` bump is needed.
+    """
+    data = _canonical(asdict(spec))
+    data.pop("telemetry", None)
+    return data
 
 
 def spec_from_dict(data: Dict[str, Any]) -> RunSpec:

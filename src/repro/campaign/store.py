@@ -65,6 +65,10 @@ class ResultStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self._index_path = self.root / "index.json"
         self._index: Dict[str, Dict[str, Any]] = {}
+        # Plain-int effectiveness counter for the prefix cache, read by
+        # campaign telemetry summaries; counts serve_prefix() hits over
+        # this store instance's lifetime.
+        self.prefix_hits = 0
         if self._index_path.exists():
             try:
                 data = json.loads(self._index_path.read_text())
@@ -157,6 +161,14 @@ class ResultStore:
         stem = self._stem(key)
         stem.parent.mkdir(parents=True, exist_ok=True)
         save_result(result, stem)
+        if result.telemetry is not None:
+            # Optional sidecar, deliberately NOT in _RESULT_SUFFIXES: a
+            # run saved without telemetry must still read as present.
+            telemetry_path = self._telemetry_path(key)
+            telemetry_path.write_text(
+                json.dumps(result.telemetry, indent=2, sort_keys=True)
+                + "\n"
+            )
         self._index[key] = {
             "status": STATUS_OK,
             "spec": spec_to_dict(spec),
@@ -185,7 +197,11 @@ class ResultStore:
         return key
 
     def load(self, key: str) -> SimulationResult:
-        """Reload the result saved under ``key``."""
+        """Reload the result saved under ``key``.
+
+        If the run was saved with telemetry, the ``telemetry.json``
+        sidecar is re-attached to the returned result.
+        """
         entry = self._index.get(key)
         if entry is None:
             raise ConfigurationError(f"store has no run {key!r}")
@@ -193,7 +209,25 @@ class ResultStore:
             raise ConfigurationError(
                 f"run {key!r} failed: {entry.get('error', 'unknown error')}"
             )
-        return load_result(self.root / entry["stem"])
+        result = load_result(self.root / entry["stem"])
+        telemetry = self.load_telemetry(key)
+        if telemetry is not None:
+            result.telemetry = telemetry
+        return result
+
+    def _telemetry_path(self, key: str) -> Path:
+        return self.root / "runs" / key / "telemetry.json"
+
+    def has_telemetry(self, key: str) -> bool:
+        """Whether ``key`` holds a telemetry sidecar."""
+        return self._telemetry_path(key).exists()
+
+    def load_telemetry(self, key: str) -> Optional[Dict[str, Any]]:
+        """The telemetry snapshot saved with ``key``, or None."""
+        path = self._telemetry_path(key)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
 
     def load_spec(self, key: str) -> RunSpec:
         """Reconstruct the RunSpec recorded for ``key``."""
@@ -286,6 +320,7 @@ class ResultStore:
         source = self.find_prefix(spec)
         if source is None:
             return None
+        self.prefix_hits += 1
         result = truncate_result(self.load(source), spec.duration_s)
         self.save(spec, result)
         return result

@@ -10,6 +10,8 @@ Subcommands:
 - ``campaign``   — execute/inspect declarative campaign grids against a
   persistent result store (``campaign run|status|report``, see
   docs/CAMPAIGNS.md).
+- ``trace``      — simulate one run with full telemetry and export a
+  Chrome-trace/Perfetto JSON timeline (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -113,12 +115,66 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_phase_summary(phases, indent: str = "  ") -> None:
+    print(f"tick phases ({phases['ticks']} ticks, "
+          f"{phases['ms_per_tick']:.3f} ms/tick):")
+    for name, entry in phases["phases"].items():
+        print(f"{indent}{name:<14s} {entry['ms_per_tick']:.4f} ms/tick "
+              f"({entry['share_pct']:.1f}%)")
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry import TelemetryConfig
+
+    runner = ExperimentRunner()
+    spec = RunSpec(exp_id=args.exp, policy=args.policy,
+                   duration_s=args.duration, with_dpm=args.dpm,
+                   seed=args.seed, thermal_solver=args.thermal_solver,
+                   fidelity=args.fidelity)
+    engine = runner.build_engine(
+        spec,
+        telemetry_config=TelemetryConfig(
+            trace=True, trace_capacity=args.capacity
+        ),
+    )
+    result = engine.run()
+    trace = engine.telemetry.trace
+    trace.write_chrome_trace(args.out, result.core_names)
+    kept = min(trace.emitted, trace.capacity)
+    line = f"wrote {kept} trace events to {args.out}"
+    if trace.dropped:
+        line += (f" ({trace.dropped} oldest dropped; re-run with "
+                 f"--capacity {trace.emitted} or more for the full run)")
+    print(line)
+    if args.jsonl is not None:
+        trace.write_jsonl(args.jsonl, result.core_names)
+        print(f"wrote JSONL event dump to {args.jsonl}")
+    snapshot = result.telemetry or {}
+    phases = snapshot.get("phases")
+    if phases:
+        _print_phase_summary(phases)
+    counters = (snapshot.get("engine") or {}).get("counters") or {}
+    if counters:
+        print("engine counters:")
+        for name in sorted(counters):
+            print(f"  {name} = {counters[name]}")
+    return 0
+
+
 def _load_campaign(args: argparse.Namespace):
     from repro.campaign import CampaignSpec, ResultStore
 
     spec = CampaignSpec.from_json(args.spec)
     store_dir = args.store or Path("campaigns") / spec.name
     return spec, ResultStore(store_dir)
+
+
+def _print_campaign_telemetry(store, spec) -> None:
+    from repro.campaign import campaign_telemetry, format_telemetry
+
+    summary = campaign_telemetry(store, spec)
+    if summary["with_telemetry"]:
+        print(format_telemetry(summary))
 
 
 def cmd_campaign_run(args: argparse.Namespace) -> int:
@@ -165,12 +221,14 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
             progress=progress,
             batch_size=args.batch_size,
             propagation=args.propagation,
+            telemetry=args.telemetry,
         )
     except ConfigurationError as exc:
         print(exc, file=sys.stderr)
         return 2
     run = executor.run_campaign(spec)
     print(format_status(campaign_status(store, spec)))
+    _print_campaign_telemetry(store, spec)
     return 1 if run.failed() else 0
 
 
@@ -183,6 +241,7 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
         print(exc, file=sys.stderr)
         return 2
     print(format_status(campaign_status(store, spec)))
+    _print_campaign_telemetry(store, spec)
     return 0
 
 
@@ -195,6 +254,7 @@ def cmd_campaign_report(args: argparse.Namespace) -> int:
         print(exc, file=sys.stderr)
         return 2
     print(campaign_report(store, spec, baseline_policy=args.baseline))
+    _print_campaign_telemetry(store, spec)
     return 0
 
 
@@ -277,6 +337,11 @@ def build_parser() -> argparse.ArgumentParser:
                                    "span (span-compiled scheduling, "
                                    "approximate, fastest with the batched "
                                    "backend)")
+    campaign_run.add_argument("--telemetry", action="store_true",
+                              help="collect engine telemetry (metrics, job "
+                                   "stats, tick-phase profile) per run; "
+                                   "stored as telemetry.json next to each "
+                                   "result, run keys unchanged")
     campaign_run.set_defaults(func=cmd_campaign_run)
 
     campaign_status_parser = campaign_sub.add_parser(
@@ -293,6 +358,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline", default="Default",
         help="policy used to normalize the delay column")
     campaign_report_parser.set_defaults(func=cmd_campaign_report)
+
+    trace_parser = sub.add_parser(
+        "trace", help="record one run's event timeline (Chrome trace)"
+    )
+    trace_parser.add_argument("policy", choices=policy_names())
+    _add_run_arguments(trace_parser)
+    trace_parser.add_argument("--out", type=Path,
+                              default=Path("trace.json"),
+                              help="Chrome-trace JSON output path (load in "
+                                   "Perfetto / chrome://tracing)")
+    trace_parser.add_argument("--jsonl", type=Path, default=None,
+                              help="also dump raw events as JSON lines")
+    trace_parser.add_argument("--capacity", type=int, default=65536,
+                              help="trace ring-buffer size in events; when "
+                                   "exceeded the oldest events drop "
+                                   "(default 65536)")
+    trace_parser.set_defaults(func=cmd_trace)
 
     policies_parser = sub.add_parser("policies", help="list DTM policies")
     policies_parser.set_defaults(func=cmd_policies)

@@ -1,0 +1,242 @@
+"""Metrics primitives: counters, gauges, and fixed-bucket histograms.
+
+Design goals, in priority order:
+
+1. **Zero cost when disabled.** Call sites hold a module-level no-op
+   singleton (:data:`NULL_COUNTER`, :data:`NULL_GAUGE`,
+   :data:`NULL_HISTOGRAM`) instead of branching on an ``enabled`` flag,
+   so the disabled path is one attribute lookup + empty method call —
+   and the truly hot engine sites bypass even that by bumping plain
+   ``int`` attributes (see ``sched/engine.py``).
+2. **Cheap when enabled.** A counter increment is one integer add; a
+   histogram observation is a ``bisect`` into a short tuple of bucket
+   bounds.
+3. **Serializable.** ``snapshot()`` on any instrument (or the whole
+   :class:`MetricsRegistry`) returns plain dict/list/scalar values that
+   round-trip through JSON unchanged.
+
+Instruments are *not* thread-safe; the engine is single-threaded per
+run and the batch engine keeps one registry per lane.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time scalar (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact sum/min/max side channels.
+
+    ``bounds`` are the inclusive upper edges of the first ``len(bounds)``
+    buckets; one overflow bucket catches everything above the last
+    bound.  Bounds are fixed at construction — no resizing, no dynamic
+    allocation on the observe path.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        if not bounds:
+            raise ValueError(f"histogram {name}: bounds must be non-empty")
+        ordered = tuple(float(b) for b in bounds)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError(
+                f"histogram {name}: bounds must be strictly increasing"
+            )
+        self.name = name
+        self.bounds = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        # bisect_left keeps the upper edges inclusive: value == bound
+        # lands in the bucket whose edge it names.
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile from the bucket CDF.
+
+        Returns the upper bound of the bucket holding the ``q``-th
+        sample (the overflow bucket reports the exact observed max).
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range: {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(round(q / 100.0 * self.count)))
+        seen = 0
+        for idx, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank:
+                if idx < len(self.bounds):
+                    return self.bounds[idx]
+                return self.max
+        return self.max  # pragma: no cover - defensive
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class _NullCounter:
+    """No-op stand-in: same interface, empty bodies, shared singleton."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def snapshot(self) -> int:
+        return 0
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "null"
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def snapshot(self) -> float:
+        return 0.0
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "null"
+    count = 0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                "bounds": [], "counts": []}
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Named instrument store; one per instrumented engine run.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create, so call
+    sites never need to coordinate registration order.  ``snapshot()``
+    returns a JSON-ready dict grouped by instrument kind.
+    """
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            if bounds is None:
+                raise ValueError(
+                    f"histogram {name}: bounds required on first use"
+                )
+            inst = self._histograms[name] = Histogram(name, bounds)
+        return inst
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {
+            "counters": {k: v.snapshot()
+                         for k, v in sorted(self._counters.items())},
+            "gauges": {k: v.snapshot()
+                       for k, v in sorted(self._gauges.items())},
+            "histograms": {k: v.snapshot()
+                           for k, v in sorted(self._histograms.items())},
+        }

@@ -79,6 +79,17 @@ from repro.core.adapt3d import Adapt3D
 from repro.core.base import TickArrays
 from repro.core.probabilistic import ProbabilisticAllocator
 from repro.errors import SchedulerError
+from repro.obs.profiler import (
+    NULL_PROFILER,
+    PH_DPM,
+    PH_INTERVAL,
+    PH_POLICY,
+    PH_POWER,
+    PH_RECORD,
+    PH_SENSORS,
+    PH_THERMAL,
+    TickProfiler,
+)
 from repro.sched.engine import SimulationEngine, _Recording
 
 PROPAGATION_MODES = ("exact", "gemm")
@@ -357,9 +368,22 @@ class BatchSimulationEngine:
         core_names_tuples = [lane._core_names_tuple for lane in lanes]
         dpm_lanes = [lane for lane in lanes if lane.config.dpm is not None]
 
+        # Batch-level tick-phase profiler: the fused boundary runs once
+        # for all lanes, so its time cannot be attributed per lane —
+        # one shared profile covers the batch, attached to every
+        # instrumented lane's snapshot below. Per-lane lifecycle hooks
+        # (dispatch, completion, migration, ...) fire inside the lane
+        # state machines as usual.
+        prof = (
+            TickProfiler()
+            if any(lane._prof.enabled for lane in lanes)
+            else NULL_PROFILER
+        )
+
         for tick in range(n_ticks):
             t0 = tick * dt
             t1 = t0 + dt
+            prof.begin()
 
             # Per-lane interval execution (scalar state machines, in
             # lane order — lanes are independent).
@@ -375,6 +399,7 @@ class BatchSimulationEngine:
                 for r, lane in enumerate(lanes):
                     util_mat[r] = lane._gather_utilization(dt)
                     mem_vec[r] = lane._memory_intensity()
+            prof.lap(PH_INTERVAL)
 
             # Fused boundary: one power kernel, one thermal block step,
             # one blocked max-readback for the whole batch.
@@ -382,10 +407,12 @@ class BatchSimulationEngine:
                 state_mat, util_mat, dyn_mat, volt_mat,
                 unit_block.T, mem_vec,
             )
+            prof.lap(PH_POWER)
             temps_block = thermal.step_block(
                 power_mat, temps_block, column_exact=exact
             )
             peak_block = thermal.unit_max_block(temps_block)
+            prof.lap(PH_THERMAL)
             if all_ideal:
                 temps_mat[:, :] = peak_block[core_cols].T
             else:
@@ -393,10 +420,12 @@ class BatchSimulationEngine:
                     lane._temps_arr[:] = lane.sensors.read_cores_vector(
                         peak_block[:, r]
                     )
+            prof.lap(PH_SENSORS)
 
             # DPM before the policy snapshots, as in the serial loop.
             for lane in dpm_lanes:
                 lane._apply_dpm(t1)
+            prof.lap(PH_DPM)
 
             if policy_batch is not None:
                 policy_batch.tick(temps_mat)
@@ -425,6 +454,7 @@ class BatchSimulationEngine:
                         queue_length=ql_snap[r],
                     )
                     lane._run_policy(t1, util_mat[r], arrays=arrays)
+            prof.lap(PH_POLICY)
 
             # Record the end-of-interval state: one blocked mean
             # readback, then one plane write per field.
@@ -446,6 +476,8 @@ class BatchSimulationEngine:
             plane_power[tick] = tick_powers
             for r in range(n_lanes):
                 energies[r] += tick_powers[r] * dt
+            prof.lap(PH_RECORD)
+            prof.tick_done()
 
         if policy_batch is not None:
             policy_batch.finish()
@@ -466,4 +498,12 @@ class BatchSimulationEngine:
             rec.total_power[:] = plane_power[:, r]
             lane.thermal.temperatures = temps_block[:, r].copy()
             results.append(lane._build_result(rec, energies[r], dt))
+        if prof.enabled:
+            batch_phases = prof.summary()
+            for result in results:
+                if result.telemetry is not None:
+                    result.telemetry["batch"] = {
+                        "n_lanes": n_lanes,
+                        "phases": batch_phases,
+                    }
         return results

@@ -78,6 +78,22 @@ from repro.core.base import (
     state_from_code,
 )
 from repro.errors import SchedulerError
+from repro.obs.profiler import (
+    NULL_PROFILER,
+    PH_DPM,
+    PH_FAST_FORWARD,
+    PH_INTERVAL,
+    PH_POLICY,
+    PH_POWER,
+    PH_RECORD,
+    PH_SENSORS,
+    PH_THERMAL,
+)
+from repro.obs.telemetry import (
+    EngineTelemetry,
+    NULL_TELEMETRY,
+    TelemetryConfig,
+)
 from repro.power.chip_power import ChipPowerModel, CoreActivity
 from repro.power.states import STATE_CODE, CoreState
 from repro.power.vf import DEFAULT_VF_TABLE, VFTable
@@ -160,6 +176,14 @@ class EngineConfig:
         documented tolerance (leakage feedback lags by at most the
         residual drift); lowering it tightens span-vs-eager agreement
         at the cost of fewer compiled spans.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.TelemetryConfig`. ``None``
+        (default) disables all instrumentation — the engine holds the
+        no-op telemetry singleton and the hot loop pays nothing beyond
+        plain integer micro-counters. Telemetry is strictly
+        observational: enabling it never changes a scheduling, power,
+        or thermal outcome (eager runs stay bit-identical; asserted in
+        the differential harnesses).
     """
 
     duration_s: float = 300.0
@@ -175,6 +199,7 @@ class EngineConfig:
     fidelity: str = "eager"
     span_horizon_ticks: int = DEFAULT_SPAN_HORIZON_TICKS
     span_settle_k: float = 0.001
+    telemetry: Optional[TelemetryConfig] = None
 
 
 class _CoreRuntime:
@@ -265,6 +290,10 @@ class SimulationResult:
     migrations: int = 0
     policy_name: str = ""
     sampling_interval_s: float = 0.1
+    #: JSON-ready telemetry snapshot (registry, job stats, phases,
+    #: engine counters) when the run was instrumented; ``None``
+    #: otherwise. Persisted as ``telemetry.json`` by the result store.
+    telemetry: Optional[Dict] = None
 
     @property
     def n_ticks(self) -> int:
@@ -393,6 +422,15 @@ class SimulationEngine:
         self._sensor_temps: Dict[str, float] = {}
         self._migration_count = 0
 
+        # Telemetry: lifecycle hooks fan out through _obs (the shared
+        # no-op singleton when off), per-tick phases through _prof.
+        # The truly hot decision sites bump the plain-int _ob_*
+        # micro-counters below unconditionally — an int add is cheaper
+        # than any call or branch and can never perturb a decision.
+        self._obs = NULL_TELEMETRY
+        self._prof = NULL_PROFILER
+        self._reset_micro_counters()
+
         # Event heap of (cached completion time, core.heap_seq, name);
         # maintained only when the event_heap loop is active.
         self._event_heap: List[Tuple[float, int, str]] = []
@@ -475,6 +513,22 @@ class SimulationEngine:
 
     # ------------------------------------------------------------------
 
+    def _reset_micro_counters(self) -> None:
+        """Zero the hot-loop decision-site counters (per run)."""
+        self._ob_heap_push = 0
+        self._ob_heap_invalidate = 0
+        self._ob_heap_pop = 0
+        self._ob_heap_stale = 0
+        self._ob_heap_recompute = 0
+        self._ob_span_touch = 0
+        self._ob_span_close = 0
+        self._ob_ff_spans = 0
+        self._ob_ff_ticks = 0
+        # Propagator-cache baseline: the thermal assembly (and its A^k
+        # cache) is shared across runs, so per-run hit/miss counts are
+        # deltas against the value at arm time.
+        self._ob_cache0 = (0, 0)
+
     def _default_system_view(self) -> SystemView:
         config = self.thermal.config
         positions = {}
@@ -529,6 +583,14 @@ class SimulationEngine:
             raise SchedulerError("duration shorter than one sampling interval")
 
         self.thermal.use_solver(cfg.thermal_solver)
+        tel = cfg.telemetry
+        if tel is not None and tel.enabled:
+            self._obs = EngineTelemetry(tel)
+        else:
+            self._obs = NULL_TELEMETRY
+        self._prof = self._obs.profiler
+        self._reset_micro_counters()
+        self._ob_cache0 = self.thermal.propagator_cache_stats()
         self._use_heap = cfg.event_loop == "event_heap"
         self._use_span = cfg.fidelity == "span"
         self._event_heap = []
@@ -551,6 +613,36 @@ class SimulationEngine:
             self._push_arrival(time, job)
         return n_ticks, dt
 
+    def _telemetry_snapshot(self, rec: _Recording) -> Dict:
+        """Assemble the JSON-ready telemetry payload of a finished run."""
+        occupancy = (
+            rec.utilization.mean(axis=0) if rec.utilization.size else None
+        )
+        snap = self._obs.snapshot(self._core_names_tuple, occupancy)
+        hits, misses = self.thermal.propagator_cache_stats()
+        snap["engine"] = {
+            "event_loop": self.config.event_loop,
+            "fidelity": self.config.fidelity,
+            "policy": self.policy.name,
+            "jobs_total": len(self._jobs),
+            "jobs_completed": sum(1 for j in self._jobs if j.finished),
+            "migrations": self._migration_count,
+            "counters": {
+                "heap_push": self._ob_heap_push,
+                "heap_invalidate": self._ob_heap_invalidate,
+                "heap_pop": self._ob_heap_pop,
+                "heap_stale_pop": self._ob_heap_stale,
+                "heap_recompute_on_pop": self._ob_heap_recompute,
+                "span_touch": self._ob_span_touch,
+                "span_close": self._ob_span_close,
+                "fast_forward_spans": self._ob_ff_spans,
+                "fast_forward_ticks": self._ob_ff_ticks,
+                "propagator_cache_hits": hits - self._ob_cache0[0],
+                "propagator_cache_misses": misses - self._ob_cache0[1],
+            },
+        }
+        return snap
+
     def _build_result(self, rec: _Recording, energy: float, dt: float
                       ) -> SimulationResult:
         """Package a finished recording (shared with the batch engine)."""
@@ -571,7 +663,19 @@ class SimulationEngine:
             migrations=self._migration_count,
             policy_name=self.policy.name,
             sampling_interval_s=dt,
+            telemetry=(
+                self._telemetry_snapshot(rec) if self._obs.enabled else None
+            ),
         )
+
+    @property
+    def telemetry(self):
+        """The run's live telemetry sink (``NULL_TELEMETRY`` when off).
+
+        Valid after :meth:`run`; the ``repro trace`` CLI reads the
+        recorder from here to export Chrome-trace/JSONL files.
+        """
+        return self._obs
 
     def run(self) -> SimulationResult:
         """Execute the configured simulation and return the recording."""
@@ -632,18 +736,21 @@ class SimulationEngine:
         vectorized power/thermal path at the boundary."""
         energy = 0.0
         powers_buf = np.zeros(len(self.thermal.unit_names))
+        prof = self._prof
         # Post-step readback of tick k is the pre-step temperature of
         # tick k+1, so one vector readback per tick suffices.
         unit_row = self.thermal.unit_temperature_vector()
         for tick in range(n_ticks):
             t0 = tick * dt
             t1 = t0 + dt
+            prof.begin()
             self._advance_interval_heap(t0, t1)
 
             # Per-core activity over [t0, t1): the state/vf arrays are
             # already current (maintained at the invalidation sites),
             # utilization is one gather over the busy accumulators.
             util_arr = self._gather_utilization(dt)
+            prof.lap(PH_INTERVAL)
 
             powers_vec = self.power.unit_power_vector(
                 self._state_arr,
@@ -654,12 +761,17 @@ class SimulationEngine:
                 self._memory_intensity(),
                 out=powers_buf,
             )
+            prof.lap(PH_POWER)
             self.thermal.step_vector(powers_vec)
             peak_row = self.thermal.unit_max_vector()
+            prof.lap(PH_THERMAL)
             self._temps_arr[:] = self.sensors.read_cores_vector(peak_row)
+            prof.lap(PH_SENSORS)
 
             self._apply_dpm(t1)
+            prof.lap(PH_DPM)
             self._run_policy(t1, util_arr)
+            prof.lap(PH_POLICY)
 
             # Record the end-of-interval state.
             unit_row = self.thermal.unit_temperature_vector()
@@ -668,6 +780,8 @@ class SimulationEngine:
                 rec, tick, t1, unit_row, peak_row, util_arr, tick_power
             )
             energy += tick_power * dt
+            prof.lap(PH_RECORD)
+        prof.tick_done(n_ticks)
         return energy
 
     # ------------------------------------------------------------------
@@ -685,6 +799,7 @@ class SimulationEngine:
         """
         energy = 0.0
         powers_buf = np.zeros(len(self.thermal.unit_names))
+        prof = self._prof
         unit_row = self.thermal.unit_temperature_vector()
         prev_row: Optional[np.ndarray] = None
         prev2_row: Optional[np.ndarray] = None
@@ -712,17 +827,22 @@ class SimulationEngine:
                 ):
                     quiet = 0
             if quiet >= 2:
+                prof.begin()
                 consumed, span_energy, ff_rows = self._fast_forward(
                     rec, tick, dt, quiet, powers_buf, unit_row
                 )
+                prof.lap(PH_FAST_FORWARD)
                 if consumed:
                     energy += span_energy
                     prev2_row, prev_row, unit_row = ff_rows
                     tick += consumed
+                    prof.tick_done(consumed)
                     continue
             t1 = t0 + dt
+            prof.begin()
             self._advance_interval_span(t0, t1)
             util_arr = self._span_utilization(dt, t1)
+            prof.lap(PH_INTERVAL)
 
             powers_vec = self.power.unit_power_vector(
                 self._state_arr,
@@ -733,12 +853,17 @@ class SimulationEngine:
                 self._memory_intensity(),
                 out=powers_buf,
             )
+            prof.lap(PH_POWER)
             self.thermal.step_vector(powers_vec)
             peak_row = self.thermal.unit_max_vector()
+            prof.lap(PH_THERMAL)
             self._temps_arr[:] = self.sensors.read_cores_vector(peak_row)
+            prof.lap(PH_SENSORS)
 
             self._apply_dpm(t1)
+            prof.lap(PH_DPM)
             self._run_policy(t1, util_arr)
+            prof.lap(PH_POLICY)
 
             prev2_row = prev_row
             prev_row = unit_row
@@ -748,7 +873,9 @@ class SimulationEngine:
                 rec, tick, t1, unit_row, peak_row, util_arr, tick_power
             )
             energy += tick_power * dt
+            prof.lap(PH_RECORD)
             tick += 1
+            prof.tick_done()
         return energy
 
     def _quiet_ticks(self, t0: float, dt: float, max_ticks: int) -> int:
@@ -770,6 +897,7 @@ class SimulationEngine:
             cached_time, seq, name = heap[0]
             if cores[name].heap_seq != seq:
                 heapq.heappop(heap)
+                self._ob_heap_stale += 1
                 continue
             if horizon is None or cached_time < horizon:
                 horizon = cached_time
@@ -870,6 +998,9 @@ class SimulationEngine:
                 core.busy_in_tick = 0.0
         finally:
             self._in_fast_forward = False
+        self._ob_ff_spans += 1
+        self._ob_ff_ticks += consumed
+        self._obs.fast_forward(t_end, consumed)
         return consumed, tick_power * dt * consumed, rows
 
     def _advance_interval_span(self, t0: float, t1: float) -> None:
@@ -894,6 +1025,7 @@ class SimulationEngine:
                 cached_time, seq, name = heap[0]
                 if cores[name].heap_seq != seq:
                     heapq.heappop(heap)  # stale entry
+                    self._ob_heap_stale += 1
                     cached_time = None
                     continue
                 if cached_time < next_time:
@@ -923,10 +1055,12 @@ class SimulationEngine:
             core = cores[name]
             if seq != core.heap_seq:
                 heapq.heappop(heap)
+                self._ob_heap_stale += 1
                 continue
             if cached_time > due:
                 break
             heapq.heappop(heap)
+            self._ob_heap_pop += 1
             core.heap_seq += 1
             self._touch_core(core, now)
             if not (core.jobs and core.jobs[0].remaining_s <= _TIME_EPS):
@@ -945,6 +1079,7 @@ class SimulationEngine:
         start = core.span_start
         if now <= start:
             return
+        self._ob_span_touch += 1
         if core.jobs and not core.halted:
             stall = core.stall_until
             exec_start = start if start >= stall else stall
@@ -1093,6 +1228,7 @@ class SimulationEngine:
     def _push_arrival(self, time: float, job: Job) -> None:
         heapq.heappush(self._arrivals, (time, next(self._arrival_seq), job))
         self._jobs.append(job)
+        self._obs.job_arrival(time, job)
 
     def _advance_interval_scan(self, t0: float, t1: float) -> None:
         """Legacy interval loop: recompute every core's next event at
@@ -1142,14 +1278,18 @@ class SimulationEngine:
                 core = cores[name]
                 if seq != core.heap_seq:
                     heapq.heappop(heap)  # stale entry
+                    self._ob_heap_stale += 1
                     continue
                 if best is not None and best <= cached_time:
                     break
                 heapq.heappop(heap)
+                self._ob_heap_pop += 1
+                self._ob_heap_recompute += 1
                 core.heap_seq += 1
                 event = self._next_core_event(core, now)
                 if event is not None:
                     heapq.heappush(heap, (event, core.heap_seq, name))
+                    self._ob_heap_push += 1
                     if best is None or event < best:
                         best = event
             if best is not None and best < next_time:
@@ -1275,12 +1415,15 @@ class SimulationEngine:
             return
         self._sync_queue_state(core)
         core.heap_seq += 1
+        self._ob_heap_invalidate += 1
         if self._use_span:
             # Invalidation implies a state mutation — close any open
             # fast-forward — and the fresh event is computed from the
             # span anchor (every mutation site materializes first, so
             # the cached time stays exact until the next invalidation).
             self._span_dirty = True
+            self._ob_span_close += 1
+            self._obs.span_close(now, core.idx)
             event = self._next_core_event_span(core)
         else:
             event = self._next_core_event(core, now)
@@ -1288,6 +1431,7 @@ class SimulationEngine:
             heapq.heappush(
                 self._event_heap, (event, core.heap_seq, core.name)
             )
+            self._ob_heap_push += 1
 
     def _next_core_event(self, core: _CoreRuntime, now: float) -> Optional[float]:
         jobs = core.jobs
@@ -1355,11 +1499,14 @@ class SimulationEngine:
                     job = pop()
                     job.completion_time = now
                     self._thread_last_core[job.thread_id] = core.name
+                    self._obs.job_complete(now, job, core.idx)
                     follow_up = self.workload.on_completion(job, now)
                     if follow_up is not None:
                         self._push_arrival(*follow_up)
                 if not jobs:
                     core.idle_since = now
+                else:
+                    self._obs.job_start(now, jobs[0], core.idx)
                 self._invalidate_event(core, now)
                 continue
             while True:
@@ -1369,11 +1516,14 @@ class SimulationEngine:
                 job = core.queue.pop_finished()
                 job.completion_time = now
                 self._thread_last_core[job.thread_id] = core.name
+                self._obs.job_complete(now, job, core.idx)
                 follow_up = self.workload.on_completion(job, now)
                 if follow_up is not None:
                     self._push_arrival(*follow_up)
                 if len(core.queue) == 0:
                     core.idle_since = now
+            if core.jobs:
+                self._obs.job_start(now, core.jobs[0], core.idx)
             self._invalidate_event(core, now)
 
     def _process_arrivals(self, now: float) -> None:
@@ -1447,6 +1597,7 @@ class SimulationEngine:
                 # is never sleeping), so only the queue row changes.
                 core.queue.push(job)
                 self._sync_queue_state(core)
+                self._obs.job_dispatch(now, job, core.idx)
                 return
             self._touch_core(core, now)
         if core.sleeping:
@@ -1454,6 +1605,7 @@ class SimulationEngine:
             core.halted = core.gated
             wake = self.config.dpm.wake_latency_s if self.config.dpm else 0.0
             core.stall_until = max(core.stall_until, now + wake)
+            self._obs.dpm_wake(now, core.idx)
         core.queue.push(job)
         if job.remaining_s <= _TIME_EPS and len(core.jobs) == 1:
             # Degenerate zero-work job became the head without ever
@@ -1461,6 +1613,9 @@ class SimulationEngine:
             # still sees it (the legacy scan finds it by rescanning).
             self._finished_cores.append(core)
         self._invalidate_event(core, now)
+        self._obs.job_dispatch(now, job, core.idx)
+        if len(core.jobs) == 1:
+            self._obs.job_start(now, job, core.idx)
 
     # ------------------------------------------------------------------
     # tick-boundary control
@@ -1478,6 +1633,7 @@ class SimulationEngine:
                 core.sleeping = True
                 core.halted = True
                 self._invalidate_event(core, now)
+                self._obs.dpm_sleep(now, core.idx)
 
     def _run_policy(
         self,
@@ -1558,6 +1714,7 @@ class SimulationEngine:
                 core.speed = level_speed
                 self._sync_vf_row(core)
                 self._invalidate_event(core, now)
+                self._obs.vf_change(now, core.idx, level)
 
         gated = set(actions.gated)
         if gated or self._any_gated:
@@ -1569,6 +1726,7 @@ class SimulationEngine:
                     core.gated = is_gated
                     core.halted = is_gated or core.sleeping
                     self._invalidate_event(core, now)
+                    self._obs.gate_change(now, core.idx, is_gated)
             self._any_gated = bool(gated)
 
         for migration in actions.migrations:
@@ -1599,9 +1757,16 @@ class SimulationEngine:
             swapped = dst.queue.steal()
 
         self._place_migrated(job, dst, now)
+        self._obs.migration(now, job, src.idx, dst.idx,
+                            migration.move_running)
         if swapped is not None:
             self._place_migrated(swapped, src, now)
+            self._obs.migration(now, swapped, dst.idx, src.idx, True)
         self._invalidate_event(src, now)
+        if src.jobs:
+            # Stealing the head (or swapping one in) promoted a new
+            # head on the source; telemetry marks its start.
+            self._obs.job_start(now, src.jobs[0], src.idx)
 
     def _place_migrated(self, job: Job, core: _CoreRuntime, now: float) -> None:
         cost = self.config.migration_cost_s
@@ -1612,6 +1777,7 @@ class SimulationEngine:
             core.halted = core.gated
             wake = self.config.dpm.wake_latency_s if self.config.dpm else 0.0
             cost += wake
+            self._obs.dpm_wake(now, core.idx)
         core.queue.push(job)
         if core.jobs[0].remaining_s <= _TIME_EPS:
             # A finished head landed here without executing (possible
@@ -1622,6 +1788,8 @@ class SimulationEngine:
         job.migrations += 1
         self._migration_count += 1
         self._invalidate_event(core, now)
+        if len(core.jobs) == 1:
+            self._obs.job_start(now, job, core.idx)
 
     # ------------------------------------------------------------------
 

@@ -403,6 +403,16 @@ class ThermalModel:
             self._exp_step = None
         return self._transient
 
+    def propagator_cache_stats(self) -> Tuple[int, int]:
+        """``(hits, misses)`` of the active solver's A^k propagator
+        cache — cumulative over the shared assembly; telemetry consumers
+        take per-run deltas."""
+        transient = self._transient
+        if transient is None:
+            return (0, 0)
+        return (transient.propagator_cache_hits,
+                transient.propagator_cache_misses)
+
     def die_mapper(self, die_ordinal: int) -> GridMapper:
         """The grid mapper of die ``die_ordinal`` (0 = nearest the sink)."""
         return self._mappers[die_ordinal]

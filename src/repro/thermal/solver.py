@@ -140,6 +140,11 @@ class TransientSolver:
         # a quiet k-tick stretch in one GEMV). k=1 aliases the base
         # propagator.
         self._propagator_powers: dict = {}
+        # Plain-int cache effectiveness counters, read by the engine's
+        # telemetry snapshot (per-run deltas; the solver is shared
+        # across every run on the same assembly).
+        self.propagator_cache_hits = 0
+        self.propagator_cache_misses = 0
         self._steady_lu = None
         self._explicit: Optional[sparse.csc_matrix] = None
         self._c_over_h: Optional[np.ndarray] = None
@@ -187,11 +192,15 @@ class TransientSolver:
                 f"n_intervals must be >= 1, got {n_intervals}"
             )
         if n_intervals == 1:
+            self.propagator_cache_hits += 1
             return self._propagator
         cached = self._propagator_powers.get(n_intervals)
         if cached is None:
+            self.propagator_cache_misses += 1
             cached = self.propagator_power(n_intervals - 1) @ self._propagator
             self._propagator_powers[n_intervals] = cached
+        else:
+            self.propagator_cache_hits += 1
         return cached
 
     def step(self, temps: np.ndarray, node_powers: np.ndarray) -> np.ndarray:

@@ -500,6 +500,237 @@ class TestCampaignCli:
         assert main(["campaign", "status", str(tmp_path / "nope.json")]) == 2
 
 
+class TestFormatError:
+    """_format_error must point at the root cause of a wrapped failure."""
+
+    def _raise_wrapped(self):
+        def inner():
+            raise ValueError("the real problem")
+
+        try:
+            inner()
+        except ValueError as exc:
+            raise ConfigurationError("run failed") from exc
+
+    def test_explicit_cause_chain_reports_root_frame(self):
+        from repro.campaign.executor import _format_error
+
+        try:
+            self._raise_wrapped()
+        except ConfigurationError as exc:
+            message = _format_error(exc)
+        assert message.startswith("ConfigurationError: run failed")
+        assert "caused by ValueError: the real problem" in message
+        # The frame is the inner raise, not the re-raise site.
+        assert "test_campaign.py" in message
+
+    def test_implicit_context_chain(self):
+        from repro.campaign.executor import _format_error
+
+        try:
+            try:
+                {}["missing"]
+            except KeyError:
+                raise ConfigurationError("lookup failed")
+        except ConfigurationError as exc:
+            message = _format_error(exc)
+        assert "caused by KeyError" in message
+
+    def test_suppressed_context_ignored(self):
+        from repro.campaign.executor import _format_error
+
+        try:
+            try:
+                {}["missing"]
+            except KeyError:
+                raise ConfigurationError("clean error") from None
+        except ConfigurationError as exc:
+            message = _format_error(exc)
+        assert message.startswith("ConfigurationError: clean error")
+        assert "caused by" not in message
+
+    def test_cyclic_chain_terminates(self):
+        from repro.campaign.executor import _format_error
+
+        exc = ValueError("a")
+        exc.__context__ = exc
+        assert _format_error(exc).startswith("ValueError: a")
+
+    def test_plain_exception_unchanged(self):
+        from repro.campaign.executor import _format_error
+
+        try:
+            raise ValueError("plain")
+        except ValueError as exc:
+            message = _format_error(exc)
+        assert message.startswith("ValueError: plain")
+        assert "caused by" not in message
+
+    def test_campaign_failure_surfaces_root_cause(self, tmp_path):
+        """End to end: a failed run's store entry names the real frame."""
+        bad = tiny_spec(seed=5, benchmark_mix=(("not-a-benchmark", 4),))
+        store = ResultStore(tmp_path)
+        CampaignExecutor(store=store, backend="serial").run_campaign(
+            tiny_campaign(policies=("Default",), extra_runs=(bad,))
+        )
+        error = store.failures()[run_key(bad)]
+        assert "not-a-benchmark" in error
+        assert ".py:" in error  # carries a source location
+
+
+class TestTelemetryCampaign:
+    def test_run_key_ignores_telemetry_flag(self):
+        spec = tiny_spec()
+        assert run_key(spec) == run_key(replace(spec, telemetry=True))
+        assert "telemetry" not in spec_to_dict(replace(spec, telemetry=True))
+
+    def test_sidecar_saved_and_reattached(self, tmp_path):
+        store = ResultStore(tmp_path)
+        executor = CampaignExecutor(store=store, backend="serial",
+                                    telemetry=True)
+        campaign = tiny_campaign(policies=("Default",))
+        assert executor.run_campaign(campaign).counts() == {"ok": 1}
+        key = run_key(tiny_spec())
+        assert store.has_telemetry(key)
+        telemetry = store.load_telemetry(key)
+        assert telemetry["job_stats"]["completions"] > 0
+        assert "phases" in telemetry
+        assert store.load(key).telemetry == telemetry
+
+    def test_plain_runs_have_no_sidecar(self, tmp_path):
+        store = ResultStore(tmp_path)
+        CampaignExecutor(store=store, backend="serial").run_campaign(
+            tiny_campaign(policies=("Default",))
+        )
+        key = run_key(tiny_spec())
+        assert not store.has_telemetry(key)
+        assert store.load_telemetry(key) is None
+        assert store.load(key).telemetry is None
+
+    def test_telemetry_run_reuses_plain_cache(self, tmp_path):
+        """Key neutrality end to end: a telemetry-on campaign treats
+        plain stored results as cache hits (and records no sidecar)."""
+        store = ResultStore(tmp_path)
+        campaign = tiny_campaign(policies=("Default",))
+        CampaignExecutor(store=store, backend="serial").run_campaign(campaign)
+        runner = CountingRunner()
+        rerun = CampaignExecutor(store=store, backend="serial",
+                                 runner=runner, telemetry=True
+                                 ).run_campaign(campaign)
+        assert rerun.counts() == {"cached": 1}
+        assert runner.run_calls == 0
+
+    def test_campaign_telemetry_aggregation(self, tmp_path):
+        from repro.campaign import campaign_telemetry, format_telemetry
+
+        store = ResultStore(tmp_path)
+        campaign = tiny_campaign()
+        CampaignExecutor(store=store, backend="serial",
+                         telemetry=True).run_campaign(campaign)
+        summary = campaign_telemetry(store, campaign)
+        assert summary["ok"] == 2
+        assert summary["with_telemetry"] == 2
+        assert summary["phases"]["runs"] == 2
+        assert summary["job_totals"]["completions"] > 0
+        rendered = format_telemetry(summary)
+        assert "2/2 completed runs" in rendered
+        assert "tick phases" in rendered
+
+    def test_aggregation_tolerates_partial_coverage(self, tmp_path):
+        from repro.campaign import campaign_telemetry
+
+        store = ResultStore(tmp_path)
+        campaign = tiny_campaign()
+        specs = campaign.expand()
+        CampaignExecutor(store=store, backend="serial").run_specs(specs[:1])
+        CampaignExecutor(store=store, backend="serial",
+                         telemetry=True).run_specs(specs[1:])
+        summary = campaign_telemetry(store, campaign)
+        assert summary["ok"] == 2
+        assert summary["with_telemetry"] == 1
+
+    def test_prefix_hit_counter(self, tmp_path):
+        store = ResultStore(tmp_path)
+        long = tiny_spec(duration_s=4.0)
+        CampaignExecutor(store=store, backend="serial").run_specs([long])
+        assert store.prefix_hits == 0
+        short = tiny_spec(duration_s=2.0)
+        assert store.serve_prefix(short) is not None
+        assert store.prefix_hits == 1
+        # Truncations carry no sidecar (stats of the longer run are not
+        # the shorter run's stats).
+        assert not store.has_telemetry(run_key(short))
+
+
+class TestProgressEvents:
+    """Event-sequence contracts of the progress callback per backend."""
+
+    def _record(self, events):
+        return lambda event, key, detail: events.append((event, key))
+
+    def test_serial_error_sequence(self, tmp_path):
+        bad = tiny_spec(seed=5, benchmark_mix=(("not-a-benchmark", 4),))
+        events = []
+        CampaignExecutor(
+            store=ResultStore(tmp_path), backend="serial",
+            progress=self._record(events),
+        ).run_campaign(tiny_campaign(policies=("Default",),
+                                     extra_runs=(bad,)))
+        by_key = {}
+        for event, key in events:
+            by_key.setdefault(key, []).append(event)
+        assert by_key[run_key(tiny_spec())] == ["start", "ok"]
+        assert by_key[run_key(bad)] == ["start", "error"]
+
+    def test_serial_cached_and_prefix_events(self, tmp_path):
+        store = ResultStore(tmp_path)
+        CampaignExecutor(store=store, backend="serial").run_specs(
+            [tiny_spec(duration_s=4.0)]
+        )
+        events = []
+        executor = CampaignExecutor(store=store, backend="serial",
+                                    progress=self._record(events))
+        executor.run_specs([tiny_spec(duration_s=4.0),
+                            tiny_spec(duration_s=2.0)])
+        assert [e for e, _ in events] == ["cached", "prefix"]
+
+    @pytest.mark.slow
+    def test_parallel_event_sequence(self, tmp_path):
+        bad = tiny_spec(seed=5, benchmark_mix=(("not-a-benchmark", 4),))
+        events = []
+        CampaignExecutor(
+            store=ResultStore(tmp_path), backend="parallel", max_workers=2,
+            progress=self._record(events),
+        ).run_campaign(tiny_campaign(extra_runs=(bad,)))
+        by_key = {}
+        for event, key in events:
+            by_key.setdefault(key, []).append(event)
+        for spec in tiny_campaign().expand():
+            assert by_key[run_key(spec)] == ["start", "ok"]
+        assert by_key[run_key(bad)] == ["start", "error"]
+
+    @pytest.mark.slow
+    def test_batched_poisoned_batch_event_sequence(self, tmp_path):
+        """Batch mates of a failing spec re-emit start on the singleton
+        retry and still end with exactly one ok."""
+        bad = tiny_spec(seed=5, benchmark_mix=(("not-a-benchmark", 4),))
+        events = []
+        run = CampaignExecutor(
+            store=ResultStore(tmp_path), backend="batched", max_workers=1,
+            batch_size=8, progress=self._record(events),
+        ).run_campaign(tiny_campaign(policies=("Default",), seeds=(1, 2),
+                                     extra_runs=(bad,)))
+        assert run.counts() == {"ok": 2, "error": 1}
+        by_key = {}
+        for event, key in events:
+            by_key.setdefault(key, []).append(event)
+        for spec in (tiny_spec(seed=1), tiny_spec(seed=2)):
+            key = run_key(spec)
+            # One start from the batch attempt, one from the retry.
+            assert by_key[key] == ["start", "start", "ok"]
+        assert by_key[run_key(bad)] == ["start", "start", "error"]
+
+
 @pytest.mark.slow
 class TestParallelExecutor:
     def test_serial_parallel_equivalence(self, tmp_path):

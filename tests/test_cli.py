@@ -38,6 +38,32 @@ class TestCli:
     def test_compare_unknown_policy_fails(self, capsys):
         assert main(["compare", "NotAPolicy", "--duration", "5"]) == 2
 
+    def test_trace_exports_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        assert main([
+            "trace", "Default", "--exp", "1", "--duration", "5",
+            "--out", str(out), "--jsonl", str(jsonl),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "trace events" in printed
+        assert "tick phases" in printed
+        assert "engine counters" in printed
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"M", "i", "X"} <= phases
+        assert jsonl.read_text().strip()
+
+    def test_trace_ring_capacity_reported(self, tmp_path, capsys):
+        assert main([
+            "trace", "Default", "--exp", "1", "--duration", "5",
+            "--out", str(tmp_path / "t.json"), "--capacity", "16",
+        ]) == 0
+        assert "dropped" in capsys.readouterr().out
+
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])

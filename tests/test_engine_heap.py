@@ -136,6 +136,96 @@ def live_events(engine):
     }
 
 
+def run_with_telemetry(spec: RunSpec, event_loop: str, trace: bool = False):
+    from repro.obs.telemetry import TelemetryConfig
+
+    engine = RUNNER.build_engine(spec)
+    engine.config = replace(
+        engine.config, event_loop=event_loop,
+        telemetry=TelemetryConfig(trace=trace),
+    )
+    return engine.run()
+
+
+class TestTelemetryCrossCheck:
+    """Telemetry is observational: bit-identity holds with it on, and
+    its counters agree with the result's own bookkeeping."""
+
+    def test_eager_bit_identical_with_telemetry_on(self):
+        spec = RunSpec(exp_id=4, policy="Adapt3D&DVFS_TT", duration_s=6.0,
+                       seed=2009)
+        plain = run_with_loop(spec, "event_heap")
+        telem = run_with_telemetry(spec, "event_heap", trace=True)
+        for name in RESULT_ARRAYS:
+            np.testing.assert_array_equal(
+                getattr(plain, name), getattr(telem, name), err_msg=name
+            )
+        assert plain.energy_j == telem.energy_j
+        assert plain.migrations == telem.migrations
+        assert plain.telemetry is None
+        assert telem.telemetry is not None
+
+    @pytest.mark.parametrize("event_loop", ["event_heap", "legacy_scan"])
+    def test_counters_match_result(self, event_loop):
+        spec = RunSpec(exp_id=4, policy="Migr", duration_s=10.0, seed=7)
+        result = run_with_telemetry(spec, event_loop)
+        snap = result.telemetry
+        stats = snap["job_stats"]
+        assert stats["completions"] == len(result.completed_jobs())
+        assert stats["migrations"] == result.migrations
+        assert stats["completions"] <= stats["dispatches"]
+        counters = snap["registry"]["counters"]
+        assert counters["jobs.completed"] == stats["completions"]
+        assert counters["jobs.migrations"] == result.migrations
+        engine_info = snap["engine"]
+        assert engine_info["jobs_completed"] == stats["completions"]
+        assert engine_info["migrations"] == result.migrations
+        assert engine_info["event_loop"] == event_loop
+
+    def test_heap_and_scan_report_same_lifecycle_counts(self):
+        spec = RunSpec(exp_id=4, policy="Migr", duration_s=10.0, seed=7)
+        heap = run_with_telemetry(spec, "event_heap")
+        scan = run_with_telemetry(spec, "legacy_scan")
+        for field in ("arrivals", "dispatches", "completions",
+                      "migrations", "preemptions"):
+            assert (heap.telemetry["job_stats"][field]
+                    == scan.telemetry["job_stats"][field]), field
+
+    def test_heap_counters_populated(self):
+        spec = RunSpec(exp_id=4, policy="Adapt3D&DVFS_TT", duration_s=6.0,
+                       seed=2009)
+        result = run_with_telemetry(spec, "event_heap")
+        counters = result.telemetry["engine"]["counters"]
+        assert counters["heap_push"] > 0
+        assert counters["heap_pop"] > 0
+        assert counters["heap_invalidate"] > 0
+        # Every pop either recomputes-and-requeues or completes; stale
+        # pops are the lazy-invalidation discards.
+        assert counters["heap_stale_pop"] >= 0
+        assert counters["heap_recompute_on_pop"] <= counters["heap_pop"]
+
+    def test_trace_events_match_stats(self):
+        from repro.obs.trace import EV_COMPLETION, EV_MIGRATION
+
+        spec = RunSpec(exp_id=4, policy="Migr", duration_s=10.0, seed=7)
+        result = run_with_telemetry(spec, "event_heap", trace=True)
+        rows = result.telemetry["trace"]["rows"]
+        assert result.telemetry["trace"]["dropped"] == 0
+        completions = sum(1 for r in rows if r[1] == EV_COMPLETION)
+        migrations = sum(1 for r in rows if r[1] == EV_MIGRATION)
+        assert completions == len(result.completed_jobs())
+        assert migrations == result.migrations
+
+    def test_profiler_accounts_for_all_ticks(self):
+        spec = RunSpec(exp_id=1, policy="Default", duration_s=6.0, seed=3)
+        result = run_with_telemetry(spec, "event_heap")
+        phases = result.telemetry["phases"]
+        assert phases["ticks"] == result.n_ticks
+        assert phases["total_s"] > 0.0
+        shares = [p["share_pct"] for p in phases["phases"].values()]
+        assert sum(shares) == pytest.approx(100.0)
+
+
 def make_job(job_id=1, work_s=2.0):
     return Job(
         job_id=job_id,

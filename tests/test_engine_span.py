@@ -198,6 +198,76 @@ class TestSpanFastForward:
         assert spans and max(spans) <= 3
 
 
+class TestSpanTelemetry:
+    """Telemetry on the span engine: non-perturbing, and the span/FF
+    counters agree with what actually happened."""
+
+    def test_span_unperturbed_by_telemetry(self):
+        from repro.obs.telemetry import TelemetryConfig
+
+        spec = RunSpec(exp_id=4, policy="Adapt3D", duration_s=6.0, seed=3)
+        plain = run_fidelity(spec, "span")
+        telem = run_fidelity(spec, "span",
+                             telemetry=TelemetryConfig(trace=True))
+        np.testing.assert_array_equal(plain.vf_indices, telem.vf_indices)
+        np.testing.assert_array_equal(plain.core_states, telem.core_states)
+        np.testing.assert_array_equal(plain.unit_temps_k, telem.unit_temps_k)
+        assert plain.energy_j == telem.energy_j
+        assert telem.telemetry is not None
+
+    def test_counters_match_result_and_eager(self):
+        from repro.obs.telemetry import TelemetryConfig
+
+        spec = RunSpec(exp_id=1, policy="Default", duration_s=10.0, seed=5,
+                       benchmark_mix=QUIET_MIX)
+        eager = run_fidelity(spec, "eager",
+                             telemetry=TelemetryConfig())
+        span = run_fidelity(spec, "span",
+                            telemetry=TelemetryConfig())
+        for result in (eager, span):
+            stats = result.telemetry["job_stats"]
+            assert stats["completions"] == len(result.completed_jobs())
+            assert stats["migrations"] == result.migrations
+        assert (eager.telemetry["job_stats"]["completions"]
+                == span.telemetry["job_stats"]["completions"])
+
+    def test_fast_forward_counters(self, monkeypatch):
+        from repro.obs.telemetry import TelemetryConfig
+
+        calls = count_fast_forwards(monkeypatch)
+        spec = RunSpec(exp_id=2, policy="Default", duration_s=30.0, seed=5,
+                       benchmark_mix=QUIET_MIX)
+        result = run_fidelity(spec, "span",
+                              telemetry=TelemetryConfig())
+        counters = result.telemetry["engine"]["counters"]
+        assert counters["fast_forward_spans"] == calls["spans"] > 0
+        assert counters["fast_forward_ticks"] == calls["ticks"]
+        # A^k propagator cache serves the jumps: every span consults it.
+        assert (counters["propagator_cache_hits"]
+                + counters["propagator_cache_misses"]) >= calls["spans"]
+        # Registry mirrors of the micro counters agree.
+        reg = result.telemetry["registry"]["counters"]
+        assert reg["span.fast_forwards"] == calls["spans"]
+        assert reg["span.fast_forward_ticks"] == calls["ticks"]
+        # Profiler credits the fast-forwarded ticks too.
+        phases = result.telemetry["phases"]
+        assert phases["ticks"] == result.n_ticks
+        assert "fast_forward" in phases["phases"]
+
+    def test_span_close_counter(self):
+        from repro.obs.telemetry import TelemetryConfig
+
+        spec = RunSpec(exp_id=4, policy="Adapt3D", duration_s=6.0, seed=3)
+        result = run_fidelity(spec, "span",
+                              telemetry=TelemetryConfig())
+        counters = result.telemetry["engine"]["counters"]
+        assert counters["span_touch"] >= 0
+        assert counters["span_close"] > 0
+        assert result.telemetry["registry"]["counters"]["span.closes"] == (
+            counters["span_close"]
+        )
+
+
 class TestSpanConfigValidation:
     def test_unknown_fidelity_rejected(self):
         engine = RUNNER.build_engine(

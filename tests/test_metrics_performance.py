@@ -8,8 +8,11 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.metrics.energy import average_power, total_energy
 from repro.metrics.performance import (
+    latency_summary,
     mean_response_time,
     normalized_delay,
+    percentile,
+    response_time_percentiles,
     throughput,
 )
 from repro.metrics.reliability import (
@@ -52,6 +55,65 @@ class TestPerformance:
     def test_throughput_bad_duration(self):
         with pytest.raises(ConfigurationError):
             throughput([], 0.0)
+
+
+class TestPercentiles:
+    def test_exact_linear_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        # rank = q/100 * (n-1); p50 lands halfway between 2 and 3.
+        assert percentile(values, 50.0) == pytest.approx(2.5)
+        assert percentile(values, 0.0) == pytest.approx(1.0)
+        assert percentile(values, 100.0) == pytest.approx(4.0)
+        assert percentile(values, 25.0) == pytest.approx(1.75)
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == pytest.approx(2.0)
+
+    def test_matches_numpy_linear(self):
+        rng = np.random.default_rng(7)
+        values = rng.exponential(1.0, size=101).tolist()
+        for q in (50.0, 95.0, 99.0):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 50.0)
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], -1.0)
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 100.5)
+
+    def test_latency_summary_keys(self):
+        summary = latency_summary([0.1, 0.2, 0.3])
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(0.2)
+        assert summary["max"] == pytest.approx(0.3)
+        assert set(summary) == {"count", "mean", "max", "p50", "p95", "p99"}
+        assert summary["p50"] == pytest.approx(0.2)
+
+    def test_latency_summary_empty_is_zeroed(self):
+        summary = latency_summary([])
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0
+        assert summary["p99"] == 0.0
+
+    def test_latency_summary_fractional_percentile_key(self):
+        summary = latency_summary([1.0, 2.0], percentiles=(99.9,))
+        assert "p99_9" in summary
+
+    def test_response_time_percentiles(self):
+        jobs = [finished_job(i, 0.0, 1.0, float(i + 1)) for i in range(4)]
+        jobs.append(Job(99, 0, benchmark("gcc"), 0.0, 1.0))  # unfinished
+        pcts = response_time_percentiles(jobs)
+        assert pcts["p50"] == pytest.approx(2.5)
+
+    def test_response_time_percentiles_no_finished_raises(self):
+        with pytest.raises(ConfigurationError):
+            response_time_percentiles(
+                [Job(1, 0, benchmark("gcc"), 0.0, 1.0)]
+            )
 
 
 class TestEnergy:
