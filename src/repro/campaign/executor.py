@@ -85,7 +85,10 @@ def worker_runner() -> ExperimentRunner:
 
 def _run_in_worker(payload: Tuple[str, RunSpec]) -> Tuple[str, SimulationResult]:
     key, spec = payload
-    assert _WORKER_RUNNER is not None, "worker initializer did not run"
+    if _WORKER_RUNNER is None:
+        # A plain raise (not assert): `python -O` strips asserts, which
+        # would turn an initializer failure into a bare AttributeError.
+        raise RuntimeError("worker initializer did not run")
     return key, _WORKER_RUNNER.run(spec)
 
 
@@ -94,7 +97,8 @@ def _run_batch_in_worker(
 ) -> List[Tuple[str, SimulationResult]]:
     """Run one batch unit through the worker's fused batch engine."""
     propagation, pairs = payload
-    assert _WORKER_RUNNER is not None, "worker initializer did not run"
+    if _WORKER_RUNNER is None:
+        raise RuntimeError("worker initializer did not run")
     results = _WORKER_RUNNER.run_batch(
         [spec for _, spec in pairs], propagation=propagation
     )

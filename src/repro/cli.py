@@ -12,6 +12,9 @@ Subcommands:
   docs/CAMPAIGNS.md).
 - ``trace``      — simulate one run with full telemetry and export a
   Chrome-trace/Perfetto JSON timeline (see docs/OBSERVABILITY.md).
+- ``lint``       — run the AST contract checker over the repo's own
+  sources (hot-path allocation, span sync, key neutrality, NULL
+  parity, slots and config coverage; see docs/CONTRACTS.md).
 """
 
 from __future__ import annotations
@@ -23,6 +26,9 @@ from typing import List, Optional
 
 from repro.analysis.runner import ExperimentRunner, RunSpec
 from repro.analysis.tables import format_table
+from repro.contracts.cli import add_arguments as add_lint_arguments
+from repro.contracts.cli import run_from_args as run_lint_from_args
+from repro.contracts.loader import ContractError
 from repro.core.registry import policy_names
 from repro.errors import ConfigurationError
 from repro.floorplan.experiments import EXPERIMENT_IDS, build_experiment
@@ -264,6 +270,14 @@ def cmd_policies(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    try:
+        return run_lint_from_args(args)
+    except ContractError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def cmd_floorplan(args: argparse.Namespace) -> int:
     config = build_experiment(args.exp)
     print(f"EXP-{args.exp}: {config.description}")
@@ -383,6 +397,13 @@ def build_parser() -> argparse.ArgumentParser:
     floorplan_parser.add_argument("--exp", type=int, default=1,
                                   choices=EXPERIMENT_IDS)
     floorplan_parser.set_defaults(func=cmd_floorplan)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="check the engine's static contracts (docs/CONTRACTS.md)",
+    )
+    add_lint_arguments(lint_parser)
+    lint_parser.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -1,0 +1,37 @@
+"""Static contract checker for the engine's measured invariants.
+
+Six PRs of optimization rest on contracts that used to live only in
+docs/ENGINE.md prose: hot loops must not allocate, per-tick classes
+must be slotted, span-visible core state may only mutate through the
+sanctioned sync helpers, the content-addressed run key may not drift
+without a ``KEY_VERSION`` bump, NULL telemetry singletons must mirror
+their real counterparts, and every engine knob must meet a
+differential harness.  This package turns each of those into an
+AST-based rule that fails CI at the diff that breaks it.
+
+Run with ``repro-dtm lint`` or ``python -m repro.contracts``; see
+docs/CONTRACTS.md for the invariants and the baseline workflow.
+"""
+
+from repro.contracts.checker import (
+    RULES,
+    RuleContext,
+    default_root,
+    make_context,
+    run_contracts,
+)
+from repro.contracts.findings import Finding
+from repro.contracts.loader import ContractError, ModuleCache
+from repro.contracts.manifest import Manifest
+
+__all__ = [
+    "ContractError",
+    "Finding",
+    "Manifest",
+    "ModuleCache",
+    "RULES",
+    "RuleContext",
+    "default_root",
+    "make_context",
+    "run_contracts",
+]

@@ -1,0 +1,64 @@
+"""Baseline: grandfathered findings that do not fail the build.
+
+The baseline is a checked-in JSON list of fingerprints with a note
+explaining why each finding is sanctioned (typically: the flagged
+idiom is measured faster than the contract-clean alternative).
+Baselined findings are reported but exit 0; everything else fails.
+``--update-baseline`` rewrites the file from the current findings,
+preserving notes for fingerprints that survive.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.contracts.findings import Finding
+
+__all__ = ["load_baseline", "split_findings", "write_baseline"]
+
+
+def load_baseline(path: Path) -> Dict[str, str]:
+    """fingerprint -> note; empty when no baseline is checked in."""
+    if not Path(path).is_file():
+        return {}
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return {
+        entry["fingerprint"]: entry.get("note", "")
+        for entry in data.get("entries", ())
+    }
+
+
+def split_findings(
+    findings: Iterable[Finding], baseline: Dict[str, str]
+) -> Tuple[List[Finding], List[Finding]]:
+    """(new, baselined)."""
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for f in findings:
+        (old if f.fingerprint in baseline else new).append(f)
+    return new, old
+
+
+def write_baseline(
+    path: Path, findings: Iterable[Finding], previous: Dict[str, str]
+) -> int:
+    """Rewrite the baseline from the current findings; returns the
+    entry count.  Notes on surviving fingerprints are preserved; new
+    entries get a placeholder note to be filled in by hand."""
+    entries = []
+    for f in sorted(findings, key=lambda f: f.fingerprint):
+        entries.append({
+            "fingerprint": f.fingerprint,
+            "rule": f.rule,
+            "path": f.path,
+            "scope": f.scope,
+            "note": previous.get(f.fingerprint, "TODO: justify this entry"),
+        })
+    payload = {"version": 1, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(entries)

@@ -1,0 +1,63 @@
+"""Checker driver: run the rules over one shared module cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.contracts.findings import Finding, assign_indices
+from repro.contracts.loader import ContractError, ModuleCache
+from repro.contracts.manifest import Manifest
+from repro.contracts.rules import RULES
+
+__all__ = ["RuleContext", "default_root", "run_contracts", "RULES"]
+
+
+@dataclass(slots=True)
+class RuleContext:
+    """Everything a rule needs: repo root, parse cache, manifests."""
+
+    root: Path
+    cache: ModuleCache
+    manifest: Manifest = field(default_factory=Manifest)
+
+
+def default_root() -> Path:
+    """Repo root, assuming the src/<pkg>/contracts layout."""
+    return Path(__file__).resolve().parents[3]
+
+
+def make_context(
+    root: Optional[Path] = None, manifest: Optional[Manifest] = None
+) -> RuleContext:
+    resolved = Path(root) if root is not None else default_root()
+    return RuleContext(
+        root=resolved,
+        cache=ModuleCache(resolved),
+        manifest=manifest or Manifest(),
+    )
+
+
+def run_contracts(
+    root: Optional[Path] = None,
+    manifest: Optional[Manifest] = None,
+    rules: Optional[Sequence[str]] = None,
+    ctx: Optional[RuleContext] = None,
+) -> List[Finding]:
+    """Run the selected rules (all by default); returns indexed findings
+    sorted for reporting."""
+    if ctx is None:
+        ctx = make_context(root, manifest)
+    selected = list(RULES) if rules is None else list(rules)
+    findings: List[Finding] = []
+    for name in selected:
+        check = RULES.get(name)
+        if check is None:
+            raise ContractError(
+                f"unknown rule {name!r}; known: {', '.join(RULES)}"
+            )
+        findings.extend(check(ctx))
+    findings = assign_indices(findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.scope, f.detail))
+    return findings

@@ -1,0 +1,131 @@
+"""Command-line front end: ``repro-dtm lint`` / ``python -m repro.contracts``.
+
+Exit codes: 0 = clean (baselined findings allowed), 1 = unbaselined
+findings, 2 = checker misconfiguration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.contracts.baseline import (
+    load_baseline,
+    split_findings,
+    write_baseline,
+)
+from repro.contracts.checker import RULES, make_context, run_contracts
+from repro.contracts.loader import ContractError
+from repro.contracts.manifest import Manifest
+from repro.contracts.rules.key_neutrality import update_golden
+
+__all__ = ["add_arguments", "run_from_args", "main"]
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="repo root to check (default: auto-detected from the package)",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="R1,R2",
+        help="comma-separated rule subset (default: all)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        dest="output_format", help="report format",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="treat baselined findings as failures too",
+    )
+    parser.add_argument(
+        "--show-baselined", action="store_true",
+        help="also print baselined (grandfathered) findings",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--update-golden", action="store_true",
+        help="regenerate the key-neutrality golden (after a KEY_VERSION "
+             "bump) before checking",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for name in RULES:
+            print(name)
+        return 0
+
+    root = Path(args.root).resolve() if args.root else None
+    manifest = Manifest()
+    ctx = make_context(root, manifest)
+
+    if args.update_golden:
+        print(update_golden(ctx))
+
+    rules: Optional[List[str]] = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    findings = run_contracts(ctx=ctx, rules=rules)
+
+    baseline_path = ctx.root / manifest.baseline_path
+    baseline = load_baseline(baseline_path)
+    if args.update_baseline:
+        count = write_baseline(baseline_path, findings, baseline)
+        print(f"baseline updated: {count} entries -> {manifest.baseline_path}")
+        return 0
+    if args.no_baseline:
+        baseline = {}
+    new, baselined = split_findings(findings, baseline)
+
+    if args.output_format == "json":
+        print(json.dumps({
+            "new": [f.to_dict() for f in new],
+            "baselined": [f.to_dict() for f in baselined],
+        }, indent=2))
+        return 1 if new else 0
+
+    for f in new:
+        print(f.render())
+    if args.show_baselined and baselined:
+        print("-- baselined (grandfathered, not failing) --")
+        for f in baselined:
+            print(f"{f.render()}\n    note: {baseline[f.fingerprint]}")
+    n_rules = len(rules) if rules is not None else len(RULES)
+    if new:
+        print(f"contract check: {len(new)} finding(s) "
+              f"({len(baselined)} baselined) across {n_rules} rule(s)")
+        return 1
+    print(f"contract check: clean ({len(baselined)} baselined) "
+          f"across {n_rules} rule(s)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.contracts",
+        description="AST-based contract checker for the engine's "
+                    "hot-path, span, key-neutrality, null-parity, and "
+                    "coverage invariants (see docs/CONTRACTS.md)",
+    )
+    add_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return run_from_args(args)
+    except ContractError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Typed findings and stable fingerprints for the contract checker.
+
+A :class:`Finding` pins one contract violation to ``path:line`` with a
+human-readable message and a fix hint.  Its :attr:`~Finding.fingerprint`
+deliberately excludes the line number — baselined findings must survive
+unrelated edits that shift code up or down — and instead identifies the
+violation by rule, file, enclosing scope, violation kind, and an
+occurrence index for repeated identical violations inside one scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, List
+
+__all__ = ["Finding", "assign_indices"]
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One contract violation."""
+
+    rule: str       # rule id, e.g. "hot-path-alloc"
+    path: str       # repo-relative posix path
+    line: int       # 1-based line of the offending node (0 = file-level)
+    scope: str      # enclosing qualname ("SimulationEngine._execute", "EngineConfig.dpm")
+    detail: str     # stable short token for the violation kind ("list-comp")
+    message: str    # human-readable description
+    hint: str = ""  # how to fix (or when baselining is legitimate)
+    index: int = 0  # occurrence index among identical (rule, path, scope, detail)
+
+    @property
+    def fingerprint(self) -> str:
+        return "::".join(
+            (self.rule, self.path, self.scope, self.detail, str(self.index))
+        )
+
+    def render(self) -> str:
+        loc = f"{self.path}:{self.line}" if self.line else self.path
+        text = f"{loc}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "scope": self.scope,
+            "detail": self.detail,
+            "message": self.message,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def assign_indices(findings: Iterable[Finding]) -> List[Finding]:
+    """Number repeated identical violations within one scope.
+
+    Rules emit findings in AST order, which is deterministic, so the
+    k-th identical violation in a scope keeps fingerprint index ``k``
+    across runs until the scope itself changes shape.
+    """
+    seen: dict = {}
+    out: List[Finding] = []
+    for f in findings:
+        key = (f.rule, f.path, f.scope, f.detail)
+        idx = seen.get(key, 0)
+        seen[key] = idx + 1
+        out.append(replace(f, index=idx) if idx != f.index else f)
+    return out

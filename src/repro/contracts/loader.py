@@ -1,0 +1,77 @@
+"""Shared parsed-module cache and AST navigation helpers.
+
+Every rule reads sources through one :class:`ModuleCache`, so a file
+referenced by several manifests (``sched/engine.py`` appears in four)
+is read and parsed exactly once per checker run.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = ["ContractError", "ModuleCache", "iter_functions", "find_class",
+           "find_function"]
+
+
+class ContractError(Exception):
+    """Checker misconfiguration: missing files, unknown rules, bad manifest."""
+
+
+class ModuleCache:
+    """Parse each source file at most once per checker run."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self._sources: Dict[str, str] = {}
+        self._trees: Dict[str, ast.Module] = {}
+
+    def source(self, relpath: str) -> str:
+        cached = self._sources.get(relpath)
+        if cached is None:
+            target = self.root / relpath
+            if not target.is_file():
+                raise ContractError(
+                    f"manifest references missing file: {relpath}"
+                )
+            cached = target.read_text(encoding="utf-8")
+            self._sources[relpath] = cached
+        return cached
+
+    def tree(self, relpath: str) -> ast.Module:
+        cached = self._trees.get(relpath)
+        if cached is None:
+            cached = ast.parse(self.source(relpath), filename=relpath)
+            self._trees[relpath] = cached
+        return cached
+
+
+def iter_functions(
+    tree: ast.AST, prefix: str = ""
+) -> Iterator[Tuple[str, ast.FunctionDef]]:
+    """Yield ``(qualname, node)`` for every function/method, depth-first.
+
+    Qualnames are dotted: ``Class.method``, ``func``, ``func.inner``.
+    """
+    for child in ast.iter_child_nodes(tree):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = f"{prefix}{child.name}"
+            yield qual, child
+            yield from iter_functions(child, qual + ".")
+        elif isinstance(child, ast.ClassDef):
+            yield from iter_functions(child, f"{prefix}{child.name}.")
+
+
+def find_class(tree: ast.AST, name: str) -> Optional[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def find_function(tree: ast.AST, qualname: str) -> Optional[ast.FunctionDef]:
+    for qual, node in iter_functions(tree):
+        if qual == qualname:
+            return node
+    return None

@@ -1,0 +1,26 @@
+"""Rule registry: name -> check function.
+
+Each rule is a function ``check(ctx) -> List[Finding]`` where ``ctx``
+is a :class:`repro.contracts.checker.RuleContext`.  Registration order
+is the report order.
+"""
+
+from repro.contracts.rules import (
+    config_coverage,
+    hot_path,
+    key_neutrality,
+    null_parity,
+    slots,
+    span_sync,
+)
+
+RULES = {
+    "hot-path-alloc": hot_path.check,
+    "slots-coverage": slots.check,
+    "span-close-on-mutation": span_sync.check,
+    "key-neutrality": key_neutrality.check,
+    "null-parity": null_parity.check,
+    "config-coverage": config_coverage.check,
+}
+
+__all__ = ["RULES"]

@@ -1,0 +1,106 @@
+"""Rule hot-path-alloc: manifest-listed hot functions must not allocate.
+
+Forbidden inside a hot function body: dict/list/set displays and
+comprehensions, generator expressions, lambda and nested-``def``
+closure creation, f-strings, and ``**kwargs`` call splats — each is a
+per-call heap allocation in code that runs every simulated tick.
+Expressions inside ``raise`` statements are exempt (error paths are
+cold by definition), as are argument defaults and decorators (evaluated
+once at ``def`` time).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.contracts.findings import Finding
+from repro.contracts.loader import find_function, iter_functions
+
+RULE = "hot-path-alloc"
+
+_FORBIDDEN = {
+    ast.ListComp: ("list-comp", "a list comprehension"),
+    ast.SetComp: ("set-comp", "a set comprehension"),
+    ast.DictComp: ("dict-comp", "a dict comprehension"),
+    ast.GeneratorExp: ("genexp", "a generator expression"),
+    ast.List: ("list-display", "a list display"),
+    ast.Set: ("set-display", "a set display"),
+    ast.Dict: ("dict-display", "a dict display"),
+    ast.Lambda: ("lambda", "a lambda"),
+    ast.JoinedStr: ("f-string", "an f-string"),
+}
+
+_HINT = (
+    "hoist the allocation out of the hot loop (preallocate in "
+    "_prepare_run or at module scope); if the construct is measured "
+    "faster than the alternative, baseline it with --update-baseline "
+    "and record why"
+)
+
+
+def _scan(func: ast.FunctionDef, path: str, qual: str,
+          out: List[Finding]) -> None:
+    def visit(node: ast.AST, in_raise: bool) -> None:
+        if isinstance(node, ast.Raise):
+            in_raise = True
+        elif not in_raise:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out.append(Finding(
+                    rule=RULE, path=path, line=node.lineno, scope=qual,
+                    detail="closure",
+                    message=(f"{qual} creates a closure ({node.name}) "
+                             "on the hot path"),
+                    hint=_HINT,
+                ))
+                return  # the nested body is not itself hot
+            kind = _FORBIDDEN.get(type(node))
+            if kind is not None:
+                detail, label = kind
+                out.append(Finding(
+                    rule=RULE, path=path, line=node.lineno, scope=qual,
+                    detail=detail,
+                    message=f"{qual} builds {label} on the hot path",
+                    hint=_HINT,
+                ))
+            if isinstance(node, ast.Call) and any(
+                kw.arg is None for kw in node.keywords
+            ):
+                out.append(Finding(
+                    rule=RULE, path=path, line=node.lineno, scope=qual,
+                    detail="kwargs-splat",
+                    message=f"{qual} calls with **kwargs on the hot path",
+                    hint=_HINT,
+                ))
+        for child in ast.iter_child_nodes(node):
+            visit(child, in_raise)
+
+    # Only the body: defaults, decorators, and annotations on the def
+    # itself are evaluated once, not per call.
+    for stmt in func.body:
+        visit(stmt, False)
+
+
+def check(ctx) -> List[Finding]:
+    m = ctx.manifest
+    out: List[Finding] = []
+    for relpath, qual in m.hot_path_functions:
+        func = find_function(ctx.cache.tree(relpath), qual)
+        if func is None:
+            out.append(Finding(
+                rule=RULE, path=relpath, line=0, scope=qual,
+                detail="missing-function",
+                message=f"hot-path manifest entry not found: {qual}",
+                hint=("update HOT_PATH_FUNCTIONS in "
+                      "src/repro/contracts/manifest.py if the function "
+                      "moved or was renamed"),
+            ))
+            continue
+        _scan(func, relpath, qual, out)
+    for dirpath, method in m.hot_path_method_sweeps:
+        for target in sorted((ctx.root / dirpath).glob("*.py")):
+            relpath = target.relative_to(ctx.root).as_posix()
+            for qual, func in iter_functions(ctx.cache.tree(relpath)):
+                if func.name == method:
+                    _scan(func, relpath, qual, out)
+    return out

@@ -1,0 +1,188 @@
+"""Rule key-neutrality: run-key inputs may not drift silently.
+
+Campaign results are content-addressed: ``run_key`` hashes
+``KEY_VERSION`` plus the serialized ``RunSpec`` field set (fields
+minus ``spec_to_dict``'s documented drops).  Adding, removing, or
+renaming a serialized field — or changing what is dropped — changes
+what a key *means*; without a ``KEY_VERSION`` bump, old store entries
+would silently satisfy new-semantics lookups.  This rule fingerprints
+the field set (and the ``CampaignSpec`` axes that expand into specs)
+against a checked-in golden and fails on any unversioned change.
+
+``--update-golden`` regenerates the golden after a legitimate bump; it
+refuses to run when the fields drifted but the version did not.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from typing import Dict, List, Optional
+
+from repro.contracts.findings import Finding
+from repro.contracts.loader import ContractError, find_class, find_function
+
+RULE = "key-neutrality"
+
+
+def _dataclass_fields(cls: Optional[ast.ClassDef]) -> List[str]:
+    if cls is None:
+        return []
+    return [
+        stmt.target.id
+        for stmt in cls.body
+        if isinstance(stmt, ast.AnnAssign)
+        and isinstance(stmt.target, ast.Name)
+    ]
+
+
+def extract(ctx) -> Dict[str, object]:
+    """Read the current key-relevant shape straight from the AST."""
+    m = ctx.manifest
+    run_tree = ctx.cache.tree(m.key_runspec_module)
+    spec_tree = ctx.cache.tree(m.key_spec_module)
+
+    fields = _dataclass_fields(find_class(run_tree, "RunSpec"))
+    axes = _dataclass_fields(find_class(spec_tree, "CampaignSpec"))
+
+    version = None
+    for stmt in spec_tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "KEY_VERSION"
+                    and isinstance(stmt.value, ast.Constant)
+                ):
+                    version = stmt.value.value
+
+    drops = []
+    fn = find_function(spec_tree, "spec_to_dict")
+    if fn is not None:
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "pop"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+            ):
+                drops.append(node.args[0].value)
+
+    dropped = sorted(set(drops))
+    return {
+        "key_version": version,
+        "runspec_fields": fields,
+        "dropped_fields": dropped,
+        "serialized_fields": [f for f in fields if f not in set(dropped)],
+        "campaign_axes": axes,
+    }
+
+
+def _extraction_findings(ctx, current: Dict[str, object]) -> List[Finding]:
+    m = ctx.manifest
+    out = []
+    if not current["runspec_fields"]:
+        out.append(Finding(
+            rule=RULE, path=m.key_runspec_module, line=0, scope="RunSpec",
+            detail="extract-failed",
+            message="could not extract RunSpec fields",
+            hint="update KEY_RUNSPEC_MODULE in the manifest",
+        ))
+    if current["key_version"] is None:
+        out.append(Finding(
+            rule=RULE, path=m.key_spec_module, line=0, scope="KEY_VERSION",
+            detail="extract-failed",
+            message="could not extract KEY_VERSION",
+            hint="KEY_VERSION must be a literal module-level assignment",
+        ))
+    return out
+
+
+def check(ctx) -> List[Finding]:
+    m = ctx.manifest
+    current = extract(ctx)
+    out = _extraction_findings(ctx, current)
+    if out:
+        return out
+
+    golden_path = ctx.root / m.key_golden_path
+    if not golden_path.is_file():
+        return [Finding(
+            rule=RULE, path=m.key_golden_path, line=0, scope="golden",
+            detail="missing-golden",
+            message="no golden key-field fingerprint is checked in",
+            hint="generate one with `repro-dtm lint --update-golden`",
+        )]
+    golden = json.loads(golden_path.read_text(encoding="utf-8"))
+
+    drifted = any(
+        golden.get(k) != current[k]
+        for k in ("serialized_fields", "dropped_fields", "campaign_axes")
+    )
+    if golden.get("key_version") != current["key_version"]:
+        out.append(Finding(
+            rule=RULE, path=m.key_spec_module, line=0, scope="KEY_VERSION",
+            detail="stale-golden",
+            message=(f"KEY_VERSION is {current['key_version']} but the "
+                     f"golden records {golden.get('key_version')}"),
+            hint=("after a legitimate bump, regenerate the golden with "
+                  "`repro-dtm lint --update-golden` (store entries keyed "
+                  "under the old version are simply recomputed)"),
+        ))
+    elif drifted:
+        old = set(golden.get("serialized_fields", ()))
+        new = set(current["serialized_fields"])
+        added = sorted(new - old)
+        removed = sorted(old - new)
+        delta = []
+        if added:
+            delta.append(f"added {added}")
+        if removed:
+            delta.append(f"removed {removed}")
+        if golden.get("dropped_fields") != current["dropped_fields"]:
+            delta.append(
+                f"drops changed {golden.get('dropped_fields')} -> "
+                f"{current['dropped_fields']}"
+            )
+        if golden.get("campaign_axes") != current["campaign_axes"]:
+            delta.append("campaign axes changed")
+        out.append(Finding(
+            rule=RULE, path=m.key_spec_module, line=0,
+            scope="RunSpec/CampaignSpec", detail="fields-drift",
+            message=("serialized key field set changed without a "
+                     f"KEY_VERSION bump ({'; '.join(delta)})"),
+            hint=("bump KEY_VERSION in src/repro/campaign/spec.py, then "
+                  "run `repro-dtm lint --update-golden`; keys must change "
+                  "when their meaning does"),
+        ))
+    return out
+
+
+def update_golden(ctx) -> str:
+    """Regenerate the golden; refuses to paper over an unversioned drift."""
+    m = ctx.manifest
+    current = extract(ctx)
+    if _extraction_findings(ctx, current):
+        raise ContractError("cannot update golden: extraction failed")
+    golden_path = ctx.root / m.key_golden_path
+    if golden_path.is_file():
+        golden = json.loads(golden_path.read_text(encoding="utf-8"))
+        drifted = any(
+            golden.get(k) != current[k]
+            for k in ("serialized_fields", "dropped_fields", "campaign_axes")
+        )
+        if drifted and golden.get("key_version") == current["key_version"]:
+            raise ContractError(
+                "serialized key fields changed but KEY_VERSION did not; "
+                "bump KEY_VERSION in src/repro/campaign/spec.py before "
+                "updating the golden"
+            )
+    golden_path.write_text(
+        json.dumps(current, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return (f"golden updated: KEY_VERSION={current['key_version']}, "
+            f"{len(current['serialized_fields'])} serialized fields, "
+            f"{len(current['campaign_axes'])} campaign axes -> "
+            f"{m.key_golden_path}")

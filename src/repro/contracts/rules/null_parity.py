@@ -1,0 +1,90 @@
+"""Rule null-parity: NULL singletons mirror their real counterparts.
+
+Disabled-telemetry code paths hold a shared no-op singleton wherever
+enabled code holds a live object, so call sites never branch on an
+``enabled`` flag.  That only works if every public method and
+attribute of the real class also exists on its null twin — a method
+added to :class:`EngineTelemetry` but not ``_NullTelemetry`` is an
+``AttributeError`` that only fires with telemetry off, the least
+tested configuration.
+
+Public surface = non-underscore methods and properties, class-level
+assignments, ``self.x`` assignments in ``__init__``, plus the
+container dunders (``__len__`` et al.) the real class defines.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.contracts.findings import Finding
+from repro.contracts.loader import find_class
+
+RULE = "null-parity"
+
+_CONTAINER_DUNDERS = {"__len__", "__iter__", "__getitem__", "__contains__"}
+
+
+def _public_surface(cls: ast.ClassDef) -> Set[str]:
+    names: Set[str] = set()
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not stmt.name.startswith("_") or stmt.name in _CONTAINER_DUNDERS:
+                names.add(stmt.name)
+            if stmt.name == "__init__":
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Assign):
+                        targets = node.targets
+                    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                        targets = [node.target]
+                    else:
+                        continue
+                    for target in targets:
+                        for sub in ast.walk(target):
+                            if (
+                                isinstance(sub, ast.Attribute)
+                                and isinstance(sub.value, ast.Name)
+                                and sub.value.id == "self"
+                                and not sub.attr.startswith("_")
+                            ):
+                                names.add(sub.attr)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                    names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign):
+            target = stmt.target
+            if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                names.add(target.id)
+    return names
+
+
+def check(ctx) -> List[Finding]:
+    out: List[Finding] = []
+    for relpath, real_name, null_name in ctx.manifest.null_parity_pairs:
+        tree = ctx.cache.tree(relpath)
+        real = find_class(tree, real_name)
+        null = find_class(tree, null_name)
+        if real is None or null is None:
+            missing = real_name if real is None else null_name
+            out.append(Finding(
+                rule=RULE, path=relpath, line=0,
+                scope=f"{real_name}->{null_name}", detail="missing-class",
+                message=f"null-parity manifest entry not found: {missing}",
+                hint=("update NULL_PARITY_PAIRS in "
+                      "src/repro/contracts/manifest.py"),
+            ))
+            continue
+        gap = _public_surface(real) - _public_surface(null)
+        for name in sorted(gap):
+            out.append(Finding(
+                rule=RULE, path=relpath, line=null.lineno,
+                scope=f"{real_name}->{null_name}", detail=f"missing-{name}",
+                message=(f"{null_name} lacks {name!r}, which is public on "
+                         f"{real_name} — the disabled path would raise "
+                         "AttributeError"),
+                hint=(f"add a no-op {name} to {null_name} returning an "
+                      "empty-but-well-formed value"),
+            ))
+    return out

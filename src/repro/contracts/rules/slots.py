@@ -1,0 +1,94 @@
+"""Rule slots-coverage: per-tick classes must declare ``__slots__``.
+
+Instances created every tick (snapshots, contexts, trace/metric
+primitives, core runtimes) must not carry a ``__dict__``: the dict is
+both the dominant per-instance allocation and an invitation for ad-hoc
+attributes the span fast path cannot see.  A class passes if it
+assigns ``__slots__`` in its body or is decorated
+``@dataclass(slots=True)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Tuple
+
+from repro.contracts.findings import Finding
+from repro.contracts.loader import find_class
+
+RULE = "slots-coverage"
+
+_HINT = (
+    "add __slots__ (or slots=True to the dataclass decorator); if the "
+    "class genuinely needs a __dict__, remove it from the "
+    "slots-coverage manifest with a comment saying why"
+)
+
+
+def _declares_slots(cls: ast.ClassDef) -> bool:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        elif isinstance(stmt, ast.AnnAssign):
+            target = stmt.target
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    for dec in cls.decorator_list:
+        if not isinstance(dec, ast.Call):
+            continue
+        func = dec.func
+        name = (
+            func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute)
+            else ""
+        )
+        if name == "dataclass":
+            for kw in dec.keywords:
+                if (
+                    kw.arg == "slots"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                ):
+                    return True
+    return False
+
+
+def check(ctx) -> List[Finding]:
+    m = ctx.manifest
+    out: List[Finding] = []
+    targets: List[Tuple[str, ast.ClassDef]] = []
+    for relpath in m.slots_modules:
+        tree = ctx.cache.tree(relpath)
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                targets.append((relpath, node))
+    for relpath, clsname in m.slots_classes:
+        cls = find_class(ctx.cache.tree(relpath), clsname)
+        if cls is None:
+            out.append(Finding(
+                rule=RULE, path=relpath, line=0, scope=clsname,
+                detail="missing-class",
+                message=f"slots manifest entry not found: {clsname}",
+                hint=("update SLOTS_CLASSES in "
+                      "src/repro/contracts/manifest.py if the class moved "
+                      "or was renamed"),
+            ))
+            continue
+        targets.append((relpath, cls))
+    seen = set()
+    for relpath, cls in targets:
+        key = (relpath, cls.name)
+        if key in seen:
+            continue
+        seen.add(key)
+        if not _declares_slots(cls):
+            out.append(Finding(
+                rule=RULE, path=relpath, line=cls.lineno, scope=cls.name,
+                detail="missing-slots",
+                message=(f"per-tick class {cls.name} does not declare "
+                         "__slots__"),
+                hint=_HINT,
+            ))
+    return out

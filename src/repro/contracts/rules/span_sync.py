@@ -1,0 +1,81 @@
+"""Rule span-close-on-mutation: span-visible state changes close spans.
+
+The span fast path compiles per-core execution over a stretch of ticks
+on the assumption that the core row (gating, sleep state, V/f level,
+speed, stalls) holds still.  Any engine method that assigns one of
+those attributes on a core object must therefore close/invalidate the
+open span in the same function — by calling ``_invalidate_event`` (or
+one of the sanctioned sync helpers, which do so internally) or by
+setting ``self._span_dirty`` directly.  The sync helpers themselves
+and pre-run setup are exempt via the manifest.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.contracts.findings import Finding
+from repro.contracts.loader import iter_functions
+
+RULE = "span-close-on-mutation"
+
+_HINT = (
+    "call self._invalidate_event(core, now) (or route the mutation "
+    "through _touch_core/_sync_queue_state/_sync_vf_row) so "
+    "_span_dirty is set before the next span query; if this is "
+    "pre-run setup, add the scope to SPAN_EXEMPT_SCOPES in "
+    "src/repro/contracts/manifest.py"
+)
+
+
+def check(ctx) -> List[Finding]:
+    m = ctx.manifest
+    relpath = m.span_engine_module
+    out: List[Finding] = []
+    for qual, func in iter_functions(ctx.cache.tree(relpath)):
+        if qual in m.span_exempt_scopes:
+            continue
+        if any(qual.startswith(p) for p in m.span_exempt_prefixes):
+            continue
+        mutations = []  # (lineno, attr)
+        closes = False
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            else:
+                targets = []
+            for target in targets:
+                for sub in ast.walk(target):
+                    if not isinstance(sub, ast.Attribute):
+                        continue
+                    base_is_self = (
+                        isinstance(sub.value, ast.Name)
+                        and sub.value.id == "self"
+                    )
+                    if base_is_self and sub.attr == "_span_dirty":
+                        closes = True
+                    elif (
+                        not base_is_self
+                        and sub.attr in m.span_visible_attrs
+                    ):
+                        mutations.append((node.lineno, sub.attr))
+            if isinstance(node, ast.Call):
+                callee = node.func
+                if (
+                    isinstance(callee, ast.Attribute)
+                    and callee.attr in m.span_dirty_calls
+                ):
+                    closes = True
+        if mutations and not closes:
+            for lineno, attr in mutations:
+                out.append(Finding(
+                    rule=RULE, path=relpath, line=lineno, scope=qual,
+                    detail=f"unsynced-{attr}",
+                    message=(f"{qual} mutates span-visible core state "
+                             f".{attr} without closing the open span"),
+                    hint=_HINT,
+                ))
+    return out

@@ -117,7 +117,7 @@ def state_from_code(code) -> CoreState:
     return CODE_STATE[int(code)]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TickArrays:
     """Structure-of-arrays twin of the per-core tick snapshots.
 
@@ -167,7 +167,7 @@ class SnapshotArrayMapping(Mapping):
         return len(self._index)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CoreSnapshot:
     """One core's observable state at a tick boundary.
 
@@ -192,7 +192,7 @@ class CoreSnapshot:
     queue_length: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TickContext:
     """Everything a policy sees at a sampling tick.
 
@@ -228,7 +228,7 @@ class TickContext:
         return sorted(self.cores, key=lambda c: self.cores[c].temperature_k)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AllocationContext:
     """What a policy sees when placing an arriving job.
 
@@ -271,7 +271,7 @@ class AllocationContext:
     state_codes_list: Optional[List[int]] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Migration:
     """One job move between dispatch queues.
 
@@ -292,7 +292,7 @@ class Migration:
     swap: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class PolicyActions:
     """Control decisions applied at a tick boundary.
 

@@ -15,6 +15,7 @@ from repro.obs.metrics import (
     NULL_COUNTER,
     NULL_GAUGE,
     NULL_HISTOGRAM,
+    NULL_REGISTRY,
 )
 from repro.obs.profiler import (
     NULL_PROFILER,
@@ -38,6 +39,7 @@ __all__ = [
     "NULL_COUNTER",
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
+    "NULL_REGISTRY",
     "NULL_PROFILER",
     "PHASES",
     "TickProfiler",

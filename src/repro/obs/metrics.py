@@ -32,6 +32,7 @@ __all__ = [
     "NULL_COUNTER",
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
+    "NULL_REGISTRY",
 ]
 
 
@@ -174,7 +175,12 @@ class _NullGauge:
 class _NullHistogram:
     __slots__ = ()
     name = "null"
+    bounds = ()
+    counts = ()
     count = 0
+    total = 0.0
+    min = 0.0
+    max = 0.0
 
     def observe(self, value: float) -> None:
         pass
@@ -187,9 +193,32 @@ class _NullHistogram:
                 "bounds": [], "counts": []}
 
 
+class _NullRegistry:
+    """Disabled registry: instruments resolve to the shared no-op
+    singletons, so call sites written against a live registry work
+    unchanged when telemetry is off."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> "_NullCounter":
+        return NULL_COUNTER
+
+    def gauge(self, name: str) -> "_NullGauge":
+        return NULL_GAUGE
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> "_NullHistogram":
+        return NULL_HISTOGRAM
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
 NULL_COUNTER = _NullCounter()
 NULL_GAUGE = _NullGauge()
 NULL_HISTOGRAM = _NullHistogram()
+NULL_REGISTRY = _NullRegistry()
 
 
 class MetricsRegistry:

@@ -132,6 +132,9 @@ class _NullProfiler:
     def tick_done(self, n: int = 1) -> None:
         pass
 
+    def merge(self, other) -> None:
+        pass
+
     def summary(self) -> Dict[str, object]:
         return {"ticks": 0, "total_s": 0.0, "ms_per_tick": 0.0, "phases": {}}
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.obs.profiler import NULL_PROFILER, TickProfiler
 from repro.obs.stats import JobStatsCollector
 from repro.obs.trace import (
@@ -48,7 +48,7 @@ __all__ = ["TelemetryConfig", "EngineTelemetry", "NULL_TELEMETRY"]
 LATENCY_BOUNDS_S = (0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 60.0)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TelemetryConfig:
     """What to record.  All fields are observational — no setting here
     may change scheduling, power, or thermal results."""
@@ -208,13 +208,29 @@ class EngineTelemetry:
 
 
 class _NullTelemetry:
-    """Disabled telemetry: every hook is an empty body."""
+    """Disabled telemetry: every hook is an empty body.
+
+    Mirrors the full public surface of :class:`EngineTelemetry` (the
+    static null-parity contract rule holds the two in lockstep):
+    instruments resolve to the shared no-op registry, ``stats`` is
+    ``None`` (callers gate on ``enabled`` before reading job stats),
+    and ``snapshot`` returns an empty-but-well-formed payload.
+    """
 
     __slots__ = ()
     enabled = False
     config = None
+    registry = NULL_REGISTRY
+    stats = None
     profiler = NULL_PROFILER
     trace = NULL_TRACE
+
+    def snapshot(
+        self,
+        core_names: Sequence[str] = (),
+        core_occupancy=None,
+    ) -> Dict[str, object]:
+        return {"registry": NULL_REGISTRY.snapshot(), "job_stats": {}}
 
     def job_arrival(self, t, job):
         pass

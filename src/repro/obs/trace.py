@@ -248,5 +248,23 @@ class _NullTrace:
                 "columns": ["time_s", "event", "core", "job", "value"],
                 "rows": []}
 
+    def to_chrome_trace(
+        self, core_names: Sequence[str] = ()
+    ) -> Dict[str, object]:
+        return {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+            "otherData": {"emitted": 0, "dropped": 0,
+                          "clock": "simulation-time"},
+        }
+
+    def write_chrome_trace(self, path, core_names: Sequence[str] = ()) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome_trace(core_names), fh)
+
+    def write_jsonl(self, path, core_names: Sequence[str] = ()) -> None:
+        with open(path, "w", encoding="utf-8"):
+            pass
+
 
 NULL_TRACE = _NullTrace()

@@ -1105,8 +1105,8 @@ class SimulationEngine:
         :meth:`_gather_utilization`). Fills and returns the persistent
         utilization buffer the span tick context views."""
         core_list = self._core_list
-        vals = []
-        append = vals.append
+        util_arr = self._util_buf
+        idx = 0
         for core in core_list:
             busy = core.busy_in_tick
             if core.jobs and not core.halted:
@@ -1118,9 +1118,8 @@ class SimulationEngine:
                     busy += t1 - start
             core.busy_anchor = t1
             core.busy_in_tick = 0.0
-            append(busy)
-        util_arr = self._util_buf
-        util_arr[:] = vals
+            util_arr[idx] = busy
+            idx += 1
         np.divide(util_arr, dt, out=util_arr)
         np.minimum(util_arr, 1.0, out=util_arr)
         return util_arr

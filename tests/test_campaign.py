@@ -18,6 +18,7 @@ from repro.campaign import (
     ResultStore,
     campaign_report,
     campaign_status,
+    prefix_key,
     run_key,
     spec_from_dict,
     spec_to_dict,
@@ -119,6 +120,50 @@ class TestRunKey:
     def test_unknown_spec_field_rejected(self):
         with pytest.raises(ConfigurationError):
             spec_from_dict({"exp_id": 1, "policy": "Default", "bogus": 1})
+
+
+class TestGoldenKey:
+    """Pin the key derivation to frozen digests.
+
+    Result stores index completed runs by ``run_key``; if the digest for a
+    fixed spec ever changes, every cached campaign silently misses and
+    re-runs.  These digests were frozen when KEY_VERSION reached 4 — a
+    mismatch means either an accidental serialization change (fix it) or a
+    deliberate one (bump KEY_VERSION in repro.campaign.spec, refresh the
+    contract golden via ``repro-dtm lint --update-golden``, then update the
+    digests here).
+    """
+
+    GOLDEN_SPEC_KWARGS = dict(
+        exp_id=4,
+        policy="Adapt3D&DVFS_TT",
+        duration_s=120.0,
+        with_dpm=True,
+        seed=2009,
+        grid=(8, 8),
+        benchmark_mix=(("gcc", 2), ("gzip", 2)),
+        policy_params=(("beta_inc", 0.02),),
+        thermal_solver="exponential",
+        sensor_noise_sigma=0.5,
+        workload_mix="server",
+        fidelity="span",
+    )
+    GOLDEN_RUN_KEY = "exp4-adapt3d_dvfs_tt-4a8144670bfe"
+    GOLDEN_PREFIX_KEY = "exp4-adapt3d_dvfs_tt-pfx-b8b4bd1cc3db"
+
+    def test_run_key_matches_frozen_digest(self):
+        assert run_key(RunSpec(**self.GOLDEN_SPEC_KWARGS)) == self.GOLDEN_RUN_KEY
+
+    def test_prefix_key_matches_frozen_digest(self):
+        spec = RunSpec(**self.GOLDEN_SPEC_KWARGS)
+        assert prefix_key(spec) == self.GOLDEN_PREFIX_KEY
+
+    def test_telemetry_does_not_feed_the_key(self):
+        """Observability toggles must never invalidate cached results."""
+        quiet = RunSpec(**self.GOLDEN_SPEC_KWARGS)
+        loud = replace(quiet, telemetry=True)
+        assert run_key(loud) == self.GOLDEN_RUN_KEY
+        assert prefix_key(loud) == self.GOLDEN_PREFIX_KEY
 
 
 class TestCampaignSpec:

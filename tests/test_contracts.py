@@ -1,0 +1,428 @@
+"""Contract-checker tests (repro.contracts).
+
+Two families:
+
+- fixture-snippet tests per rule: each rule must fire on a seeded
+  violation (true positive) and stay quiet on the sanctioned pattern
+  (true negative), exercised against throwaway module trees under
+  ``tmp_path`` via manifest overrides;
+- self-check: the shipped manifests run clean against the repo itself
+  (modulo the checked-in baseline), which is the same gate CI applies.
+"""
+
+import json
+import textwrap
+from dataclasses import replace
+
+import pytest
+
+from repro.contracts import (
+    ContractError,
+    Finding,
+    Manifest,
+    ModuleCache,
+    RuleContext,
+    default_root,
+    run_contracts,
+)
+from repro.contracts.baseline import (
+    load_baseline,
+    split_findings,
+    write_baseline,
+)
+from repro.contracts.findings import assign_indices
+from repro.contracts.rules import (
+    config_coverage,
+    hot_path,
+    key_neutrality,
+    null_parity,
+    slots,
+    span_sync,
+)
+
+
+def make_ctx(tmp_path, **manifest_overrides):
+    manifest = replace(Manifest(), **manifest_overrides)
+    return RuleContext(
+        root=tmp_path, cache=ModuleCache(tmp_path), manifest=manifest
+    )
+
+
+def write_module(tmp_path, relpath, source):
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return relpath
+
+
+class TestHotPathRule:
+    def test_fires_on_each_forbidden_construct(self, tmp_path):
+        rel = write_module(tmp_path, "mod.py", """\
+            class Engine:
+                def tick(self, items):
+                    pairs = {"k": 1}
+                    squares = [x * x for x in items]
+                    label = f"tick {len(items)}"
+                    fn = lambda x: x
+                    def helper():
+                        return 1
+                    self.call(**pairs)
+                    return squares, label, fn, helper
+            """)
+        ctx = make_ctx(
+            tmp_path,
+            hot_path_functions=((rel, "Engine.tick"),),
+            hot_path_method_sweeps=(),
+        )
+        details = {f.detail for f in hot_path.check(ctx)}
+        assert details == {
+            "dict-display", "list-comp", "f-string", "lambda", "closure",
+            "kwargs-splat",
+        }
+
+    def test_quiet_on_clean_function_and_raise_exemption(self, tmp_path):
+        rel = write_module(tmp_path, "mod.py", """\
+            class Engine:
+                def tick(self, items, buf):
+                    total = 0
+                    for i, item in enumerate(items):
+                        buf[i] = item
+                        total += item
+                    if total < 0:
+                        raise ValueError(f"bad total: {[total]}")
+                    return total
+            """)
+        ctx = make_ctx(
+            tmp_path,
+            hot_path_functions=((rel, "Engine.tick"),),
+            hot_path_method_sweeps=(),
+        )
+        assert hot_path.check(ctx) == []
+
+    def test_missing_manifest_entry_is_a_finding(self, tmp_path):
+        rel = write_module(tmp_path, "mod.py", "x = 1\n")
+        ctx = make_ctx(
+            tmp_path,
+            hot_path_functions=((rel, "Engine.gone"),),
+            hot_path_method_sweeps=(),
+        )
+        [finding] = hot_path.check(ctx)
+        assert finding.detail == "missing-function"
+
+    def test_method_sweep_covers_every_definition(self, tmp_path):
+        write_module(tmp_path, "pol/a.py", """\
+            class A:
+                def select_core(self, job, ctx):
+                    return [c for c in ctx][0]
+            """)
+        write_module(tmp_path, "pol/b.py", """\
+            class B:
+                def select_core(self, job, ctx):
+                    return ctx.best
+            """)
+        ctx = make_ctx(
+            tmp_path,
+            hot_path_functions=(),
+            hot_path_method_sweeps=(("pol", "select_core"),),
+        )
+        [finding] = hot_path.check(ctx)
+        assert finding.scope == "A.select_core"
+        assert finding.detail == "list-comp"
+
+
+class TestSlotsRule:
+    def test_fires_on_unslotted_class(self, tmp_path):
+        rel = write_module(tmp_path, "mod.py", """\
+            class NoSlots:
+                def __init__(self):
+                    self.x = 1
+            """)
+        ctx = make_ctx(tmp_path, slots_modules=(rel,), slots_classes=())
+        [finding] = slots.check(ctx)
+        assert finding.detail == "missing-slots"
+        assert finding.scope == "NoSlots"
+
+    def test_quiet_on_slots_and_dataclass_slots(self, tmp_path):
+        rel = write_module(tmp_path, "mod.py", """\
+            from dataclasses import dataclass
+
+            class Plain:
+                __slots__ = ("x",)
+
+            @dataclass(frozen=True, slots=True)
+            class Data:
+                x: int = 0
+            """)
+        ctx = make_ctx(
+            tmp_path,
+            slots_modules=(rel,),
+            slots_classes=((rel, "Plain"), (rel, "Data")),
+        )
+        assert slots.check(ctx) == []
+
+
+class TestSpanSyncRule:
+    ENGINE_DIRTY = """\
+        class Engine:
+            def _apply(self, core):
+                core.gated = True
+        """
+    ENGINE_CLEAN = """\
+        class Engine:
+            def _apply(self, core, now):
+                core.gated = True
+                self._invalidate_event(core, now)
+
+            def _other(self, core):
+                core.gated = False
+                self._span_dirty = True
+        """
+
+    def test_fires_on_unsynced_mutation(self, tmp_path):
+        rel = write_module(tmp_path, "engine.py", self.ENGINE_DIRTY)
+        ctx = make_ctx(tmp_path, span_engine_module=rel,
+                       span_exempt_scopes=frozenset())
+        [finding] = span_sync.check(ctx)
+        assert finding.detail == "unsynced-gated"
+        assert finding.scope == "Engine._apply"
+
+    def test_quiet_when_span_is_closed(self, tmp_path):
+        rel = write_module(tmp_path, "engine.py", self.ENGINE_CLEAN)
+        ctx = make_ctx(tmp_path, span_engine_module=rel,
+                       span_exempt_scopes=frozenset())
+        assert span_sync.check(ctx) == []
+
+    def test_exempt_scope_is_skipped(self, tmp_path):
+        rel = write_module(tmp_path, "engine.py", self.ENGINE_DIRTY)
+        ctx = make_ctx(
+            tmp_path, span_engine_module=rel,
+            span_exempt_scopes=frozenset({"Engine._apply"}),
+        )
+        assert span_sync.check(ctx) == []
+
+
+KEY_RUNNER = """\
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class RunSpec:
+        exp_id: int = 1
+        policy: str = "Default"
+        telemetry: bool = False
+    """
+KEY_SPEC = """\
+    KEY_VERSION = 2
+
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class CampaignSpec:
+        name: str = "c"
+        policies: tuple = ()
+
+    def spec_to_dict(spec):
+        data = dict(spec.__dict__)
+        data.pop("telemetry", None)
+        return data
+    """
+
+
+class TestKeyNeutralityRule:
+    def setup_fixture(self, tmp_path):
+        runner = write_module(tmp_path, "runner.py", KEY_RUNNER)
+        spec = write_module(tmp_path, "spec.py", KEY_SPEC)
+        return dict(
+            key_runspec_module=runner,
+            key_spec_module=spec,
+            key_golden_path="golden.json",
+        )
+
+    def write_golden(self, tmp_path, **overrides):
+        golden = {
+            "key_version": 2,
+            "runspec_fields": ["exp_id", "policy", "telemetry"],
+            "dropped_fields": ["telemetry"],
+            "serialized_fields": ["exp_id", "policy"],
+            "campaign_axes": ["name", "policies"],
+        }
+        golden.update(overrides)
+        (tmp_path / "golden.json").write_text(json.dumps(golden))
+
+    def test_quiet_when_golden_matches(self, tmp_path):
+        overrides = self.setup_fixture(tmp_path)
+        self.write_golden(tmp_path)
+        assert key_neutrality.check(make_ctx(tmp_path, **overrides)) == []
+
+    def test_fires_on_field_drift_without_bump(self, tmp_path):
+        overrides = self.setup_fixture(tmp_path)
+        self.write_golden(tmp_path, serialized_fields=["exp_id"])
+        [finding] = key_neutrality.check(make_ctx(tmp_path, **overrides))
+        assert finding.detail == "fields-drift"
+        assert "policy" in finding.message
+
+    def test_fires_on_version_mismatch(self, tmp_path):
+        overrides = self.setup_fixture(tmp_path)
+        self.write_golden(tmp_path, key_version=1,
+                          serialized_fields=["exp_id"])
+        [finding] = key_neutrality.check(make_ctx(tmp_path, **overrides))
+        assert finding.detail == "stale-golden"
+
+    def test_missing_golden_is_a_finding(self, tmp_path):
+        overrides = self.setup_fixture(tmp_path)
+        [finding] = key_neutrality.check(make_ctx(tmp_path, **overrides))
+        assert finding.detail == "missing-golden"
+
+    def test_update_golden_writes_and_check_passes(self, tmp_path):
+        overrides = self.setup_fixture(tmp_path)
+        ctx = make_ctx(tmp_path, **overrides)
+        key_neutrality.update_golden(ctx)
+        assert key_neutrality.check(ctx) == []
+        golden = json.loads((tmp_path / "golden.json").read_text())
+        assert golden["serialized_fields"] == ["exp_id", "policy"]
+
+    def test_update_golden_refuses_unversioned_drift(self, tmp_path):
+        overrides = self.setup_fixture(tmp_path)
+        self.write_golden(tmp_path, serialized_fields=["exp_id"])
+        with pytest.raises(ContractError):
+            key_neutrality.update_golden(make_ctx(tmp_path, **overrides))
+
+
+class TestNullParityRule:
+    def test_fires_on_missing_member(self, tmp_path):
+        rel = write_module(tmp_path, "mod.py", """\
+            class Real:
+                enabled = True
+
+                def __init__(self):
+                    self.registry = object()
+
+                def emit(self, value):
+                    pass
+
+                def __len__(self):
+                    return 0
+
+            class _NullReal:
+                enabled = False
+
+                def emit(self, value):
+                    pass
+            """)
+        ctx = make_ctx(
+            tmp_path, null_parity_pairs=((rel, "Real", "_NullReal"),)
+        )
+        details = {f.detail for f in null_parity.check(ctx)}
+        assert details == {"missing-registry", "missing-__len__"}
+
+    def test_quiet_on_full_parity(self, tmp_path):
+        rel = write_module(tmp_path, "mod.py", """\
+            class Real:
+                def __init__(self):
+                    self.registry = object()
+
+                def emit(self, value):
+                    pass
+
+            class _NullReal:
+                registry = None
+
+                def emit(self, value):
+                    pass
+            """)
+        ctx = make_ctx(
+            tmp_path, null_parity_pairs=((rel, "Real", "_NullReal"),)
+        )
+        assert null_parity.check(ctx) == []
+
+
+class TestConfigCoverageRule:
+    CONFIG = """\
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Config:
+            covered: float = 1.0
+            aliased: bool = False
+            uncovered: int = 3
+        """
+
+    def test_fires_on_uncovered_knob_and_honours_aliases(self, tmp_path):
+        cfg = write_module(tmp_path, "config.py", self.CONFIG)
+        tests = write_module(tmp_path, "test_diff.py", """\
+            def test_one():
+                run(covered=2.0, with_alias=True)
+            """)
+        ctx = make_ctx(
+            tmp_path,
+            config_sources=((cfg, "Config"),),
+            coverage_test_files=(tests,),
+            coverage_aliases=(("aliased", ("with_alias",)),),
+        )
+        [finding] = config_coverage.check(ctx)
+        assert finding.detail == "knob-uncovered"
+        assert finding.scope == "Config.uncovered"
+
+    def test_quiet_when_all_knobs_covered(self, tmp_path):
+        cfg = write_module(tmp_path, "config.py", self.CONFIG)
+        tests = write_module(tmp_path, "test_diff.py", """\
+            def test_one():
+                run(covered=2.0, aliased=True, uncovered=5)
+            """)
+        ctx = make_ctx(
+            tmp_path,
+            config_sources=((cfg, "Config"),),
+            coverage_test_files=(tests,),
+            coverage_aliases=(),
+        )
+        assert config_coverage.check(ctx) == []
+
+
+class TestFindingsAndBaseline:
+    def test_fingerprint_ignores_line_numbers(self):
+        a = Finding(rule="r", path="p.py", line=10, scope="S.f",
+                    detail="d", message="m")
+        b = Finding(rule="r", path="p.py", line=99, scope="S.f",
+                    detail="d", message="m")
+        assert a.fingerprint == b.fingerprint
+
+    def test_assign_indices_disambiguates_duplicates(self):
+        f = Finding(rule="r", path="p.py", line=1, scope="S.f",
+                    detail="d", message="m")
+        indexed = assign_indices([f, f, f])
+        assert [x.fingerprint for x in indexed] == [
+            "r::p.py::S.f::d::0", "r::p.py::S.f::d::1", "r::p.py::S.f::d::2",
+        ]
+
+    def test_baseline_round_trip_preserves_notes(self, tmp_path):
+        f = Finding(rule="r", path="p.py", line=1, scope="S.f",
+                    detail="d", message="m")
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [f], {f.fingerprint: "measured faster"})
+        baseline = load_baseline(path)
+        assert baseline == {f.fingerprint: "measured faster"}
+        new, old = split_findings([f], baseline)
+        assert new == [] and old == [f]
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ContractError):
+            run_contracts(rules=["no-such-rule"])
+
+
+class TestRepoSelfCheck:
+    """The shipped manifests against the repo itself: the CI gate."""
+
+    def test_repo_is_clean_modulo_baseline(self):
+        root = default_root()
+        findings = run_contracts(root=root)
+        baseline = load_baseline(root / Manifest().baseline_path)
+        new, baselined = split_findings(findings, baseline)
+        assert new == [], "\n" + "\n".join(f.render() for f in new)
+        # every baseline entry must still correspond to a live finding
+        live = {f.fingerprint for f in baselined}
+        stale = set(baseline) - live
+        assert not stale, f"stale baseline entries: {sorted(stale)}"
+
+    def test_cli_lint_exits_zero(self, capsys):
+        from repro.cli import main
+        assert main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out

@@ -37,15 +37,17 @@ RESULT_ARRAYS = (
 )
 
 
-def run_with_loop(spec: RunSpec, event_loop: str):
+def run_with_loop(spec: RunSpec, event_loop: str, **config_overrides):
     engine = RUNNER.build_engine(spec)
-    engine.config = replace(engine.config, event_loop=event_loop)
+    engine.config = replace(
+        engine.config, event_loop=event_loop, **config_overrides
+    )
     return engine.run()
 
 
-def assert_bit_identical(spec: RunSpec):
-    heap = run_with_loop(spec, "event_heap")
-    scan = run_with_loop(spec, "legacy_scan")
+def assert_bit_identical(spec: RunSpec, **config_overrides):
+    heap = run_with_loop(spec, "event_heap", **config_overrides)
+    scan = run_with_loop(spec, "legacy_scan", **config_overrides)
     for name in RESULT_ARRAYS:
         np.testing.assert_array_equal(
             getattr(heap, name), getattr(scan, name), err_msg=name
@@ -76,6 +78,22 @@ class TestDifferentialFast:
                 exp_id=1, policy="Migr", duration_s=6.0, with_dpm=True,
                 seed=7,
             )
+        )
+
+    def test_heap_matches_scan_nondefault_knobs(self):
+        """Differential coverage of the knobs the default specs leave
+        untouched (the config-coverage contract: every EngineConfig /
+        RunSpec field must meet at least one differential harness)."""
+        assert_bit_identical(
+            RunSpec(
+                exp_id=1, policy="Adapt3D", duration_s=6.0, seed=5,
+                grid=(6, 6),
+                policy_params=(("history_window", 5),),
+            ),
+            sampling_interval_s=0.05,
+            migration_cost_s=0.002,
+            sensor_quantization=0.5,
+            warmup_utilization=0.6,
         )
 
     @pytest.mark.parametrize(

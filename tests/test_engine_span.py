@@ -117,6 +117,17 @@ class TestSpanDifferentialFast:
             run_fidelity(spec, "eager"), run_fidelity(spec, "span")
         )
 
+    def test_span_matches_eager_tight_settle_gate(self):
+        """span_settle_k=0.0 can never pass the settledness gate, so no
+        stretch fast-forwards: lazy span execution alone must hold the
+        tolerance contract (config-coverage of the settle knob)."""
+        spec = RunSpec(exp_id=1, policy="Adapt3D", duration_s=6.0, seed=3,
+                       benchmark_mix=QUIET_MIX)
+        assert_span_close(
+            run_fidelity(spec, "eager"),
+            run_fidelity(spec, "span", span_settle_k=0.0),
+        )
+
     def test_span_matches_eager_with_sensor_noise(self):
         """Noisy sensors draw per tick in both modes, so the RNG streams
         stay aligned and decisions agree."""

@@ -20,7 +20,10 @@ from repro.obs import (
     JobStatsCollector,
     MetricsRegistry,
     NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
     NULL_PROFILER,
+    NULL_REGISTRY,
     NULL_TELEMETRY,
     NULL_TRACE,
     PHASES,
@@ -356,3 +359,95 @@ class TestTelemetryFacade:
         NULL_TELEMETRY.fast_forward(1.0, 5)
         assert not NULL_TELEMETRY.enabled
         assert NULL_TELEMETRY.profiler is NULL_PROFILER
+
+
+class TestNullParity:
+    """Runtime complement to the static null-parity contract rule
+    (`repro-dtm lint`): every public method/attribute on the NULL_*
+    singletons must exist, be callable, and stay inert."""
+
+    def test_every_public_member_exists_on_the_null_twin(self):
+        pairs = [
+            (Counter("x"), NULL_COUNTER),
+            (Gauge("x"), NULL_GAUGE),
+            (Histogram("x", (1.0,)), NULL_HISTOGRAM),
+            (MetricsRegistry(), NULL_REGISTRY),
+            (TickProfiler(), NULL_PROFILER),
+            (TraceRecorder(4), NULL_TRACE),
+            (EngineTelemetry(), NULL_TELEMETRY),
+        ]
+        for real, null in pairs:
+            public = [
+                name for name in dir(real)
+                if not name.startswith("_") or name == "__len__"
+            ]
+            missing = [n for n in public if not hasattr(null, n)]
+            assert not missing, (
+                f"{type(null).__name__} lacks {missing} from "
+                f"{type(real).__name__}"
+            )
+
+    def test_null_telemetry_full_hook_surface(self):
+        t = NULL_TELEMETRY
+        job = make_job()
+        t.job_arrival(0.0, job)
+        t.job_dispatch(0.0, job, 0)
+        t.job_start(0.0, job, 0)
+        t.job_complete(1.0, job, 0)
+        t.migration(1.0, job, 0, 1, True)
+        t.dpm_sleep(1.0, 0)
+        t.dpm_wake(2.0, 0)
+        t.vf_change(2.0, 0, 1)
+        t.gate_change(2.0, 0, True)
+        t.span_close(2.0, 0)
+        t.fast_forward(2.0, 3)
+        snap = t.snapshot(("c0",))
+        assert snap["registry"] == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        assert snap["job_stats"] == {}
+        assert t.stats is None and t.config is None
+        assert t.trace is NULL_TRACE and t.profiler is NULL_PROFILER
+
+    def test_null_registry_hands_back_inert_instruments(self):
+        counter = NULL_REGISTRY.counter("jobs")
+        counter.inc(7)
+        assert counter is NULL_COUNTER and counter.snapshot() == 0
+        gauge = NULL_REGISTRY.gauge("temp")
+        gauge.set(2.5)
+        assert gauge is NULL_GAUGE and gauge.snapshot() == 0.0
+        hist = NULL_REGISTRY.histogram("lat")  # no bounds required
+        hist.observe(1.0)
+        assert hist is NULL_HISTOGRAM
+        assert hist.percentile(99.0) == 0.0
+        assert hist.snapshot()["count"] == 0
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_null_trace_exports_are_empty_but_well_formed(self, tmp_path):
+        NULL_TRACE.emit(0.0, EV_ARRIVAL, 0, 1, 1.0)
+        assert len(NULL_TRACE) == 0
+        assert NULL_TRACE.events() == []
+        assert NULL_TRACE.dropped == 0
+        assert NULL_TRACE.to_chrome_trace(("c0",))["traceEvents"] == []
+        chrome_path = tmp_path / "trace.json"
+        NULL_TRACE.write_chrome_trace(chrome_path, ("c0",))
+        assert json.loads(chrome_path.read_text())["traceEvents"] == []
+        jsonl_path = tmp_path / "trace.jsonl"
+        NULL_TRACE.write_jsonl(jsonl_path)
+        assert jsonl_path.read_text() == ""
+
+    def test_null_profiler_merge_is_inert(self):
+        real = TickProfiler()
+        real.add(PH_POLICY, 1.0)
+        real.tick_done()
+        NULL_PROFILER.begin()
+        NULL_PROFILER.lap(PH_POLICY)
+        NULL_PROFILER.add(PH_POLICY, 5.0)
+        NULL_PROFILER.tick_done()
+        NULL_PROFILER.merge(real)
+        assert NULL_PROFILER.ticks == 0
+        assert NULL_PROFILER.summary() == {
+            "ticks": 0, "total_s": 0.0, "ms_per_tick": 0.0, "phases": {},
+        }
