@@ -26,6 +26,8 @@ from repro.campaign.executor import (
     RunOutcome,
     worker_runner,
 )
+from repro.campaign.faults import FaultPlan, FaultSpec
+from repro.campaign.resilience import ResiliencePolicy, RetryPolicy
 from repro.campaign.reports import (
     campaign_report,
     campaign_status,
@@ -46,7 +48,11 @@ __all__ = [
     "CampaignExecutor",
     "CampaignRun",
     "CampaignSpec",
+    "FaultPlan",
+    "FaultSpec",
+    "ResiliencePolicy",
     "ResultStore",
+    "RetryPolicy",
     "RunOutcome",
     "campaign_report",
     "campaign_status",

@@ -11,10 +11,21 @@ into completed entries in a :class:`ResultStore`:
   process for the whole campaign (thermal assemblies, factorizations,
   and power models amortize across every run the worker executes;
   :func:`worker_runner` exposes the same runner to ``map`` payloads),
-- a run that raises is recorded as an ``error`` entry and the campaign
-  continues; a hard worker crash (e.g. OOM kill) is attributed to the
-  first run observed failing, the pool is rebuilt, and the remaining
-  runs are retried.
+- every pool unit runs under a wall-clock **watchdog**; a hung worker
+  is killed, innocents are requeued uncharged, and the culprit is
+  retried with exponential backoff (see
+  :class:`~repro.campaign.resilience.ResiliencePolicy`),
+- transient failures (worker crash, watchdog timeout) are retried up
+  to the policy's attempt budget; an ordinary exception with the same
+  signature on two consecutive attempts is classified deterministic
+  and the key is **quarantined** in the store so later campaigns skip
+  it until ``unquarantine``,
+- with a checkpoint cadence armed, workers persist engine checkpoints
+  under the store's ``checkpoints/`` sidecar dir and a retried run
+  resumes mid-simulation, bit-identical to an uninterrupted run,
+- with a lease TTL armed, the driver claims each pending key before
+  running it, so several drivers can chew one store without
+  duplicating work.
 
 Results always travel driver-ward over the executor pipe; only the
 driver process writes the store.
@@ -23,29 +34,40 @@ driver process writes the store.
 from __future__ import annotations
 
 import os
+import time
 import traceback
-from concurrent.futures import as_completed, ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import (
     Any,
     Callable,
+    Deque,
     Dict,
     Iterable,
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
 from repro.analysis.runner import ExperimentRunner, RunSpec
+from repro.campaign.faults import maybe_crash_or_hang, reset_fault_cache
+from repro.campaign.resilience import (
+    failure_signature,
+    ResiliencePolicy,
+)
 from repro.campaign.spec import CampaignSpec, run_key
 from repro.campaign.store import ResultStore
 from repro.errors import ConfigurationError
+from repro.obs.resilience import ResilienceStats
 from repro.sched.engine import SimulationResult
 
-#: ``progress(event, key, detail)`` with event in
-#: {"cached", "prefix", "start", "ok", "error"}.
+#: ``progress(event, key, detail)`` with event in {"cached", "prefix",
+#: "quarantined", "leased", "start", "retry", "ok", "error"}.
 ProgressCallback = Callable[[str, str, str], None]
 
 BACKENDS = ("serial", "parallel", "batched")
@@ -56,15 +78,23 @@ DEFAULT_BATCH_SIZE = 16
 # Per-worker state, created once by the pool initializer and reused for
 # every run the worker executes.
 _WORKER_RUNNER: Optional[ExperimentRunner] = None
+#: ``(checkpoint_dir, every_ticks)`` when the driver armed mid-run
+#: engine checkpointing, else None.
+_WORKER_CHECKPOINT: Optional[Tuple[str, int]] = None
 
 
 def _init_worker(
     seeded_indices: Dict[Tuple[int, Tuple[int, int]], Dict[str, float]],
+    checkpoint: Optional[Tuple[str, int]] = None,
 ) -> None:
-    global _WORKER_RUNNER
+    global _WORKER_RUNNER, _WORKER_CHECKPOINT
     _WORKER_RUNNER = ExperimentRunner()
     for (exp_id, grid), indices in seeded_indices.items():
         _WORKER_RUNNER.seed_thermal_indices(exp_id, grid, indices)
+    _WORKER_CHECKPOINT = checkpoint
+    # Fault plans are env-driven and fire-once markers live on disk;
+    # drop any injector state inherited from a forked parent.
+    reset_fault_cache()
 
 
 def worker_runner() -> ExperimentRunner:
@@ -89,16 +119,31 @@ def _run_in_worker(payload: Tuple[str, RunSpec]) -> Tuple[str, SimulationResult]
         # A plain raise (not assert): `python -O` strips asserts, which
         # would turn an initializer failure into a bare AttributeError.
         raise RuntimeError("worker initializer did not run")
+    maybe_crash_or_hang("worker_run", key)
+    if _WORKER_CHECKPOINT is not None:
+        ckpt_dir, every = _WORKER_CHECKPOINT
+        return key, _WORKER_RUNNER.run(
+            spec,
+            checkpoint_path=Path(ckpt_dir) / f"{key}.ckpt",
+            checkpoint_every_ticks=every,
+        )
     return key, _WORKER_RUNNER.run(spec)
 
 
 def _run_batch_in_worker(
     payload: Tuple[str, Tuple[Tuple[str, RunSpec], ...]],
 ) -> List[Tuple[str, SimulationResult]]:
-    """Run one batch unit through the worker's fused batch engine."""
+    """Run one batch unit through the worker's fused batch engine.
+
+    Fused batches never checkpoint: the lanes share one engine, so a
+    partial batch cannot resume lane-by-lane. A retried batch (or its
+    isolated singletons) restarts from tick zero instead — the per-run
+    checkpoint path only arms on the singleton route.
+    """
     propagation, pairs = payload
     if _WORKER_RUNNER is None:
         raise RuntimeError("worker initializer did not run")
+    maybe_crash_or_hang("worker_run", pairs[0][0])
     results = _WORKER_RUNNER.run_batch(
         [spec for _, spec in pairs], propagation=propagation
     )
@@ -111,8 +156,20 @@ class RunOutcome:
 
     key: str
     spec: RunSpec
-    status: str  # "ok" | "error" | "cached" | "prefix"
+    status: str  # "ok" | "error" | "cached" | "prefix" | "quarantined" | "leased"
     error: Optional[str] = None
+
+
+@dataclass
+class _UnitState:
+    """Driver-side retry bookkeeping for one pool submission unit."""
+
+    unit: List[Tuple[str, RunSpec]]
+    attempts: int = 0
+    not_before: float = 0.0  # monotonic; backoff gate for resubmission
+    deadline: float = 0.0  # monotonic; watchdog expiry of the attempt
+    started: float = 0.0  # monotonic; submission time of the attempt
+    last_signature: Optional[str] = None  # previous attempt's failure
 
 
 @dataclass
@@ -181,6 +238,18 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
         profiler) for every run this executor computes. Observational:
         run keys ignore the flag, so telemetry-on campaigns still reuse
         plain cached results (those simply lack a telemetry sidecar).
+    resilience:
+        Watchdog/retry/checkpoint/lease policy (default:
+        :class:`ResiliencePolicy()` — retries and watchdog on, leasing
+        and checkpointing off). Leasing and checkpointing require a
+        store. The pool backends get the full treatment; the serial
+        backend honors checkpoint/resume and leases but runs each spec
+        exactly once (an in-process crash would take the driver down
+        with it, so retrying there buys nothing).
+
+    After each ``run_campaign``/``run_specs`` call, ``stats`` holds the
+    resilience counters of that execution (also merged into the store's
+    cumulative ``resilience.json`` when a store is attached).
     """
 
     def __init__(
@@ -194,6 +263,7 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
         propagation: str = "exact",
         prefix_cache: bool = True,
         telemetry: bool = False,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ConfigurationError(
@@ -208,6 +278,19 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
                 f"unknown propagation mode {propagation!r}; "
                 "known: ['exact', 'gemm']"
             )
+        resilience = (
+            resilience if resilience is not None else ResiliencePolicy()
+        )
+        if store is None and resilience.checkpoint_every_ticks > 0:
+            raise ConfigurationError(
+                "engine checkpointing requires a result store "
+                "(checkpoints live under the store's checkpoints/ dir)"
+            )
+        if store is None and resilience.lease_ttl_s > 0:
+            raise ConfigurationError(
+                "work leasing requires a result store "
+                "(leases live under the store's leases/ dir)"
+            )
         self.store = store
         self.backend = backend
         self.max_workers = max_workers or (os.cpu_count() or 1)
@@ -217,6 +300,9 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
         self.propagation = propagation
         self.prefix_cache = prefix_cache
         self.telemetry = telemetry
+        self.resilience = resilience
+        self.stats = ResilienceStats()
+        self._leased: Set[str] = set()
 
     # ------------------------------------------------------------------
     # public API
@@ -282,6 +368,12 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
     ) -> Tuple[List[RunOutcome], Dict[str, SimulationResult]]:
         outcome_by_key: Dict[str, RunOutcome] = {}
         results: Dict[str, SimulationResult] = {}
+        self.stats = ResilienceStats()
+        self._leased = set()
+        quarantined = (
+            self.store.quarantined() if self.store is not None else {}
+        )
+        leasing = self.store is not None and self.resilience.lease_ttl_s > 0
 
         pending: List[Tuple[str, RunSpec]] = []
         for spec in specs:
@@ -301,22 +393,52 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
                 # the exact key, so loads below behave like a cache hit.
                 outcome_by_key[key] = RunOutcome(key, spec, "prefix")
                 self._emit("prefix", key)
+            elif key in quarantined:
+                # Deterministic failure in an earlier campaign; skipped
+                # until the key is explicitly unquarantined.
+                message = str(quarantined[key].get("error", ""))
+                outcome_by_key[key] = RunOutcome(
+                    key, spec, "quarantined", error=message
+                )
+                self._emit("quarantined", key, message)
             else:
                 if self.telemetry and not spec.telemetry:
                     # Key-neutral: run_key ignores the telemetry flag,
                     # so resume/caching behave exactly as without it.
                     spec = replace(spec, telemetry=True)
+                if leasing:
+                    if not self.store.acquire_lease(
+                        key, self.resilience.lease_ttl_s
+                    ):
+                        # Another driver is computing this key; it will
+                        # land in the shared store as "cached" for the
+                        # next campaign over it.
+                        holder = self.store.lease_holder(key) or ""
+                        self.stats.lease_skip()
+                        outcome_by_key[key] = RunOutcome(key, spec, "leased")
+                        self._emit("leased", key, holder)
+                        continue
+                    self._leased.add(key)
                 pending.append((key, spec))
 
-        if pending:
-            seeded = self._share_thermal_indices(pending)
-            if self.backend == "serial":
-                self._run_serial(pending, strict, outcome_by_key, results)
-            else:
-                units = self._make_units(pending)
-                self._run_pool(
-                    units, seeded, strict, outcome_by_key, results
-                )
+        try:
+            if pending:
+                seeded = self._share_thermal_indices(pending)
+                if self.backend == "serial":
+                    self._run_serial(pending, strict, outcome_by_key, results)
+                else:
+                    units = self._make_units(pending)
+                    self._run_pool(
+                        units, seeded, strict, outcome_by_key, results
+                    )
+        finally:
+            if self.store is not None:
+                for key in list(self._leased):
+                    self.store.release_lease(key)
+                self._leased.clear()
+                tally = self.stats.snapshot()
+                if any(tally.values()):
+                    self.store.record_resilience(tally)
 
         ordered = [
             outcome_by_key[run_key(spec)]
@@ -357,6 +479,20 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
             seeded[(exp_id, grid)] = indices
         return seeded
 
+    def _worker_checkpoint(self) -> Optional[Tuple[str, int]]:
+        """Initializer arg arming mid-run checkpoints, or None."""
+        if self.store is None or self.resilience.checkpoint_every_ticks <= 0:
+            return None
+        return (
+            str(self.store.root / "checkpoints"),
+            self.resilience.checkpoint_every_ticks,
+        )
+
+    def _release_lease(self, key: str) -> None:
+        if key in self._leased and self.store is not None:
+            self.store.release_lease(key)
+            self._leased.discard(key)
+
     def _record_ok(
         self,
         key: str,
@@ -367,8 +503,15 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
     ) -> None:
         if self.store is not None:
             self.store.save(spec, result)
+            if self.store.has_checkpoint(key):
+                # The run checkpointed mid-flight at least once. The
+                # counter is per run, not per blob: blobs are written
+                # in workers, out of the driver's sight.
+                self.stats.checkpoint()
+                self.store.discard_checkpoint(key)
         results[key] = result
         outcomes[key] = RunOutcome(key, spec, "ok")
+        self._release_lease(key)
         self._emit("ok", key)
 
     def _record_error(
@@ -378,10 +521,28 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
         message: str,
         outcomes: Dict[str, RunOutcome],
     ) -> None:
+        # A checkpoint of an errored run is kept on purpose: the next
+        # campaign's attempt resumes from it instead of starting over.
         if self.store is not None:
             self.store.record_failure(spec, message)
         outcomes[key] = RunOutcome(key, spec, "error", error=message)
+        self._release_lease(key)
         self._emit("error", key, message)
+
+    def _record_quarantined(
+        self,
+        key: str,
+        spec: RunSpec,
+        message: str,
+        outcomes: Dict[str, RunOutcome],
+    ) -> None:
+        if self.store is not None:
+            self.store.quarantine(spec, message)
+            self.store.record_failure(spec, message)
+            self.store.discard_checkpoint(key)
+        outcomes[key] = RunOutcome(key, spec, "quarantined", error=message)
+        self._release_lease(key)
+        self._emit("quarantined", key, message)
 
     def _run_serial(
         self,
@@ -390,10 +551,19 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
         outcomes: Dict[str, RunOutcome],
         results: Dict[str, SimulationResult],
     ) -> None:
+        checkpoint = self._worker_checkpoint()
         for key, spec in pending:
             self._emit("start", key)
             try:
-                result = self.runner.run(spec)
+                if checkpoint is not None:
+                    ckpt_dir, every = checkpoint
+                    result = self.runner.run(
+                        spec,
+                        checkpoint_path=Path(ckpt_dir) / f"{key}.ckpt",
+                        checkpoint_every_ticks=every,
+                    )
+                else:
+                    result = self.runner.run(spec)
             except Exception as exc:
                 self._record_error(key, spec, _format_error(exc), outcomes)
                 if strict:
@@ -439,68 +609,214 @@ batch_group_key`) into units of up to ``batch_size`` lanes that a
         outcomes: Dict[str, RunOutcome],
         results: Dict[str, SimulationResult],
     ) -> None:
-        """Drive submission units through a (re-spawned on crash) pool.
+        """Drive submission units through a watchdogged, retrying pool.
 
-        A unit is either one run or one fused batch. A batch whose
-        worker raised is retried as singletons so the failure isolates
-        to the offending spec instead of poisoning its batch mates.
+        A unit is either one run or one fused batch. Each submitted
+        attempt carries a wall-clock deadline; when it expires the pool
+        is killed (the only way to reap a hung worker), innocents are
+        requeued uncharged, and the culprit is retried with backoff. A
+        worker crash (``BrokenProcessPool``) is handled the same way,
+        blamed on the first unit observed failing. A batch whose worker
+        raised an ordinary exception is retried as singletons so the
+        failure isolates to the offending spec instead of poisoning its
+        batch mates; a singleton failing with the same signature on two
+        consecutive attempts is deterministic and gets quarantined.
+
+        In strict mode the queue still drains completely (matching the
+        store-everything semantics of ``run_specs``) and the first
+        terminal failure raises at the end.
         """
-        remaining = list(units)
-        while remaining:
-            workers = min(self.max_workers, len(remaining))
-            retry: List[List[Tuple[str, RunSpec]]] = []
-            first_error: Optional[Exception] = None
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(seeded,),
-            ) as pool:
-                futures = {}
-                for unit in remaining:
-                    for key, _ in unit:
-                        self._emit("start", key)
-                    if len(unit) == 1:
-                        future = pool.submit(_run_in_worker, unit[0])
-                    else:
-                        future = pool.submit(
-                            _run_batch_in_worker,
-                            (self.propagation, tuple(unit)),
-                        )
-                    futures[future] = unit
+        policy = self.resilience
+        retry = policy.retry
+        leasing = self.store is not None and policy.lease_ttl_s > 0
+        checkpoint = self._worker_checkpoint()
+        queue: Deque[_UnitState] = deque(
+            _UnitState(unit=unit) for unit in units
+        )
+        inflight: Dict[Any, _UnitState] = {}
+        pool: Optional[ProcessPoolExecutor] = None
+        first_error: Optional[Exception] = None
+
+        def submit(state: _UnitState) -> None:
+            state.attempts += 1
+            state.started = time.monotonic()
+            lanes = len(state.unit)
+            duration = max(spec.duration_s for _, spec in state.unit)
+            state.deadline = state.started + policy.unit_deadline_s(
+                duration, lanes
+            )
+            for key, _ in state.unit:
+                self._emit("start", key)
+            if lanes == 1:
+                future = pool.submit(_run_in_worker, state.unit[0])
+            else:
+                future = pool.submit(
+                    _run_batch_in_worker,
+                    (self.propagation, tuple(state.unit)),
+                )
+            inflight[future] = state
+
+        def kill_pool() -> None:
+            # Cooperative shutdown never reaps a worker stuck inside a
+            # run; kill the processes first, then drop the executor.
+            # `_processes` is a CPython implementation detail, hence
+            # the guard — without it this degrades to a plain
+            # shutdown, never a crash.
+            nonlocal pool
+            if pool is None:
+                return
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.kill()
+                except Exception:
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = None
+
+        def requeue_innocents() -> None:
+            # Bystanders of a pool kill get their attempt back: their
+            # eviction says nothing about their own run.
+            for state in inflight.values():
+                state.attempts -= 1
+                queue.append(state)
+            inflight.clear()
+
+        def fail_transient(
+            state: _UnitState, message: str, elapsed: float
+        ) -> None:
+            # Crash/timeout: environment trouble, not the run's fault.
+            # Retry with backoff while attempts remain.
+            nonlocal first_error
+            key0, spec0 = state.unit[0]
+            if state.attempts < retry.max_attempts:
+                self.stats.retry()
+                state.not_before = time.monotonic() + retry.backoff_s(
+                    key0, state.attempts
+                )
+                self._emit("retry", key0, message)
+                queue.append(state)
+                return
+            full = f"{message} (attempt {state.attempts}, {elapsed:.1f}s)"
+            if strict and first_error is None:
+                first_error = ConfigurationError(full)
+            # Best available attribution: blame the first lane only;
+            # its batch mates are retried as fresh singletons instead
+            # of inheriting an error entry they did nothing to earn.
+            self._record_error(key0, spec0, full, outcomes)
+            for pair in state.unit[1:]:
+                queue.append(_UnitState(unit=[pair]))
+
+        try:
+            while queue or inflight:
+                now = time.monotonic()
+                if pool is None:
+                    pool = ProcessPoolExecutor(
+                        max_workers=min(
+                            self.max_workers, max(len(queue), 1)
+                        ),
+                        initializer=_init_worker,
+                        initargs=(seeded, checkpoint),
+                    )
+                # Submit every ready unit up to the pool width; one
+                # bounded rotation, so backing-off units are revisited
+                # next wake instead of spinning here.
+                for _ in range(len(queue)):
+                    if len(inflight) >= self.max_workers:
+                        break
+                    state = queue.popleft()
+                    if state.not_before > now:
+                        queue.append(state)
+                        continue
+                    submit(state)
+                if not inflight:
+                    # Everything runnable is backing off.
+                    wake = min(state.not_before for state in queue)
+                    time.sleep(min(max(wake - time.monotonic(), 0.0), 1.0))
+                    continue
+                if leasing:
+                    for state in inflight.values():
+                        for key, _ in state.unit:
+                            if key in self._leased:
+                                self.store.renew_lease(
+                                    key, policy.lease_ttl_s
+                                )
+                timeout = min(
+                    state.deadline for state in inflight.values()
+                ) - time.monotonic()
+                if leasing:
+                    # Wake often enough to renew leases well inside
+                    # their TTL even when deadlines are far away.
+                    timeout = min(timeout, policy.lease_ttl_s / 3.0)
+                done, _ = wait(
+                    set(inflight),
+                    timeout=max(timeout, 0.05),
+                    return_when=FIRST_COMPLETED,
+                )
                 crashed = False
-                for future in as_completed(futures):
-                    unit = futures[future]
+                for future in done:
+                    state = inflight.pop(future, None)
+                    if state is None:
+                        continue
+                    unit = state.unit
+                    elapsed = time.monotonic() - state.started
                     try:
                         payload = future.result()
                     except BrokenProcessPool as exc:
-                        # The pool died. Blame the first unit observed
-                        # failing (best available attribution), requeue
-                        # the rest on a fresh pool.
-                        if not crashed:
-                            crashed = True
-                            message = (
-                                "worker process crashed during this run: "
-                                f"{exc}"
-                            )
-                            if strict and first_error is None:
-                                first_error = ConfigurationError(message)
-                            for key, spec in unit:
-                                self._record_error(
-                                    key, spec, message, outcomes
-                                )
-                        else:
-                            retry.append(unit)
+                        if crashed:
+                            # Collateral of the crash already blamed
+                            # this wake; requeue uncharged.
+                            state.attempts -= 1
+                            queue.append(state)
+                            continue
+                        crashed = True
+                        self.stats.crash()
+                        fail_transient(
+                            state,
+                            "worker process crashed during this run: "
+                            f"{exc}",
+                            elapsed,
+                        )
                     except Exception as exc:
                         if len(unit) > 1:
                             # One lane poisoned the whole batch; retry
                             # its members individually to isolate it.
-                            retry.extend([pair] for pair in unit)
+                            for pair in unit:
+                                queue.append(_UnitState(unit=[pair]))
+                            continue
+                        key, spec = unit[0]
+                        signature = failure_signature(exc)
+                        if signature == state.last_signature:
+                            # Same failure on consecutive attempts:
+                            # deterministic. Quarantine the key so
+                            # later campaigns stop burning attempts.
+                            self.stats.quarantine()
+                            if strict and first_error is None:
+                                first_error = exc
+                            self._record_quarantined(
+                                key,
+                                spec,
+                                _format_error(exc, elapsed, state.attempts),
+                                outcomes,
+                            )
+                            continue
+                        state.last_signature = signature
+                        if state.attempts < retry.max_attempts:
+                            self.stats.retry()
+                            state.not_before = (
+                                time.monotonic()
+                                + retry.backoff_s(key, state.attempts)
+                            )
+                            self._emit("retry", key, signature)
+                            queue.append(state)
                         else:
-                            key, spec = unit[0]
                             if strict and first_error is None:
                                 first_error = exc
                             self._record_error(
-                                key, spec, _format_error(exc), outcomes
+                                key,
+                                spec,
+                                _format_error(exc, elapsed, state.attempts),
+                                outcomes,
                             )
                     else:
                         if len(unit) == 1:
@@ -510,12 +826,45 @@ batch_group_key`) into units of up to ``batch_size`` lanes that a
                             self._record_ok(
                                 key, pairs[key], result, outcomes, results
                             )
-            if strict and first_error is not None:
-                raise first_error
-            remaining = retry
+                if crashed:
+                    # The remaining inflight futures all ride the same
+                    # broken pool; requeue them onto a fresh one.
+                    requeue_innocents()
+                    kill_pool()
+                    continue
+                # Watchdog: expire overdue attempts. Killing the pool
+                # is the only way to reap a hung worker, so innocents
+                # requeue uncharged alongside the culprit's retry.
+                now = time.monotonic()
+                expired = [
+                    future for future, state in inflight.items()
+                    if state.deadline <= now and not future.done()
+                ]
+                if expired:
+                    for future in expired:
+                        state = inflight.pop(future)
+                        budget = state.deadline - state.started
+                        self.stats.timeout()
+                        fail_transient(
+                            state,
+                            "run exceeded its "
+                            f"{budget:.0f}s watchdog deadline",
+                            now - state.started,
+                        )
+                    requeue_innocents()
+                    kill_pool()
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        if strict and first_error is not None:
+            raise first_error
 
 
-def _format_error(exc: BaseException) -> str:
+def _format_error(
+    exc: BaseException,
+    elapsed_s: Optional[float] = None,
+    attempt: Optional[int] = None,
+) -> str:
     """One-line error class + message plus the root-cause frame.
 
     The location comes from the end of the exception's cause chain
@@ -527,6 +876,10 @@ def _format_error(exc: BaseException) -> str:
     ``concurrent.futures`` are skipped: exceptions from a worker
     re-raise through the pool machinery, and those frames say nothing
     about the failing run.
+
+    ``elapsed_s``/``attempt`` (when known) append the wall-clock the
+    failing attempt burned and its ordinal, so an error entry records
+    how much retrying it already absorbed.
     """
     root = exc
     seen = {id(root)}
@@ -547,4 +900,6 @@ def _format_error(exc: BaseException) -> str:
     message = f"{type(exc).__name__}: {exc}"
     if root is not exc:
         message += f" (caused by {type(root).__name__}: {root})"
+    if attempt is not None:
+        message += f" (attempt {attempt}, {elapsed_s:.1f}s)"
     return message + location

@@ -25,17 +25,24 @@ from repro.obs.profiler import merge_phase_summaries
 def campaign_status(store: ResultStore, campaign: CampaignSpec) -> Dict[str, object]:
     """Coverage of ``campaign`` in ``store``.
 
-    Returns ``{"name", "total", "ok", "error", "pending", "failures"}``
-    where failures maps run key -> error text.
+    Returns ``{"name", "total", "ok", "error", "quarantined", "pending",
+    "failures", "quarantines", "pending_keys"}`` where failures and
+    quarantines map run key -> error text.  A quarantined key counts
+    only as quarantined, never as a plain failure, even though the
+    executor records an error entry alongside the quarantine mark.
     """
     ok = 0
     failures: Dict[str, str] = {}
+    quarantines: Dict[str, str] = {}
     pending: List[str] = []
+    quarantined = store.quarantined()
     specs = campaign.expand()
     for spec in specs:
         key = run_key(spec)
         entry = store.entry(key)
-        if entry is None:
+        if key in quarantined:
+            quarantines[key] = str(quarantined[key].get("error", ""))
+        elif entry is None:
             pending.append(key)
         elif entry["status"] == "ok":
             ok += 1
@@ -46,20 +53,27 @@ def campaign_status(store: ResultStore, campaign: CampaignSpec) -> Dict[str, obj
         "total": len(specs),
         "ok": ok,
         "error": len(failures),
+        "quarantined": len(quarantines),
         "pending": len(pending),
         "failures": failures,
+        "quarantines": quarantines,
         "pending_keys": pending,
     }
 
 
 def format_status(status: Dict[str, object]) -> str:
     """Human-readable rendering of :func:`campaign_status`."""
-    lines = [
+    line = (
         f"campaign {status['name']}: {status['ok']}/{status['total']} done, "
         f"{status['error']} failed, {status['pending']} pending"
-    ]
+    )
+    if status.get("quarantined"):
+        line += f", {status['quarantined']} quarantined"
+    lines = [line]
     for key, error in sorted(dict(status["failures"]).items()):  # type: ignore[arg-type]
         lines.append(f"  FAILED {key}: {error}")
+    for key, error in sorted(dict(status.get("quarantines", {})).items()):  # type: ignore[arg-type]
+        lines.append(f"  QUARANTINED {key}: {error}")
     return "\n".join(lines)
 
 
@@ -202,9 +216,18 @@ def campaign_report(
         f"Campaign {campaign.name} — {status['ok']}/{status['total']} runs "
         f"({status['error']} failed, {status['pending']} pending)"
     )
-    return format_table(
+    if status.get("quarantined"):
+        title += f" [{status['quarantined']} quarantined]"
+    table = format_table(
         ["exp", "policy", "dpm", "seed", "dur s",
          "hot%", "grad%", "cycles%", "peak C", "delay"],
         rows,
         title=title,
     )
+    tally = store.resilience_tally()
+    if tally:
+        pairs = ", ".join(
+            f"{name}={value}" for name, value in sorted(tally.items())
+        )
+        table += f"\nresilience (store lifetime): {pairs}"
+    return table

@@ -3,16 +3,33 @@
 Layout under the store root::
 
     index.json                      — manifest: run key -> entry
+    journal.jsonl                   — append-only write-ahead journal
+                                      of every index mutation
     runs/<key>/result_*.csv/.json   — one saved SimulationResult
                                       (see analysis/result_io.py)
+    checkpoints/<key>.ckpt          — engine checkpoint sidecars
+                                      (outside runs/, which save()
+                                      clears wholesale)
+    leases/<key>.lease              — multi-driver work claims
+    quarantine.json                 — keys retired after deterministic
+                                      failures (resume skips them)
+    resilience.json                 — cumulative resilience tally
     indices/exp<E>_<R>x<C>.json     — thermal indices per (exp, grid)
 
 Each entry records the originating :class:`RunSpec`, a status (``ok``
 or ``error``), and — for failures — the error text, so a campaign that
 loses runs to worker crashes still produces a complete manifest. The
-index is rewritten atomically (temp file + rename) after every update;
-only the campaign driver process writes the store, workers hand results
-back over the executor pipe.
+index is rewritten atomically (temp file + rename) after every update,
+but atomic-rename alone cannot survive a crash *between* payload write
+and index flush, nor merge several drivers' updates — that is what the
+journal adds: every mutation is appended (``begin`` before payload
+files, ``put``/``del`` after) and replayed over the index on open.
+Replay recovers a torn or corrupt ``index.json``, adopts orphaned runs
+whose payload completed but whose index flush never happened, sweeps
+incomplete orphans, and — because every driver appends to the same
+journal — doubles as the multi-driver merge. The journal is never
+compacted; at one line per run completion it stays far smaller than
+the payloads it protects.
 
 Thermal indices (the per-(exp, grid) steady-state characterization that
 every run on the same stack shares) are persisted here too, so repeated
@@ -24,12 +41,15 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import socket
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.analysis.result_io import load_result, save_result, truncate_result
 from repro.analysis.runner import RunSpec
+from repro.campaign.faults import claim_fault
 from repro.campaign.spec import (
     KEY_VERSION,
     prefix_key,
@@ -45,9 +65,10 @@ STATUS_ERROR = "error"
 
 _INDEX_VERSION = 1
 
-#: Files save_result() writes per run; has() verifies they all exist so
-#: a crash between payload write and index flush (or a manually pruned
-#: run dir) reads as "absent" instead of surfacing a broken load later.
+#: Files save_result() writes per run; has() verifies they all exist
+#: and are non-empty so a crash between payload write and index flush
+#: (or a manually pruned run dir, or a torn zero-byte write) reads as
+#: "absent" instead of surfacing a broken load later.
 _RESULT_SUFFIXES = (
     "_temps.csv",
     "_cores.csv",
@@ -60,33 +81,148 @@ _RESULT_SUFFIXES = (
 class ResultStore:
     """Persistent map from run key to saved result (or failure record)."""
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: Union[str, Path],
+                 owner: Optional[str] = None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._index_path = self.root / "index.json"
+        self._journal_path = self.root / "journal.jsonl"
         self._index: Dict[str, Dict[str, Any]] = {}
+        # Lease identity of this driver (hostname:pid unless given).
+        self.owner = owner or f"{socket.gethostname()}:{os.getpid()}"
         # Plain-int effectiveness counter for the prefix cache, read by
         # campaign telemetry summaries; counts serve_prefix() hits over
         # this store instance's lifetime.
         self.prefix_hits = 0
+        # Recovery tallies of the open that built this instance:
+        # orphaned-but-complete runs adopted from the journal, and
+        # incomplete orphans swept.
+        self.recovered_runs = 0
+        self.swept_runs = 0
+        self._load_index_with_recovery()
+
+    # ------------------------------------------------------------------
+    # manifest + write-ahead journal
+
+    def _load_index_with_recovery(self) -> None:
+        """Build the in-memory index: snapshot, then journal replay.
+
+        ``index.json`` is a (possibly stale, possibly torn) snapshot;
+        the journal is the recovery record.  Replay rebuilds a corrupt
+        snapshot from scratch and merges entries another driver
+        committed after our snapshot was written.  The merge never
+        *downgrades* a clean snapshot: a journal ``put`` only fills a
+        missing key or upgrades a non-ok entry to ok — so an operator
+        edit of a healthy ``index.json`` (a supported escape hatch)
+        survives reopening.  A ``begin`` with no later ``put`` marks an
+        interrupted save: if its payload files are complete the entry
+        is adopted (the crash hit after the payload, before the
+        commit), otherwise the partial run dir is swept.
+        """
+        index: Dict[str, Dict[str, Any]] = {}
+        snapshot_ok = True
         if self._index_path.exists():
             try:
                 data = json.loads(self._index_path.read_text())
-            except json.JSONDecodeError as exc:
-                raise ConfigurationError(
-                    f"{self._index_path}: corrupt store index: {exc}"
-                )
-            self._index = data.get("runs", {})
+                index = data.get("runs", {})
+            except (json.JSONDecodeError, OSError):
+                # Torn/corrupt snapshot: rebuild purely from the journal.
+                snapshot_ok = False
+        began: Dict[str, Dict[str, Any]] = {}
+        for op in self._read_journal():
+            kind = op.get("op")
+            key = op.get("key")
+            if not key:
+                continue
+            if kind == "begin":
+                began[key] = op.get("entry") or {}
+            elif kind == "put":
+                entry = op.get("entry")
+                current = index.get(key)
+                if entry and (
+                    not snapshot_ok  # pure rebuild: last put wins
+                    or current is None
+                    or (current.get("status") != STATUS_OK
+                        and entry.get("status") == STATUS_OK)
+                ):
+                    index[key] = entry
+                began.pop(key, None)
+            elif kind == "del":
+                index.pop(key, None)
+                began.pop(key, None)
+        dirty = not snapshot_ok
+        for key, entry in began.items():
+            if (entry.get("status") == STATUS_OK
+                    and self._payload_complete(entry)):
+                index[key] = entry
+                self._append_journal({"op": "put", "key": key,
+                                      "entry": entry})
+                self.recovered_runs += 1
+            else:
+                # save() cleared the run dir before this begin, so any
+                # older entry for the key points at nothing — drop both
+                # the partial payload and the stale entry.
+                self._clear_run_dir(key)
+                index.pop(key, None)
+                self.swept_runs += 1
+            dirty = True
+        self._index = index
+        if dirty:
+            self._flush_index()
 
-    # ------------------------------------------------------------------
-    # manifest
+    def _read_journal(self) -> List[Dict[str, Any]]:
+        """Every parseable journal op, in append order.
+
+        A torn final line (crash mid-append) parses as garbage and is
+        skipped; all committed ops are whole lines and survive.
+        """
+        if not self._journal_path.exists():
+            return []
+        ops: List[Dict[str, Any]] = []
+        with self._journal_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    op = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(op, dict):
+                    ops.append(op)
+        return ops
+
+    def _append_journal(self, op: Dict[str, Any]) -> None:
+        line = json.dumps(op, sort_keys=True, separators=(",", ":"))
+        with self._journal_path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    def _payload_complete(self, entry: Dict[str, Any]) -> bool:
+        stem = self.root / entry.get("stem", "")
+        if not entry.get("stem"):
+            return False
+        for suffix in _RESULT_SUFFIXES:
+            path = stem.with_name(stem.name + suffix)
+            try:
+                if path.stat().st_size == 0:
+                    return False
+            except OSError:
+                return False
+        return True
 
     def _flush_index(self) -> None:
+        fault = claim_fault("index_flush")
         payload = json.dumps(
             {"version": _INDEX_VERSION, "runs": self._index},
             indent=2,
             sort_keys=True,
         )
+        if fault is not None and fault.action == "torn_index":
+            # Injected fault: simulate power loss mid-write of a
+            # NON-atomic index update — half the payload, no rename.
+            self._index_path.write_text(payload[: len(payload) // 2])
+            return
         fd, tmp = tempfile.mkstemp(
             dir=str(self.root), prefix=".index-", suffix=".json"
         )
@@ -128,11 +264,9 @@ class ResultStore:
         entry = self._index.get(key)
         if not entry or entry["status"] != STATUS_OK:
             return False
-        stem = self.root / entry.get("stem", f"runs/{key}/result")
-        return all(
-            stem.with_name(stem.name + suffix).exists()
-            for suffix in _RESULT_SUFFIXES
-        )
+        if not entry.get("stem"):
+            entry = dict(entry, stem=f"runs/{key}/result")
+        return self._payload_complete(entry)
 
     def _stem(self, key: str) -> Path:
         return self.root / "runs" / key / "result"
@@ -159,6 +293,18 @@ class ResultStore:
         key = run_key(spec)
         self._clear_run_dir(key)
         stem = self._stem(key)
+        entry = {
+            "status": STATUS_OK,
+            "spec": spec_to_dict(spec),
+            "stem": str(stem.relative_to(self.root)),
+            "v": KEY_VERSION,
+            "duration_s": float(spec.duration_s),
+            "prefix": prefix_key(spec),
+        }
+        # Write-ahead: the begin line carries the full prospective entry
+        # so recovery can adopt the run if we crash after the payload
+        # lands but before the put/flush below.
+        self._append_journal({"op": "begin", "key": key, "entry": entry})
         stem.parent.mkdir(parents=True, exist_ok=True)
         save_result(result, stem)
         if result.telemetry is not None:
@@ -169,14 +315,16 @@ class ResultStore:
                 json.dumps(result.telemetry, indent=2, sort_keys=True)
                 + "\n"
             )
-        self._index[key] = {
-            "status": STATUS_OK,
-            "spec": spec_to_dict(spec),
-            "stem": str(stem.relative_to(self.root)),
-            "v": KEY_VERSION,
-            "duration_s": float(spec.duration_s),
-            "prefix": prefix_key(spec),
-        }
+        fault = claim_fault("payload_save", key)
+        if fault is not None and fault.action == "corrupt_payload":
+            # Injected fault: simulate a crash mid-save — one payload
+            # file torn to zero bytes and no put/flush, leaving an
+            # uncommitted begin for recovery to sweep.
+            meta = stem.with_name(stem.name + "_meta.json")
+            meta.write_text("")
+            return key
+        self._index[key] = entry
+        self._append_journal({"op": "put", "key": key, "entry": entry})
         self._flush_index()
         return key
 
@@ -188,11 +336,13 @@ class ResultStore:
         """
         key = run_key(spec)
         self._clear_run_dir(key)
-        self._index[key] = {
+        entry = {
             "status": STATUS_ERROR,
             "spec": spec_to_dict(spec),
             "error": error,
         }
+        self._index[key] = entry
+        self._append_journal({"op": "put", "key": key, "entry": entry})
         self._flush_index()
         return key
 
@@ -242,6 +392,7 @@ class ResultStore:
             return
         del self._index[key]
         self._clear_run_dir(key)
+        self._append_journal({"op": "del", "key": key})
         self._flush_index()
 
     def query(
@@ -324,6 +475,211 @@ class ResultStore:
         result = truncate_result(self.load(source), spec.duration_s)
         self.save(spec, result)
         return result
+
+    # ------------------------------------------------------------------
+    # quarantine (deterministically failing keys resume must skip)
+
+    def _quarantine_path(self) -> Path:
+        return self.root / "quarantine.json"
+
+    def quarantined(self) -> Dict[str, Dict[str, Any]]:
+        """Key -> {spec, error} for every quarantined run.
+
+        A corrupt quarantine file reads as empty — the worst outcome is
+        re-attempting a broken run, never losing a good one.
+        """
+        path = self._quarantine_path()
+        if not path.exists():
+            return {}
+        try:
+            data = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            return {}
+        runs = data.get("runs", {})
+        return runs if isinstance(runs, dict) else {}
+
+    def quarantine(self, spec: RunSpec, error: str) -> str:
+        """Retire a run after a deterministic failure; returns its key.
+
+        Quarantined keys are skipped by subsequent campaigns (status
+        ``quarantined`` in the outcome map) until explicitly released
+        with :meth:`unquarantine`.
+        """
+        key = run_key(spec)
+        runs = self.quarantined()
+        runs[key] = {"spec": spec_to_dict(spec), "error": error}
+        self._write_quarantine(runs)
+        return key
+
+    def unquarantine(self, key: str) -> None:
+        """Release a key back into circulation (e.g. after a code fix)."""
+        runs = self.quarantined()
+        if key in runs:
+            del runs[key]
+            self._write_quarantine(runs)
+
+    def is_quarantined(self, key: str) -> bool:
+        return key in self.quarantined()
+
+    def _write_quarantine(self, runs: Dict[str, Dict[str, Any]]) -> None:
+        payload = json.dumps(
+            {"version": 1, "runs": runs}, indent=2, sort_keys=True
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.root), prefix=".quarantine-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload + "\n")
+            os.replace(tmp, self._quarantine_path())
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # ------------------------------------------------------------------
+    # leases (multi-driver work claiming)
+
+    def _lease_path(self, key: str) -> Path:
+        return self.root / "leases" / f"{key}.lease"
+
+    def acquire_lease(self, key: str, ttl_s: float,
+                      owner: Optional[str] = None) -> bool:
+        """Claim ``key`` for ``ttl_s`` seconds; False if another driver
+        holds a live lease.
+
+        The claim is an ``O_CREAT | O_EXCL`` create (atomic on every
+        filesystem the store targets).  An expired or unreadable lease
+        is taken over by rewrite-and-confirm: after replacing the file
+        the claimant re-reads it, so when two drivers race for the same
+        expired lease exactly one — the last writer — wins.
+        """
+        owner = owner or self.owner
+        path = self._lease_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"owner": owner, "expires": time.time() + ttl_s}
+        )
+        try:
+            fd = os.open(str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            holder = self._read_lease(path)
+            if holder is not None:
+                if holder[0] == owner:
+                    return self.renew_lease(key, ttl_s, owner)
+                if holder[1] > time.time():
+                    return False
+            # Expired (or garbage) lease: take it over, then confirm.
+            self._write_lease(path, payload)
+            confirmed = self._read_lease(path)
+            return confirmed is not None and confirmed[0] == owner
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        return True
+
+    def renew_lease(self, key: str, ttl_s: float,
+                    owner: Optional[str] = None) -> bool:
+        """Extend a held lease; False if it was lost to another driver."""
+        owner = owner or self.owner
+        path = self._lease_path(key)
+        holder = self._read_lease(path)
+        if holder is None or holder[0] != owner:
+            return False
+        self._write_lease(path, json.dumps(
+            {"owner": owner, "expires": time.time() + ttl_s}
+        ))
+        return True
+
+    def release_lease(self, key: str, owner: Optional[str] = None) -> None:
+        """Drop a held lease (no-op if not held by ``owner``)."""
+        owner = owner or self.owner
+        path = self._lease_path(key)
+        holder = self._read_lease(path)
+        if holder is not None and holder[0] == owner:
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
+    def lease_holder(self, key: str) -> Optional[str]:
+        """Owner of a live (unexpired) lease on ``key``, or None."""
+        holder = self._read_lease(self._lease_path(key))
+        if holder is None or holder[1] <= time.time():
+            return None
+        return holder[0]
+
+    @staticmethod
+    def _read_lease(path: Path) -> Optional[Tuple[str, float]]:
+        try:
+            data = json.loads(path.read_text())
+            return str(data["owner"]), float(data["expires"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    @staticmethod
+    def _write_lease(path: Path, payload: str) -> None:
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".lease-")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # ------------------------------------------------------------------
+    # engine checkpoint sidecars
+
+    def checkpoint_path(self, key: str) -> Path:
+        """Sidecar path of ``key``'s engine checkpoint.
+
+        Lives under ``checkpoints/``, not ``runs/<key>/``: ``save``
+        clears the run dir wholesale, and a checkpoint must survive
+        exactly until its run completes.
+        """
+        return self.root / "checkpoints" / f"{key}.ckpt"
+
+    def has_checkpoint(self, key: str) -> bool:
+        return self.checkpoint_path(key).exists()
+
+    def discard_checkpoint(self, key: str) -> None:
+        """Drop ``key``'s checkpoint (called once its run completed)."""
+        try:
+            self.checkpoint_path(key).unlink()
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------
+    # cumulative resilience tally (read by `campaign report`)
+
+    def _resilience_path(self) -> Path:
+        return self.root / "resilience.json"
+
+    def resilience_tally(self) -> Dict[str, int]:
+        """Lifetime resilience counters merged over every campaign."""
+        path = self._resilience_path()
+        if not path.exists():
+            return {}
+        try:
+            data = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            return {}
+        return {
+            str(name): int(value)
+            for name, value in data.items()
+            if isinstance(value, (int, float))
+        }
+
+    def record_resilience(self, tally: Dict[str, int]) -> None:
+        """Merge one campaign's resilience counters into the store."""
+        merged = self.resilience_tally()
+        for name, value in tally.items():
+            merged[name] = merged.get(name, 0) + int(value)
+        path = self._resilience_path()
+        path.write_text(
+            json.dumps(merged, indent=2, sort_keys=True) + "\n"
+        )
 
     # ------------------------------------------------------------------
     # thermal indices (shared per (exp_id, grid) characterization)

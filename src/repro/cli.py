@@ -210,6 +210,12 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
     def progress(event: str, key: str, detail: str) -> None:
         if event == "start":
             return
+        if event == "retry":
+            # Informational: the run is still in flight, so it does not
+            # advance the done counter.
+            print(f"[{done['n']}/{total}] retry  {key}  {detail}",
+                  flush=True)
+            return
         done["n"] += 1
         line = f"[{done['n']}/{total}] {event:6s} {key}"
         if detail:
@@ -220,6 +226,14 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
     if args.serial:
         backend = "serial"
     try:
+        from repro.campaign import ResiliencePolicy, RetryPolicy
+
+        resilience = ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=args.max_attempts),
+            unit_timeout_s=args.unit_timeout,
+            lease_ttl_s=args.lease_ttl,
+            checkpoint_every_ticks=args.checkpoint_every,
+        )
         executor = CampaignExecutor(
             store=store,
             backend=backend,
@@ -228,6 +242,7 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
             propagation=args.propagation,
             telemetry=args.telemetry,
+            resilience=resilience,
         )
     except ConfigurationError as exc:
         print(exc, file=sys.stderr)
@@ -235,7 +250,9 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
     run = executor.run_campaign(spec)
     print(format_status(campaign_status(store, spec)))
     _print_campaign_telemetry(store, spec)
-    return 1 if run.failed() else 0
+    counts = run.counts()
+    failed = counts.get("error", 0) + counts.get("quarantined", 0)
+    return 1 if failed else 0
 
 
 def cmd_campaign_status(args: argparse.Namespace) -> int:
@@ -248,6 +265,27 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
         return 2
     print(format_status(campaign_status(store, spec)))
     _print_campaign_telemetry(store, spec)
+    return 0
+
+
+def cmd_campaign_unquarantine(args: argparse.Namespace) -> int:
+    try:
+        _, store = _load_campaign(args)
+    except ConfigurationError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    quarantined = store.quarantined()
+    keys = args.keys or sorted(quarantined)
+    released = 0
+    for key in keys:
+        if key in quarantined:
+            store.unquarantine(key)
+            released += 1
+            print(f"released {key}")
+        else:
+            print(f"not quarantined: {key}", file=sys.stderr)
+    print(f"{released} key(s) released; the next `campaign run` "
+          "re-attempts them")
     return 0
 
 
@@ -356,6 +394,24 @@ def build_parser() -> argparse.ArgumentParser:
                                    "stats, tick-phase profile) per run; "
                                    "stored as telemetry.json next to each "
                                    "result, run keys unchanged")
+    campaign_run.add_argument("--max-attempts", type=int, default=3,
+                              help="attempt budget per run for transient "
+                                   "failures (crash/timeout; default 3, "
+                                   "1 disables retries)")
+    campaign_run.add_argument("--unit-timeout", type=float, default=None,
+                              help="explicit watchdog deadline per pool "
+                                   "unit in wall seconds (default: scaled "
+                                   "from simulated duration and batch "
+                                   "width)")
+    campaign_run.add_argument("--lease-ttl", type=float, default=0.0,
+                              help="claim each pending run with a lease of "
+                                   "this many seconds so several drivers "
+                                   "can share one store (0 = off)")
+    campaign_run.add_argument("--checkpoint-every", type=int, default=0,
+                              help="persist an engine checkpoint every N "
+                                   "ticks; a retried or resumed run "
+                                   "continues mid-simulation, bit-identical "
+                                   "(0 = off; run keys unchanged)")
     campaign_run.set_defaults(func=cmd_campaign_run)
 
     campaign_status_parser = campaign_sub.add_parser(
@@ -363,6 +419,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_campaign_arguments(campaign_status_parser)
     campaign_status_parser.set_defaults(func=cmd_campaign_status)
+
+    campaign_unq_parser = campaign_sub.add_parser(
+        "unquarantine",
+        help="release quarantined runs back into circulation",
+    )
+    _add_campaign_arguments(campaign_unq_parser)
+    campaign_unq_parser.add_argument(
+        "keys", nargs="*",
+        help="run keys to release (default: every quarantined key)")
+    campaign_unq_parser.set_defaults(func=cmd_campaign_unquarantine)
 
     campaign_report_parser = campaign_sub.add_parser(
         "report", help="aggregate a finished campaign into a metrics table"

@@ -62,6 +62,7 @@ SLOTS_MODULES: Tuple[str, ...] = (
     "src/repro/obs/profiler.py",
     "src/repro/obs/stats.py",
     "src/repro/obs/telemetry.py",
+    "src/repro/obs/resilience.py",
 )
 
 #: Explicit per-tick classes elsewhere: (module, class name).
@@ -129,6 +130,7 @@ NULL_PARITY_PAIRS: Tuple[Tuple[str, str, str], ...] = (
     ("src/repro/obs/telemetry.py", "EngineTelemetry", "_NullTelemetry"),
     ("src/repro/obs/trace.py", "TraceRecorder", "_NullTrace"),
     ("src/repro/obs/profiler.py", "TickProfiler", "_NullProfiler"),
+    ("src/repro/obs/resilience.py", "ResilienceStats", "_NullResilienceStats"),
 )
 
 # ---------------------------------------------------------------------------

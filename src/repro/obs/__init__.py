@@ -23,6 +23,11 @@ from repro.obs.profiler import (
     TickProfiler,
     merge_phase_summaries,
 )
+from repro.obs.resilience import (
+    NULL_RESILIENCE_STATS,
+    RESILIENCE_COUNTERS,
+    ResilienceStats,
+)
 from repro.obs.stats import JobStatsCollector
 from repro.obs.telemetry import (
     EngineTelemetry,
@@ -41,7 +46,10 @@ __all__ = [
     "NULL_HISTOGRAM",
     "NULL_REGISTRY",
     "NULL_PROFILER",
+    "NULL_RESILIENCE_STATS",
     "PHASES",
+    "RESILIENCE_COUNTERS",
+    "ResilienceStats",
     "TickProfiler",
     "merge_phase_summaries",
     "JobStatsCollector",

@@ -59,7 +59,7 @@ interval execution reproduces the eager reference semantics:
 from __future__ import annotations
 
 import heapq
-import itertools
+import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -77,7 +77,7 @@ from repro.core.base import (
     TickContext,
     state_from_code,
 )
-from repro.errors import SchedulerError
+from repro.errors import CheckpointError, SchedulerError
 from repro.obs.profiler import (
     NULL_PROFILER,
     PH_DPM,
@@ -416,7 +416,9 @@ class SimulationEngine:
         }
         self._core_list: List[_CoreRuntime] = list(self._cores.values())
         self._arrivals: List[Tuple[float, int, Job]] = []
-        self._arrival_seq = itertools.count()
+        # Plain int (not itertools.count): the arrival tiebreaker is
+        # part of the checkpointable state and must pickle.
+        self._arrival_seq = 0
         self._jobs: List[Job] = []
         self._thread_last_core: Dict[int, str] = {}
         self._sensor_temps: Dict[str, float] = {}
@@ -677,20 +679,236 @@ class SimulationEngine:
         """
         return self._obs
 
-    def run(self) -> SimulationResult:
-        """Execute the configured simulation and return the recording."""
+    def run(
+        self,
+        checkpoint_every: int = 0,
+        checkpoint_sink=None,
+        resume: Optional[bytes] = None,
+    ) -> SimulationResult:
+        """Execute the configured simulation and return the recording.
+
+        ``checkpoint_every`` > 0 (with a ``checkpoint_sink`` callable
+        taking ``(blob, tick)``) emits a full-state checkpoint every N
+        ticks; ``resume`` restores one such blob and continues the run
+        mid-flight.  A resumed run is bit-identical to an uninterrupted
+        one (covered by ``tests/test_campaign_faults.py``).  Both knobs
+        are execution-infrastructure arguments, not :class:`RunSpec`
+        fields, so they are key-neutral by construction — like
+        telemetry, they can never change what a result *is*.
+        Checkpointing requires the event-heap loop (eager or span
+        fidelity); the legacy scan loop predates the snapshotable
+        structure-of-arrays state and raises.
+        """
+        if (checkpoint_every > 0 or resume is not None) and (
+            self.config.event_loop != "event_heap"
+        ):
+            raise SchedulerError(
+                "checkpoint/resume requires the event_heap loop; "
+                "legacy_scan keeps no snapshotable row state"
+            )
         n_ticks, dt = self._prepare_run()
         rec = _Recording.allocate(self, n_ticks)
+        start_tick = 0
+        energy0 = 0.0
+        rows: Tuple = (None, None, None)
+        if resume is not None:
+            start_tick, energy0, rows = self._restore_checkpoint(
+                resume, rec, n_ticks, dt
+            )
         if self._use_span:
-            self._temps_arr[:] = self.sensors.read_cores_vector()
-            energy = self._run_span_ticks(rec, n_ticks, dt)
+            if resume is None:
+                # The priming sensor read advances the noise RNG; on
+                # resume the restored RNG state already accounts for it.
+                self._temps_arr[:] = self.sensors.read_cores_vector()
+            energy = self._run_span_ticks(
+                rec, n_ticks, dt, start_tick, energy0, rows,
+                checkpoint_every, checkpoint_sink,
+            )
         elif self._use_heap:
-            self._temps_arr[:] = self.sensors.read_cores_vector()
-            energy = self._run_heap_ticks(rec, n_ticks, dt)
+            if resume is None:
+                self._temps_arr[:] = self.sensors.read_cores_vector()
+            energy = self._run_heap_ticks(
+                rec, n_ticks, dt, start_tick, energy0,
+                checkpoint_every, checkpoint_sink,
+            )
         else:
             self._sensor_temps = self.sensors.read_cores()
             energy = self._run_scan_ticks(rec, n_ticks, dt)
         return self._build_result(rec, energy, dt)
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+
+    _CHECKPOINT_VERSION = 1
+
+    def _checkpoint_payload(
+        self,
+        rec: _Recording,
+        next_tick: int,
+        energy: float,
+        dt: float,
+        n_ticks: int,
+        prev2_row: Optional[np.ndarray],
+        prev_row: Optional[np.ndarray],
+        unit_row: Optional[np.ndarray],
+    ) -> bytes:
+        """Serialize the full run state at a tick boundary.
+
+        Everything mutable goes through ONE ``pickle.dumps`` call so
+        shared references (jobs living simultaneously in ``_jobs``,
+        core queues, the arrivals heap and the workload source) are
+        preserved by pickle's memo table and re-materialize as shared
+        on restore.  The recording prefix, the thermal node-state
+        vector, the structure-of-arrays rows, the sensor RNG state and
+        the span loop's settledness window ride along.  Called from the
+        hot tick loops but only every ``checkpoint_every`` ticks; the
+        dict display below is the checkpoint cost itself, not per-tick
+        overhead (the method is deliberately not in the hot-path
+        manifest).
+        """
+        payload = {
+            "version": SimulationEngine._CHECKPOINT_VERSION,
+            # identity guard: a blob may only resume the run it came from
+            "fidelity": self.config.fidelity,
+            "event_loop": self.config.event_loop,
+            "policy_name": self.policy.name,
+            "core_names": self._core_names_tuple,
+            "n_ticks": n_ticks,
+            "dt": dt,
+            # loop position
+            "next_tick": next_tick,
+            "energy": energy,
+            # recording prefix (ticks [0, next_tick))
+            "rec_times": rec.times[:next_tick].copy(),
+            "rec_unit_temps": rec.unit_temps[:next_tick].copy(),
+            "rec_core_temps": rec.core_temps[:next_tick].copy(),
+            "rec_core_peaks": rec.core_peaks[:next_tick].copy(),
+            "rec_spreads": rec.spreads[:next_tick].copy(),
+            "rec_utilization": rec.utilization[:next_tick].copy(),
+            "rec_vf_indices": rec.vf_indices[:next_tick].copy(),
+            "rec_core_states": rec.core_states[:next_tick].copy(),
+            "rec_total_power": rec.total_power[:next_tick].copy(),
+            # physical + scheduler state
+            "thermal_nodes": self.thermal.temperatures.copy(),
+            "sensor_rng": self.sensors.rng_state(),
+            "workload": self.workload,
+            "policy": self.policy,
+            "cores": self._core_list,
+            "arrivals": self._arrivals,
+            "arrival_seq": self._arrival_seq,
+            "jobs": self._jobs,
+            "thread_last_core": self._thread_last_core,
+            "migration_count": self._migration_count,
+            "event_heap": self._event_heap,
+            "finished_cores": self._finished_cores,
+            "mem_sum": self._mem_sum,
+            "mem_count": self._mem_count,
+            "any_gated": self._any_gated,
+            # structure-of-arrays rows (restored in place: the live
+            # ArrayBackedMapping views alias these buffers)
+            "ql_arr": self._ql_arr.copy(),
+            "state_arr": self._state_arr.copy(),
+            "vf_arr": self._vf_arr.copy(),
+            "temps_arr": self._temps_arr.copy(),
+            "dyn_scale_arr": self._dyn_scale_arr.copy(),
+            "voltage_arr": self._voltage_arr.copy(),
+            "ql_list": list(self._ql_list),
+            "state_list": list(self._state_list),
+            # span settledness window exactly as carried by the loop (a
+            # 1-tick fast-forward leaves it offset from the recorded
+            # rows, so it cannot be reconstructed from the recording)
+            "prev2_row": None if prev2_row is None else prev2_row.copy(),
+            "prev_row": None if prev_row is None else prev_row.copy(),
+            "unit_row": None if unit_row is None else unit_row.copy(),
+        }
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _restore_checkpoint(
+        self, blob: bytes, rec: _Recording, n_ticks: int, dt: float
+    ) -> Tuple[int, float, Tuple]:
+        """Overwrite the freshly prepared run state from a checkpoint.
+
+        Must be called after :meth:`_prepare_run` (which re-arms the
+        solver, the telemetry sinks and the scratch buffers); this
+        method then replaces every piece of state the tick loops read.
+        Raises :class:`CheckpointError` when the blob is unreadable or
+        belongs to a different run configuration.
+        """
+        try:
+            payload = pickle.loads(blob)
+        except Exception as exc:
+            raise CheckpointError(f"unreadable checkpoint: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise CheckpointError("checkpoint payload is not a mapping")
+        if payload.get("version") != SimulationEngine._CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {payload.get('version')!r}"
+            )
+        for name, want in (
+            ("fidelity", self.config.fidelity),
+            ("event_loop", self.config.event_loop),
+            ("policy_name", self.policy.name),
+            ("core_names", self._core_names_tuple),
+            ("n_ticks", n_ticks),
+            ("dt", dt),
+        ):
+            if payload.get(name) != want:
+                raise CheckpointError(
+                    f"checkpoint mismatch on {name}: saved "
+                    f"{payload.get(name)!r}, this run expects {want!r}"
+                )
+        next_tick = int(payload["next_tick"])
+        if not 0 < next_tick < n_ticks:
+            raise CheckpointError(
+                f"checkpoint tick {next_tick} outside (0, {n_ticks})"
+            )
+
+        rec.times[:next_tick] = payload["rec_times"]
+        rec.unit_temps[:next_tick] = payload["rec_unit_temps"]
+        rec.core_temps[:next_tick] = payload["rec_core_temps"]
+        rec.core_peaks[:next_tick] = payload["rec_core_peaks"]
+        rec.spreads[:next_tick] = payload["rec_spreads"]
+        rec.utilization[:next_tick] = payload["rec_utilization"]
+        rec.vf_indices[:next_tick] = payload["rec_vf_indices"]
+        rec.core_states[:next_tick] = payload["rec_core_states"]
+        rec.total_power[:next_tick] = payload["rec_total_power"]
+
+        self.thermal.temperatures = payload["thermal_nodes"]
+        self.sensors.set_rng_state(payload["sensor_rng"])
+        self.workload = payload["workload"]
+        self.policy = payload["policy"]
+        core_list = payload["cores"]
+        self._core_list = core_list
+        self._cores = {core.name: core for core in core_list}
+        self._arrivals = payload["arrivals"]
+        self._arrival_seq = payload["arrival_seq"]
+        self._jobs = payload["jobs"]
+        self._thread_last_core = payload["thread_last_core"]
+        self._migration_count = payload["migration_count"]
+        self._event_heap = payload["event_heap"]
+        self._finished_cores = payload["finished_cores"]
+        self._mem_sum = payload["mem_sum"]
+        self._mem_count = payload["mem_count"]
+        self._any_gated = payload["any_gated"]
+        self._ql_arr[:] = payload["ql_arr"]
+        self._state_arr[:] = payload["state_arr"]
+        self._vf_arr[:] = payload["vf_arr"]
+        self._temps_arr[:] = payload["temps_arr"]
+        self._dyn_scale_arr[:] = payload["dyn_scale_arr"]
+        self._voltage_arr[:] = payload["voltage_arr"]
+        self._ql_list[:] = payload["ql_list"]
+        self._state_list[:] = payload["state_list"]
+        # Span context shells are rebuilt lazily against the (unchanged)
+        # array buffers; the dirty flags start a resumed tick clean.
+        self._span_alloc_ctx = None
+        self._span_tick_ctx = None
+        self._span_snap = None
+        self._span_dirty = False
+        self._in_fast_forward = False
+        rows = (
+            payload["prev2_row"], payload["prev_row"], payload["unit_row"]
+        )
+        return next_tick, float(payload["energy"]), rows
 
     def _gather_utilization(self, dt: float) -> np.ndarray:
         """Per-core busy fraction of the elapsed interval (resets the
@@ -729,18 +947,33 @@ class SimulationEngine:
         rec.core_states[tick] = self._state_arr
         rec.total_power[tick] = tick_power
 
-    def _run_heap_ticks(self, rec: _Recording, n_ticks: int, dt: float
+    def _run_heap_ticks(self, rec: _Recording, n_ticks: int, dt: float,
+                        start_tick: int = 0, energy0: float = 0.0,
+                        checkpoint_every: int = 0, checkpoint_sink=None
                         ) -> float:
         """Tick loop of the event-heap mode: indexed event pops inside
         the interval, structure-of-arrays activity readout and the
         vectorized power/thermal path at the boundary."""
-        energy = 0.0
+        energy = energy0
         powers_buf = np.zeros(len(self.thermal.unit_names))
         prof = self._prof
+        next_ckpt = n_ticks + 1
+        if checkpoint_every > 0 and checkpoint_sink is not None:
+            next_ckpt = start_tick + checkpoint_every
         # Post-step readback of tick k is the pre-step temperature of
-        # tick k+1, so one vector readback per tick suffices.
+        # tick k+1, so one vector readback per tick suffices (on resume
+        # the restored node state reads back the checkpointed row).
         unit_row = self.thermal.unit_temperature_vector()
-        for tick in range(n_ticks):
+        for tick in range(start_tick, n_ticks):
+            if tick >= next_ckpt:
+                checkpoint_sink(
+                    self._checkpoint_payload(
+                        rec, tick, energy, dt, n_ticks,
+                        None, None, unit_row,
+                    ),
+                    tick,
+                )
+                next_ckpt = tick + checkpoint_every
             t0 = tick * dt
             t1 = t0 + dt
             prof.begin()
@@ -781,13 +1014,16 @@ class SimulationEngine:
             )
             energy += tick_power * dt
             prof.lap(PH_RECORD)
-        prof.tick_done(n_ticks)
+        prof.tick_done(n_ticks - start_tick)
         return energy
 
     # ------------------------------------------------------------------
     # span-fidelity execution
 
-    def _run_span_ticks(self, rec: _Recording, n_ticks: int, dt: float
+    def _run_span_ticks(self, rec: _Recording, n_ticks: int, dt: float,
+                        start_tick: int = 0, energy0: float = 0.0,
+                        resume_rows: Tuple = (None, None, None),
+                        checkpoint_every: int = 0, checkpoint_sink=None
                         ) -> float:
         """Tick loop of the span fidelity mode.
 
@@ -797,14 +1033,29 @@ class SimulationEngine:
         stretches fast-forward through the thermal model's
         span-compiled closed forms.
         """
-        energy = 0.0
+        energy = energy0
         powers_buf = np.zeros(len(self.thermal.unit_names))
         prof = self._prof
-        unit_row = self.thermal.unit_temperature_vector()
-        prev_row: Optional[np.ndarray] = None
-        prev2_row: Optional[np.ndarray] = None
-        tick = 0
+        next_ckpt = n_ticks + 1
+        if checkpoint_every > 0 and checkpoint_sink is not None:
+            next_ckpt = start_tick + checkpoint_every
+        # On resume the settledness window comes from the checkpoint
+        # verbatim (it is NOT always reconstructable from the recording
+        # — a 1-tick fast-forward leaves prev2 offset from the rows).
+        prev2_row, prev_row, unit_row = resume_rows
+        if unit_row is None:
+            unit_row = self.thermal.unit_temperature_vector()
+        tick = start_tick
         while tick < n_ticks:
+            if tick >= next_ckpt:
+                checkpoint_sink(
+                    self._checkpoint_payload(
+                        rec, tick, energy, dt, n_ticks,
+                        prev2_row, prev_row, unit_row,
+                    ),
+                    tick,
+                )
+                next_ckpt = tick + checkpoint_every
             t0 = tick * dt
             quiet = self._quiet_ticks(t0, dt, n_ticks - tick)
             if quiet >= 2:
@@ -1225,7 +1476,9 @@ class SimulationEngine:
     # discrete-event interval execution
 
     def _push_arrival(self, time: float, job: Job) -> None:
-        heapq.heappush(self._arrivals, (time, next(self._arrival_seq), job))
+        seq = self._arrival_seq
+        self._arrival_seq = seq + 1
+        heapq.heappush(self._arrivals, (time, seq, job))
         self._jobs.append(job)
         self._obs.job_arrival(time, job)
 

@@ -1,0 +1,576 @@
+"""Campaign resilience tests: fault injection, watchdog, retry,
+quarantine, leases, journal recovery, and checkpoint/resume identity.
+
+The fast slice runs in tier-1 as a chaos smoke; the full fault matrix
+and the resume bit-identity sweep carry ``@pytest.mark.slow`` and run
+in the weekly job (``pytest -m slow tests/test_campaign_faults.py``).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.result_io import load_checkpoint
+from repro.analysis.runner import ExperimentRunner, RunSpec
+from repro.campaign import (
+    CampaignExecutor,
+    CampaignSpec,
+    FaultPlan,
+    FaultSpec,
+    ResiliencePolicy,
+    ResultStore,
+    RetryPolicy,
+    campaign_status,
+    format_status,
+    run_key,
+)
+from repro.campaign import faults
+from repro.errors import ConfigurationError
+
+RESULT_ARRAYS = (
+    "times", "unit_temps_k", "core_temps_k", "core_peak_temps_k",
+    "layer_spreads_k", "utilization", "vf_indices", "core_states",
+    "total_power_w",
+)
+
+
+def tiny_spec(policy="Default", seed=1, **overrides) -> RunSpec:
+    base = dict(exp_id=1, policy=policy, duration_s=2.0, seed=seed,
+                grid=(4, 4))
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+def tiny_campaign(name="chaos", policies=("Default", "Adapt3D"), seeds=(1,),
+                  **overrides) -> CampaignSpec:
+    base = dict(
+        name=name, exp_ids=(1,), policies=tuple(policies),
+        durations_s=(2.0,), seeds=tuple(seeds), grids=((4, 4),),
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+def fast_policy(max_attempts=3, **overrides) -> ResiliencePolicy:
+    """Millisecond backoffs so chaos tests converge quickly."""
+    base = dict(
+        retry=RetryPolicy(max_attempts=max_attempts, base_delay_s=0.01,
+                          max_delay_s=0.05),
+    )
+    base.update(overrides)
+    return ResiliencePolicy(**base)
+
+
+def install_plan(monkeypatch, plan_dir, *fault_specs) -> None:
+    """Publish a fault plan via the environment (workers inherit it)."""
+    path = FaultPlan(faults=tuple(fault_specs)).save(plan_dir / "plan.json")
+    monkeypatch.setenv(faults.ENV_PLAN, str(path))
+    faults.reset_fault_cache()
+
+
+def assert_results_identical(a, b) -> None:
+    for name in RESULT_ARRAYS:
+        np.testing.assert_array_equal(
+            getattr(a, name), getattr(b, name), err_msg=name
+        )
+    assert a.energy_j == b.energy_j
+    assert a.migrations == b.migrations
+    assert len(a.jobs) == len(b.jobs)
+    for x, y in zip(a.jobs, b.jobs):
+        assert x.arrival_time == y.arrival_time
+        assert x.remaining_s == y.remaining_s
+        assert x.completion_time == y.completion_time
+        assert x.core == y.core
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_env(monkeypatch):
+    """Each test starts and ends with fault injection disabled."""
+    monkeypatch.delenv(faults.ENV_PLAN, raising=False)
+    monkeypatch.delenv(faults.ENV_STATE, raising=False)
+    faults.reset_fault_cache()
+    yield
+    faults.reset_fault_cache()
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return ExperimentRunner().run(tiny_spec())
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=5.0,
+                             jitter=0.5, seed=7)
+        first = policy.backoff_s("some-key", 1)
+        assert first == policy.backoff_s("some-key", 1)
+        assert 0.05 <= first <= 0.15  # nominal 0.1 +/- 50%
+        third = policy.backoff_s("some-key", 3)
+        assert 0.2 <= third <= 0.6  # nominal 0.4 +/- 50%
+        assert policy.backoff_s("other-key", 1) != first
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=1.0, jitter=0.0)
+        assert policy.backoff_s("k", 1) == pytest.approx(0.1)
+        assert policy.backoff_s("k", 2) == pytest.approx(0.2)
+        assert policy.backoff_s("k", 5) == pytest.approx(1.0)  # capped
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(unit_timeout_s=0.0)
+
+    def test_unit_deadline_explicit_and_scaled(self):
+        explicit = ResiliencePolicy(unit_timeout_s=7.0)
+        assert explicit.unit_deadline_s(30.0, 16) == 7.0
+        scaled = ResiliencePolicy(timeout_scale_s=5.0, min_timeout_s=60.0)
+        assert scaled.unit_deadline_s(2.0, 1) == 60.0  # floor wins
+        assert scaled.unit_deadline_s(30.0, 4) == 600.0
+
+    def test_checkpoint_and_lease_require_store(self):
+        with pytest.raises(ConfigurationError):
+            CampaignExecutor(
+                resilience=ResiliencePolicy(checkpoint_every_ticks=5)
+            )
+        with pytest.raises(ConfigurationError):
+            CampaignExecutor(
+                resilience=ResiliencePolicy(lease_ttl_s=10.0)
+            )
+
+
+class TestResilienceStats:
+    def test_counters_and_snapshot(self):
+        from repro.obs import ResilienceStats
+
+        stats = ResilienceStats()
+        stats.retry()
+        stats.timeout(2)
+        assert stats.snapshot() == {
+            "retries": 1, "timeouts": 2, "crashes": 0,
+            "quarantines": 0, "checkpoints": 0, "lease_skips": 0,
+        }
+
+    def test_null_twin_is_inert(self):
+        from repro.obs import NULL_RESILIENCE_STATS
+
+        NULL_RESILIENCE_STATS.retry()
+        NULL_RESILIENCE_STATS.crash()
+        NULL_RESILIENCE_STATS.quarantine()
+        assert NULL_RESILIENCE_STATS.snapshot() == {}
+
+
+class TestFaultPlan:
+    def test_round_trip_and_fire_once(self, tmp_path):
+        plan = FaultPlan(seed=3, faults=(
+            FaultSpec("c1", "worker_run", "crash", times=2),
+        ))
+        path = plan.save(tmp_path / "plan.json")
+        assert FaultPlan.load(path) == plan
+
+        injector = faults.FaultInjector(plan, tmp_path / "state")
+        assert injector.claim("worker_run", "any").fault_id == "c1"
+        assert injector.claim("worker_run", "any").fault_id == "c1"
+        assert injector.claim("worker_run", "any") is None  # budget spent
+        assert injector.claim("index_flush", "any") is None  # wrong point
+
+    def test_key_prefix_matching(self, tmp_path):
+        plan = FaultPlan(faults=(
+            FaultSpec("k", "worker_run", "crash", key="exp1-adapt3d"),
+        ))
+        injector = faults.FaultInjector(plan, tmp_path / "state")
+        assert injector.claim("worker_run", "exp1-default-abc") is None
+        assert injector.claim("worker_run", "exp1-adapt3d-abc") is not None
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("x", "nowhere", "crash")
+        with pytest.raises(ValueError):
+            FaultSpec("x", "worker_run", "explode")
+        with pytest.raises(ValueError):
+            FaultSpec("x", "worker_run", "crash", times=0)
+
+
+class TestCrashRecovery:
+    def test_worker_crash_retried_to_ok(self, tmp_path, monkeypatch):
+        install_plan(monkeypatch, tmp_path / "faults",
+                     FaultSpec("c1", "worker_run", "crash"))
+        store = ResultStore(tmp_path / "store")
+        executor = CampaignExecutor(store=store, backend="parallel",
+                                    max_workers=2, resilience=fast_policy())
+        run = executor.run_campaign(tiny_campaign())
+        assert run.counts() == {"ok": 2}
+        snapshot = executor.stats.snapshot()
+        assert snapshot["crashes"] >= 1
+        assert snapshot["retries"] >= 1
+        assert store.resilience_tally()["crashes"] >= 1
+
+    def test_crash_exhaustion_records_error_with_attempts(
+        self, tmp_path, monkeypatch
+    ):
+        # A crash on every attempt: the budget runs out and the error
+        # entry records how many attempts it burned.
+        install_plan(monkeypatch, tmp_path / "faults",
+                     FaultSpec("c1", "worker_run", "crash", times=10))
+        store = ResultStore(tmp_path / "store")
+        executor = CampaignExecutor(
+            store=store, backend="parallel", max_workers=1,
+            resilience=fast_policy(max_attempts=2),
+        )
+        run = executor.run_campaign(tiny_campaign(policies=("Default",)))
+        assert run.counts() == {"error": 1}
+        (message,) = run.failed().values()
+        assert "crashed" in message
+        assert "(attempt 2," in message
+
+    def test_crash_blames_first_lane_only(self, tmp_path, monkeypatch):
+        # Satellite fix: a crashed fused batch must not smear its error
+        # across every lane — one lane takes the blame, the mates are
+        # retried as singletons and complete.
+        install_plan(monkeypatch, tmp_path / "faults",
+                     FaultSpec("c1", "worker_run", "crash"))
+        store = ResultStore(tmp_path / "store")
+        executor = CampaignExecutor(
+            store=store, backend="batched", max_workers=2,
+            resilience=fast_policy(max_attempts=1),
+        )
+        run = executor.run_campaign(tiny_campaign())
+        counts = run.counts()
+        assert counts["error"] == 1
+        assert counts["ok"] == 1
+
+
+class TestWatchdog:
+    def test_hung_worker_reaped_and_retried(self, tmp_path, monkeypatch):
+        install_plan(monkeypatch, tmp_path / "faults",
+                     FaultSpec("h1", "worker_run", "hang", hang_s=60.0))
+        store = ResultStore(tmp_path / "store")
+        policy = fast_policy(max_attempts=2, unit_timeout_s=2.0)
+        executor = CampaignExecutor(store=store, backend="parallel",
+                                    max_workers=1, resilience=policy)
+        run = executor.run_campaign(tiny_campaign(policies=("Default",)))
+        assert run.counts() == {"ok": 1}
+        snapshot = executor.stats.snapshot()
+        assert snapshot["timeouts"] == 1
+        assert snapshot["retries"] == 1
+
+
+class TestQuarantine:
+    def test_deterministic_failure_quarantined(self, tmp_path):
+        bad = tiny_spec(seed=5, benchmark_mix=(("not-a-benchmark", 4),))
+        campaign = tiny_campaign(policies=("Default",), extra_runs=(bad,))
+        store = ResultStore(tmp_path)
+        executor = CampaignExecutor(store=store, backend="parallel",
+                                    max_workers=2, resilience=fast_policy())
+        run = executor.run_campaign(campaign)
+        assert run.counts() == {"ok": 1, "quarantined": 1}
+        key = run_key(bad)
+        assert store.is_quarantined(key)
+        snapshot = executor.stats.snapshot()
+        assert snapshot["quarantines"] == 1
+        assert snapshot["retries"] >= 1  # classified after a second look
+
+        # A resumed campaign skips the key without burning attempts.
+        rerun = executor.run_campaign(campaign)
+        assert rerun.counts() == {"cached": 1, "quarantined": 1}
+        assert executor.stats.snapshot()["retries"] == 0
+
+        status = campaign_status(store, campaign)
+        assert status["quarantined"] == 1
+        assert status["error"] == 0  # not double-counted as a failure
+        assert "QUARANTINED" in format_status(status)
+
+        store.unquarantine(key)
+        assert not store.is_quarantined(key)
+
+    def test_flaky_failure_is_not_quarantined(self, tmp_path, monkeypatch):
+        # A crash (transient class) never trips the same-signature rule.
+        install_plan(monkeypatch, tmp_path / "faults",
+                     FaultSpec("c1", "worker_run", "crash", times=2))
+        store = ResultStore(tmp_path / "store")
+        executor = CampaignExecutor(store=store, backend="parallel",
+                                    max_workers=1,
+                                    resilience=fast_policy(max_attempts=3))
+        run = executor.run_campaign(tiny_campaign(policies=("Default",)))
+        assert run.counts() == {"ok": 1}
+        assert store.quarantined() == {}
+
+
+class TestLeases:
+    def test_second_driver_skips_leased_key(self, tmp_path):
+        campaign = tiny_campaign(policies=("Default",))
+        (spec,) = campaign.expand()
+        key = run_key(spec)
+        store_a = ResultStore(tmp_path, owner="driver-a")
+        store_b = ResultStore(tmp_path, owner="driver-b")
+        assert store_b.acquire_lease(key, ttl_s=30.0)
+
+        executor = CampaignExecutor(
+            store=store_a, backend="serial",
+            resilience=ResiliencePolicy(lease_ttl_s=30.0),
+        )
+        run = executor.run_campaign(campaign)
+        assert run.counts() == {"leased": 1}
+        assert executor.stats.snapshot()["lease_skips"] == 1
+        assert store_a.resilience_tally()["lease_skips"] == 1
+
+        # Once the other driver lets go, the campaign picks the key up
+        # and releases its own lease on completion.
+        store_b.release_lease(key)
+        rerun = executor.run_campaign(campaign)
+        assert rerun.counts() == {"ok": 1}
+        assert store_a.lease_holder(key) is None
+
+
+class TestStoreFaults:
+    def test_torn_index_recovered_from_journal(
+        self, tmp_path, monkeypatch, tiny_result
+    ):
+        store = ResultStore(tmp_path / "store")
+        install_plan(monkeypatch, tmp_path / "faults",
+                     FaultSpec("t1", "index_flush", "torn_index"))
+        key = store.save(tiny_spec(), tiny_result)
+        # The index write was torn mid-file; reopening replays the
+        # journal and flushes a clean snapshot.
+        reopened = ResultStore(tmp_path / "store")
+        assert reopened.has(key)
+        json.loads((tmp_path / "store" / "index.json").read_text())
+
+    def test_corrupt_payload_swept_then_healed(
+        self, tmp_path, monkeypatch, tiny_result
+    ):
+        store = ResultStore(tmp_path / "store")
+        install_plan(monkeypatch, tmp_path / "faults",
+                     FaultSpec("p1", "payload_save", "corrupt_payload"))
+        key = store.save(tiny_spec(), tiny_result)
+        assert not store.has(key)  # truncated payload reads as absent
+
+        reopened = ResultStore(tmp_path / "store")
+        assert reopened.swept_runs == 1
+        assert not reopened.has(key)
+        # The fault budget is spent; a re-run heals the store.
+        assert reopened.save(tiny_spec(), tiny_result) == key
+        assert reopened.has(key)
+
+
+class TestCheckpointResume:
+    def _engine_run(self, spec, every=0, sink=None, resume=None):
+        engine = ExperimentRunner().build_engine(spec)
+        return engine.run(checkpoint_every=every, checkpoint_sink=sink,
+                          resume=resume)
+
+    @pytest.mark.parametrize("fidelity", ["eager", "span"])
+    def test_resume_bit_identical_smoke(self, fidelity):
+        spec = tiny_spec(seed=3, fidelity=fidelity, sensor_noise_sigma=0.5)
+        clean = ExperimentRunner().run(spec)
+        blobs = []
+        checkpointed = self._engine_run(
+            spec, every=7,
+            sink=lambda blob, tick: blobs.append((tick, blob)),
+        )
+        # Checkpointing itself must not perturb the run.
+        assert_results_identical(clean, checkpointed)
+        assert [tick for tick, _ in blobs] == [7, 14]
+        for _, blob in blobs:
+            resumed = self._engine_run(spec, resume=blob)
+            assert_results_identical(clean, resumed)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("fidelity", ["eager", "span"])
+    @pytest.mark.parametrize("noise", [0.0, 0.5])
+    @pytest.mark.parametrize("dpm", [False, True])
+    def test_resume_bit_identical_matrix(self, fidelity, noise, dpm):
+        spec = tiny_spec(seed=9, duration_s=3.0, fidelity=fidelity,
+                         sensor_noise_sigma=noise, with_dpm=dpm)
+        clean = ExperimentRunner().run(spec)
+        blobs = []
+        self._engine_run(spec, every=9,
+                         sink=lambda blob, tick: blobs.append(blob))
+        assert len(blobs) == 3  # ticks 9, 18, 27 of 30
+        for blob in blobs:
+            resumed = self._engine_run(spec, resume=blob)
+            assert_results_identical(clean, resumed)
+
+    def test_runner_resumes_from_checkpoint_file(self, tmp_path):
+        spec = tiny_spec(seed=11)
+        clean = ExperimentRunner().run(spec)
+        path = tmp_path / "run.ckpt"
+        first = ExperimentRunner().run(spec, checkpoint_path=path,
+                                       checkpoint_every_ticks=6)
+        assert_results_identical(clean, first)
+        # The completed run leaves its last checkpoint behind (the
+        # store discards it; a bare runner keeps it). A re-run resumes
+        # from tick 18 and must land on the same result.
+        assert load_checkpoint(path) is not None
+        resumed = ExperimentRunner().run(spec, checkpoint_path=path,
+                                         checkpoint_every_ticks=6)
+        assert_results_identical(clean, resumed)
+
+    def test_corrupt_checkpoint_file_ignored(self, tmp_path):
+        spec = tiny_spec(seed=12)
+        clean = ExperimentRunner().run(spec)
+        path = tmp_path / "run.ckpt"
+        path.write_bytes(b"RPRCKPT1" + b"\x00" * 40)  # bad digest
+        assert load_checkpoint(path) is None
+        result = ExperimentRunner().run(spec, checkpoint_path=path,
+                                        checkpoint_every_ticks=5)
+        assert_results_identical(clean, result)
+
+    def test_stale_checkpoint_of_other_run_discarded(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        ExperimentRunner().run(tiny_spec(policy="Adapt3D"),
+                               checkpoint_path=path,
+                               checkpoint_every_ticks=6)
+        spec = tiny_spec(policy="Default", seed=13)
+        clean = ExperimentRunner().run(spec)
+        # The leftover checkpoint belongs to a different run; the
+        # identity guard rejects it and the run starts fresh.
+        result = ExperimentRunner().run(spec, checkpoint_path=path,
+                                        checkpoint_every_ticks=6)
+        assert_results_identical(clean, result)
+
+    def test_executor_resumes_from_store_checkpoint(self, tmp_path):
+        spec = tiny_spec(seed=21)
+        key = run_key(spec)
+        store = ResultStore(tmp_path / "store")
+        clean = ExperimentRunner().run(spec)
+        # Simulate a killed driver: a mid-run checkpoint survives in
+        # the store, the result does not.
+        ExperimentRunner().run(spec, checkpoint_path=store.checkpoint_path(key),
+                               checkpoint_every_ticks=5)
+        assert store.has_checkpoint(key)
+        assert not store.has(key)
+
+        executor = CampaignExecutor(
+            store=store, backend="parallel", max_workers=1,
+            resilience=fast_policy(checkpoint_every_ticks=5),
+        )
+        results = executor.run_specs([spec])
+        assert executor.stats.snapshot()["checkpoints"] == 1
+        assert not store.has_checkpoint(key)  # discarded once completed
+
+        reference = ResultStore(tmp_path / "reference")
+        reference.save(spec, clean)
+        assert_results_identical(results[key], reference.load(key))
+
+
+class TestChaosCampaign:
+    """The acceptance harness: a campaign under a mixed fault plan
+    terminates, and every surviving run is bit-identical to a
+    fault-free execution."""
+
+    def _run_until_done(self, executor, store, campaign, max_rounds=4):
+        # Convergence is judged by store coverage, not per-round
+        # counts: a corrupt_payload fault lets a round report "ok"
+        # while the stored payload is torn, and only the next round's
+        # re-run heals it.
+        for _ in range(max_rounds):
+            run = executor.run_campaign(campaign)
+            if all(store.has(run_key(spec)) for spec in campaign.expand()):
+                return run
+        return run
+
+    def test_chaos_smoke(self, tmp_path, monkeypatch):
+        # One crash plus one torn index write, two runs.
+        install_plan(
+            monkeypatch, tmp_path / "faults",
+            FaultSpec("c1", "worker_run", "crash"),
+            FaultSpec("t1", "index_flush", "torn_index"),
+        )
+        campaign = tiny_campaign()
+        store = ResultStore(tmp_path / "store")
+        executor = CampaignExecutor(store=store, backend="parallel",
+                                    max_workers=2, resilience=fast_policy())
+        self._run_until_done(executor, store, campaign)
+
+        monkeypatch.delenv(faults.ENV_PLAN)
+        faults.reset_fault_cache()
+        reference = ResultStore(tmp_path / "reference")
+        CampaignExecutor(store=reference, backend="serial").run_campaign(
+            campaign
+        )
+        for spec in campaign.expand():
+            key = run_key(spec)
+            chaos_store = ResultStore(tmp_path / "store")
+            assert chaos_store.has(key)
+            assert_results_identical(
+                chaos_store.load(key), reference.load(key)
+            )
+
+    @pytest.mark.slow
+    def test_chaos_full_matrix(self, tmp_path, monkeypatch):
+        # Crash storm + hang + torn index + corrupt payload across a
+        # four-run campaign with checkpointing armed.
+        install_plan(
+            monkeypatch, tmp_path / "faults",
+            FaultSpec("c1", "worker_run", "crash", times=2),
+            FaultSpec("h1", "worker_run", "hang", hang_s=60.0),
+            FaultSpec("t1", "index_flush", "torn_index"),
+            FaultSpec("p1", "payload_save", "corrupt_payload"),
+        )
+        campaign = tiny_campaign(seeds=(1, 2))  # 4 runs
+        store = ResultStore(tmp_path / "store")
+        policy = fast_policy(max_attempts=3, unit_timeout_s=3.0,
+                             checkpoint_every_ticks=5)
+        executor = CampaignExecutor(store=store, backend="parallel",
+                                    max_workers=2, resilience=policy)
+        run = self._run_until_done(executor, store, campaign, max_rounds=6)
+        counts = run.counts()
+        assert counts.get("error", 0) == 0
+        assert counts.get("quarantined", 0) == 0
+
+        tally = ResultStore(tmp_path / "store").resilience_tally()
+        assert tally.get("crashes", 0) >= 1
+        assert tally.get("timeouts", 0) >= 1
+
+        monkeypatch.delenv(faults.ENV_PLAN)
+        faults.reset_fault_cache()
+        reference = ResultStore(tmp_path / "reference")
+        CampaignExecutor(store=reference, backend="serial").run_campaign(
+            campaign
+        )
+        chaos_store = ResultStore(tmp_path / "store")
+        for spec in campaign.expand():
+            key = run_key(spec)
+            assert chaos_store.has(key)
+            assert_results_identical(
+                chaos_store.load(key), reference.load(key)
+            )
+
+
+class TestResilienceCli:
+    def test_campaign_run_accepts_resilience_flags(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        spec_path = tiny_campaign(name="flags", policies=("Default",)).to_json(
+            tmp_path / "flags.json"
+        )
+        assert main([
+            "campaign", "run", str(spec_path), "--serial",
+            "--max-attempts", "2", "--checkpoint-every", "5",
+            "--lease-ttl", "30",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 done" in out
+
+    def test_unquarantine_subcommand(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        bad = tiny_spec(seed=5, benchmark_mix=(("not-a-benchmark", 4),))
+        campaign = tiny_campaign(name="unq", policies=("Default",),
+                                 extra_runs=(bad,))
+        spec_path = campaign.to_json(tmp_path / "unq.json")
+        store = ResultStore(tmp_path / "campaigns" / "unq")
+        key = store.quarantine(bad, "boom")
+        assert main(["campaign", "status", str(spec_path)]) == 0
+        assert "quarantined" in capsys.readouterr().out
+        assert main(["campaign", "unquarantine", str(spec_path)]) == 0
+        assert f"released {key}" in capsys.readouterr().out
+        assert not store.is_quarantined(key)
