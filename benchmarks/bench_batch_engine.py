@@ -13,7 +13,12 @@ Measures the campaign-shaped workload the batch engine exists for — a
 - ``batch gemm`` — the fused one-GEMM thermal propagation;
 - ``batch span`` — ``fidelity="span"`` lanes on the gemm propagation:
   lazy per-core span execution, trusted completion events, and the
-  across-lane probabilistic policy tick (docs/ENGINE.md).
+  across-lane probabilistic policy tick (docs/ENGINE.md);
+- ``batch event`` — ``fidelity="event"`` lanes on the gemm
+  propagation: event lanes ride the same span substrate inside a
+  batch (the serial jump machinery stays out of the fused loop — the
+  batch amortizes the tick boundary instead), so this row tracks that
+  the event axis costs nothing when batched on busy workloads.
 
 Where the eager ceiling comes from (measured on the bench machine, see
 docs/ENGINE.md): a serial EXP-4 tick spends ~57% of its time in the
@@ -67,6 +72,9 @@ GATE_EXACT_VS_SERIAL = 1.2
 #: cap (~1.75x) with room to spare: measured ~2.6x on the bench
 #: machine.
 GATE_SPAN_VS_SERIAL = 2.5
+#: Event lanes batch as span lanes on this busy sweep; the same gate
+#: keeps the event axis from regressing the fused loop.
+GATE_EVENT_VS_SERIAL = 2.5
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -112,6 +120,7 @@ def test_batch_engine_throughput(results_dir):
         "batch_exact": lambda: run_batch("exact"),
         "batch_gemm": lambda: run_batch("gemm"),
         "batch_span": lambda: run_batch("gemm", fidelity="span"),
+        "batch_event": lambda: run_batch("gemm", fidelity="event"),
     }
     # Interleaved rounds: each round times every config once, the
     # per-config min drops rounds hit by transient machine load.
@@ -126,6 +135,7 @@ def test_batch_engine_throughput(results_dir):
     exact_s = rows["batch_exact"]
     gemm_s = rows["batch_gemm"]
     span_s = rows["batch_span"]
+    event_s = rows["batch_event"]
 
     n_runs = len(specs)
     runs_per_s = {name: n_runs / secs for name, secs in rows.items()}
@@ -141,22 +151,23 @@ def test_batch_engine_throughput(results_dir):
         np.testing.assert_array_equal(a.unit_temps_k, b.unit_temps_k)
         assert a.energy_j == b.energy_j
 
-    # Span tolerance spot check: the fast path must track the serial
-    # reference within the documented contract (full matrix in
-    # tests/test_engine_span.py).
-    span_lanes = []
-    for spec in check_specs:
-        engine = runner.build_engine(spec)
-        engine.config = replace(engine.config, fidelity="span")
-        span_lanes.append(engine)
-    for a, b in zip(serial_results,
-                    BatchSimulationEngine(span_lanes,
-                                          propagation="gemm").run()):
-        np.testing.assert_allclose(
-            a.unit_temps_k, b.unit_temps_k, rtol=0.0, atol=1e-3
-        )
-        np.testing.assert_array_equal(a.vf_indices, b.vf_indices)
-        assert len(a.completed_jobs()) == len(b.completed_jobs())
+    # Span/event tolerance spot check: both fast paths must track the
+    # serial reference within the documented contract (full matrices in
+    # tests/test_engine_span.py and tests/test_engine_event.py).
+    for fidelity in ("span", "event"):
+        fast_lanes = []
+        for spec in check_specs:
+            engine = runner.build_engine(spec)
+            engine.config = replace(engine.config, fidelity=fidelity)
+            fast_lanes.append(engine)
+        for a, b in zip(serial_results,
+                        BatchSimulationEngine(fast_lanes,
+                                              propagation="gemm").run()):
+            np.testing.assert_allclose(
+                a.unit_temps_k, b.unit_temps_k, rtol=0.0, atol=1e-3
+            )
+            np.testing.assert_array_equal(a.vf_indices, b.vf_indices)
+            assert len(a.completed_jobs()) == len(b.completed_jobs())
 
     payload_section = {
         "n_seeds": n_runs,
@@ -169,11 +180,13 @@ def test_batch_engine_throughput(results_dir):
         "speedup_exact_vs_serial": round(serial_s / exact_s, 2),
         "speedup_gemm_vs_scan": round(scan_s / gemm_s, 2),
         "speedup_span_vs_serial": round(serial_s / span_s, 2),
+        "speedup_event_vs_serial": round(serial_s / event_s, 2),
         "gates": {
             "gemm_vs_scan": GATE_GEMM_VS_SCAN,
             "gemm_vs_serial": GATE_GEMM_VS_SERIAL,
             "exact_vs_serial": GATE_EXACT_VS_SERIAL,
             "span_vs_serial": GATE_SPAN_VS_SERIAL,
+            "event_vs_serial": GATE_EVENT_VS_SERIAL,
         },
     }
 
@@ -199,7 +212,7 @@ def test_batch_engine_throughput(results_dir):
         f"{'config':14s} {'total s':>9s} {'runs/s':>8s} {'speedup':>8s}",
     ]
     for name in ("scan", "serial", "batch_exact", "batch_gemm",
-                 "batch_span"):
+                 "batch_span", "batch_event"):
         lines.append(
             f"{name:14s} {rows[name]:9.2f} {runs_per_s[name]:8.2f} "
             f"{serial_s / rows[name]:7.2f}x"
@@ -231,4 +244,8 @@ def test_batch_engine_throughput(results_dir):
     assert serial_s / span_s >= GATE_SPAN_VS_SERIAL, (
         f"span batch {serial_s / span_s:.2f}x vs serial replay missed "
         f"the {GATE_SPAN_VS_SERIAL}x gate"
+    )
+    assert serial_s / event_s >= GATE_EVENT_VS_SERIAL, (
+        f"event batch {serial_s / event_s:.2f}x vs serial replay missed "
+        f"the {GATE_EVENT_VS_SERIAL}x gate"
     )

@@ -58,6 +58,16 @@ CONFIGS = (
     ("exponential_heap", "event_heap", "exponential"),
 )
 
+#: Idle-heavy scenario for the event-fidelity bench: EXP-4 under the
+#: plain load balancer with DPM and a light two-job mix (~2% core
+#: utilization), so most ticks are event-free and the event loop's
+#: heap-to-heap jumps carry the run. The gate is machine-relative by
+#: construction (both columns are measured on the same host in the
+#: same interleaved rounds).
+IDLE_MIX = (("gzip", 1), ("MPlayer", 1))
+GATE_EVENT_VS_SERIAL = 5.0
+STRETCH_EVENT_VS_SERIAL = 10.0
+
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
@@ -157,8 +167,9 @@ def test_engine_hotpath(results_dir):
     source = existing if existing.exists() else REPO_ROOT / "BENCH_engine.json"
     if source.exists():
         previous = json.loads(source.read_text())
-        if "batch" in previous:
-            payload["batch"] = previous["batch"]
+        for section in ("batch", "event"):
+            if section in previous:
+                payload[section] = previous[section]
     text = json.dumps(payload, indent=2) + "\n"
     existing.write_text(text)
     # Mirror to the repo root so the perf trajectory is tracked at top
@@ -214,3 +225,95 @@ def test_engine_hotpath(results_dir):
             row["implicit_heap_ms_per_tick"]
             <= row["scan_ms_per_tick"] * 1.05
         )
+
+
+def test_engine_event_idle(results_dir):
+    """Event-driven time advance on the idle-heavy scenario.
+
+    Measures the shipping serial engine (eager fidelity, event heap +
+    exponential propagator) against ``fidelity="event"`` on the same
+    spec, interleaved best-of-REPS, and gates the ratio at
+    ``GATE_EVENT_VS_SERIAL`` (stretch ``STRETCH_EVENT_VS_SERIAL``).
+    The tolerance spot check always runs, smoke included; the full
+    differential matrix lives in tests/test_engine_event.py.
+    """
+    runner = ExperimentRunner()
+    spec = RunSpec(
+        exp_id=4, policy="Default", duration_s=BENCH_SIM_S,
+        benchmark_mix=IDLE_MIX, with_dpm=True, seed=BENCH_SEED,
+    )
+    times = {"serial": float("inf"), "event": float("inf")}
+    results = {}
+    for _ in range(REPS):
+        for label, fidelity in (("serial", "eager"), ("event", "event")):
+            engine = runner.build_engine(spec)
+            if fidelity != "eager":
+                engine.config = replace(engine.config, fidelity=fidelity)
+            start = time.perf_counter()
+            result = engine.run()
+            times[label] = min(times[label], time.perf_counter() - start)
+            results[label] = result
+
+    # Event must honour the span tolerance contract on the exact runs
+    # just measured: discrete planes bitwise, thermal within 1e-3 K,
+    # energy within 0.1%.
+    a, b = results["serial"], results["event"]
+    np.testing.assert_array_equal(a.vf_indices, b.vf_indices)
+    np.testing.assert_array_equal(a.core_states, b.core_states)
+    np.testing.assert_allclose(
+        a.unit_temps_k, b.unit_temps_k, rtol=0.0, atol=1e-3
+    )
+    assert abs(a.energy_j - b.energy_j) <= 1e-3 * abs(a.energy_j)
+
+    n_ticks = a.n_ticks
+    speedup = times["serial"] / times["event"]
+    section = {
+        "smoke": SMOKE,
+        "simulated_s": BENCH_SIM_S,
+        "policy": "Default",
+        "exp_id": 4,
+        "benchmark_mix": "gzip+MPlayer",
+        "with_dpm": True,
+        "serial_ms_per_tick": round(times["serial"] / n_ticks * 1000.0, 4),
+        "event_ms_per_tick": round(times["event"] / n_ticks * 1000.0, 4),
+        "speedup_event_vs_serial": round(speedup, 2),
+        "gate_event_vs_serial": GATE_EVENT_VS_SERIAL,
+        "stretch_event_vs_serial": STRETCH_EVENT_VS_SERIAL,
+    }
+
+    # Merge alongside the hot-path and batch sections (results dir +
+    # repo-root mirror; smoke figures never replace the tracked ones).
+    merged = {}
+    existing = results_dir / "BENCH_engine.json"
+    source = existing if existing.exists() else REPO_ROOT / "BENCH_engine.json"
+    if source.exists():
+        merged = json.loads(source.read_text())
+    merged["event"] = section
+    text = json.dumps(merged, indent=2) + "\n"
+    existing.write_text(text)
+    if not SMOKE:
+        (REPO_ROOT / "BENCH_engine.json").write_text(text)
+
+    emit(
+        results_dir,
+        "engine_event_idle",
+        (
+            "Event fidelity, idle-heavy EXP-4 (Default + DPM, "
+            f"gzip+MPlayer, {BENCH_SIM_S:.0f} s simulated, best of {REPS})"
+            + (" [SMOKE]" if SMOKE else "")
+            + f"\nserial {times['serial'] * 1000.0:8.1f} ms "
+            f"({section['serial_ms_per_tick']:.3f} ms/tick)"
+            + f"\nevent  {times['event'] * 1000.0:8.1f} ms "
+            f"({section['event_ms_per_tick']:.3f} ms/tick)"
+            + f"\nspeedup {speedup:.2f}x (gate {GATE_EVENT_VS_SERIAL}x, "
+            f"stretch {STRETCH_EVENT_VS_SERIAL}x)"
+        ),
+    )
+
+    if SMOKE:
+        return
+    assert speedup >= GATE_EVENT_VS_SERIAL, (
+        f"event fidelity {speedup:.2f}x vs the shipping serial engine "
+        f"missed the {GATE_EVENT_VS_SERIAL}x gate on the idle-heavy "
+        "scenario"
+    )

@@ -70,10 +70,13 @@ class RunSpec:
         ``benchmark_mix``.
     fidelity:
         Interval-execution fidelity: ``"eager"`` (default, the
-        bit-identity reference semantics) or ``"span"`` (lazy
+        bit-identity reference semantics), ``"span"`` (lazy
         span-compiled scheduling, approximately equal within the
         tolerance documented in docs/ENGINE.md and markedly faster in
-        batched campaigns).
+        batched campaigns) or ``"event"`` (event-driven time advance:
+        the clock jumps between heap events over a reduced-order
+        modal thermal stepper — same tolerance contract as span,
+        fastest on idle-heavy scenarios).
     telemetry:
         Collect engine telemetry (metrics registry, per-job latency
         stats, tick-phase profile) during the run. Strictly

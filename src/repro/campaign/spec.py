@@ -37,7 +37,10 @@ from repro.errors import ConfigurationError
 # the workload generator moved to bulk-drawn exponentials (same
 # distribution, different realization per seed), so stored trajectories
 # from v3 are not reproducible under v4.
-KEY_VERSION = 4
+# v5: the fidelity axis gained "event" (event-driven time advance over
+# the reduced-order modal thermal stepper); the version fence keeps v4
+# stores from ever serving event-fidelity requests they never computed.
+KEY_VERSION = 5
 
 
 def _canonical(value: Any) -> Any:
@@ -55,8 +58,8 @@ def spec_to_dict(spec: RunSpec) -> Dict[str, Any]:
     ``telemetry`` is excluded: it is purely observational (the engine
     guarantees identical trajectories with it on or off), so it must
     not feed :func:`run_key` — a telemetry-enabled campaign can reuse
-    results stored by a plain one and vice versa. Keys therefore stay
-    identical to v4 and no ``KEY_VERSION`` bump is needed.
+    results stored by a plain one and vice versa. Excluding it changed
+    no keys and needed no ``KEY_VERSION`` bump.
     """
     data = _canonical(asdict(spec))
     data.pop("telemetry", None)
@@ -160,10 +163,10 @@ class CampaignSpec:
             if not getattr(self, axis):
                 raise ConfigurationError(f"campaign axis {axis!r} is empty")
         for fidelity in self.fidelities:
-            if fidelity not in ("eager", "span"):
+            if fidelity not in ("eager", "span", "event"):
                 raise ConfigurationError(
                     f"unknown fidelity {fidelity!r}; "
-                    "expected 'eager' or 'span'"
+                    "expected 'eager', 'span' or 'event'"
                 )
 
     # ------------------------------------------------------------------

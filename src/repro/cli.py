@@ -49,11 +49,13 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                         help="transient integrator (exponential is exact "
                              "under piecewise-constant power)")
     parser.add_argument("--fidelity", default="eager",
-                        choices=("eager", "span"),
+                        choices=("eager", "span", "event"),
                         help="interval-execution fidelity: eager "
-                             "(bit-identity reference) or span "
+                             "(bit-identity reference), span "
                              "(span-compiled scheduling, approximate "
-                             "within the documented tolerance, faster)")
+                             "within the documented tolerance, faster) "
+                             "or event (event-driven clock jumps, same "
+                             "tolerance, fastest on idle-heavy runs)")
 
 
 def _report_lines(report, with_delay: bool) -> List[List[object]]:
@@ -383,12 +385,14 @@ def build_parser() -> argparse.ArgumentParser:
                                    "batching, fastest, ~1e-13 K "
                                    "deviation)")
     campaign_run.add_argument("--fidelity", default=None,
-                              choices=("eager", "span"),
+                              choices=("eager", "span", "event"),
                               help="override the campaign's fidelity axis "
-                                   "for every run: eager (reference) or "
+                                   "for every run: eager (reference), "
                                    "span (span-compiled scheduling, "
                                    "approximate, fastest with the batched "
-                                   "backend)")
+                                   "backend) or event (event-driven clock "
+                                   "jumps, fastest serial on idle-heavy "
+                                   "runs)")
     campaign_run.add_argument("--telemetry", action="store_true",
                               help="collect engine telemetry (metrics, job "
                                    "stats, tick-phase profile) per run; "

@@ -32,6 +32,8 @@ __all__ = ["Manifest"]
 HOT_PATH_FUNCTIONS: Tuple[Tuple[str, str], ...] = (
     ("src/repro/sched/engine.py", "SimulationEngine._run_heap_ticks"),
     ("src/repro/sched/engine.py", "SimulationEngine._run_span_ticks"),
+    ("src/repro/sched/engine.py", "SimulationEngine._run_event_ticks"),
+    ("src/repro/sched/engine.py", "SimulationEngine._quiet_ticks_event"),
     ("src/repro/sched/engine.py", "SimulationEngine._advance_interval_heap"),
     ("src/repro/sched/engine.py", "SimulationEngine._advance_interval_span"),
     ("src/repro/sched/engine.py", "SimulationEngine._pop_due_completions"),
@@ -40,8 +42,11 @@ HOT_PATH_FUNCTIONS: Tuple[Tuple[str, str], ...] = (
     ("src/repro/sched/engine.py", "SimulationEngine._span_utilization"),
     ("src/repro/sched/engine.py", "SimulationEngine._sync_queue_state"),
     ("src/repro/sched/engine.py", "SimulationEngine._sync_vf_row"),
+    ("src/repro/sched/engine.py", "SimulationEngine._apply_vf_level"),
     ("src/repro/thermal/model.py", "ThermalModel.step_vector"),
+    ("src/repro/thermal/model.py", "ModalJump.advance"),
     ("src/repro/power/chip_power.py", "ChipPowerModel.unit_power_vector"),
+    ("src/repro/power/chip_power.py", "ChipPowerModel.quiet_power_eval"),
 )
 
 #: Every def with this name under the directory is hot (dispatch-time
@@ -145,6 +150,7 @@ CONFIG_SOURCES: Tuple[Tuple[str, str], ...] = (
 COVERAGE_TEST_FILES: Tuple[str, ...] = (
     "tests/test_engine_heap.py",
     "tests/test_engine_span.py",
+    "tests/test_engine_event.py",
     "tests/test_engine_batch.py",
 )
 #: knob -> alternate keyword names that count as covering it

@@ -29,6 +29,7 @@ __all__ = [
     "PH_POLICY",
     "PH_RECORD",
     "PH_FAST_FORWARD",
+    "PH_EVENT_JUMP",
     "TickProfiler",
     "NULL_PROFILER",
     "merge_phase_summaries",
@@ -43,6 +44,7 @@ PHASES = (
     "policy",         # DTM policy decisions (V/f, gating, migration)
     "record",         # per-tick series bookkeeping
     "fast_forward",   # span quiet-stretch multi-tick jumps
+    "event_jump",     # event-mode clock jumps between heap events
 )
 
 PH_INTERVAL = 0
@@ -53,6 +55,7 @@ PH_DPM = 4
 PH_POLICY = 5
 PH_RECORD = 6
 PH_FAST_FORWARD = 7
+PH_EVENT_JUMP = 8
 
 
 class TickProfiler:

@@ -11,7 +11,8 @@ trace ring buffer.
 
 Hooks fire at *decision* sites only (dispatch, start-of-execution,
 completion, migration, DPM/V-f/gating transitions, span close,
-fast-forward) — all of which are microsecond-scale code paths already,
+fast-forward, event jump) — all of which are microsecond-scale code
+paths already,
 so instrumenting them cannot perturb the simulation: telemetry reads
 engine state, never writes it, and eager runs stay bit-identical with
 telemetry enabled (asserted in the differential harnesses).
@@ -31,6 +32,7 @@ from repro.obs.trace import (
     EV_DISPATCH,
     EV_DPM_SLEEP,
     EV_DPM_WAKE,
+    EV_EVENT_JUMP,
     EV_FAST_FORWARD,
     EV_GATE,
     EV_MIGRATION,
@@ -71,6 +73,7 @@ class EngineTelemetry:
         "_c_dispatch", "_c_complete", "_c_migration", "_c_preempt",
         "_c_sleep", "_c_wake", "_c_vf", "_c_gate", "_c_span_close",
         "_c_ff_spans", "_c_ff_ticks",
+        "_c_ev_jumps", "_c_ev_jump_ticks", "_c_ev_skipped",
         "_h_response", "_h_queue_wait",
     )
 
@@ -99,6 +102,9 @@ class EngineTelemetry:
         self._c_span_close = reg.counter("span.closes")
         self._c_ff_spans = reg.counter("span.fast_forwards")
         self._c_ff_ticks = reg.counter("span.fast_forward_ticks")
+        self._c_ev_jumps = reg.counter("event.jumps")
+        self._c_ev_jump_ticks = reg.counter("event.jump_ticks")
+        self._c_ev_skipped = reg.counter("event.skipped_ticks")
         self._h_response = reg.histogram("jobs.response_time_s",
                                          LATENCY_BOUNDS_S)
         self._h_queue_wait = reg.histogram("jobs.queue_wait_s",
@@ -183,6 +189,12 @@ class EngineTelemetry:
         self._c_ff_ticks.inc(ticks)
         self.trace.emit(t, EV_FAST_FORWARD, -1, -1, float(ticks))
 
+    def event_jump(self, t: float, ticks: int, skipped: int) -> None:
+        self._c_ev_jumps.inc()
+        self._c_ev_jump_ticks.inc(ticks)
+        self._c_ev_skipped.inc(skipped)
+        self.trace.emit(t, EV_EVENT_JUMP, -1, -1, float(ticks))
+
     # -- snapshot ------------------------------------------------------
 
     def snapshot(
@@ -263,6 +275,9 @@ class _NullTelemetry:
         pass
 
     def fast_forward(self, t, ticks):
+        pass
+
+    def event_jump(self, t, ticks, skipped):
         pass
 
 

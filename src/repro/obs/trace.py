@@ -33,6 +33,7 @@ __all__ = [
     "EV_GATE",
     "EV_SPAN_CLOSE",
     "EV_FAST_FORWARD",
+    "EV_EVENT_JUMP",
     "EVENT_NAMES",
     "TraceRecorder",
     "TraceEvent",
@@ -50,6 +51,7 @@ EV_VF_CHANGE = 8
 EV_GATE = 9
 EV_SPAN_CLOSE = 10
 EV_FAST_FORWARD = 11
+EV_EVENT_JUMP = 12
 
 EVENT_NAMES: Dict[int, str] = {
     EV_ARRIVAL: "arrival",
@@ -63,6 +65,7 @@ EVENT_NAMES: Dict[int, str] = {
     EV_GATE: "gate",
     EV_SPAN_CLOSE: "span_close",
     EV_FAST_FORWARD: "fast_forward",
+    EV_EVENT_JUMP: "event_jump",
 }
 
 #: (time_s, event_type, core_index, job_id, value)

@@ -537,6 +537,128 @@ class ChipPowerModel:
 
         return powers
 
+    def quiet_power_factors(
+        self,
+        core_states: np.ndarray,
+        core_utils: np.ndarray,
+        core_dyn_scale: np.ndarray,
+        core_voltage: np.ndarray,
+        memory_intensity: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Affine decomposition of :meth:`unit_power_vector` for a quiet
+        stretch: ``(base, leak_mul)`` such that for any per-unit
+        temperature row ``u``
+
+            power(u) = base + leak_mul * (density*area * leak_poly(u))
+
+        element-for-element identical to calling
+        :meth:`unit_power_vector` with the same (frozen) activity inputs
+        and ``u`` — see :meth:`quiet_power_eval`. While no core changes
+        state, utilization, or V/f level, only the leakage term varies
+        (with temperature), so the whole dynamic side folds into
+        ``base``: state/DVFS core power (``sleep_w`` outright for
+        sleeping cores, whose state power already includes leakage —
+        their ``leak_mul`` is zero), cache access power, crossbar and
+        misc activity power.  ``leak_mul`` carries the per-kind voltage
+        scaling (``V^2`` for cores, 1 elsewhere).  The event-fidelity
+        fast-forward evaluates this once per stretch and then reprices
+        leakage per tick from the evolving mean-temperature readback.
+        """
+        sleep_code = STATE_CODE[CoreState.SLEEP]
+        gated_code = STATE_CODE[CoreState.GATED]
+        active_code = STATE_CODE[CoreState.ACTIVE]
+
+        base = np.zeros(len(self._unit_names))
+        leak_mul = np.zeros(len(self._unit_names))
+
+        core = self.core_model
+        busy = core.active_w * core_utils + core.idle_w * (1.0 - core_utils)
+        dyn = busy * core_dyn_scale
+        dyn = np.where(core_states == gated_code, core.gated_w, dyn)
+        sleeping = core_states == sleep_code
+        base[self._core_idx] = np.where(sleeping, core.sleep_w, dyn)
+        leak_mul[self._core_idx] = np.where(
+            sleeping, 0.0, core_voltage * core_voltage
+        )
+
+        mean_util = np.zeros(len(self._cache_idx))
+        if self._cache_nonempty.size:
+            mean_util[self._cache_nonempty] = (
+                np.add.reduceat(
+                    core_utils[self._cache_served_idx], self._cache_offsets
+                )
+                / self._cache_counts[self._cache_nonempty]
+            )
+        cache = self.cache_model
+        access = mean_util * memory_intensity
+        base[self._cache_idx] = cache.full_power_w * (
+            cache.baseline_fraction
+            + (1.0 - cache.baseline_fraction) * access
+        )
+        leak_mul[self._cache_idx] = 1.0
+
+        active = (core_states == active_code) | (core_utils > 0.0)
+        chip_active = (
+            float(np.count_nonzero(active)) / len(self._core_names)
+            if self._core_names
+            else 0.0
+        )
+        if self._xbar_idx.size:
+            fractions = np.empty(len(self._xbar_core_segments))
+            if self._xbar_nonempty.size:
+                counts = np.add.reduceat(
+                    active[self._xbar_seg_concat].astype(np.float64),
+                    self._xbar_seg_offsets,
+                )
+                fractions[self._xbar_nonempty] = counts / self._xbar_seg_sizes
+            if self._xbar_empty.size:
+                fractions[self._xbar_empty] = chip_active
+            xbar = self.crossbar_model
+            activity = fractions * (0.5 + 0.5 * memory_intensity)
+            base[self._xbar_idx] = xbar.full_power_w * (
+                xbar.baseline_fraction
+                + (1.0 - xbar.baseline_fraction) * activity
+            )
+            leak_mul[self._xbar_idx] = 1.0
+
+        if self._other_idx.size:
+            scale = (
+                OTHER_BASELINE_FRACTION
+                + (1.0 - OTHER_BASELINE_FRACTION) * chip_active
+            )
+            base[self._other_idx] = (
+                OTHER_DENSITY_W_PER_MM2 * self._areas_mm2[self._other_idx]
+            ) * scale
+            leak_mul[self._other_idx] = 1.0
+
+        return base, leak_mul
+
+    def quiet_power_eval(
+        self,
+        base: np.ndarray,
+        leak_mul: np.ndarray,
+        unit_temps: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-unit power at ``unit_temps`` under frozen activity.
+
+        ``(base, leak_mul)`` come from :meth:`quiet_power_factors` with
+        the stretch's activity inputs.  Per element this reproduces
+        :meth:`unit_power_vector` bit for bit: the leakage prefix is the
+        same ``density*area * polynomial`` product, the voltage scaling
+        multiplies it in the same order, and the final add matches the
+        kernel's ``dyn + leak`` (sleeping cores add an exact ``+0.0``).
+        Runs once per reconstructed tick inside the event fast-forward,
+        so it is on the hot-path-alloc manifest.
+        """
+        norm = self.leakage_model.normalized_array(unit_temps)
+        leak = self._leak_dens_area * norm
+        leak *= leak_mul
+        if out is None:
+            out = np.empty(len(self._unit_names))
+        np.add(base, leak, out=out)
+        return out
+
     def total_power(self, unit_power_vec: np.ndarray) -> float:
         """Chip total (W) of a canonical-order power vector.
 

@@ -27,14 +27,17 @@ structure-of-arrays bookkeeping is re-homed onto rows of batch-owned
 ``(R, n_cores)`` matrices at construction, so the boundary reads them
 with zero per-lane gathering.
 
-With ``EngineConfig(fidelity="span")`` lanes (uniform across the
-batch), the per-lane interval advance switches to the span-compiled
-fast path — lazy per-core spans, trusted completion events — and two
-further batch-level fusions engage: ideal-sensor reads become one
-gather over the peak block, and batches whose policies are all plain
-probabilistic allocators tick their probability state through one
-stacked ``(R, n_cores)`` update (:class:`_ProbabilisticBatchTick`)
-instead of R per-lane ``on_tick`` sweeps. This is what breaks the
+With ``EngineConfig(fidelity="span")`` or ``fidelity="event"`` lanes
+(uniform across the batch), the per-lane interval advance switches to
+the span-compiled fast path — lazy per-core spans, trusted completion
+events — and two further batch-level fusions engage: ideal-sensor
+reads become one gather over the peak block, and batches whose
+policies are all plain probabilistic allocators — or all the same
+plain §III-A DVFS policy — tick their per-lane policy state through
+one stacked ``(R, n_cores)`` update (:class:`_ProbabilisticBatchTick`
+/ :class:`_DVFSBatchTick`) instead of R per-lane ``on_tick`` sweeps.
+Event lanes batch as span lanes: the serial event loop's clock jumps
+are an alternative to the batch's amortization, not an addition to it. This is what breaks the
 eager batch's scalar Amdahl cap (docs/ENGINE.md): measured ~2.6x over
 the shipping serial engine on the 16-seed EXP-4 bench, vs ~1.6x for
 eager gemm lanes. Span fidelity trades the bit-identity contract for a
@@ -76,7 +79,11 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.adapt3d import Adapt3D
-from repro.core.base import TickArrays
+from repro.core.base import Migration, TickArrays
+from repro.core.default import IMBALANCE_THRESHOLD
+from repro.core.dvfs_flp import DVFSFloorplanAware
+from repro.core.dvfs_tt import DVFSTemperatureTriggered
+from repro.core.dvfs_util import DVFSUtilizationBased
 from repro.core.probabilistic import ProbabilisticAllocator
 from repro.errors import SchedulerError
 from repro.obs.profiler import (
@@ -195,6 +202,171 @@ class _ProbabilisticBatchTick:
             policy._hist_len = self.hist_len
 
 
+class _DVFSBatchTick:
+    """One stacked §III-A DVFS update per tick for a whole span batch.
+
+    When every lane runs the same plain DVFS policy
+    (:class:`DVFSTemperatureTriggered`, :class:`DVFSUtilizationBased`
+    or :class:`DVFSFloorplanAware`, unmodified ``on_tick``), the
+    per-tick decision is R copies of the same per-core level rule plus
+    the base load-balancing imbalance check. This helper computes the
+    ``(R, n)`` level matrix in a handful of vector expressions and
+    routes the (rare) transitions through the engine's single V/f
+    writer, :meth:`SimulationEngine._apply_vf_level`, so each lane's
+    discrete stream is exactly what its own ``on_tick`` sweep would
+    produce. Transitions are applied in the same per-lane core order
+    the serial loop iterates ``actions.vf_settings`` in (core order for
+    TT/Util, susceptibility-ranked order for FLP) so event-heap
+    invalidation sequence numbers — and therefore same-time event
+    tie-breaks — match the serial engine. Span/event fidelity only.
+    """
+
+    @staticmethod
+    def build(lanes) -> Optional["_DVFSBatchTick"]:
+        policies = [lane.policy for lane in lanes]
+        cls = type(policies[0])
+        if cls not in (
+            DVFSTemperatureTriggered,
+            DVFSUtilizationBased,
+            DVFSFloorplanAware,
+        ):
+            return None
+        freqs = tuple(
+            level.frequency for level in policies[0].system.vf_table._levels
+        )
+        for policy in policies:
+            if type(policy) is not cls:
+                return None
+            lane_freqs = tuple(
+                level.frequency for level in policy.system.vf_table._levels
+            )
+            if lane_freqs != freqs:
+                return None
+        return _DVFSBatchTick(lanes, policies, cls)
+
+    def __init__(self, lanes, policies, cls) -> None:
+        self.lanes = list(lanes)
+        self.policies = policies
+        base = policies[0]
+        table = base.system.vf_table
+        names = list(base.system.core_names)
+        n = len(names)
+        r = len(policies)
+        self.core_names = names
+        self.speeds = [table[i].frequency for i in range(len(table))]
+        self.lowest = table.lowest_index
+        self.kind = cls
+        # Per-lane column application order: must match the serial
+        # loop's ``actions.vf_settings`` iteration order (see class
+        # docstring).
+        col_index = {name: i for i, name in enumerate(names)}
+        if cls is DVFSFloorplanAware:
+            self.col_orders = [
+                [col_index[name] for name in policy._assignment]
+                for policy in policies
+            ]
+            self.level_mat = np.array(
+                [
+                    [policy._assignment[name] for name in names]
+                    for policy in policies
+                ],
+                dtype=np.int64,
+            )
+        else:
+            self.col_orders = [list(range(n))] * r
+            self.level_mat = np.empty((r, n), dtype=np.int64)
+        if cls is DVFSTemperatureTriggered:
+            for i, policy in enumerate(policies):
+                row = self.level_mat[i]
+                for j, name in enumerate(names):
+                    row[j] = policy._levels[name]
+            self.thr_col = np.array(
+                [[policy.system.thermal_threshold_k] for policy in policies]
+            )
+        elif cls is DVFSUtilizationBased:
+            # Table frequencies are descending; negate so searchsorted
+            # sees an ascending key and the per-row count of levels
+            # still covering the utilization is one call.
+            self.neg_freqs = -np.asarray(self.speeds)
+
+    def advance_levels(
+        self, temps_mat: np.ndarray, util_mat: np.ndarray
+    ) -> np.ndarray:
+        """Stacked level decision: row ``r`` is lane ``r``'s levels."""
+        levels = self.level_mat
+        if self.kind is DVFSTemperatureTriggered:
+            np.copyto(
+                levels,
+                np.where(
+                    temps_mat >= self.thr_col,
+                    np.minimum(levels + 1, self.lowest),
+                    np.maximum(levels - 1, 0),
+                ),
+            )
+        elif self.kind is DVFSUtilizationBased:
+            # lowest_covering(u): largest index whose frequency still
+            # covers u — the count of covering levels minus one,
+            # clamped to the nominal setting when none covers.
+            counts = np.searchsorted(self.neg_freqs, -util_mat, side="right")
+            np.maximum(counts - 1, 0, out=levels)
+        return levels
+
+    def tick(
+        self,
+        now: float,
+        temps_mat: np.ndarray,
+        util_mat: np.ndarray,
+        ql_mat: np.ndarray,
+        vf_mat: np.ndarray,
+    ) -> None:
+        """Advance every lane's DVFS decision by one tick."""
+        levels = self.advance_levels(temps_mat, util_mat)
+        speeds = self.speeds
+        for r, lane in enumerate(self.lanes):
+            row = levels[r]
+            vf_row = vf_mat[r]
+            core_list = lane._core_list
+            for i in self.col_orders[r]:
+                level = int(row[i])
+                if vf_row[i] != level:
+                    lane._apply_vf_level(
+                        core_list[i], level, speeds[level], now
+                    )
+        # Base load-balancing migration (DefaultLoadBalancing.on_tick):
+        # first-max / first-min over core order, as Python's max/min
+        # resolve ties.
+        longest = ql_mat.argmax(axis=1)
+        shortest = ql_mat.argmin(axis=1)
+        rows = np.arange(ql_mat.shape[0])
+        imbalanced = (
+            ql_mat[rows, longest] - ql_mat[rows, shortest]
+            >= IMBALANCE_THRESHOLD
+        )
+        if imbalanced.any():
+            names = self.core_names
+            for r in np.nonzero(imbalanced)[0]:
+                lane = self.lanes[r]
+                lane._migrate(
+                    Migration(
+                        names[longest[r]],
+                        names[shortest[r]],
+                        move_running=False,
+                        swap=False,
+                    ),
+                    now,
+                )
+
+    def finish(self) -> None:
+        """Write the stacked level state back to the per-lane policies."""
+        if self.kind is not DVFSTemperatureTriggered:
+            return
+        names = self.core_names
+        for r, policy in enumerate(self.policies):
+            row = self.level_mat[r]
+            for i, name in enumerate(names):
+                policy._levels[name] = int(row[i])
+
+
 class BatchSimulationEngine:
     """Run R compatible simulations through one fused tick loop.
 
@@ -254,8 +426,9 @@ class BatchSimulationEngine:
                 )
             if lane.config.fidelity != base.config.fidelity:
                 raise SchedulerError(
-                    "batched runs must share the fidelity mode; span "
-                    "and eager lanes advance their intervals differently"
+                    "batched runs must share the fidelity mode; eager, "
+                    "span and event lanes advance their intervals "
+                    "differently"
                 )
         for lane in lanes:
             if lane.config.event_loop != "event_heap":
@@ -284,14 +457,15 @@ class BatchSimulationEngine:
         n_lanes = len(lanes)
         base = lanes[0]
         exact = self.propagation == "exact"
-        # Span lanes advance event-to-event (lazy per-core spans,
-        # trusted completion heap) and report utilization from span
-        # anchors; the fused boundary below is identical in both
+        # Span and event lanes advance event-to-event (lazy per-core
+        # spans, trusted completion heap) and report utilization from
+        # span anchors; the fused boundary below is identical in all
         # fidelities. The serial engine's quiet-stretch fast-forward
-        # does not engage here — the batch already amortizes the
-        # boundary it would skip, and R lanes are almost never quiet
-        # simultaneously.
-        use_span = base.config.fidelity == "span"
+        # and the event loop's clock jumps do not engage here — the
+        # batch already amortizes the boundary they would skip, and R
+        # lanes are almost never quiet simultaneously — so event lanes
+        # batch exactly as span lanes do.
+        use_span = base.config.fidelity in ("span", "event")
 
         shapes = [lane._prepare_run() for lane in lanes]
         n_ticks, dt = shapes[0]
@@ -341,9 +515,15 @@ class BatchSimulationEngine:
         core_cols = recs[0].core_cols
         die_starts = recs[0].die_starts
         # Span batches of plain probabilistic allocators tick their
-        # probability state once per tick for the whole batch.
+        # probability state once per tick for the whole batch; batches
+        # of plain DVFS policies stack their level math the same way.
         policy_batch = (
             _ProbabilisticBatchTick.build(lanes) if use_span else None
+        )
+        dvfs_batch = (
+            _DVFSBatchTick.build(lanes)
+            if use_span and policy_batch is None
+            else None
         )
         # Ideal sensors read the true per-core peaks, so the whole
         # batch's sensor sweep is one gather (bitwise equal to the
@@ -429,6 +609,8 @@ class BatchSimulationEngine:
 
             if policy_batch is not None:
                 policy_batch.tick(temps_mat)
+            elif dvfs_batch is not None:
+                dvfs_batch.tick(t1, temps_mat, util_mat, ql_mat, vf_mat)
             elif use_span:
                 # Span lanes view their live batch rows through one
                 # persistent per-lane context (no snapshot copies).
@@ -481,6 +663,8 @@ class BatchSimulationEngine:
 
         if policy_batch is not None:
             policy_batch.finish()
+        if dvfs_batch is not None:
+            dvfs_batch.finish()
 
         # Unpack the planes into per-lane recordings and hand each lane
         # its state back.

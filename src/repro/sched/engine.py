@@ -54,6 +54,23 @@ interval execution reproduces the eager reference semantics:
   span-compiled readback rows. Deviations from eager execution are
   bounded at the documented tolerance (``docs/ENGINE.md``); the
   differential harness lives in ``tests/test_engine_span.py``.
+- ``"event"`` (opt-in, approximate-equality): the clock jumps between
+  heap events. The span machinery supplies the lazy per-core state and
+  the trusted completion heap; every whole-tick stretch up to the next
+  heap event (arrival or completion) is crossed in one jump with no
+  settledness gate and no horizon cap. Inside a jump the thermal state
+  advances tick-by-tick through the same ``step_vector`` call the
+  eager loop makes, with leakage repriced each tick from the evolving
+  unit readback via the affine power decomposition
+  (:meth:`~repro.power.chip_power.ChipPowerModel.quiet_power_factors`),
+  so per-tick recording stays dense and the only tolerance source is
+  the closed-form utilization fill. Sensor/DPM/policy control calls
+  are skipped for the prefix of the jump where they are provably
+  no-ops (ideal sensors, identity policy tick, DPM sleep horizon
+  bounded by bisection) and run on reconstructed observations after
+  that; the first mutation closes the jump at the acting tick. Shares
+  the span tolerance contract; harness in
+  ``tests/test_engine_event.py``.
 """
 
 from __future__ import annotations
@@ -77,10 +94,12 @@ from repro.core.base import (
     TickContext,
     state_from_code,
 )
+from repro.core.default import IMBALANCE_THRESHOLD, DefaultLoadBalancing
 from repro.errors import CheckpointError, SchedulerError
 from repro.obs.profiler import (
     NULL_PROFILER,
     PH_DPM,
+    PH_EVENT_JUMP,
     PH_FAST_FORWARD,
     PH_INTERVAL,
     PH_POLICY,
@@ -117,7 +136,7 @@ DEFAULT_MIGRATION_COST_S = 0.001
 
 EVENT_LOOPS = ("event_heap", "legacy_scan")
 
-FIDELITY_MODES = ("eager", "span")
+FIDELITY_MODES = ("eager", "span", "event")
 
 #: Default cap (in ticks) on one quiet-stretch fast-forward of the span
 #: engine. Power is held constant across the stretch, so the cap bounds
@@ -159,10 +178,14 @@ class EngineConfig:
         contract), ``"backward_euler"`` or ``"crank_nicolson"``.
     fidelity:
         ``"eager"`` (default — per-event execution sweeps, keeps the
-        bit-identity contracts) or ``"span"`` (lazy per-core span
+        bit-identity contracts), ``"span"`` (lazy per-core span
         execution with trusted completion events and quiet-stretch
         fast-forward; approximately equal to eager within the
-        documented tolerance). Span mode requires the event-heap loop.
+        documented tolerance), or ``"event"`` (the clock jumps between
+        heap events over the span substrate: no settledness gate, no
+        horizon cap, control calls skipped where provably no-ops; same
+        tolerance contract as span). Span and event modes require the
+        event-heap loop.
     span_horizon_ticks:
         Cap on one quiet-stretch fast-forward in span mode (see
         :data:`DEFAULT_SPAN_HORIZON_TICKS`).
@@ -448,10 +471,21 @@ class SimulationEngine:
         # fast-forward, and the flag suppressing busy accounting while
         # fast-forward ticks record utilization in closed form.
         self._use_span = False
+        self._use_event = False
         self._mem_sum = 0.0
         self._mem_count = 0
         self._span_dirty = False
         self._in_fast_forward = False
+        # Event mode's run-persistent reduced-order thermal stepper
+        # (None when the assembly rejected a modal basis); owned by
+        # _run_event_ticks, shared with _fast_forward_event.
+        self._event_modal = None
+        self._event_modal_open = False
+        # Quiet-stretch power-factor memo: idle-heavy runs cycle
+        # through a handful of frozen activity configurations, so jumps
+        # re-derive identical (base, leak_mul) pairs — key them by the
+        # exact inputs. Values are read-only to every consumer.
+        self._qpf_cache: Dict[tuple, Tuple[np.ndarray, np.ndarray]] = {}
         # Span mode reuses one AllocationContext / TickContext shell
         # per run (the payloads are live array views; only the scalar
         # fields change between calls), rebuilt whenever the backing
@@ -526,6 +560,10 @@ class SimulationEngine:
         self._ob_span_close = 0
         self._ob_ff_spans = 0
         self._ob_ff_ticks = 0
+        self._ob_event_jumps = 0
+        self._ob_event_jump_ticks = 0
+        self._ob_event_skipped = 0
+        self._ob_arrival_pop = 0
         # Propagator-cache baseline: the thermal assembly (and its A^k
         # cache) is shared across runs, so per-run hit/miss counts are
         # deltas against the value at arm time.
@@ -572,10 +610,10 @@ class SimulationEngine:
                 f"unknown fidelity {cfg.fidelity!r}; "
                 f"expected one of {FIDELITY_MODES}"
             )
-        if cfg.fidelity == "span" and cfg.event_loop != "event_heap":
+        if cfg.fidelity in ("span", "event") and cfg.event_loop != "event_heap":
             raise SchedulerError(
-                "span fidelity compiles the event-heap state machine; "
-                "it cannot drive the legacy_scan loop"
+                f"{cfg.fidelity} fidelity compiles the event-heap state "
+                "machine; it cannot drive the legacy_scan loop"
             )
         if cfg.fidelity == "span" and cfg.span_horizon_ticks < 1:
             raise SchedulerError("span_horizon_ticks must be >= 1")
@@ -594,7 +632,12 @@ class SimulationEngine:
         self._reset_micro_counters()
         self._ob_cache0 = self.thermal.propagator_cache_stats()
         self._use_heap = cfg.event_loop == "event_heap"
-        self._use_span = cfg.fidelity == "span"
+        # Event fidelity runs entirely on the span substrate (lazy
+        # spans, trusted heap, materialize-on-touch), so every
+        # _use_span site serves both modes; _use_event only selects
+        # the outer tick loop.
+        self._use_span = cfg.fidelity in ("span", "event")
+        self._use_event = cfg.fidelity == "event"
         self._event_heap = []
         self._finished_cores = []
         self._mem_sum = 0.0
@@ -639,6 +682,15 @@ class SimulationEngine:
                 "span_close": self._ob_span_close,
                 "fast_forward_spans": self._ob_ff_spans,
                 "fast_forward_ticks": self._ob_ff_ticks,
+                "event_jumps": self._ob_event_jumps,
+                "event_jump_ticks": self._ob_event_jump_ticks,
+                "event_skipped_ticks": self._ob_event_skipped,
+                "event_mean_jump_ticks": (
+                    self._ob_event_jump_ticks / self._ob_event_jumps
+                    if self._ob_event_jumps else 0.0
+                ),
+                "event_pop_arrivals": self._ob_arrival_pop,
+                "event_pop_completions": self._ob_heap_pop,
                 "propagator_cache_hits": hits - self._ob_cache0[0],
                 "propagator_cache_misses": misses - self._ob_cache0[1],
             },
@@ -695,8 +747,8 @@ class SimulationEngine:
         are execution-infrastructure arguments, not :class:`RunSpec`
         fields, so they are key-neutral by construction — like
         telemetry, they can never change what a result *is*.
-        Checkpointing requires the event-heap loop (eager or span
-        fidelity); the legacy scan loop predates the snapshotable
+        Checkpointing requires the event-heap loop (eager, span or
+        event fidelity); the legacy scan loop predates the snapshotable
         structure-of-arrays state and raises.
         """
         if (checkpoint_every > 0 or resume is not None) and (
@@ -715,7 +767,14 @@ class SimulationEngine:
             start_tick, energy0, rows = self._restore_checkpoint(
                 resume, rec, n_ticks, dt
             )
-        if self._use_span:
+        if self._use_event:
+            if resume is None:
+                self._temps_arr[:] = self.sensors.read_cores_vector()
+            energy = self._run_event_ticks(
+                rec, n_ticks, dt, start_tick, energy0, rows,
+                checkpoint_every, checkpoint_sink,
+            )
+        elif self._use_span:
             if resume is None:
                 # The priming sensor read advances the noise RNG; on
                 # resume the restored RNG state already accounts for it.
@@ -1254,6 +1313,368 @@ class SimulationEngine:
         self._obs.fast_forward(t_end, consumed)
         return consumed, tick_power * dt * consumed, rows
 
+    # ------------------------------------------------------------------
+    # event-fidelity execution
+
+    def _run_event_ticks(self, rec: _Recording, n_ticks: int, dt: float,
+                         start_tick: int = 0, energy0: float = 0.0,
+                         resume_rows: Tuple = (None, None, None),
+                         checkpoint_every: int = 0, checkpoint_sink=None
+                         ) -> float:
+        """Tick loop of the event fidelity mode.
+
+        The clock jumps from heap event to heap event: every stretch of
+        whole ticks guaranteed free of scheduler events (arrivals,
+        completions, stall expiries) is crossed by one
+        :meth:`_fast_forward_event` call — no settledness gate, no
+        horizon cap. Ticks that do contain events run the span-fidelity
+        per-tick pipeline, so the within-tick event ordering (interval,
+        power, thermal, sensors, DPM, policy, record) is exactly the
+        eager/span one whenever an event and a tick boundary coincide.
+
+        The thermal state lives in one persistent
+        :class:`~repro.thermal.model.ModalJump` for the whole run when
+        the assembly accepted a modal basis: every tick — jump or
+        normal — advances the reduced coordinates, and the full node
+        state is only rematerialized at checkpoints and at the end of
+        the run. Without a basis (non-exponential solver) every tick
+        falls back to the dense ``step_vector``.
+        """
+        energy = energy0
+        powers_buf = np.zeros(len(self.thermal.unit_names))
+        prof = self._prof
+        next_ckpt = n_ticks + 1
+        if checkpoint_every > 0 and checkpoint_sink is not None:
+            next_ckpt = start_tick + checkpoint_every
+        unit_row = resume_rows[2]
+        if unit_row is None:
+            unit_row = self.thermal.unit_temperature_vector()
+        modal = self.thermal.modal_jump()
+        self._event_modal = modal
+        self._event_modal_open = False
+        tick = start_tick
+        while tick < n_ticks:
+            if tick >= next_ckpt:
+                if self._event_modal_open:
+                    modal.close()
+                checkpoint_sink(
+                    self._checkpoint_payload(
+                        rec, tick, energy, dt, n_ticks,
+                        None, None, unit_row,
+                    ),
+                    tick,
+                )
+                next_ckpt = tick + checkpoint_every
+            t0 = tick * dt
+            quiet = self._quiet_ticks_event(t0, dt, n_ticks - tick)
+            if quiet >= 2:
+                prof.begin()
+                consumed, jump_energy, jump_row = self._fast_forward_event(
+                    rec, tick, dt, quiet, powers_buf, unit_row
+                )
+                prof.lap(PH_EVENT_JUMP)
+                if consumed:
+                    energy += jump_energy
+                    unit_row = jump_row
+                    tick += consumed
+                    prof.tick_done(consumed)
+                    continue
+            t1 = t0 + dt
+            prof.begin()
+            self._advance_interval_span(t0, t1)
+            util_arr = self._span_utilization(dt, t1)
+            prof.lap(PH_INTERVAL)
+
+            powers_vec = self.power.unit_power_vector(
+                self._state_arr,
+                util_arr,
+                self._dyn_scale_arr,
+                self._voltage_arr,
+                unit_row,
+                self._memory_intensity(),
+                out=powers_buf,
+            )
+            prof.lap(PH_POWER)
+            if modal is not None:
+                if not self._event_modal_open:
+                    modal.open(powers_vec)
+                    self._event_modal_open = True
+                mean_row, peak_row = modal.advance(powers_vec)
+            else:
+                self.thermal.step_vector(powers_vec)
+                peak_row = self.thermal.unit_max_vector()
+            prof.lap(PH_THERMAL)
+            self._temps_arr[:] = self.sensors.read_cores_vector(peak_row)
+            prof.lap(PH_SENSORS)
+
+            self._apply_dpm(t1)
+            prof.lap(PH_DPM)
+            if not self._policy_tick_noop():
+                self._run_policy(t1, util_arr)
+            prof.lap(PH_POLICY)
+
+            if modal is not None:
+                unit_row = mean_row
+            else:
+                unit_row = self.thermal.unit_temperature_vector()
+            tick_power = self.power.total_power(powers_vec)
+            self._record_tick(
+                rec, tick, t1, unit_row, peak_row, util_arr, tick_power
+            )
+            energy += tick_power * dt
+            prof.lap(PH_RECORD)
+            tick += 1
+            prof.tick_done()
+        if self._event_modal_open:
+            modal.close()
+        self._event_modal = None
+        self._event_modal_open = False
+        return energy
+
+    def _quiet_ticks_event(self, t0: float, dt: float, max_ticks: int
+                           ) -> int:
+        """Whole upcoming ticks guaranteed free of scheduler events.
+
+        The event-mode twin of :meth:`_quiet_ticks`: the only cap is
+        the end of the run — the clock may jump all the way to the next
+        heap event. Settledness is not consulted (the event
+        fast-forward reprices leakage every tick, so it needs no
+        thermal gate).
+        """
+        if self._finished_cores:
+            return 0
+        horizon = None
+        if self._arrivals:
+            horizon = self._arrivals[0][0]
+        heap = self._event_heap
+        cores = self._cores
+        while heap:
+            cached_time, seq, name = heap[0]
+            if cores[name].heap_seq != seq:
+                heapq.heappop(heap)
+                self._ob_heap_stale += 1
+                continue
+            if horizon is None or cached_time < horizon:
+                horizon = cached_time
+            break
+        if horizon is None:
+            quiet = max_ticks
+        else:
+            quiet = int((horizon - t0 - _TIME_EPS) / dt)
+            if quiet > max_ticks:
+                quiet = max_ticks
+        if quiet < 2:
+            return 0
+        for core in self._core_list:
+            if (
+                core.jobs
+                and not core.halted
+                and core.stall_until > t0 + _TIME_EPS
+            ):
+                return 0
+        return quiet
+
+    def _event_bulk_ticks(self, t0: float, dt: float, quiet: int) -> int:
+        """Prefix of a clock jump whose control calls are provable no-ops.
+
+        Returns the largest ``noctl <= quiet`` such that skipping the
+        sensor read, the DPM pass and the policy tick at boundaries
+        ``1..noctl`` of the jump cannot change anything eager would
+        compute:
+
+        - sensors must be ideal (a noisy read draws from the RNG, so
+          skipping it would desync the sample sequence);
+        - the policy tick must be the base no-op or the default
+          load-balancer over balanced (frozen — no events in the
+          stretch) queues; any other ``on_tick`` gets the controlled
+          per-tick path;
+        - no awake idle core may cross its DPM sleep timeout inside the
+          prefix: the crossing boundary is found by bisection on the
+          monotone ``should_sleep`` predicate, so the tick that fires
+          the sleep always lands in the controlled region and
+          ``_apply_dpm`` acts there exactly as eager does.
+        """
+        if not self.sensors.ideal:
+            return 0
+        if not self._policy_tick_noop():
+            return 0
+        noctl = quiet
+        dpm = self.config.dpm
+        if dpm is not None:
+            for core in self._core_list:
+                if core.sleeping or core.jobs:
+                    continue
+                idle_since = core.idle_since
+                if not dpm.should_sleep(t0 + noctl * dt - idle_since):
+                    continue
+                # Largest i in [0, noctl) with should_sleep still False.
+                lo = 0
+                hi = noctl - 1
+                while lo < hi:
+                    mid = (lo + hi + 1) // 2
+                    if dpm.should_sleep(t0 + mid * dt - idle_since):
+                        hi = mid - 1
+                    else:
+                        lo = mid
+                if dpm.should_sleep(t0 + lo * dt - idle_since):
+                    lo = 0
+                noctl = lo
+                if noctl == 0:
+                    return 0
+        return noctl
+
+    def _policy_tick_noop(self) -> bool:
+        """True when the policy tick at this boundary provably returns
+        no actions and mutates no state, so skipping the call cannot
+        change anything eager would compute: the base :class:`Policy`
+        no-op, or the default load balancer over balanced queues (its
+        ``on_tick`` only compares queue lengths). A pending un-gate
+        sweep (``_any_gated``) disqualifies the skip — neither policy
+        gates, but the guard keeps the proof local."""
+        if self._any_gated:
+            return False
+        tick_fn = type(self.policy).on_tick
+        if tick_fn is Policy.on_tick:
+            return True
+        if tick_fn is not DefaultLoadBalancing.on_tick:
+            return False
+        ql = self._ql_list
+        return max(ql) - min(ql) < IMBALANCE_THRESHOLD
+
+    def _fast_forward_event(
+        self,
+        rec: _Recording,
+        tick: int,
+        dt: float,
+        quiet: int,
+        powers_buf: np.ndarray,
+        unit_row: np.ndarray,
+    ) -> Tuple[int, float, np.ndarray]:
+        """Cross up to ``quiet`` event-free ticks in one clock jump.
+
+        Unlike the span fast-forward there is no settledness gate and
+        no horizon cap: the jump always proceeds and covers the whole
+        stretch unless a control call mutates state, which closes it at
+        the acting tick.
+
+        Power is repriced every tick: the temperature-dependent leakage
+        is re-evaluated at the evolving unit readback through the
+        affine decomposition
+        (:meth:`~repro.power.chip_power.ChipPowerModel.quiet_power_factors`
+        — exact while states/utilization/Vf are frozen, which the quiet
+        stretch guarantees). The thermal advance takes one of two
+        integrators:
+
+        - the run-persistent reduced-order modal stepper
+          (:meth:`~repro.thermal.model.ModalJump.advance`, owned by
+          :meth:`_run_event_ticks`) when the assembly accepted a
+          truncated eigenbasis of the propagator: each tick is an
+          exact steady-point repricing, a modal decay, one readback
+          GEMV and a core max-reduce — within the basis acceptance
+          tolerance of the dense step at a fraction of its cost;
+        - otherwise the same dense ``step_vector`` call the eager loop
+          makes — bitwise-identical to eager's thermal step given the
+          same power vector.
+
+        Control calls are skipped for the provable-no-op prefix
+        computed by :meth:`_event_bulk_ticks` and run on reconstructed
+        observations after it. Returns
+        ``(ticks_consumed, energy, last_unit_row)``.
+        """
+        core_list = self._core_list
+        util_arr = self._util_buf
+        util_arr.fill(0.0)
+        for core in core_list:
+            if core.jobs and not core.halted:
+                util_arr[core.idx] = 1.0
+        mem = self._memory_intensity()
+        qpf_key = (
+            self._state_arr.tobytes(), util_arr.tobytes(),
+            self._dyn_scale_arr.tobytes(), self._voltage_arr.tobytes(),
+            mem,
+        )
+        factors = self._qpf_cache.get(qpf_key)
+        if factors is None:
+            if len(self._qpf_cache) >= 64:
+                self._qpf_cache.clear()
+            factors = self.power.quiet_power_factors(
+                self._state_arr,
+                util_arr,
+                self._dyn_scale_arr,
+                self._voltage_arr,
+                mem,
+            )
+            self._qpf_cache[qpf_key] = factors
+        base, leak_mul = factors
+        t0 = tick * dt
+        noctl = self._event_bulk_ticks(t0, dt, quiet)
+        thermal = self.thermal
+        power = self.power
+        sensors = self.sensors
+        modal = self._event_modal
+        self._span_dirty = False
+        self._in_fast_forward = True
+        consumed = 0
+        skipped = 0
+        energy = 0.0
+        mean_row = unit_row
+        peak_row = unit_row
+        try:
+            for i in range(1, quiet + 1):
+                # Same float arithmetic as the per-tick loops (t0 + dt
+                # for the absolute tick), so recorded times and policy
+                # timestamps match the eager recording bitwise.
+                t_i = (tick + i - 1) * dt + dt
+                powers_vec = power.quiet_power_eval(
+                    base, leak_mul, mean_row, out=powers_buf
+                )
+                if modal is not None:
+                    if not self._event_modal_open:
+                        modal.open(powers_vec)
+                        self._event_modal_open = True
+                    mean_row, peak_row = modal.advance(powers_vec)
+                else:
+                    thermal.step_vector(powers_vec)
+                    peak_row = thermal.unit_max_vector()
+                if i <= noctl:
+                    skipped += 1
+                else:
+                    self._temps_arr[:] = sensors.read_cores_vector(peak_row)
+                    self._apply_dpm(t_i)
+                    if not self._policy_tick_noop():
+                        self._run_policy(t_i, util_arr)
+                if modal is None:
+                    mean_row = thermal.unit_temperature_vector()
+                tick_power = power.total_power(powers_vec)
+                self._record_tick(
+                    rec, tick + i - 1, t_i, mean_row, peak_row, util_arr,
+                    tick_power,
+                )
+                energy += tick_power * dt
+                consumed = i
+                if self._span_dirty:
+                    break
+            t_end = (tick + consumed - 1) * dt + dt
+            if skipped == consumed:
+                # Every executed boundary was control-skipped: refresh
+                # the sensor rows to what eager's last read would have
+                # left (ideal read — noctl > 0 guarantees it — so this
+                # is a plain gather, no RNG involved).
+                self._temps_arr[:] = sensors.read_cores_vector(peak_row)
+            # Materialize every core at the jump end (busy accounting
+            # stays off: the consumed ticks' utilization was recorded
+            # in closed form above).
+            for core in core_list:
+                self._touch_core(core, t_end)
+                core.busy_in_tick = 0.0
+        finally:
+            self._in_fast_forward = False
+        self._ob_event_jumps += 1
+        self._ob_event_jump_ticks += consumed
+        self._ob_event_skipped += skipped
+        self._obs.event_jump(t_end, consumed, skipped)
+        return consumed, energy, mean_row
+
     def _advance_interval_span(self, t0: float, t1: float) -> None:
         """Span-mode interval loop: trusted event pops, lazy execution.
 
@@ -1781,6 +2202,7 @@ class SimulationEngine:
     def _process_arrivals(self, now: float) -> None:
         while self._arrivals and self._arrivals[0][0] <= now + _TIME_EPS:
             _, _, job = heapq.heappop(self._arrivals)
+            self._ob_arrival_pop += 1
             self._dispatch(job, now)
 
     def _dispatch(self, job: Job, now: float) -> None:
@@ -1960,13 +2382,7 @@ class SimulationEngine:
             level_speed = self.vf_table[level].frequency  # validates index
             core = self._cores[name]
             if core.vf_index != level:
-                if self._use_span:
-                    self._touch_core(core, now)
-                core.vf_index = level
-                core.speed = level_speed
-                self._sync_vf_row(core)
-                self._invalidate_event(core, now)
-                self._obs.vf_change(now, core.idx, level)
+                self._apply_vf_level(core, level, level_speed, now)
 
         gated = set(actions.gated)
         if gated or self._any_gated:
@@ -1983,6 +2399,24 @@ class SimulationEngine:
 
         for migration in actions.migrations:
             self._migrate(migration, now)
+
+    def _apply_vf_level(
+        self, core: _CoreRuntime, level: int, speed: float, now: float
+    ) -> None:
+        """Commit one core's V/f transition (caller checked it changed).
+
+        Single writer for V/f state: the policy application loop above
+        and the batch engine's stacked DVFS tick both route through
+        here, so the span touch / row sync / heap invalidation /
+        telemetry sequence cannot drift between the two paths.
+        """
+        if self._use_span:
+            self._touch_core(core, now)
+        core.vf_index = level
+        core.speed = speed
+        self._sync_vf_row(core)
+        self._invalidate_event(core, now)
+        self._obs.vf_change(now, core.idx, level)
 
     def _migrate(self, migration: Migration, now: float) -> None:
         src = self._cores[migration.source]

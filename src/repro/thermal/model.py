@@ -63,6 +63,19 @@ DEFAULT_GRID_COLS = 8
 #: is both the fastest and the most accurate option at the paper grids.
 DEFAULT_SOLVER_METHOD = "exponential"
 
+#: Eigenvalue magnitude below which a propagator mode is dropped from
+#: the modal step basis. A mode at the threshold contributes less than
+#: ``|deviation| * 1e-12`` kelvin after a single tick — RC grids shed
+#: most of their spectrum this way (the paper stacks keep ~100 of 385
+#: modes), which is what makes the reduced step cheap.
+MODAL_DROP_TOL = 1e-12
+
+#: Ceiling on ``max|A - V diag(rho) W|`` for accepting the truncated
+#: eigenbasis. Above it (ill-conditioned eigenvectors, complex pairs in
+#: the kept spectrum) the assembly reports no modal basis and callers
+#: fall back to dense stepping.
+MODAL_BASIS_ERR_MAX = 1e-9
+
 
 @dataclass
 class ReadbackIndex:
@@ -121,6 +134,9 @@ class ThermalAssembly:
         # assembly.
         self._span_mean_rows: List[np.ndarray] = []
         self._span_max_rows: List[np.ndarray] = []
+        # Truncated eigenbasis of the propagator (see modal_step_basis).
+        # False = not built yet, None = built and rejected.
+        self._modal_basis: object = False
 
     def transient_solver(self, method: str) -> TransientSolver:
         """The transient solver for ``method``, built once per assembly.
@@ -204,6 +220,86 @@ class ThermalAssembly:
                     self._span_max_rows[-1] @ propagator
                 )
         return self._span_mean_rows, self._span_max_rows
+
+    def modal_step_basis(self) -> Optional[Dict[str, np.ndarray]]:
+        """Truncated eigenbasis of the propagator for reduced stepping.
+
+        Diagonalizes the one-interval propagator ``A = V diag(rho) W``
+        and keeps only the modes with ``|rho| > MODAL_DROP_TOL`` — a
+        dropped mode's content decays below double precision within a
+        single tick, so the truncation is exact to working precision.
+        The RC grids shed roughly three quarters of their spectrum this
+        way, which turns the n x n state advance into a handful of
+        m-vector operations (m = kept modes).
+
+        Returns the cached basis dict, or ``None`` when the exponential
+        propagator is unavailable, the kept spectrum is not real, or
+        the reconstruction error ``max|A - V diag(rho) W|`` exceeds
+        :data:`MODAL_BASIS_ERR_MAX` — callers must fall back to dense
+        stepping in that case. Built once per assembly and shared by
+        every run on it.
+
+        Basis keys: ``rho`` (m,), ``V`` (n x m), ``W`` (m x n), the
+        readback projections ``mean_v = mean_weights @ V`` and
+        ``max_v = V[max_node_idx]``, and the power-to-steady-point
+        projections ``w_gain = W @ gain``, ``mean_gain`` and
+        ``max_gain`` used for exact in-jump power repricing.
+        """
+        if self._modal_basis is not False:
+            return self._modal_basis  # type: ignore[return-value]
+        exp_step = self.exponential_step()
+        if exp_step is None:
+            self._modal_basis = None
+            return None
+        propagator, gain, _ambient = exp_step
+        eigvals, eigvecs = np.linalg.eig(propagator)
+        # Realify: a conjugate pair's columns (v, v̄) are replaced by
+        # (Re v, Im v), which span the same invariant 2D subspace; the
+        # diagonal-rho approximation of the resulting 2x2 block is off
+        # by |Im lambda| — negligible for the kept spectrum and caught
+        # by the reconstruction check below otherwise. Taking bare real
+        # parts instead would collapse each pair to rank one.
+        if np.iscomplexobj(eigvals):
+            lam = np.ascontiguousarray(eigvals.real)
+            v_full = np.ascontiguousarray(eigvecs.real)
+            imag = eigvals.imag
+            j = 0
+            while j < lam.size:
+                if imag[j] != 0.0 and j + 1 < lam.size:
+                    v_full[:, j + 1] = eigvecs[:, j].imag
+                    j += 2
+                else:
+                    j += 1
+        else:
+            lam = eigvals
+            v_full = eigvecs
+        try:
+            w_full = np.linalg.inv(v_full)
+        except np.linalg.LinAlgError:
+            self._modal_basis = None
+            return None
+        keep = np.abs(lam) > MODAL_DROP_TOL
+        order = np.argsort(-np.abs(lam[keep]))
+        rho = np.ascontiguousarray(lam[keep][order])
+        v_mat = np.ascontiguousarray(v_full[:, keep][:, order])
+        w_mat = np.ascontiguousarray(w_full[keep][order])
+        err = float(np.abs(propagator - (v_mat * rho) @ w_mat).max())
+        if err > MODAL_BASIS_ERR_MAX:
+            self._modal_basis = None
+            return None
+        rb = self.readback
+        self._modal_basis = {
+            "rho": rho,
+            "V": v_mat,
+            "W": w_mat,
+            "mean_v": np.ascontiguousarray(rb.mean_weights @ v_mat),
+            "max_v": np.ascontiguousarray(v_mat[rb.max_node_idx]),
+            "w_gain": np.ascontiguousarray(w_mat @ gain),
+            "mean_gain": np.ascontiguousarray(rb.mean_weights @ gain),
+            "max_gain": np.ascontiguousarray(gain[rb.max_node_idx]),
+            "err": np.array(err),
+        }
+        return self._modal_basis  # type: ignore[return-value]
 
 
 class ThermalModel:
@@ -389,6 +485,13 @@ class ThermalModel:
         """Requested method of the active transient solver."""
         return self._transient.method
 
+    @property
+    def exponential_ready(self) -> bool:
+        """True when the active solver exposes the exponential
+        propagator, i.e. closed-form multi-interval jumps
+        (:meth:`step_vector_multi`, :meth:`span_cursor`) are available."""
+        return self._exp_step is not None
+
     def use_solver(self, method: str) -> TransientSolver:
         """Select the transient integrator (cached per assembly).
 
@@ -401,6 +504,9 @@ class ThermalModel:
             self._exp_step = self.assembly.exponential_step()
         else:
             self._exp_step = None
+        # The modal pack folds in the active solver's gain matrix;
+        # rebuild lazily after a switch. False = not built yet.
+        self._modal_pack: object = False
         return self._transient
 
     def propagator_cache_stats(self) -> Tuple[int, int]:
@@ -547,6 +653,86 @@ class ThermalModel:
         if self._exp_step is None:
             return None
         return SpanCursor(self, unit_power_vec, max_intervals)
+
+    def modal_jump(self) -> Optional["ModalJump"]:
+        """Open a reduced-order per-tick stepper, or ``None`` when the
+        assembly has no accepted modal basis (no exponential
+        propagator, or truncation error above
+        :data:`MODAL_BASIS_ERR_MAX`).
+
+        Unlike :class:`SpanCursor`, power may change every tick (the
+        leakage feedback loop keeps running): each :meth:`ModalJump.\
+advance` reprices the steady point exactly and advances the deviation
+        in the truncated eigenbasis. :meth:`ModalJump.close` writes the
+        full node state back to the model.
+        """
+        pack = self._modal_pack
+        if pack is False:
+            pack = self._build_modal_pack()
+            self._modal_pack = pack
+        if pack is None:
+            return None
+        return ModalJump(self, pack)  # type: ignore[arg-type]
+
+    def _build_modal_pack(self) -> Optional[Dict[str, np.ndarray]]:
+        """Stack the modal basis into the two per-tick GEMV operands.
+
+        ``reprice`` maps a unit-power delta onto the packed state
+        ``z = [w, r_mean, r_max]`` in one GEMV (sign-folded: ``w``
+        moves against the steady point, the readback projections with
+        it); ``readout`` maps the decayed modal coordinates onto the
+        mean row and the core max-gather values in one GEMV. The max
+        gather keeps only the segments of core units — the per-tick
+        peak consumers are all per-core.
+        """
+        basis = self.assembly.modal_step_basis()
+        if basis is None or self._exp_step is None:
+            return None
+        _propagator, gain, ambient = self._exp_step
+        rb = self._readback
+        core_units = np.zeros(rb.n_units, dtype=bool)
+        for name in self._core_names:
+            core_units[self._unit_global_index[name]] = True
+        bounds = np.append(rb.max_offsets, rb.max_node_idx.size)
+        node_idx_parts: List[np.ndarray] = []
+        lengths: List[int] = []
+        scatter: List[int] = []
+        for j in range(rb.max_scatter.size):
+            unit = int(rb.max_scatter[j])
+            if not core_units[unit]:
+                continue
+            seg = rb.max_node_idx[bounds[j]:bounds[j + 1]]
+            node_idx_parts.append(seg)
+            lengths.append(seg.size)
+            scatter.append(unit)
+        if node_idx_parts:
+            node_idx = np.concatenate(node_idx_parts)
+            offsets = np.concatenate(
+                ([0], np.cumsum(lengths[:-1]))
+            ).astype(np.intp)
+        else:
+            node_idx = np.zeros(0, dtype=np.intp)
+            offsets = np.zeros(0, dtype=np.intp)
+        reprice = np.vstack([
+            basis["w_gain"],
+            -basis["mean_gain"],
+            -gain[node_idx],
+        ])
+        readout = np.vstack([basis["mean_v"], basis["V"][node_idx]])
+        return {
+            "rho": basis["rho"],
+            "V": basis["V"],
+            "W": basis["W"],
+            "gain": gain,
+            "ambient": ambient,
+            "mean_weights": rb.mean_weights,
+            "reprice": np.ascontiguousarray(reprice),
+            "readout": np.ascontiguousarray(readout),
+            "node_idx": node_idx,
+            "offsets": offsets,
+            "scatter": np.asarray(scatter, dtype=np.intp),
+            "n_units": np.intp(rb.n_units),
+        }
 
     def step_block(
         self,
@@ -818,6 +1004,111 @@ class SpanCursor:
         propagator_k = self._model._transient.propagator_power(interval)
         state = propagator_k @ self._deviation
         state += self._t_inf
+        self._model.temperatures = state
+
+
+class ModalJump:
+    """Persistent reduced-order stepper for the event lane.
+
+    Holds the thermal state as one packed vector ``z = [w, r_mean,
+    r_max]`` — modal coordinates of the deviation from steady state
+    plus the mean/max readback projections of the running steady point
+    — so a tick is four array operations: a steady-point repricing
+    GEMV (exact in the kept subspace: a power delta ``dP`` moves
+    ``T_inf`` by ``gain @ dP``, hence ``w`` by ``-(W gain) dP``), the
+    modal decay ``w *= rho``, one readback GEMV, and a segment
+    max-reduce. The max readback is restricted to core units: the only
+    per-tick peak consumers (sensor reads and the ``core_peaks``
+    recording plane) are per-core, so cache-unit gather rows would be
+    dead work.
+
+    The ordering matches :meth:`ThermalModel.step_vector` exactly —
+    the steady point is repriced with the incoming tick's power before
+    the decay, i.e. ``T_k = A (T_{k-1} - T_inf(P_k)) + T_inf(P_k)``.
+
+    The model's node state goes stale after :meth:`open`.
+    :meth:`close` rematerializes ``T = V w + gain P + ambient``
+    without invalidating the modal coordinates, so a caller may close
+    mid-run (checkpoints) and keep advancing afterwards. The returned
+    readback rows are views into reused buffers, valid until the next
+    :meth:`advance` — consumers must copy (the recording planes do) or
+    finish reading first. Accuracy is bounded by the basis acceptance
+    tolerance: dropped modes carry no content after one tick, and the
+    rows track the dense trajectory to ~1e-12 K over hundreds of ticks
+    (asserted in the differential harness).
+    """
+
+    def __init__(
+        self, model: "ThermalModel", pack: Dict[str, np.ndarray]
+    ) -> None:
+        self._model = model
+        self._rho = pack["rho"]
+        self._v = pack["V"]
+        self._w_mat = pack["W"]
+        self._gain = pack["gain"]
+        self._ambient = pack["ambient"]
+        self._mean_weights = pack["mean_weights"]
+        self._reprice = pack["reprice"]
+        self._readout = pack["readout"]
+        self._node_idx = pack["node_idx"]
+        self._offsets = pack["offsets"]
+        self._scatter = pack["scatter"]
+        m = self._rho.size
+        n_units = int(pack["n_units"])
+        self._n_units = n_units
+        ng = self._node_idx.size
+        self._z = np.empty(m + n_units + ng)
+        self._zw = self._z[:m]
+        self._ztail = self._z[m:]
+        self._gbuf = np.empty(m + n_units + ng)
+        self._r = np.empty(n_units + ng)
+        self._mean_row = self._r[:n_units]
+        self._gathered = self._r[n_units:]
+        self._peak_row = np.full(n_units, np.nan)
+        self._dp = np.empty(n_units)
+        self._p = np.empty(n_units)
+
+    def open(self, unit_power_vec: np.ndarray) -> None:
+        """Project the model's node state into modal coordinates at
+        the steady point of ``unit_power_vec`` (the next tick's
+        power)."""
+        t_inf = self._gain @ unit_power_vec
+        t_inf += self._ambient
+        deviation = self._model.temperatures - t_inf
+        m = self._rho.size
+        n_units = self._n_units
+        np.dot(self._w_mat, deviation, out=self._zw)
+        np.dot(self._mean_weights, t_inf, out=self._z[m:m + n_units])
+        self._z[m + n_units:] = t_inf[self._node_idx]
+        self._p[:] = unit_power_vec
+
+    def advance(
+        self, unit_power_vec: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Advance one tick under ``unit_power_vec``; returns the
+        per-unit ``(mean_row, max_row)`` readback row views (max is
+        NaN outside core units)."""
+        np.subtract(unit_power_vec, self._p, out=self._dp)
+        np.dot(self._reprice, self._dp, out=self._gbuf)
+        self._z -= self._gbuf
+        self._p[:] = unit_power_vec
+        zw = self._zw
+        zw *= self._rho
+        r = self._r
+        np.dot(self._readout, zw, out=r)
+        r += self._ztail
+        peak_row = self._peak_row
+        if self._node_idx.size:
+            peak_row[self._scatter] = np.maximum.reduceat(
+                self._gathered, self._offsets
+            )
+        return self._mean_row, peak_row
+
+    def close(self) -> None:
+        """Rematerialize the full node state onto the model."""
+        state = self._v @ self._zw
+        state += self._gain @ self._p
+        state += self._ambient
         self._model.temperatures = state
 
 

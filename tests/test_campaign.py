@@ -127,7 +127,7 @@ class TestGoldenKey:
 
     Result stores index completed runs by ``run_key``; if the digest for a
     fixed spec ever changes, every cached campaign silently misses and
-    re-runs.  These digests were frozen when KEY_VERSION reached 4 — a
+    re-runs.  These digests were frozen when KEY_VERSION reached 5 — a
     mismatch means either an accidental serialization change (fix it) or a
     deliberate one (bump KEY_VERSION in repro.campaign.spec, refresh the
     contract golden via ``repro-dtm lint --update-golden``, then update the
@@ -148,8 +148,8 @@ class TestGoldenKey:
         workload_mix="server",
         fidelity="span",
     )
-    GOLDEN_RUN_KEY = "exp4-adapt3d_dvfs_tt-4a8144670bfe"
-    GOLDEN_PREFIX_KEY = "exp4-adapt3d_dvfs_tt-pfx-b8b4bd1cc3db"
+    GOLDEN_RUN_KEY = "exp4-adapt3d_dvfs_tt-fc63c8928ca3"
+    GOLDEN_PREFIX_KEY = "exp4-adapt3d_dvfs_tt-pfx-c9a7fd913c0f"
 
     def test_run_key_matches_frozen_digest(self):
         assert run_key(RunSpec(**self.GOLDEN_SPEC_KWARGS)) == self.GOLDEN_RUN_KEY

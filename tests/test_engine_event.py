@@ -1,0 +1,561 @@
+"""Event-fidelity differential harness and event-primitive unit tests.
+
+The event engine (``EngineConfig(fidelity="event")``) advances the
+clock between heap events: every stretch of whole ticks provably free
+of scheduler events is crossed by one :meth:`_fast_forward_event` call
+over the run-persistent reduced-order modal thermal stepper — no
+settledness gate, no horizon cap. The contract mirrors span's, with
+a third column in the differential:
+
+- the discrete planes (V/f indices, core states) and the job stream
+  are identical to eager,
+- recorded thermal planes within ``EVENT_TOL_K`` (1e-3 K),
+- energy within ``EVENT_TOL_ENERGY`` (0.1%).
+
+A smoke slice runs in tier-1 (``TestEventDifferentialFast``); the full
+stack x policy x DPM matrix runs under the ``slow`` marker.
+"""
+
+import heapq
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analysis.runner import ExperimentRunner, RunSpec
+from repro.errors import SchedulerError
+from repro.floorplan.experiments import build_experiment
+from repro.sched.engine import SimulationEngine
+from repro.thermal.model import (
+    MODAL_BASIS_ERR_MAX,
+    ThermalModel,
+)
+
+RUNNER = ExperimentRunner()
+
+EVENT_TOL_K = 1e-3
+EVENT_TOL_ENERGY = 1e-3
+
+THERMAL_ARRAYS = (
+    "unit_temps_k",
+    "core_temps_k",
+    "core_peak_temps_k",
+    "layer_spreads_k",
+)
+
+DISCRETE_ARRAYS = ("vf_indices", "core_states")
+
+#: Two long-running threads leave multi-tick event-free stretches once
+#: the stack settles — steady clock jumps without DPM churn.
+QUIET_MIX = (("gcc", 2),)
+
+#: ~2% mean utilization: the workload shape the event loop targets —
+#: long idle gaps between sparse arrivals, most ticks jumped.
+IDLE_MIX = (("gzip", 1), ("MPlayer", 1))
+
+
+def run_fidelity(spec, fidelity, **config_overrides):
+    engine = RUNNER.build_engine(spec)
+    engine.config = replace(
+        engine.config, fidelity=fidelity, **config_overrides
+    )
+    return engine.run()
+
+
+def assert_event_close(eager, event):
+    """Assert the documented event-vs-eager agreement contract."""
+    np.testing.assert_array_equal(eager.times, event.times)
+    for name in DISCRETE_ARRAYS:
+        np.testing.assert_array_equal(
+            getattr(eager, name), getattr(event, name), err_msg=name
+        )
+    for name in THERMAL_ARRAYS:
+        np.testing.assert_allclose(
+            getattr(eager, name), getattr(event, name),
+            rtol=0.0, atol=EVENT_TOL_K, err_msg=name,
+        )
+    np.testing.assert_allclose(
+        eager.utilization, event.utilization, rtol=0.0, atol=1e-9
+    )
+    assert abs(eager.energy_j - event.energy_j) <= (
+        EVENT_TOL_ENERGY * eager.energy_j
+    )
+    assert eager.migrations == event.migrations
+    assert len(eager.completed_jobs()) == len(event.completed_jobs())
+    for je, js in zip(eager.jobs, event.jobs):
+        assert je.core == js.core
+        if je.finished and js.finished:
+            assert abs(je.completion_time - js.completion_time) <= 1e-6
+
+
+def count_event_jumps(monkeypatch):
+    """Patch the event fast-forward to count jumps/ticks it consumes."""
+    calls = {"jumps": 0, "ticks": 0, "lengths": []}
+    original = SimulationEngine._fast_forward_event
+
+    def wrapper(self, rec, tick, dt, quiet, powers_buf, unit_row):
+        result = original(self, rec, tick, dt, quiet, powers_buf, unit_row)
+        if result[0]:
+            calls["jumps"] += 1
+            calls["ticks"] += result[0]
+            calls["lengths"].append(result[0])
+        return result
+
+    monkeypatch.setattr(SimulationEngine, "_fast_forward_event", wrapper)
+    return calls
+
+
+class TestEventDifferentialFast:
+    """Tier-1 smoke slice of the three-column fidelity differential."""
+
+    @pytest.mark.parametrize("exp_id", [1, 4])
+    @pytest.mark.parametrize("policy", ["Default", "Adapt3D"])
+    def test_event_matches_eager(self, exp_id, policy):
+        spec = RunSpec(exp_id=exp_id, policy=policy, duration_s=6.0, seed=3)
+        assert_event_close(
+            run_fidelity(spec, "eager"), run_fidelity(spec, "event")
+        )
+
+    def test_three_fidelity_columns_agree(self):
+        """Eager, span and event on one spec: span and event both hold
+        the tolerance against eager, and their discrete planes are all
+        identical — the fidelity ladder, one rung per column."""
+        spec = RunSpec(exp_id=2, policy="Default", duration_s=10.0, seed=5,
+                       benchmark_mix=QUIET_MIX)
+        eager = run_fidelity(spec, "eager")
+        span = run_fidelity(spec, "span")
+        event = run_fidelity(spec, "event")
+        assert_event_close(eager, span)
+        assert_event_close(eager, event)
+        for name in DISCRETE_ARRAYS:
+            np.testing.assert_array_equal(
+                getattr(span, name), getattr(event, name), err_msg=name
+            )
+
+    def test_event_matches_eager_with_dpm(self):
+        spec = RunSpec(exp_id=1, policy="Migr", duration_s=6.0,
+                       with_dpm=True, seed=3)
+        assert_event_close(
+            run_fidelity(spec, "eager"), run_fidelity(spec, "event")
+        )
+
+    def test_event_matches_eager_with_sensor_noise(self):
+        """Noisy sensors force per-tick reads (no control-skip prefix),
+        keeping the RNG streams aligned across fidelities."""
+        spec = RunSpec(exp_id=4, policy="Adapt3D", duration_s=6.0, seed=3,
+                       sensor_noise_sigma=1.0)
+        assert_event_close(
+            run_fidelity(spec, "eager"), run_fidelity(spec, "event")
+        )
+
+    def test_event_matches_eager_dvfs(self):
+        spec = RunSpec(exp_id=2, policy="Adapt3D&DVFS_TT", duration_s=6.0,
+                       with_dpm=True, seed=3)
+        assert_event_close(
+            run_fidelity(spec, "eager"), run_fidelity(spec, "event")
+        )
+
+    def test_idle_heavy_with_dpm(self, monkeypatch):
+        """The target scenario: sparse arrivals, sleeping cores, clock
+        jumps covering most of the run."""
+        calls = count_event_jumps(monkeypatch)
+        spec = RunSpec(exp_id=4, policy="Default", duration_s=12.0, seed=7,
+                       with_dpm=True, benchmark_mix=IDLE_MIX)
+        eager = run_fidelity(spec, "eager")
+        event = run_fidelity(spec, "event")
+        assert calls["jumps"] > 0
+        assert calls["ticks"] > eager.n_ticks // 2  # most ticks jumped
+        assert_event_close(eager, event)
+
+
+class TestEventJump:
+    """The clock jump: triggers, no horizon cap, dense fallback."""
+
+    def test_quiet_workload_jumps(self, monkeypatch):
+        calls = count_event_jumps(monkeypatch)
+        spec = RunSpec(exp_id=2, policy="Default", duration_s=30.0, seed=5,
+                       benchmark_mix=QUIET_MIX)
+        eager = run_fidelity(spec, "eager")
+        event = run_fidelity(spec, "event")
+        assert calls["jumps"] > 0
+        assert calls["ticks"] >= 2 * calls["jumps"]
+        assert_event_close(eager, event)
+
+    def test_no_horizon_cap(self, monkeypatch):
+        """span_horizon_ticks caps span fast-forwards, never event
+        jumps: a jump runs to the next heap event however far."""
+        calls = count_event_jumps(monkeypatch)
+        spec = RunSpec(exp_id=2, policy="Default", duration_s=30.0, seed=5,
+                       benchmark_mix=QUIET_MIX)
+        run_fidelity(spec, "event", span_horizon_ticks=3)
+        assert calls["lengths"] and max(calls["lengths"]) > 3
+
+    def test_no_settle_gate(self, monkeypatch):
+        """Unsettled transients don't block jumps (span's settle gate
+        is not consulted): the dense-event EXP-4 startup still jumps
+        wherever the heap allows."""
+        calls = count_event_jumps(monkeypatch)
+        spec = RunSpec(exp_id=2, policy="Default", duration_s=30.0, seed=5,
+                       benchmark_mix=QUIET_MIX)
+        eager = run_fidelity(spec, "eager")
+        event = run_fidelity(spec, "event", span_settle_k=0.0)
+        assert calls["jumps"] > 0
+        assert_event_close(eager, event)
+
+    def test_implicit_solver_dense_fallback(self, monkeypatch):
+        """No exponential propagator -> no modal basis; every tick of
+        the jump steps the dense solver, same contract."""
+        calls = count_event_jumps(monkeypatch)
+        spec = RunSpec(exp_id=1, policy="Default", duration_s=10.0, seed=5,
+                       benchmark_mix=QUIET_MIX,
+                       thermal_solver="backward_euler")
+        eager = run_fidelity(spec, "eager")
+        event = run_fidelity(spec, "event")
+        assert calls["jumps"] > 0
+        assert_event_close(eager, event)
+
+
+class TestEventOrdering:
+    """Heap-order invariants of the quiet-stretch scan."""
+
+    def _prepared_engine(self, **overrides):
+        spec = RunSpec(exp_id=1, policy="Default", duration_s=6.0, seed=3,
+                       fidelity="event", **overrides)
+        engine = RUNNER.build_engine(spec)
+        engine._prepare_run()
+        return engine
+
+    def test_jump_never_crosses_next_event(self):
+        engine = self._prepared_engine()
+        dt = engine.config.sampling_interval_s
+        quiet = engine._quiet_ticks_event(0.0, dt, 10_000)
+        horizon = None
+        if engine._arrivals:
+            horizon = engine._arrivals[0][0]
+        if engine._event_heap:
+            horizon = min(
+                horizon if horizon is not None else np.inf,
+                engine._event_heap[0][0],
+            )
+        if quiet and horizon is not None:
+            assert quiet * dt <= horizon  # the jump stops short
+            assert (quiet + 1) * dt > horizon - 1e-9
+
+    def test_event_on_tick_boundary_lands_in_controlled_tick(self):
+        """An event at exactly t0 + k*dt belongs to tick k, so the jump
+        may cover at most k-1 ticks — the tick containing the event
+        runs the full controlled pipeline."""
+        engine = self._prepared_engine()
+        dt = engine.config.sampling_interval_s
+        engine._arrivals = [(3 * dt, 0, None)]
+        engine._event_heap.clear()
+        assert engine._quiet_ticks_event(0.0, dt, 10_000) == 2
+
+    def test_stale_heap_entries_skipped(self):
+        """Invalidated heap entries (stale seq) are popped, never used
+        as the jump horizon."""
+        engine = self._prepared_engine()
+        dt = engine.config.sampling_interval_s
+        baseline = engine._quiet_ticks_event(0.0, dt, 10_000)
+        name = engine.core_names[0]
+        stale_seq = engine._cores[name].heap_seq - 1
+        heapq.heappush(engine._event_heap, (0.5 * dt, stale_seq, name))
+        assert engine._quiet_ticks_event(0.0, dt, 10_000) == baseline
+        if engine._event_heap:
+            assert engine._event_heap[0][1] != stale_seq
+
+
+class TestEventTelemetry:
+    """Telemetry on the event engine: non-perturbing, counters true."""
+
+    def test_event_unperturbed_by_telemetry(self):
+        from repro.obs.telemetry import TelemetryConfig
+
+        spec = RunSpec(exp_id=4, policy="Adapt3D", duration_s=6.0, seed=3)
+        plain = run_fidelity(spec, "event")
+        telem = run_fidelity(spec, "event",
+                             telemetry=TelemetryConfig(trace=True))
+        np.testing.assert_array_equal(plain.vf_indices, telem.vf_indices)
+        np.testing.assert_array_equal(plain.core_states, telem.core_states)
+        np.testing.assert_array_equal(plain.unit_temps_k, telem.unit_temps_k)
+        assert plain.energy_j == telem.energy_j
+        assert telem.telemetry is not None
+
+    def test_event_jump_counters(self, monkeypatch):
+        from repro.obs.telemetry import TelemetryConfig
+
+        calls = count_event_jumps(monkeypatch)
+        spec = RunSpec(exp_id=4, policy="Default", duration_s=12.0, seed=7,
+                       with_dpm=True, benchmark_mix=IDLE_MIX)
+        result = run_fidelity(spec, "event",
+                              telemetry=TelemetryConfig())
+        counters = result.telemetry["engine"]["counters"]
+        assert counters["event_jumps"] == calls["jumps"] > 0
+        assert counters["event_jump_ticks"] == calls["ticks"]
+        assert 0 <= counters["event_skipped_ticks"] <= calls["ticks"]
+        # Registry mirrors agree with the micro counters.
+        reg = result.telemetry["registry"]["counters"]
+        assert reg["event.jumps"] == calls["jumps"]
+        assert reg["event.jump_ticks"] == calls["ticks"]
+        assert reg["event.skipped_ticks"] == counters["event_skipped_ticks"]
+        # Profiler credits every reconstructed tick to the jump phase.
+        phases = result.telemetry["phases"]
+        assert phases["ticks"] == result.n_ticks
+        assert "event_jump" in phases["phases"]
+
+
+class TestEventCheckpointResume:
+    """Checkpoint/resume across clock jumps: the modal state is
+    rematerialized at the checkpoint and re-opened on resume."""
+
+    def _engine_run(self, spec, every=0, sink=None, resume=None):
+        engine = RUNNER.build_engine(spec)
+        return engine.run(checkpoint_every=every, checkpoint_sink=sink,
+                          resume=resume)
+
+    def test_resume_through_jumps(self, monkeypatch):
+        calls = count_event_jumps(monkeypatch)
+        spec = RunSpec(exp_id=4, policy="Default", duration_s=12.0, seed=7,
+                       with_dpm=True, benchmark_mix=IDLE_MIX,
+                       fidelity="event")
+        clean = RUNNER.run(spec)
+        assert calls["jumps"] > 0
+        blobs = []
+        checkpointed = self._engine_run(
+            spec, every=30,
+            sink=lambda blob, tick: blobs.append((tick, blob)),
+        )
+        # Checkpointing itself must not perturb the run: the mid-run
+        # modal close rematerializes node state without invalidating
+        # the reduced coordinates the loop keeps advancing.
+        np.testing.assert_array_equal(clean.vf_indices,
+                                      checkpointed.vf_indices)
+        np.testing.assert_array_equal(clean.core_states,
+                                      checkpointed.core_states)
+        np.testing.assert_array_equal(clean.unit_temps_k,
+                                      checkpointed.unit_temps_k)
+        assert clean.energy_j == checkpointed.energy_j
+        assert blobs
+        for tick, blob in blobs:
+            resumed = self._engine_run(spec, resume=blob)
+            # Resume re-projects the checkpointed node state into a
+            # fresh modal basis (a ~1e-12 K round trip), so the thermal
+            # planes agree to solver precision rather than bitwise; the
+            # discrete stream must be unaffected.
+            for name in DISCRETE_ARRAYS:
+                np.testing.assert_array_equal(
+                    getattr(clean, name), getattr(resumed, name),
+                    err_msg=f"resume@{tick}:{name}",
+                )
+            np.testing.assert_allclose(
+                clean.unit_temps_k, resumed.unit_temps_k,
+                rtol=0.0, atol=1e-9,
+            )
+            assert abs(clean.energy_j - resumed.energy_j) <= (
+                1e-9 * clean.energy_j
+            )
+
+
+class TestEventConfigValidation:
+    def test_event_requires_event_heap(self):
+        engine = RUNNER.build_engine(
+            RunSpec(exp_id=1, policy="Default", duration_s=2.0)
+        )
+        engine.config = replace(
+            engine.config, fidelity="event", event_loop="legacy_scan"
+        )
+        with pytest.raises(SchedulerError):
+            engine.run()
+
+    def test_batch_group_key_separates_fidelities(self):
+        eager = RunSpec(exp_id=1, policy="Default", duration_s=2.0)
+        span = replace(eager, fidelity="span")
+        event = replace(eager, fidelity="event")
+        groups = ExperimentRunner.group_batchable([eager, span, event])
+        assert groups == [[0], [1], [2]]
+
+    def test_campaign_fidelity_axis_accepts_event(self):
+        from repro.campaign.spec import CampaignSpec
+
+        spec = CampaignSpec(name="ev", fidelities=("eager", "event"))
+        fids = {run.fidelity for run in spec.expand()}
+        assert fids == {"eager", "event"}
+
+    def test_campaign_rejects_unknown_fidelity(self):
+        from repro.campaign.spec import CampaignSpec
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(name="bad", fidelities=("sloppy",))
+
+
+class TestModalPrimitives:
+    """The reduced-order modal stepper the event loop advances on."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return ThermalModel(build_experiment(2))
+
+    def _settled_state(self, model):
+        model.initialize_steady_state(
+            {name: 0.4 for name in model.unit_names}
+        )
+
+    def test_modal_basis_reconstructs_propagator(self, model):
+        basis = model.assembly.modal_step_basis()
+        assert basis is not None
+        n_nodes = model.assembly.transient_solver(
+            "exponential"
+        ).propagator.shape[0]
+        # Truncation drops the numerically dead modes...
+        assert 0 < basis["rho"].size < n_nodes
+        # ...and the realified basis is exact within the gate.
+        assert basis["err"] <= MODAL_BASIS_ERR_MAX
+        # Conjugate eigenpairs were realified: everything downstream
+        # of the factorization must be plain float arrays.
+        for key in ("rho", "V", "W"):
+            assert not np.iscomplexobj(basis[key]), key
+
+    def test_modal_jump_matches_dense_steps(self, model):
+        self._settled_state(model)
+        rng = np.random.default_rng(7)
+        reference = ThermalModel(model.config, assembly=model.assembly)
+        reference.temperatures = model.temperatures.copy()
+        modal = model.modal_jump()
+        assert modal is not None
+        core_idx = np.array(
+            [model._unit_global_index[name] for name in model._core_names]
+        )
+        n_units = len(model.unit_names)
+        powers = rng.uniform(0.1, 2.0, n_units)
+        modal.open(powers)
+        for step in range(50):
+            if step % 7 == 0:  # repriced steady point mid-stretch
+                powers = rng.uniform(0.1, 2.0, n_units)
+            reference.step_vector(powers)
+            mean_row, peak_row = modal.advance(powers)
+            np.testing.assert_allclose(
+                mean_row, reference.unit_temperature_vector(),
+                rtol=0.0, atol=1e-9,
+            )
+            np.testing.assert_allclose(
+                peak_row[core_idx],
+                reference.unit_max_vector()[core_idx],
+                rtol=0.0, atol=1e-9,
+            )
+        modal.close()
+        np.testing.assert_allclose(
+            model.temperatures, reference.temperatures,
+            rtol=0.0, atol=1e-9,
+        )
+
+    def test_modal_peak_row_is_core_restricted(self, model):
+        """Only core units get a max readback (the per-tick consumers
+        are core-indexed); non-core entries stay NaN by contract."""
+        self._settled_state(model)
+        modal = model.modal_jump()
+        powers = np.full(len(model.unit_names), 0.5)
+        modal.open(powers)
+        _, peak_row = modal.advance(powers)
+        core_idx = np.array(
+            [model._unit_global_index[name] for name in model._core_names]
+        )
+        assert np.isfinite(peak_row[core_idx]).all()
+        non_core = np.setdiff1d(np.arange(peak_row.size), core_idx)
+        if non_core.size:
+            assert np.isnan(peak_row[non_core]).all()
+
+    def test_close_does_not_invalidate_coordinates(self, model):
+        """A mid-stretch close (checkpoint) rematerializes node state;
+        the caller keeps advancing the same reduced coordinates."""
+        self._settled_state(model)
+        reference = ThermalModel(model.config, assembly=model.assembly)
+        reference.temperatures = model.temperatures.copy()
+        modal = model.modal_jump()
+        powers = np.full(len(model.unit_names), 0.7)
+        modal.open(powers)
+        for _ in range(3):
+            reference.step_vector(powers)
+            modal.advance(powers)
+        modal.close()  # checkpoint
+        np.testing.assert_allclose(
+            model.temperatures, reference.temperatures,
+            rtol=0.0, atol=1e-9,
+        )
+        for _ in range(3):
+            reference.step_vector(powers)
+            mean_row, _ = modal.advance(powers)
+        np.testing.assert_allclose(
+            mean_row, reference.unit_temperature_vector(),
+            rtol=0.0, atol=1e-9,
+        )
+
+    def test_implicit_model_has_no_modal_jump(self):
+        model = ThermalModel(
+            build_experiment(1), solver_method="backward_euler"
+        )
+        assert model.modal_jump() is None
+
+
+class TestQuietPowerEval:
+    """The affine power decomposition the jump reprices leakage with."""
+
+    def test_quiet_eval_matches_power_kernel(self):
+        spec = RunSpec(exp_id=2, policy="Default", duration_s=2.0, seed=3,
+                       fidelity="event")
+        engine = RUNNER.build_engine(spec)
+        engine._prepare_run()
+        power = engine.power
+        n_cores = len(engine.core_names)
+        rng = np.random.default_rng(5)
+        state = engine._state_arr.copy()
+        util = rng.uniform(0.0, 1.0, n_cores)
+        dyn = engine._dyn_scale_arr.copy()
+        volt = engine._voltage_arr.copy()
+        mem = engine._memory_intensity()
+        base, leak_mul = power.quiet_power_factors(
+            state, util, dyn, volt, mem
+        )
+        for _ in range(3):
+            temps = rng.uniform(300.0, 370.0, len(engine.thermal.unit_names))
+            expected = power.unit_power_vector(
+                state, util, dyn, volt, temps, mem
+            )
+            got = power.quiet_power_eval(base, leak_mul, temps)
+            np.testing.assert_array_equal(expected, got)
+
+
+@pytest.mark.slow
+class TestEventDifferentialMatrix:
+    """Full stack x policy x DPM three-column matrix (weekly in CI)."""
+
+    @pytest.mark.parametrize("exp_id", [1, 2, 3, 4])
+    @pytest.mark.parametrize("policy", [
+        "Default", "AdaptRand", "Adapt3D", "Migr", "DVFS_TT",
+        "Adapt3D&DVFS_TT",
+    ])
+    @pytest.mark.parametrize("with_dpm", [False, True])
+    def test_event_matches_eager(self, exp_id, policy, with_dpm):
+        spec = RunSpec(exp_id=exp_id, policy=policy, duration_s=6.0,
+                       with_dpm=with_dpm, seed=2009)
+        assert_event_close(
+            run_fidelity(spec, "eager"), run_fidelity(spec, "event")
+        )
+
+    @pytest.mark.parametrize("policy", ["Default", "Adapt3D", "DVFS_TT"])
+    def test_idle_heavy_event_matrix(self, policy):
+        spec = RunSpec(exp_id=4, policy=policy, duration_s=30.0, seed=5,
+                       with_dpm=True, benchmark_mix=IDLE_MIX)
+        assert_event_close(
+            run_fidelity(spec, "eager"), run_fidelity(spec, "event")
+        )
+
+    @pytest.mark.parametrize("seed", [11, 12, 13, 14, 15])
+    def test_seed_sweep_discrete_identity(self, seed):
+        """Any same-time event ties must resolve identically across
+        fidelities: sweep seeds and require bitwise discrete planes."""
+        spec = RunSpec(exp_id=3, policy="Adapt3D", duration_s=6.0,
+                       seed=seed, with_dpm=True)
+        assert_event_close(
+            run_fidelity(spec, "eager"), run_fidelity(spec, "event")
+        )

@@ -25,7 +25,11 @@ import pytest
 from repro.analysis.runner import ExperimentRunner, RunSpec
 from repro.errors import SchedulerError, ThermalModelError
 from repro.floorplan.experiments import build_experiment
-from repro.sched.batch import BatchSimulationEngine, _ProbabilisticBatchTick
+from repro.sched.batch import (
+    BatchSimulationEngine,
+    _DVFSBatchTick,
+    _ProbabilisticBatchTick,
+)
 from repro.sched.engine import EngineConfig, SimulationEngine
 from repro.thermal.model import ThermalModel
 
@@ -374,6 +378,135 @@ class TestSpanBatch:
             assert_span_close(
                 RUNNER.run(replace(spec, fidelity="eager")), result
             )
+
+
+class TestDVFSBatch:
+    """The stacked DVFS policy tick: each lane's levels, migrations and
+    heap invalidations must match its own serial on_tick sweep."""
+
+    #: Enough load to exercise the base load-balancer's migrations and
+    #: DVFS_Util's level churn inside the batch tick.
+    BUSY_MIX = (("Web-high", 4), ("gcc", 3), ("Database", 2))
+
+    def seed_sweep(self, policy, fidelity="span", n_seeds=3):
+        return [
+            RunSpec(exp_id=1, policy=policy, duration_s=8.0,
+                    seed=7 + i, benchmark_mix=self.BUSY_MIX,
+                    fidelity=fidelity, with_dpm=(i == 2))
+            for i in range(n_seeds)
+        ]
+
+    @pytest.mark.parametrize("policy", ["DVFS_TT", "DVFS_Util", "DVFS_FLP"])
+    def test_batch_dvfs_matches_serial(self, policy):
+        specs = self.seed_sweep(policy)
+        serial = [RUNNER.run(spec) for spec in specs]
+        lanes = [RUNNER.build_engine(spec) for spec in specs]
+        assert _DVFSBatchTick.build(lanes) is not None
+        batched = BatchSimulationEngine(lanes, propagation="exact").run()
+        for s, b in zip(serial, batched):
+            for name in DISCRETE_ARRAYS + ("times",):
+                np.testing.assert_array_equal(
+                    getattr(s, name), getattr(b, name), err_msg=name
+                )
+            np.testing.assert_allclose(
+                s.unit_temps_k, b.unit_temps_k, rtol=0.0, atol=1e-9
+            )
+            assert s.migrations == b.migrations
+            for js, jb in zip(s.jobs, b.jobs):
+                assert js.core == jb.core
+
+    def test_batch_dvfs_event_lanes(self):
+        """Event-fidelity lanes batch on the span substrate and take
+        the stacked DVFS tick too."""
+        specs = self.seed_sweep("DVFS_Util", fidelity="event")
+        serial = [RUNNER.run(spec) for spec in specs]
+        lanes = [RUNNER.build_engine(spec) for spec in specs]
+        assert _DVFSBatchTick.build(lanes) is not None
+        batched = BatchSimulationEngine(lanes, propagation="exact").run()
+        for s, b in zip(serial, batched):
+            for name in DISCRETE_ARRAYS:
+                np.testing.assert_array_equal(
+                    getattr(s, name), getattr(b, name), err_msg=name
+                )
+            assert s.migrations == b.migrations
+
+    def test_mixed_dvfs_policies_fall_back(self):
+        """Different DVFS classes across lanes keep the per-lane sweep
+        (and hybrids never take the stacked tick)."""
+        specs = [
+            RunSpec(exp_id=1, policy=policy, duration_s=4.0, seed=7,
+                    fidelity="span")
+            for policy in ("DVFS_TT", "DVFS_Util")
+        ]
+        lanes = [RUNNER.build_engine(spec) for spec in specs]
+        assert _DVFSBatchTick.build(lanes) is None
+        hybrid = [
+            RUNNER.build_engine(
+                RunSpec(exp_id=1, policy="Adapt3D&DVFS_TT", duration_s=4.0,
+                        seed=7, fidelity="span")
+            )
+        ]
+        assert _DVFSBatchTick.build(hybrid) is None
+
+    def test_tt_level_math_matches_policy(self):
+        """The vectorized DVFS_TT update against the per-core dict
+        walk, including the step-down branch the thermal runs rarely
+        reach and clamping at both table ends."""
+        lanes = [
+            RUNNER.build_engine(
+                RunSpec(exp_id=1, policy="DVFS_TT", duration_s=2.0,
+                        seed=7 + i, fidelity="span")
+            )
+            for i in range(2)
+        ]
+        tick = _DVFSBatchTick.build(lanes)
+        assert tick is not None
+        policies = [lane.policy for lane in lanes]
+        table = policies[0].system.vf_table
+        names = list(policies[0].system.core_names)
+        threshold = policies[0].system.thermal_threshold_k
+        shadow = [dict(policy._levels) for policy in policies]
+        rng = np.random.default_rng(3)
+        for _ in range(6):  # enough rounds to pin at both clamps
+            temps = rng.uniform(threshold - 10.0, threshold + 10.0,
+                                (len(lanes), len(names)))
+            levels = tick.advance_levels(temps, np.zeros_like(temps))
+            for r, expect in enumerate(shadow):
+                for j, name in enumerate(names):
+                    if temps[r, j] >= threshold:
+                        expect[name] = table.step_down(expect[name])
+                    else:
+                        expect[name] = table.step_up(expect[name])
+                    assert levels[r, j] == expect[name]
+        tick.finish()
+        for policy, expect in zip(policies, shadow):
+            assert policy._levels == expect
+
+    def test_util_level_math_matches_policy(self):
+        """The vectorized lowest_covering against the scalar table
+        walk over the closed [0, 1] utilization range."""
+        lanes = [
+            RUNNER.build_engine(
+                RunSpec(exp_id=1, policy="DVFS_Util", duration_s=2.0,
+                        seed=7, fidelity="span")
+            )
+        ]
+        tick = _DVFSBatchTick.build(lanes)
+        assert tick is not None
+        table = lanes[0].policy.system.vf_table
+        n = len(lanes[0].policy.system.core_names)
+        rng = np.random.default_rng(9)
+        rounds = [rng.uniform(0.0, 1.0, (1, n)) for _ in range(4)]
+        for level in table._levels:  # exact frequency ties
+            rounds.append(np.full((1, n), level.frequency))
+        rounds.append(np.zeros((1, n)))
+        rounds.append(np.ones((1, n)))
+        for utils in rounds:
+            levels = tick.advance_levels(np.zeros((1, n)), utils)
+            for j in range(n):
+                assert levels[0, j] == table.lowest_covering(
+                    float(utils[0, j])
+                )
 
 
 class TestSpanThermalPrimitives:

@@ -211,7 +211,7 @@ class TestTraceRecorder:
         assert NULL_TRACE.events() == []
 
     def test_event_names_cover_all_types(self):
-        assert sorted(EVENT_NAMES) == list(range(1, 12))
+        assert sorted(EVENT_NAMES) == list(range(1, 13))
 
 
 class TestTickProfiler:
@@ -265,7 +265,7 @@ class TestTickProfiler:
         assert NULL_PROFILER.summary()["ticks"] == 0
 
     def test_phase_constants_match_names(self):
-        assert len(PHASES) == 8
+        assert len(PHASES) == 9
         assert PHASES[PH_THERMAL] == "thermal"
         assert PHASES[PH_POLICY] == "policy"
 
