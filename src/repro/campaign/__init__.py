@@ -32,9 +32,12 @@ from repro.campaign.reports import (
     campaign_report,
     campaign_status,
     campaign_telemetry,
+    fabric_health,
+    format_fabric,
     format_status,
     format_telemetry,
 )
+from repro.campaign.staging import StagingArea, default_stage_dir
 from repro.campaign.spec import (
     CampaignSpec,
     prefix_key,
@@ -54,9 +57,13 @@ __all__ = [
     "ResultStore",
     "RetryPolicy",
     "RunOutcome",
+    "StagingArea",
     "campaign_report",
     "campaign_status",
     "campaign_telemetry",
+    "default_stage_dir",
+    "fabric_health",
+    "format_fabric",
     "format_status",
     "format_telemetry",
     "prefix_key",

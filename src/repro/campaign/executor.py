@@ -25,7 +25,17 @@ into completed entries in a :class:`ResultStore`:
   resumes mid-simulation, bit-identical to an uninterrupted run,
 - with a lease TTL armed, the driver claims each pending key before
   running it, so several drivers can chew one store without
-  duplicating work.
+  duplicating work,
+- the wave loop writes a ``drivers/<owner>.hb`` heartbeat; a driver
+  whose beacon goes stale (it died mid-wave) has its leases reclaimed
+  by surviving drivers, which adopt any checkpoint sidecar the dead
+  driver left and **resume** its in-flight runs instead of restarting
+  them,
+- when a store save fails (or exceeds the policy's latency budget),
+  the result spills to a local staging dir and the campaign keeps
+  going in degraded mode; a reconciler folds the spills back in once
+  the store recovers — a flaky shared filesystem slows a campaign
+  instead of killing it.
 
 Results always travel driver-ward over the executor pipe; only the
 driver process writes the store.
@@ -61,19 +71,24 @@ from repro.campaign.resilience import (
     ResiliencePolicy,
 )
 from repro.campaign.spec import CampaignSpec, run_key
+from repro.campaign.staging import StagingArea, default_stage_dir
 from repro.campaign.store import ResultStore
 from repro.errors import ConfigurationError
 from repro.obs.resilience import ResilienceStats
 from repro.sched.engine import SimulationResult
 
 #: ``progress(event, key, detail)`` with event in {"cached", "prefix",
-#: "quarantined", "leased", "start", "retry", "ok", "error"}.
+#: "quarantined", "leased", "reclaimed", "start", "retry", "ok",
+#: "spilled", "reconciled", "error"}.
 ProgressCallback = Callable[[str, str, str], None]
 
 BACKENDS = ("serial", "parallel", "batched")
 
 #: Default lane count per fused batch of the ``batched`` backend.
 DEFAULT_BATCH_SIZE = 16
+
+#: Cadence of store-recovery probes while operating degraded.
+_PROBE_EVERY_S = 2.0
 
 # Per-worker state, created once by the pool initializer and reused for
 # every run the worker executes.
@@ -246,6 +261,11 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
         backend honors checkpoint/resume and leases but runs each spec
         exactly once (an in-process crash would take the driver down
         with it, so retrying there buys nothing).
+    stage_dir:
+        Local spill directory for degraded-mode operation (default:
+        ``<store root>.staging``, a sibling of the store so it stays
+        writable when the store's filesystem fails). Only meaningful
+        with a store attached.
 
     After each ``run_campaign``/``run_specs`` call, ``stats`` holds the
     resilience counters of that execution (also merged into the store's
@@ -264,6 +284,7 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
         prefix_cache: bool = True,
         telemetry: bool = False,
         resilience: Optional[ResiliencePolicy] = None,
+        stage_dir: Optional[Path] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ConfigurationError(
@@ -291,6 +312,11 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
                 "work leasing requires a result store "
                 "(leases live under the store's leases/ dir)"
             )
+        if store is None and stage_dir is not None:
+            raise ConfigurationError(
+                "staging requires a result store "
+                "(spills reconcile back into it)"
+            )
         self.store = store
         self.backend = backend
         self.max_workers = max_workers or (os.cpu_count() or 1)
@@ -303,6 +329,13 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
         self.resilience = resilience
         self.stats = ResilienceStats()
         self._leased: Set[str] = set()
+        self.staging: Optional[StagingArea] = None
+        if store is not None:
+            root = Path(stage_dir) if stage_dir is not None \
+                else default_stage_dir(store.root)
+            self.staging = StagingArea(root, owner=store.owner)
+        self._degraded = False
+        self._heartbeat_every = 0.0
 
     # ------------------------------------------------------------------
     # public API
@@ -329,7 +362,23 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
             specs, strict=True, keep_results=self.store is None
         )
         if self.store is not None:
-            return {o.key: self.store.load(o.key) for o in outcomes}
+            loaded: Dict[str, SimulationResult] = {}
+            for o in outcomes:
+                if self.store.has(o.key):
+                    loaded[o.key] = self.store.load(o.key)
+                    continue
+                # Degraded-mode fallback: the result spilled to staging
+                # and the store never recovered during this campaign.
+                staged = (
+                    self.staging.load(o.key)
+                    if self.staging is not None else None
+                )
+                if staged is None:
+                    raise ConfigurationError(
+                        f"run {o.key!r} is neither stored nor staged"
+                    )
+                loaded[o.key] = staged
+            return loaded
         return {o.key: results[o.key] for o in outcomes}
 
     def map(self, fn: Callable[[Any], Any], values: Iterable[Any]) -> List[Any]:
@@ -370,10 +419,23 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
         results: Dict[str, SimulationResult] = {}
         self.stats = ResilienceStats()
         self._leased = set()
+        self._degraded = False
+        self._heartbeat_every = (
+            self.resilience.heartbeat_interval_s()
+            if self.store is not None else 0.0
+        )
+        if self.store is not None:
+            if self._heartbeat_every > 0:
+                self._write_heartbeat()
+            # Fold any spills left by a previous degraded campaign (ours
+            # or a dead driver sharing this staging root) before the
+            # pending scan, so reconciled keys read as cached.
+            self._try_reconcile()
         quarantined = (
             self.store.quarantined() if self.store is not None else {}
         )
         leasing = self.store is not None and self.resilience.lease_ttl_s > 0
+        stale_after = self.resilience.heartbeat_stale_s()
 
         pending: List[Tuple[str, RunSpec]] = []
         for spec in specs:
@@ -407,18 +469,66 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
                     # so resume/caching behave exactly as without it.
                     spec = replace(spec, telemetry=True)
                 if leasing:
-                    if not self.store.acquire_lease(
+                    if self.store.acquire_lease(
                         key, self.resilience.lease_ttl_s
                     ):
-                        # Another driver is computing this key; it will
-                        # land in the shared store as "cached" for the
-                        # next campaign over it.
+                        self._leased.add(key)
+                    else:
                         holder = self.store.lease_holder(key) or ""
-                        self.stats.lease_skip()
-                        outcome_by_key[key] = RunOutcome(key, spec, "leased")
-                        self._emit("leased", key, holder)
-                        continue
-                    self._leased.add(key)
+                        if (
+                            holder
+                            and stale_after > 0
+                            and self.store.driver_alive(
+                                holder, stale_after) is False
+                            and self.store.takeover_lease(
+                                key, self.resilience.lease_ttl_s,
+                                dead_owner=holder)
+                        ):
+                            # The holder's heartbeat is affirmatively
+                            # stale: it died mid-wave. Reclaim its
+                            # lease; any checkpoint sidecar it left is
+                            # keyed by run key, so the run resumes here
+                            # instead of restarting.
+                            self.stats.takeover()
+                            self._leased.add(key)
+                            self._emit("reclaimed", key, holder)
+                        else:
+                            # Another driver is computing this key; it
+                            # will land in the shared store as "cached"
+                            # for the next campaign over it.
+                            self.stats.lease_skip()
+                            outcome_by_key[key] = RunOutcome(
+                                key, spec, "leased"
+                            )
+                            self._emit("leased", key, holder)
+                            continue
+                if (self.staging is not None
+                        and self.staging.has_spill(key)):
+                    # A degraded driver already computed this unit and
+                    # spilled it before releasing the lease, so the
+                    # acquire-then-check order above makes this
+                    # race-free; recomputing would double-charge the
+                    # unit. The fold into the store happens on the
+                    # next reconcile probe.
+                    outcome_by_key[key] = RunOutcome(key, spec, "cached")
+                    self._emit("cached", key, "staged")
+                    self._release_lease(key)
+                    continue
+                if self.store is not None and self.store.probe(key):
+                    # A concurrent driver saved this unit after our
+                    # index was read (our view was stale).  The probe
+                    # re-reads the shard journal under the lease we now
+                    # hold — a durable save always lands in the journal
+                    # before its lease is released, so lease-then-probe
+                    # cannot miss a completed unit and recomputing (a
+                    # double charge) is ruled out.  Spill-check first,
+                    # probe second: a reconciler removes a spill only
+                    # AFTER its fold's put is durable, so a vanished
+                    # spill is always visible to the later probe.
+                    outcome_by_key[key] = RunOutcome(key, spec, "cached")
+                    self._emit("cached", key, "probed")
+                    self._release_lease(key)
+                    continue
                 pending.append((key, spec))
 
         try:
@@ -434,11 +544,23 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
         finally:
             if self.store is not None:
                 for key in list(self._leased):
-                    self.store.release_lease(key)
+                    try:
+                        self.store.release_lease(key)
+                    except OSError:
+                        pass  # expired leases sweep on the next open
                 self._leased.clear()
+                self._try_reconcile()
+                if self._heartbeat_every > 0:
+                    self._remove_heartbeat()
+                stale = self.store.take_stale_reads()
+                if stale:
+                    self.stats.stale_read(stale)
                 tally = self.stats.snapshot()
                 if any(tally.values()):
-                    self.store.record_resilience(tally)
+                    try:
+                        self.store.record_resilience(tally)
+                    except OSError:
+                        pass  # telemetry only; never fail the campaign
 
         ordered = [
             outcome_by_key[run_key(spec)]
@@ -493,6 +615,89 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
             self.store.release_lease(key)
             self._leased.discard(key)
 
+    def _write_heartbeat(self) -> None:
+        try:
+            self.store.write_heartbeat()
+        except OSError:
+            pass  # a missed beacon is survivable; a crashed driver isn't
+
+    def _remove_heartbeat(self) -> None:
+        try:
+            self.store.remove_heartbeat()
+        except OSError:
+            pass
+
+    def _store_save(self, key: str, spec: RunSpec,
+                    result: SimulationResult) -> str:
+        """Persist to the store, spilling to staging when degraded.
+
+        Returns ``"ok"`` when the result reached the store and this
+        driver won the charge (its put landed first in the shard
+        journal), ``"stored"`` when it is durable but a racing driver
+        charged it first, and ``"spilled"`` when it went to staging.
+        Entering degraded mode happens on an ``OSError`` from the save
+        or on a save slower than the policy's latency budget (that
+        save itself still landed); leaving it happens when a reconcile
+        probe drains the staging area.  Before spilling, the key's
+        shard journal is probed: spilling a unit a peer already saved
+        would charge it twice when the spill is counted.
+        """
+        if self._degraded:
+            if self._already_charged(key):
+                return "stored"
+            self._spill(key, spec, result)
+            return "spilled"
+        started = time.monotonic()
+        try:
+            self.store.save(spec, result)
+        except OSError:
+            self._degraded = True
+            if self._already_charged(key):
+                return "stored"
+            self._spill(key, spec, result)
+            return "spilled"
+        budget = self.resilience.store_latency_budget_s
+        if budget is not None and time.monotonic() - started > budget:
+            self._degraded = True
+        return "ok" if self.store.last_save_charged else "stored"
+
+    def _already_charged(self, key: str) -> bool:
+        """Whether a peer already durably committed (and charged) ``key``.
+
+        Spill-check first, journal-probe second: a reconciler removes
+        a spill only after its fold's put is durable, so a spill that
+        vanished between the two checks is caught by the probe.
+        """
+        if self.staging is not None and self.staging.has_spill(key):
+            return True
+        try:
+            return self.store.probe(key)
+        except OSError:
+            return False  # store unreadable too; spill as usual
+
+    def _spill(self, key: str, spec: RunSpec,
+               result: SimulationResult) -> None:
+        self.staging.spill(spec, result)
+        self.stats.spill()
+        self._emit("spilled", key)
+
+    def _try_reconcile(self) -> int:
+        """Fold committed spills into the store; returns how many."""
+        if self.store is None or self.staging is None:
+            return 0
+        folded = self.staging.reconcile(self.store)
+        for key in folded:
+            self.stats.reconcile()
+            try:
+                self.store.discard_checkpoint(key)
+            except OSError:
+                pass
+            self._emit("reconciled", key)
+        # Still-pending spills mean the store rejected a fold: stay (or
+        # go) degraded; an empty staging area means it is healthy.
+        self._degraded = bool(self.staging.pending())
+        return len(folded)
+
     def _record_ok(
         self,
         key: str,
@@ -501,18 +706,27 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
         outcomes: Dict[str, RunOutcome],
         results: Dict[str, SimulationResult],
     ) -> None:
+        state = "ok"
         if self.store is not None:
-            self.store.save(spec, result)
-            if self.store.has_checkpoint(key):
+            state = self._store_save(key, spec, result)
+            if state != "spilled" and self.store.has_checkpoint(key):
                 # The run checkpointed mid-flight at least once. The
                 # counter is per run, not per blob: blobs are written
-                # in workers, out of the driver's sight.
+                # in workers, out of the driver's sight. (A spilled
+                # run keeps its checkpoint until the reconcile lands.)
                 self.stats.checkpoint()
                 self.store.discard_checkpoint(key)
         results[key] = result
         outcomes[key] = RunOutcome(key, spec, "ok")
         self._release_lease(key)
-        self._emit("ok", key)
+        if state == "ok":
+            self._emit("ok", key)
+        elif state == "stored":
+            # A racing driver's put landed first (we were presumed
+            # dead mid-compute and reclaimed, or its spill beat our
+            # degraded retry); identical result, but the charge
+            # belongs to the first durable writer.
+            self._emit("cached", key, "save-race")
 
     def _record_error(
         self,
@@ -524,7 +738,10 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
         # A checkpoint of an errored run is kept on purpose: the next
         # campaign's attempt resumes from it instead of starting over.
         if self.store is not None:
-            self.store.record_failure(spec, message)
+            try:
+                self.store.record_failure(spec, message)
+            except OSError:
+                pass  # degraded store; the in-memory outcome stands
         outcomes[key] = RunOutcome(key, spec, "error", error=message)
         self._release_lease(key)
         self._emit("error", key, message)
@@ -537,9 +754,12 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
         outcomes: Dict[str, RunOutcome],
     ) -> None:
         if self.store is not None:
-            self.store.quarantine(spec, message)
-            self.store.record_failure(spec, message)
-            self.store.discard_checkpoint(key)
+            try:
+                self.store.quarantine(spec, message)
+                self.store.record_failure(spec, message)
+                self.store.discard_checkpoint(key)
+            except OSError:
+                pass  # degraded store; the in-memory outcome stands
         outcomes[key] = RunOutcome(key, spec, "quarantined", error=message)
         self._release_lease(key)
         self._emit("quarantined", key, message)
@@ -552,7 +772,18 @@ BatchSimulationEngine` batches of up to ``batch_size`` lanes; runs
         results: Dict[str, SimulationResult],
     ) -> None:
         checkpoint = self._worker_checkpoint()
+        last_beat = time.monotonic()
+        last_probe = last_beat
         for key, spec in pending:
+            maybe_crash_or_hang("driver_wave")
+            now = time.monotonic()
+            if (self._heartbeat_every > 0
+                    and now - last_beat >= self._heartbeat_every):
+                self._write_heartbeat()
+                last_beat = now
+            if self._degraded and now - last_probe >= _PROBE_EVERY_S:
+                self._try_reconcile()
+                last_probe = now
             self._emit("start", key)
             try:
                 if checkpoint is not None:
@@ -707,9 +938,22 @@ batch_group_key`) into units of up to ``batch_size`` lanes that a
             for pair in state.unit[1:]:
                 queue.append(_UnitState(unit=[pair]))
 
+        last_beat = time.monotonic()
+        last_probe = last_beat
         try:
             while queue or inflight:
+                # Driver-kill injection point: this is where a whole
+                # driver process dies mid-wave, leaving leases, a
+                # heartbeat, and checkpoints for survivors to reclaim.
+                maybe_crash_or_hang("driver_wave")
                 now = time.monotonic()
+                if (self._heartbeat_every > 0
+                        and now - last_beat >= self._heartbeat_every):
+                    self._write_heartbeat()
+                    last_beat = now
+                if self._degraded and now - last_probe >= _PROBE_EVERY_S:
+                    self._try_reconcile()
+                    last_probe = now
                 if pool is None:
                     pool = ProcessPoolExecutor(
                         max_workers=min(
@@ -738,9 +982,12 @@ batch_group_key`) into units of up to ``batch_size`` lanes that a
                     for state in inflight.values():
                         for key, _ in state.unit:
                             if key in self._leased:
-                                self.store.renew_lease(
-                                    key, policy.lease_ttl_s
-                                )
+                                try:
+                                    self.store.renew_lease(
+                                        key, policy.lease_ttl_s
+                                    )
+                                except OSError:
+                                    pass  # degraded FS; retried next wave
                 timeout = min(
                     state.deadline for state in inflight.values()
                 ) - time.monotonic()
@@ -748,6 +995,12 @@ batch_group_key`) into units of up to ``batch_size`` lanes that a
                     # Wake often enough to renew leases well inside
                     # their TTL even when deadlines are far away.
                     timeout = min(timeout, policy.lease_ttl_s / 3.0)
+                if self._heartbeat_every > 0:
+                    # ... and to keep our liveness beacon fresh, so
+                    # other drivers don't reclaim our leases.
+                    timeout = min(timeout, self._heartbeat_every)
+                if self._degraded:
+                    timeout = min(timeout, _PROBE_EVERY_S)
                 done, _ = wait(
                     set(inflight),
                     timeout=max(timeout, 0.05),

@@ -16,14 +16,33 @@ Injection points:
     fires inside ``_run_in_worker`` / ``_run_batch_in_worker`` before
     the simulation starts; supports ``crash`` (``os._exit``) and
     ``hang`` (sleep until the watchdog kills the worker)
+``driver_wave``
+    fires at the top of the executor's wave loop, in the **driver**
+    process; ``crash`` kills the whole driver mid-campaign (leases,
+    heartbeat, and checkpoints are left behind for another driver to
+    reclaim), ``hang`` wedges it
 ``index_flush``
-    fires inside ``ResultStore._flush_index``; ``torn_index`` replaces
-    the atomic index write with a truncated non-atomic one,
-    simulating power loss mid-write
+    fires inside ``ResultStore._flush_shard``; ``torn_index`` /
+    ``torn_shard`` replace the atomic shard write with a truncated
+    non-atomic one, simulating power loss mid-write; ``slow_io``
+    sleeps ``delay_s`` before the write (flaky-filesystem latency)
+``shard_load``
+    fires when a shard snapshot is read on store open; ``stale_read``
+    makes the snapshot read as empty — an NFS-style stale
+    read-after-write that journal replay must correct (the claim key
+    is the two-hex-char shard id)
+``store_save``
+    fires at the top of ``ResultStore.save``; ``fail_io`` raises
+    ``OSError`` (store write failure → the executor spills to its
+    staging dir), ``slow_io`` sleeps ``delay_s`` first (latency-budget
+    breach → degraded mode)
 ``payload_save``
     fires inside ``ResultStore.save`` between payload write and index
     commit; ``corrupt_payload`` truncates one payload file and skips
     the journal commit, simulating a crash mid-save
+``heartbeat``
+    fires inside ``ResultStore.write_heartbeat``; ``skew`` offsets the
+    written timestamp by ``skew_s``, simulating driver clock skew
 
 Faults are **fire-once by default** (``times`` raises the budget): a
 marker file is claimed with ``O_CREAT | O_EXCL`` *before* the fault
@@ -61,8 +80,15 @@ ENV_STATE = "REPRO_FAULT_STATE"
 #: exit code used by injected worker crashes (diagnosable in CI logs)
 CRASH_EXIT_CODE = 86
 
-_ACTIONS = frozenset({"crash", "hang", "torn_index", "corrupt_payload"})
-_POINTS = frozenset({"worker_run", "index_flush", "payload_save"})
+_ACTIONS = frozenset({
+    "crash", "hang", "torn_index", "corrupt_payload",
+    # cross-driver fault kinds (multi-driver fabric)
+    "stale_read", "torn_shard", "slow_io", "skew", "fail_io",
+})
+_POINTS = frozenset({
+    "worker_run", "index_flush", "payload_save",
+    "driver_wave", "shard_load", "store_save", "heartbeat",
+})
 
 
 @dataclass(frozen=True)
@@ -75,6 +101,8 @@ class FaultSpec:
     key: str = "*"  # run key or key prefix; "*" matches any run
     times: int = 1  # firing budget before the fault is spent
     hang_s: float = 3600.0  # sleep length for the ``hang`` action
+    delay_s: float = 0.25  # injected latency for the ``slow_io`` action
+    skew_s: float = 0.0  # clock offset for the ``skew`` action
 
     def __post_init__(self) -> None:
         if self.point not in _POINTS:
@@ -109,6 +137,8 @@ class FaultPlan:
                     "key": f.key,
                     "times": f.times,
                     "hang_s": f.hang_s,
+                    "delay_s": f.delay_s,
+                    "skew_s": f.skew_s,
                 }
                 for f in self.faults
             ],
@@ -124,6 +154,8 @@ class FaultPlan:
                 key=str(entry.get("key", "*")),
                 times=int(entry.get("times", 1)),
                 hang_s=float(entry.get("hang_s", 3600.0)),
+                delay_s=float(entry.get("delay_s", 0.25)),
+                skew_s=float(entry.get("skew_s", 0.0)),
             )
             for entry in data.get("faults", ())
         )

@@ -7,6 +7,8 @@ delay against the campaign's baseline policy run on the same
 (exp, duration, DPM, seed, grid, mix) — and renders one table.
 ``campaign_telemetry`` folds the per-run ``telemetry.json`` sidecars
 (if any) into one tick-phase profile and job-statistics roll-up.
+``fabric_health`` snapshots the multi-driver fabric — live driver
+heartbeats, held leases, shard occupancy, and pending staged spills.
 """
 
 from __future__ import annotations
@@ -17,17 +19,89 @@ from typing import Dict, List, Optional
 from repro.analysis.runner import RunSpec
 from repro.analysis.tables import format_table
 from repro.campaign.spec import CampaignSpec, run_key
+from repro.campaign.staging import StagingArea, default_stage_dir
 from repro.campaign.store import ResultStore
 from repro.metrics.report import summarize
 from repro.obs.profiler import merge_phase_summaries
 
+#: Heartbeat age (seconds) beyond which a driver counts as stale in
+#: fabric-health views. Display-only; takeover decisions use the
+#: campaign's ResiliencePolicy thresholds instead.
+DEFAULT_STALE_AFTER_S = 60.0
 
-def campaign_status(store: ResultStore, campaign: CampaignSpec) -> Dict[str, object]:
+
+def fabric_health(
+    store: ResultStore,
+    staging: Optional[StagingArea] = None,
+    stale_after_s: float = DEFAULT_STALE_AFTER_S,
+) -> Dict[str, object]:
+    """Snapshot of the multi-driver fabric behind a store.
+
+    Returns ``{"drivers", "live_drivers", "stale_drivers",
+    "held_leases", "n_leases", "shards", "shard_entries",
+    "busiest_shard", "staged"}`` — driver name -> heartbeat age,
+    live/stale owner lists, owner -> held lease keys, the shard
+    topology, and the keys of committed-but-unreconciled spills.
+    When ``staging`` is omitted the store's default sibling staging
+    dir is inspected.
+    """
+    if staging is None:
+        staging = StagingArea(default_stage_dir(store.root),
+                              owner=store.owner)
+    heartbeats = store.heartbeats()
+    live = sorted(o for o, age in heartbeats.items()
+                  if age <= stale_after_s)
+    leases = store.held_leases()
+    sizes = store.shard_sizes()
+    return {
+        "drivers": heartbeats,
+        "live_drivers": live,
+        "stale_drivers": sorted(set(heartbeats) - set(live)),
+        "held_leases": {owner: keys for owner, keys in sorted(leases.items())},
+        "n_leases": sum(len(keys) for keys in leases.values()),
+        "shards": store.shards,
+        "shard_entries": sum(sizes.values()),
+        "busiest_shard": max(sizes.values()) if sizes else 0,
+        "staged": staging.pending(),
+    }
+
+
+def format_fabric(health: Dict[str, object]) -> str:
+    """Human-readable rendering of :func:`fabric_health`."""
+    drivers: Dict[str, float] = dict(health["drivers"])  # type: ignore[arg-type]
+    live = list(health["live_drivers"])  # type: ignore[arg-type]
+    staged = list(health["staged"])  # type: ignore[arg-type]
+    lines = [
+        f"fabric: {len(live)} live driver(s), "
+        f"{health['n_leases']} held lease(s), "
+        f"{health['shard_entries']} entries over "
+        f"{health['shards']} shards, "
+        f"{len(staged)} staged spill(s)"
+    ]
+    for owner in sorted(drivers):
+        state = "live" if owner in live else "stale"
+        lines.append(
+            f"  driver {owner}: heartbeat {drivers[owner]:.1f}s ago"
+            f" ({state})"
+        )
+    for owner, keys in dict(health["held_leases"]).items():  # type: ignore[arg-type]
+        lines.append(f"  leases {owner}: {len(keys)}")
+    for key in staged:
+        lines.append(f"  staged {key}")
+    return "\n".join(lines)
+
+
+def campaign_status(
+    store: ResultStore,
+    campaign: CampaignSpec,
+    staging: Optional[StagingArea] = None,
+) -> Dict[str, object]:
     """Coverage of ``campaign`` in ``store``.
 
     Returns ``{"name", "total", "ok", "error", "quarantined", "pending",
-    "failures", "quarantines", "pending_keys"}`` where failures and
-    quarantines map run key -> error text.  A quarantined key counts
+    "failures", "quarantines", "pending_keys", "fabric"}`` where
+    failures and quarantines map run key -> error text and ``fabric``
+    is a :func:`fabric_health` snapshot.  A quarantined key counts
     only as quarantined, never as a plain failure, even though the
     executor records an error entry alongside the quarantine mark.
     """
@@ -58,6 +132,7 @@ def campaign_status(store: ResultStore, campaign: CampaignSpec) -> Dict[str, obj
         "failures": failures,
         "quarantines": quarantines,
         "pending_keys": pending,
+        "fabric": fabric_health(store, staging=staging),
     }
 
 
@@ -70,6 +145,12 @@ def format_status(status: Dict[str, object]) -> str:
     if status.get("quarantined"):
         line += f", {status['quarantined']} quarantined"
     lines = [line]
+    fabric = status.get("fabric")
+    if fabric and (fabric["live_drivers"] or fabric["n_leases"]
+                   or fabric["staged"]):
+        # Only surface the fabric when something is actually happening
+        # — single-driver, lease-free campaigns keep the old output.
+        lines.append("  " + format_fabric(fabric).splitlines()[0])
     for key, error in sorted(dict(status["failures"]).items()):  # type: ignore[arg-type]
         lines.append(f"  FAILED {key}: {error}")
     for key, error in sorted(dict(status.get("quarantines", {})).items()):  # type: ignore[arg-type]
@@ -230,4 +311,8 @@ def campaign_report(
             f"{name}={value}" for name, value in sorted(tally.items())
         )
         table += f"\nresilience (store lifetime): {pairs}"
+    fabric = status.get("fabric")
+    if fabric and (fabric["live_drivers"] or fabric["n_leases"]
+                   or fabric["staged"]):
+        table += "\n" + format_fabric(fabric).splitlines()[0]
     return table

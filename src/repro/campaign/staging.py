@@ -1,0 +1,202 @@
+"""Local staging area for degraded-mode campaign operation.
+
+When the shared :class:`~repro.campaign.store.ResultStore` fails a
+write (or exceeds the campaign's latency budget), completed results
+must not be lost — recomputing them costs far more than the disk they
+occupy.  The executor spills them here, to a driver-local directory,
+and a reconciler folds them back into the store once it recovers: a
+flaky shared filesystem slows a campaign instead of killing it.
+
+Layout under the staging root::
+
+    <key>.<owner-slug>/result_*.csv/.json  — the spilled payload
+    <key>.<owner-slug>/telemetry.json      — optional sidecar
+    <key>.<owner-slug>/entry.json          — commit marker, written last
+
+The commit marker carries the serialized spec and is written *after*
+the payload, so a crash mid-spill leaves an uncommitted directory that
+the reconciler sweeps (once old enough to rule out an in-progress
+spill) instead of folding half a result into the store.  Spill dirs
+are suffixed with the owner slug so several drivers can share one
+staging root (the common single-host test topology) without clobbering
+each other; content-addressed keys make double-folds idempotent
+anyway.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shutil
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, List, Optional, Union
+
+from repro.analysis.result_io import load_result, save_result
+from repro.analysis.runner import RunSpec
+from repro.campaign.spec import run_key, spec_from_dict, spec_to_dict
+from repro.errors import ConfigurationError
+from repro.sched.engine import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.campaign.store import ResultStore
+
+__all__ = ["StagingArea", "default_stage_dir"]
+
+_ENTRY_FILE = "entry.json"
+
+#: age beyond which an uncommitted spill dir is presumed crashed
+#: mid-write and swept by the reconciler
+_STALE_SPILL_S = 300.0
+
+
+def default_stage_dir(store_root: Union[str, Path]) -> Path:
+    """Sibling staging dir for a store root (``<root>.staging``).
+
+    Deliberately *outside* the store root: the staging area must stay
+    writable when the store's filesystem is the thing that is failing.
+    """
+    return Path(str(Path(store_root)) + ".staging")
+
+
+class StagingArea:
+    """Driver-local spill directory with store reconciliation."""
+
+    def __init__(self, root: Union[str, Path], owner: str = "driver") -> None:
+        self.root = Path(root)
+        self.owner = owner
+        self._slug = re.sub(r"[^A-Za-z0-9_.+-]", "_", owner)
+
+    def _spill_dir(self, key: str) -> Path:
+        return self.root / f"{key}.{self._slug}"
+
+    def spill(self, spec: RunSpec, result: SimulationResult) -> str:
+        """Persist one completed result locally; returns its run key.
+
+        Payload first, commit marker last — mirrors the store's
+        write-ahead discipline so a torn spill is detectable.
+        """
+        key = run_key(spec)
+        spill = self._spill_dir(key)
+        if spill.exists():
+            shutil.rmtree(spill)
+        spill.mkdir(parents=True)
+        save_result(result, spill / "result")
+        if result.telemetry is not None:
+            (spill / "telemetry.json").write_text(
+                json.dumps(result.telemetry, indent=2, sort_keys=True) + "\n"
+            )
+        (spill / _ENTRY_FILE).write_text(json.dumps(
+            {"key": key, "owner": self.owner, "spec": spec_to_dict(spec),
+             "spilled_at": time.time()},
+            sort_keys=True,
+        ) + "\n")
+        return key
+
+    def _committed(self) -> List[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            path for path in self.root.iterdir()
+            if path.is_dir() and (path / _ENTRY_FILE).exists()
+        )
+
+    def pending(self) -> List[str]:
+        """Run keys of every committed, not-yet-reconciled spill."""
+        keys = []
+        for spill in self._committed():
+            entry = self._read_entry(spill)
+            if entry is not None:
+                keys.append(str(entry["key"]))
+        return sorted(set(keys))
+
+    def has_spill(self, key: str) -> bool:
+        """Whether any owner committed a spill of ``key``.
+
+        Checked by the executor *after* it acquires a key's lease: a
+        degraded driver commits its spill before releasing the lease,
+        so acquire-then-check is race-free where check-then-acquire is
+        not — without it the next lease holder would recompute (and
+        double-charge) a unit that already completed.
+        """
+        if not self.root.is_dir():
+            return False
+        for spill in self.root.glob(f"{key}.*"):
+            entry = self._read_entry(spill)
+            if entry is not None and str(entry["key"]) == key:
+                return True
+        return False
+
+    def load(self, key: str) -> Optional[SimulationResult]:
+        """The staged result for ``key`` (any owner), or None."""
+        for spill in self._committed():
+            entry = self._read_entry(spill)
+            if entry is None or str(entry["key"]) != key:
+                continue
+            try:
+                result = load_result(spill / "result")
+                telemetry = spill / "telemetry.json"
+                if telemetry.exists():
+                    result.telemetry = json.loads(telemetry.read_text())
+            except (OSError, ConfigurationError):
+                continue  # a concurrent reconciler folded this spill
+            return result
+        return None
+
+    def reconcile(self, store: "ResultStore") -> List[str]:
+        """Fold every committed spill into the store; returns folded keys.
+
+        Stops at the first store failure (it is still degraded) and
+        leaves the remaining spills for the next probe.  Spills from
+        *any* owner in this staging root are folded — a surviving
+        driver drains a dead one's staging.  Uncommitted dirs older
+        than the stale threshold are swept.
+        """
+        folded: List[str] = []
+        if not self.root.is_dir():
+            return folded
+        now = time.time()
+        for spill in sorted(self.root.iterdir()):
+            if not spill.is_dir():
+                continue
+            entry = self._read_entry(spill)
+            if entry is None:
+                try:
+                    if now - spill.stat().st_mtime > _STALE_SPILL_S:
+                        shutil.rmtree(spill, ignore_errors=True)
+                except OSError:
+                    pass
+                continue
+            key = str(entry["key"])
+            if not store.has(key):
+                try:
+                    spec = spec_from_dict(entry["spec"])
+                    result = load_result(spill / "result")
+                    telemetry = spill / "telemetry.json"
+                    if telemetry.exists():
+                        result.telemetry = json.loads(telemetry.read_text())
+                except (OSError, ConfigurationError):
+                    # A concurrent reconciler (drivers share one staging
+                    # root) folded this spill between our listing and our
+                    # read; it is that driver's reconcile, not ours.
+                    # load_result reports a vanished payload as a
+                    # ConfigurationError, not an OSError.
+                    continue
+                try:
+                    store.save(spec, result)
+                except OSError:
+                    return folded  # store still degraded; retry later
+            shutil.rmtree(spill, ignore_errors=True)
+            folded.append(key)
+        return folded
+
+    @staticmethod
+    def _read_entry(spill: Path) -> Optional[dict]:
+        try:
+            data = json.loads((spill / _ENTRY_FILE).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(data, dict) or "key" not in data or \
+                "spec" not in data:
+            return None
+        return data

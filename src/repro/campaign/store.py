@@ -2,15 +2,21 @@
 
 Layout under the store root::
 
-    index.json                      — manifest: run key -> entry
-    journal.jsonl                   — append-only write-ahead journal
-                                      of every index mutation
+    store.json                      — store metadata (shard count),
+                                      created O_EXCL by the first
+                                      driver to open the root
+    index/<pp>.json                 — manifest shards: run key -> entry,
+                                      partitioned by key-hash prefix
+    journal/<pp>.jsonl              — per-shard append-only write-ahead
+                                      journal of every index mutation
     runs/<key>/result_*.csv/.json   — one saved SimulationResult
                                       (see analysis/result_io.py)
     checkpoints/<key>.ckpt          — engine checkpoint sidecars
                                       (outside runs/, which save()
                                       clears wholesale)
     leases/<key>.lease              — multi-driver work claims
+    drivers/<owner>.hb              — driver heartbeats (liveness for
+                                      lease takeover)
     quarantine.json                 — keys retired after deterministic
                                       failures (resume skips them)
     resilience.json                 — cumulative resilience tally
@@ -18,18 +24,28 @@ Layout under the store root::
 
 Each entry records the originating :class:`RunSpec`, a status (``ok``
 or ``error``), and — for failures — the error text, so a campaign that
-loses runs to worker crashes still produces a complete manifest. The
-index is rewritten atomically (temp file + rename) after every update,
-but atomic-rename alone cannot survive a crash *between* payload write
-and index flush, nor merge several drivers' updates — that is what the
-journal adds: every mutation is appended (``begin`` before payload
-files, ``put``/``del`` after) and replayed over the index on open.
-Replay recovers a torn or corrupt ``index.json``, adopts orphaned runs
-whose payload completed but whose index flush never happened, sweeps
+loses runs to worker crashes still produces a complete manifest. Every
+shard snapshot is rewritten atomically (temp file + rename) after a
+mutation of one of its keys, but atomic-rename alone cannot survive a
+crash *between* payload write and index flush, nor merge several
+drivers' updates — that is what the journal adds: every mutation is
+appended to the key's shard journal (``begin`` before payload files,
+``put``/``del`` after) and replayed over the shard snapshot on open.
+Replay recovers a torn or corrupt shard, adopts orphaned runs whose
+payload completed but whose index flush never happened, sweeps
 incomplete orphans, and — because every driver appends to the same
-journal — doubles as the multi-driver merge. The journal is never
-compacted; at one line per run completion it stays far smaller than
-the payloads it protects.
+shard journals — doubles as the multi-driver merge. Sharding by key
+hash spreads that write hotspot: concurrent drivers usually flush
+*different* shards, and a lost race on the same shard is repaired by
+the next replay (counted in :attr:`ResultStore.stale_reads`). Journals
+are never compacted; at one line per run completion they stay far
+smaller than the payloads they protect.
+
+Stores created before sharding (a monolithic ``index.json`` +
+``journal.jsonl`` at the root) are migrated losslessly on first open:
+legacy recovery runs once, every surviving entry is re-journaled into
+its shard, the shard snapshots are flushed, and the legacy files are
+renamed to ``*.migrated`` backups.
 
 Thermal indices (the per-(exp, grid) steady-state characterization that
 every run on the same stack shares) are persisted here too, so repeated
@@ -38,14 +54,16 @@ campaigns and worker processes never redo the solve.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import re
 import shutil
 import socket
 import tempfile
 import time
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.analysis.result_io import load_result, save_result, truncate_result
 from repro.analysis.runner import RunSpec
@@ -65,6 +83,19 @@ STATUS_ERROR = "error"
 
 _INDEX_VERSION = 1
 
+#: shard count recorded into store.json when the store is first created
+DEFAULT_SHARDS = 16
+_MAX_SHARDS = 256
+
+#: age beyond which an unreadable lease file or an orphaned takeover
+#: guard is presumed crashed mid-write (not mid-create) and swept
+_GUARD_STALE_S = 60.0
+
+#: age beyond which a driver heartbeat is swept on store open; far
+#: larger than any takeover threshold so a beacon outlives every
+#: decision that might read it
+DEFAULT_HEARTBEAT_SWEEP_S = 3600.0
+
 #: Files save_result() writes per run; has() verifies they all exist
 #: and are non-empty so a crash between payload write and index flush
 #: (or a manually pruned run dir, or a torn zero-byte write) reads as
@@ -82,54 +113,175 @@ class ResultStore:
     """Persistent map from run key to saved result (or failure record)."""
 
     def __init__(self, root: Union[str, Path],
-                 owner: Optional[str] = None) -> None:
+                 owner: Optional[str] = None,
+                 shards: Optional[int] = None,
+                 heartbeat_sweep_s: float = DEFAULT_HEARTBEAT_SWEEP_S) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self._index_path = self.root / "index.json"
-        self._journal_path = self.root / "journal.jsonl"
         self._index: Dict[str, Dict[str, Any]] = {}
         # Lease identity of this driver (hostname:pid unless given).
         self.owner = owner or f"{socket.gethostname()}:{os.getpid()}"
+        self.heartbeat_sweep_s = float(heartbeat_sweep_s)
         # Plain-int effectiveness counter for the prefix cache, read by
         # campaign telemetry summaries; counts serve_prefix() hits over
         # this store instance's lifetime.
         self.prefix_hits = 0
         # Recovery tallies of the open that built this instance:
-        # orphaned-but-complete runs adopted from the journal, and
-        # incomplete orphans swept.
+        # orphaned-but-complete runs adopted from the journal,
+        # incomplete orphans swept, legacy entries migrated to shards,
+        # and journal entries a clean-but-behind snapshot was missing
+        # (stale read-after-write / lost flush race).
         self.recovered_runs = 0
         self.swept_runs = 0
-        self._load_index_with_recovery()
+        self.migrated_runs = 0
+        self.stale_reads = 0
+        self._stale_reads_taken = 0
+        # Fabric hygiene tallies of the open-time sweep.
+        self.swept_leases = 0
+        self.swept_heartbeats = 0
+        # Whether the most recent save() was the *first* durable put of
+        # its key (see save's charge arbitration); True between saves.
+        self.last_save_charged = True
+        self.shards = self._init_meta(shards)
+        self._migrate_legacy()
+        self._load_shards()
+        self._sweep_fabric()
 
     # ------------------------------------------------------------------
-    # manifest + write-ahead journal
+    # shard topology
 
-    def _load_index_with_recovery(self) -> None:
-        """Build the in-memory index: snapshot, then journal replay.
+    def _init_meta(self, requested: Optional[int]) -> int:
+        """Resolve the shard count, recording it on first create.
 
-        ``index.json`` is a (possibly stale, possibly torn) snapshot;
-        the journal is the recovery record.  Replay rebuilds a corrupt
-        snapshot from scratch and merges entries another driver
-        committed after our snapshot was written.  The merge never
-        *downgrades* a clean snapshot: a journal ``put`` only fills a
-        missing key or upgrades a non-ok entry to ok — so an operator
-        edit of a healthy ``index.json`` (a supported escape hatch)
-        survives reopening.  A ``begin`` with no later ``put`` marks an
-        interrupted save: if its payload files are complete the entry
-        is adopted (the crash hit after the payload, before the
-        commit), otherwise the partial run dir is swept.
+        The count is fixed at store creation (``store.json`` is written
+        with ``O_CREAT | O_EXCL`` so concurrent first-openers agree) and
+        ignored afterwards: rehashing an existing store would strand
+        entries in shards nobody reads.
         """
-        index: Dict[str, Dict[str, Any]] = {}
-        snapshot_ok = True
-        if self._index_path.exists():
+        if requested is not None and not 1 <= int(requested) <= _MAX_SHARDS:
+            raise ConfigurationError(
+                f"shards must be in [1, {_MAX_SHARDS}], got {requested}"
+            )
+        path = self.root / "store.json"
+        if path.exists():
             try:
-                data = json.loads(self._index_path.read_text())
-                index = data.get("runs", {})
-            except (json.JSONDecodeError, OSError):
-                # Torn/corrupt snapshot: rebuild purely from the journal.
-                snapshot_ok = False
+                recorded = int(json.loads(path.read_text())["shards"])
+                return min(max(recorded, 1), _MAX_SHARDS)
+            except (json.JSONDecodeError, OSError, ValueError,
+                    KeyError, TypeError):
+                return int(requested) if requested else DEFAULT_SHARDS
+        count = int(requested) if requested else DEFAULT_SHARDS
+        payload = json.dumps({"version": 1, "shards": count},
+                             sort_keys=True) + "\n"
+        try:
+            fd = os.open(str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            # Another driver created the store between our check and
+            # our create; their recorded count wins.
+            return self._init_meta(None)
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        return count
+
+    def shard_of(self, key: str) -> str:
+        """Two-hex-char shard id of ``key`` (stable across processes)."""
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return format(digest[0] % self.shards, "02x")
+
+    def shard_sizes(self) -> Dict[str, int]:
+        """Shard id -> number of entries currently mapped to it."""
+        sizes: Dict[str, int] = {}
+        for key in self._index:
+            pp = self.shard_of(key)
+            sizes[pp] = sizes.get(pp, 0) + 1
+        return sizes
+
+    def _shard_index_path(self, pp: str) -> Path:
+        return self.root / "index" / f"{pp}.json"
+
+    def _shard_journal_path(self, pp: str) -> Path:
+        return self.root / "journal" / f"{pp}.jsonl"
+
+    # ------------------------------------------------------------------
+    # manifest shards + write-ahead journals
+
+    def _load_shards(self) -> None:
+        """Build the merged in-memory index from every shard on disk.
+
+        Each shard recovers independently: snapshot read, journal
+        replay, orphan adoption/sweep (see :meth:`_replay`). The merged
+        view is what every reader uses — sharding is a write-side
+        partitioning, invisible above this method.
+        """
+        shard_id = re.compile(r"^[0-9a-f]{2}$")
+        present: set = set()
+        index_dir = self.root / "index"
+        journal_dir = self.root / "journal"
+        if index_dir.is_dir():
+            present.update(p.stem for p in index_dir.glob("*.json")
+                           if shard_id.match(p.stem))
+        if journal_dir.is_dir():
+            present.update(p.stem for p in journal_dir.glob("*.jsonl")
+                           if shard_id.match(p.stem))
+        merged: Dict[str, Dict[str, Any]] = {}
+        for pp in sorted(present):
+            snapshot: Dict[str, Any] = {}
+            snapshot_ok = True
+            path = self._shard_index_path(pp)
+            fault = claim_fault("shard_load", pp)
+            if fault is not None and fault.action == "stale_read":
+                # Injected fault: NFS-style stale read-after-write —
+                # the snapshot reads as empty but well-formed, and
+                # journal replay must rebuild (and count) the shard.
+                pass
+            elif path.exists():
+                try:
+                    snapshot = json.loads(path.read_text()).get("runs", {})
+                except (json.JSONDecodeError, OSError):
+                    # Torn/corrupt shard: rebuild purely from its journal.
+                    snapshot_ok = False
+            ops = self._read_journal(self._shard_journal_path(pp))
+            shard, dirty, stale = self._replay(
+                snapshot, snapshot_ok, ops,
+                lambda op, _pp=pp: self._append_journal(_pp, op),
+            )
+            self.stale_reads += stale
+            merged.update(shard)
+            if dirty:
+                self._write_shard_snapshot(pp, shard)
+        self._index = merged
+
+    def _replay(
+        self,
+        snapshot: Dict[str, Any],
+        snapshot_ok: bool,
+        ops: Iterable[Dict[str, Any]],
+        append_op: Callable[[Dict[str, Any]], None],
+    ) -> Tuple[Dict[str, Any], bool, int]:
+        """Replay journal ops over a snapshot.
+
+        Returns ``(index, dirty, stale_fills)``. The snapshot is a
+        (possibly stale, possibly torn) cache; the journal is the
+        recovery record. Replay rebuilds a corrupt snapshot from
+        scratch and merges entries another driver committed after the
+        snapshot was written. The merge never *downgrades* a clean
+        snapshot: a journal ``put`` only fills a missing key or
+        upgrades a non-ok entry to ok — so an operator edit of a
+        healthy shard (a supported escape hatch) survives reopening.
+        A ``begin`` with no later ``put`` marks an interrupted save:
+        if its payload files are complete the entry is adopted (the
+        crash hit after the payload, before the commit) via
+        ``append_op``, otherwise the partial run dir is swept.
+
+        ``stale_fills`` counts keys whose final entry differs from a
+        *clean* snapshot's — evidence some reader saw the index behind
+        the journal (stale read-after-write, or a lost flush race with
+        a concurrent driver). Adopted orphans are recoveries, not
+        staleness, and are excluded.
+        """
+        index: Dict[str, Dict[str, Any]] = dict(snapshot)
         began: Dict[str, Dict[str, Any]] = {}
-        for op in self._read_journal():
+        for op in ops:
             kind = op.get("op")
             key = op.get("key")
             if not key:
@@ -151,12 +303,13 @@ class ResultStore:
                 index.pop(key, None)
                 began.pop(key, None)
         dirty = not snapshot_ok
+        adopted: set = set()
         for key, entry in began.items():
             if (entry.get("status") == STATUS_OK
                     and self._payload_complete(entry)):
                 index[key] = entry
-                self._append_journal({"op": "put", "key": key,
-                                      "entry": entry})
+                append_op({"op": "put", "key": key, "entry": entry})
+                adopted.add(key)
                 self.recovered_runs += 1
             else:
                 # save() cleared the run dir before this begin, so any
@@ -166,20 +319,68 @@ class ResultStore:
                 index.pop(key, None)
                 self.swept_runs += 1
             dirty = True
-        self._index = index
-        if dirty:
-            self._flush_index()
+        stale = 0
+        if snapshot_ok:
+            stale = sum(
+                1 for key, entry in index.items()
+                if key not in adopted and snapshot.get(key) != entry
+            )
+            if stale:
+                dirty = True
+        return index, dirty, stale
 
-    def _read_journal(self) -> List[Dict[str, Any]]:
+    def _migrate_legacy(self) -> None:
+        """One-shot lossless migration from the pre-shard layout.
+
+        Runs the legacy monolithic recovery (same replay algorithm),
+        re-journals every surviving entry into its shard, flushes the
+        shard snapshots, and retires ``index.json``/``journal.jsonl``
+        to ``*.migrated`` backups. Idempotent: once renamed, nothing
+        is left to migrate, and the re-journaled puts are no-ops if a
+        crash forces the replication to rerun.
+        """
+        legacy_index = self.root / "index.json"
+        legacy_journal = self.root / "journal.jsonl"
+        if not legacy_index.exists() and not legacy_journal.exists():
+            return
+        snapshot: Dict[str, Any] = {}
+        snapshot_ok = True
+        if legacy_index.exists():
+            try:
+                snapshot = json.loads(legacy_index.read_text()).get("runs", {})
+            except (json.JSONDecodeError, OSError):
+                snapshot_ok = False
+        ops = self._read_journal(legacy_journal)
+        index, _dirty, _stale = self._replay(
+            snapshot, snapshot_ok, ops,
+            lambda op: self._append_journal(self.shard_of(op["key"]), op),
+        )
+        touched: set = set()
+        for key, entry in index.items():
+            pp = self.shard_of(key)
+            self._append_journal(pp, {"op": "put", "key": key,
+                                      "entry": entry})
+            touched.add(pp)
+        for pp in sorted(touched):
+            self._write_shard_snapshot(pp, {
+                key: entry for key, entry in index.items()
+                if self.shard_of(key) == pp
+            })
+        self.migrated_runs = len(index)
+        for path in (legacy_index, legacy_journal):
+            if path.exists():
+                os.replace(str(path), str(path) + ".migrated")
+
+    def _read_journal(self, path: Path) -> List[Dict[str, Any]]:
         """Every parseable journal op, in append order.
 
         A torn final line (crash mid-append) parses as garbage and is
         skipped; all committed ops are whole lines and survive.
         """
-        if not self._journal_path.exists():
+        if not path.exists():
             return []
         ops: List[Dict[str, Any]] = []
-        with self._journal_path.open("r", encoding="utf-8") as handle:
+        with path.open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
                 if not line:
@@ -192,9 +393,11 @@ class ResultStore:
                     ops.append(op)
         return ops
 
-    def _append_journal(self, op: Dict[str, Any]) -> None:
+    def _append_journal(self, pp: str, op: Dict[str, Any]) -> None:
+        path = self._shard_journal_path(pp)
+        path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps(op, sort_keys=True, separators=(",", ":"))
-        with self._journal_path.open("a", encoding="utf-8") as handle:
+        with path.open("a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()
 
@@ -212,28 +415,59 @@ class ResultStore:
         return True
 
     def _flush_index(self) -> None:
-        fault = claim_fault("index_flush")
+        """Rewrite every shard snapshot from the merged in-memory index."""
+        for pp in sorted({self.shard_of(key) for key in self._index}):
+            self._flush_shard(pp)
+
+    def _flush_shard(self, pp: str) -> None:
+        self._write_shard_snapshot(pp, {
+            key: entry for key, entry in self._index.items()
+            if self.shard_of(key) == pp
+        })
+
+    def _write_shard_snapshot(self, pp: str,
+                              runs: Dict[str, Any]) -> None:
+        fault = claim_fault("index_flush", pp)
+        if fault is not None and fault.action == "slow_io":
+            # Injected fault: flaky-filesystem latency; the write
+            # itself still lands atomically afterwards.
+            time.sleep(fault.delay_s)
+            fault = None
+        path = self._shard_index_path(pp)
+        path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps(
-            {"version": _INDEX_VERSION, "runs": self._index},
+            {"version": _INDEX_VERSION, "shard": pp, "runs": runs},
             indent=2,
             sort_keys=True,
         )
-        if fault is not None and fault.action == "torn_index":
+        if fault is not None and fault.action in ("torn_index",
+                                                  "torn_shard"):
             # Injected fault: simulate power loss mid-write of a
-            # NON-atomic index update — half the payload, no rename.
-            self._index_path.write_text(payload[: len(payload) // 2])
+            # NON-atomic shard update — half the payload, no rename.
+            path.write_text(payload[: len(payload) // 2])
             return
         fd, tmp = tempfile.mkstemp(
-            dir=str(self.root), prefix=".index-", suffix=".json"
+            dir=str(path.parent), prefix=f".{pp}-", suffix=".json"
         )
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(payload + "\n")
-            os.replace(tmp, self._index_path)
+            os.replace(tmp, path)
         except BaseException:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+
+    def take_stale_reads(self) -> int:
+        """Stale-read fills detected since the last call (read-and-reset).
+
+        The executor folds this delta into the ``campaign.stale_reads``
+        counter; :attr:`stale_reads` itself keeps the instance-lifetime
+        total for direct inspection.
+        """
+        delta = self.stale_reads - self._stale_reads_taken
+        self._stale_reads_taken = self.stale_reads
+        return delta
 
     def keys(self) -> List[str]:
         """Every recorded run key (both ok and error entries)."""
@@ -268,6 +502,39 @@ class ResultStore:
             entry = dict(entry, stem=f"runs/{key}/result")
         return self._payload_complete(entry)
 
+    def probe(self, key: str) -> bool:
+        """Authoritative on-disk re-check that ``key`` completed.
+
+        :meth:`has` trusts the index merged at open time, which can
+        lag a concurrent driver's save (or a stale snapshot read).
+        The probe re-reads the key's shard *journal* — the append-only
+        commit record every durable save lands in before its lease is
+        released — so lease-then-probe is race-free where
+        has-then-acquire is not: if we hold the key's lease and its
+        journal shows no completed put, nobody has computed it.  A
+        discovered entry is adopted into the in-memory index.
+        """
+        if self.has(key):
+            return True
+        entry: Optional[Dict[str, Any]] = None
+        for op in self._read_journal(
+                self._shard_journal_path(self.shard_of(key))):
+            if op.get("key") != key:
+                continue
+            kind = op.get("op")
+            if kind == "put":
+                entry = op.get("entry")
+            elif kind == "del":
+                entry = None
+        if not entry or entry.get("status") != STATUS_OK:
+            return False
+        if not entry.get("stem"):
+            entry = dict(entry, stem=f"runs/{key}/result")
+        if not self._payload_complete(entry):
+            return False
+        self._index[key] = entry
+        return True
+
     def _stem(self, key: str) -> Path:
         return self.root / "runs" / key / "result"
 
@@ -275,12 +542,27 @@ class ResultStore:
         """Drop any stale payload under ``runs/<key>/``.
 
         A previous ``save`` that crashed between ``save_result`` and
-        ``_flush_index`` can leave partial files behind; clearing first
+        the shard flush can leave partial files behind; clearing first
         guarantees a later ``load`` never mixes files from two saves.
+        Errors are ignored: a concurrent driver clearing (or
+        republishing) the same content-addressed key is not a failure.
         """
-        run_dir = self.root / "runs" / key
-        if run_dir.exists():
-            shutil.rmtree(run_dir)
+        shutil.rmtree(self.root / "runs" / key, ignore_errors=True)
+
+    def _publish_run_dir(self, tmp_dir: Path, key: str) -> None:
+        """Atomically move a fully written payload dir into place.
+
+        Saves build the payload in a hidden temp dir and publish it
+        with one ``rename``, so a concurrent driver saving the same
+        key never interleaves writes into one half-readable dir.
+        Losing the publish race is fine: the winner's payload is the
+        same deterministic result under the same content-addressed
+        key, so ours is simply discarded.
+        """
+        try:
+            os.rename(str(tmp_dir), str(self.root / "runs" / key))
+        except OSError:
+            shutil.rmtree(tmp_dir, ignore_errors=True)
 
     def save(self, spec: RunSpec, result: SimulationResult) -> str:
         """Persist one completed run; returns its key.
@@ -289,8 +571,21 @@ class ResultStore:
         the duration, and the duration-less :func:`prefix_key`, which is
         what lets later campaigns serve shorter-duration requests of the
         same spec family by truncation (:meth:`serve_prefix`).
+
+        Raises ``OSError`` when the backing filesystem fails (or the
+        ``store_save``/``fail_io`` fault is armed) — the executor
+        catches that and spills to its local staging dir.
         """
         key = run_key(spec)
+        fault = claim_fault("store_save", key)
+        if fault is not None:
+            if fault.action == "fail_io":
+                # Injected fault: the shared store is unreachable.
+                raise OSError(f"injected store_save failure for {key}")
+            if fault.action == "slow_io":
+                # Injected fault: the store is up but slow; the save
+                # lands, blowing any configured latency budget.
+                time.sleep(fault.delay_s)
         self._clear_run_dir(key)
         stem = self._stem(key)
         entry = {
@@ -301,17 +596,23 @@ class ResultStore:
             "duration_s": float(spec.duration_s),
             "prefix": prefix_key(spec),
         }
+        pp = self.shard_of(key)
         # Write-ahead: the begin line carries the full prospective entry
         # so recovery can adopt the run if we crash after the payload
         # lands but before the put/flush below.
-        self._append_journal({"op": "begin", "key": key, "entry": entry})
-        stem.parent.mkdir(parents=True, exist_ok=True)
-        save_result(result, stem)
+        self._append_journal(pp, {"op": "begin", "key": key, "entry": entry})
+        runs_dir = self.root / "runs"
+        runs_dir.mkdir(parents=True, exist_ok=True)
+        # Build the payload in a hidden temp dir and publish it with one
+        # rename (_publish_run_dir): a concurrent driver saving the same
+        # key can then never interleave writes into one torn dir.
+        tmp_dir = Path(tempfile.mkdtemp(dir=str(runs_dir),
+                                        prefix=f".{key}-"))
+        save_result(result, tmp_dir / "result")
         if result.telemetry is not None:
             # Optional sidecar, deliberately NOT in _RESULT_SUFFIXES: a
             # run saved without telemetry must still read as present.
-            telemetry_path = self._telemetry_path(key)
-            telemetry_path.write_text(
+            (tmp_dir / "telemetry.json").write_text(
                 json.dumps(result.telemetry, indent=2, sort_keys=True)
                 + "\n"
             )
@@ -320,13 +621,52 @@ class ResultStore:
             # Injected fault: simulate a crash mid-save — one payload
             # file torn to zero bytes and no put/flush, leaving an
             # uncommitted begin for recovery to sweep.
-            meta = stem.with_name(stem.name + "_meta.json")
-            meta.write_text("")
+            (tmp_dir / "result_meta.json").write_text("")
+            self._publish_run_dir(tmp_dir, key)
             return key
+        self._publish_run_dir(tmp_dir, key)
         self._index[key] = entry
-        self._append_journal({"op": "put", "key": key, "entry": entry})
-        self._flush_index()
+        # Charge arbitration: two drivers racing the same key (a slow
+        # driver mistaken for dead, then reclaimed) both save — the
+        # results are identical, but the unit must be *charged* once.
+        # Journal appends give a total order, so tag our put with a
+        # unique token and let the first durable ok-put win; the loser
+        # reads the winner's token back and reports not-charged.
+        token = f"{os.getpid()}-{os.urandom(6).hex()}"
+        self._append_journal(
+            pp, {"op": "put", "key": key, "entry": entry, "by": token})
+        self._flush_shard(pp)
+        first = self._first_ok_put_by(pp, key)
+        self.last_save_charged = first is None or first == token
         return key
+
+    def _first_ok_put_by(self, pp: str, key: str) -> Optional[str]:
+        """Writer token of ``key``'s first *tokened* ok-status put.
+
+        A ``del`` resets the generation: a discard-then-recompute is a
+        fresh charge, not a replay of the old one.  Untokened puts are
+        skipped entirely — they come from orphan adoption, legacy
+        migration, and replication, which *re-record* an existing save
+        rather than compete for its charge.  (Adoption can even race a
+        live save: a concurrent store open that replays the shard
+        between our payload publish and our tokened append sees a
+        begin-without-put with a complete payload and journals an
+        adoption put ahead of ours.  Counting it would leave the unit
+        charged by nobody — every racer would read "someone untokened
+        was first" and report not-charged.)
+        """
+        first: Optional[str] = None
+        for op in self._read_journal(self._shard_journal_path(pp)):
+            if op.get("key") != key:
+                continue
+            kind = op.get("op")
+            if kind == "del":
+                first = None
+            elif kind == "put" and first is None:
+                entry = op.get("entry") or {}
+                if entry.get("status") == STATUS_OK and op.get("by"):
+                    first = str(op["by"])
+        return first
 
     def record_failure(self, spec: RunSpec, error: str) -> str:
         """Record a failed run without a result payload; returns its key.
@@ -341,9 +681,10 @@ class ResultStore:
             "spec": spec_to_dict(spec),
             "error": error,
         }
+        pp = self.shard_of(key)
         self._index[key] = entry
-        self._append_journal({"op": "put", "key": key, "entry": entry})
-        self._flush_index()
+        self._append_journal(pp, {"op": "put", "key": key, "entry": entry})
+        self._flush_shard(pp)
         return key
 
     def load(self, key: str) -> SimulationResult:
@@ -392,8 +733,9 @@ class ResultStore:
             return
         del self._index[key]
         self._clear_run_dir(key)
-        self._append_journal({"op": "del", "key": key})
-        self._flush_index()
+        pp = self.shard_of(key)
+        self._append_journal(pp, {"op": "del", "key": key})
+        self._flush_shard(pp)
 
     def query(
         self,
@@ -538,6 +880,85 @@ class ResultStore:
             raise
 
     # ------------------------------------------------------------------
+    # driver heartbeats (liveness signal behind lease takeover)
+
+    @staticmethod
+    def _owner_slug(owner: str) -> str:
+        return re.sub(r"[^A-Za-z0-9_.:+-]", "_", owner)
+
+    def _drivers_dir(self) -> Path:
+        return self.root / "drivers"
+
+    def _heartbeat_path(self, owner: str) -> Path:
+        return self._drivers_dir() / f"{self._owner_slug(owner)}.hb"
+
+    def write_heartbeat(self, owner: Optional[str] = None) -> None:
+        """Refresh this driver's liveness beacon (atomic replace).
+
+        Written by the executor's wave loop; a driver whose beacon goes
+        stale is presumed dead and its leases become reclaimable via
+        :meth:`takeover_lease`.
+        """
+        owner = owner or self.owner
+        now = time.time()
+        fault = claim_fault("heartbeat", owner)
+        if fault is not None and fault.action == "skew":
+            # Injected fault: driver clock skew — the beacon timestamp
+            # is offset, so liveness decisions read a shifted age.
+            now += fault.skew_s
+        path = self._heartbeat_path(owner)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"owner": owner, "time": now, "pid": os.getpid(),
+             "host": socket.gethostname()}
+        )
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".hb-")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def heartbeats(self) -> Dict[str, float]:
+        """Owner -> seconds since their last heartbeat (unreadable
+        beacons are skipped)."""
+        out: Dict[str, float] = {}
+        drivers = self._drivers_dir()
+        if not drivers.is_dir():
+            return out
+        now = time.time()
+        for path in drivers.glob("*.hb"):
+            try:
+                data = json.loads(path.read_text())
+                out[str(data["owner"])] = now - float(data["time"])
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+        return out
+
+    def driver_alive(self, owner: str, stale_s: float) -> Optional[bool]:
+        """Liveness of ``owner`` by heartbeat age.
+
+        ``None`` when the driver has never heartbeated — liveness is
+        *unknown*, and callers must not reclaim on unknown (the holder
+        may be a pre-heartbeat driver or still warming up).
+        """
+        age = self.heartbeats().get(owner)
+        if age is None:
+            return None
+        return age <= stale_s
+
+    def remove_heartbeat(self, owner: Optional[str] = None) -> None:
+        """Retire a beacon on clean driver exit."""
+        owner = owner or self.owner
+        try:
+            self._heartbeat_path(owner).unlink()
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------
     # leases (multi-driver work claiming)
 
     def _lease_path(self, key: str) -> Path:
@@ -548,11 +969,17 @@ class ResultStore:
         """Claim ``key`` for ``ttl_s`` seconds; False if another driver
         holds a live lease.
 
-        The claim is an ``O_CREAT | O_EXCL`` create (atomic on every
-        filesystem the store targets).  An expired or unreadable lease
-        is taken over by rewrite-and-confirm: after replacing the file
-        the claimant re-reads it, so when two drivers race for the same
-        expired lease exactly one — the last writer — wins.
+        The payload is staged in a temp file and published with an
+        atomic ``os.link`` — the lease is never observable half-written.
+        A create-then-write (``O_EXCL`` open followed by the payload
+        write) would expose an *empty* lease file for a moment; a
+        contender reading that window sees garbage, concludes the
+        holder is gone, and steals the claim through takeover while the
+        creator's deferred write lands on an already-replaced inode —
+        split-brain, with both drivers computing the unit and the
+        orphaned lease surviving its owner.  An expired or unreadable
+        lease is reclaimed through :meth:`takeover_lease`, whose guard
+        file ensures exactly one contender wins the rewrite.
         """
         owner = owner or self.owner
         path = self._lease_path(key)
@@ -560,35 +987,107 @@ class ResultStore:
         payload = json.dumps(
             {"owner": owner, "expires": time.time() + ttl_s}
         )
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".lease-")
         try:
-            fd = os.open(str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        except FileExistsError:
-            holder = self._read_lease(path)
-            if holder is not None:
-                if holder[0] == owner:
-                    return self.renew_lease(key, ttl_s, owner)
-                if holder[1] > time.time():
-                    return False
-            # Expired (or garbage) lease: take it over, then confirm.
-            self._write_lease(path, payload)
-            confirmed = self._read_lease(path)
-            return confirmed is not None and confirmed[0] == owner
-        with os.fdopen(fd, "w") as handle:
-            handle.write(payload)
-        return True
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            try:
+                os.link(tmp, str(path))
+                return True
+            except FileExistsError:
+                pass
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        holder = self._read_lease(path)
+        if holder is not None:
+            live = holder[1] > time.time()
+            if live and holder[0] == owner:
+                return self.renew_lease(key, ttl_s, owner)
+            if live:
+                return False
+        # Expired (or garbage) lease: guarded takeover. An expired
+        # lease is no longer held by anyone — even its old owner
+        # goes through the takeover so contenders race fairly.
+        return self.takeover_lease(
+            key, ttl_s, owner,
+            dead_owner=holder[0] if holder is not None else None,
+        )
 
     def renew_lease(self, key: str, ttl_s: float,
                     owner: Optional[str] = None) -> bool:
-        """Extend a held lease; False if it was lost to another driver."""
+        """Extend a held lease; False if it was lost to another driver.
+
+        Ownership is confirmed by re-reading *after* the write: a
+        takeover can land between our pre-read and our replace, and in
+        that race the last writer owns the file — which may not be us.
+        Without the post-write confirm both drivers would believe they
+        hold the lease (the read-then-write race).  An already-expired
+        lease cannot be renewed — it stopped being held the moment it
+        expired, and contenders may be mid-takeover on it; the old
+        holder must re-acquire like everyone else.
+        """
         owner = owner or self.owner
         path = self._lease_path(key)
         holder = self._read_lease(path)
-        if holder is None or holder[0] != owner:
+        if holder is None or holder[0] != owner \
+                or holder[1] <= time.time():
             return False
         self._write_lease(path, json.dumps(
             {"owner": owner, "expires": time.time() + ttl_s}
         ))
-        return True
+        confirmed = self._read_lease(path)
+        return confirmed is not None and confirmed[0] == owner
+
+    def takeover_lease(self, key: str, ttl_s: float,
+                       owner: Optional[str] = None,
+                       dead_owner: Optional[str] = None) -> bool:
+        """Forcibly reclaim a lease whose holder is expired or dead.
+
+        Rewrite-and-confirm alone is not single-winner: two contenders
+        can interleave write/confirm so each sees its own write.  The
+        takeover is therefore serialized through an ``O_CREAT|O_EXCL``
+        guard file — exactly one contender holds the guard while it
+        rewrites and confirms.  A contender that crashes inside the
+        guard window leaves the marker behind; markers older than
+        ``_GUARD_STALE_S`` are swept on store open.
+
+        The caller decides the holder is gone (expired TTL, or a stale
+        heartbeat via :meth:`driver_alive`) and names it through
+        ``dead_owner``.  That decision is re-validated *inside* the
+        guard: if by then the lease is live and held by some third
+        driver (a faster contender already won the takeover), this one
+        aborts — without the re-check a contender arriving just after
+        the winner released the guard would steal the freshly
+        rewritten lease.
+        """
+        owner = owner or self.owner
+        path = self._lease_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        guard = path.with_suffix(".tk")
+        try:
+            fd = os.open(str(guard), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False  # another contender is mid-takeover
+        os.close(fd)
+        try:
+            holder = self._read_lease(path)
+            if (holder is not None
+                    and holder[1] > time.time()
+                    and holder[0] not in (owner, dead_owner)):
+                return False  # lease changed hands while we decided
+            self._write_lease(path, json.dumps(
+                {"owner": owner, "expires": time.time() + ttl_s}
+            ))
+            confirmed = self._read_lease(path)
+            return confirmed is not None and confirmed[0] == owner
+        finally:
+            try:
+                guard.unlink()
+            except FileNotFoundError:
+                pass
 
     def release_lease(self, key: str, owner: Optional[str] = None) -> None:
         """Drop a held lease (no-op if not held by ``owner``)."""
@@ -607,6 +1106,24 @@ class ResultStore:
         if holder is None or holder[1] <= time.time():
             return None
         return holder[0]
+
+    def held_leases(self) -> Dict[str, List[str]]:
+        """Owner -> sorted keys of every live (unexpired) lease."""
+        out: Dict[str, List[str]] = {}
+        leases = self.root / "leases"
+        if not leases.is_dir():
+            return out
+        now = time.time()
+        for path in leases.glob("*.lease"):
+            holder = self._read_lease(path)
+            if holder is None or holder[1] <= now:
+                continue
+            out.setdefault(holder[0], []).append(
+                path.name[: -len(".lease")]
+            )
+        for keys in out.values():
+            keys.sort()
+        return out
 
     @staticmethod
     def _read_lease(path: Path) -> Optional[Tuple[str, float]]:
@@ -628,6 +1145,83 @@ class ResultStore:
                 os.unlink(tmp)
             raise
 
+    def _sweep_fabric(self) -> None:
+        """Open-time hygiene: drop dead leases, guards, and beacons.
+
+        Long campaigns acquire one lease per unit per wave; without a
+        sweep ``leases/`` grows unbounded with expired files.  Swept:
+        expired leases, unreadable leases old enough that they cannot
+        be mid-create, orphaned takeover guards, and heartbeats older
+        than ``heartbeat_sweep_s`` (far beyond any takeover threshold,
+        so no liveness decision ever misses a beacon it needed).
+        """
+        now = time.time()
+        leases = self.root / "leases"
+        if leases.is_dir():
+            for path in leases.iterdir():
+                try:
+                    if path.name.endswith(".tk"):
+                        if now - path.stat().st_mtime > _GUARD_STALE_S:
+                            path.unlink()
+                        continue
+                    if not path.name.endswith(".lease"):
+                        # ".lease-XXXX" staging temps leaked by a driver
+                        # killed mid-write; old ones cannot be in flight.
+                        if (path.name.startswith(".lease-")
+                                and now - path.stat().st_mtime
+                                > _GUARD_STALE_S):
+                            path.unlink()
+                        continue
+                    holder = self._read_lease(path)
+                    if holder is None:
+                        if now - path.stat().st_mtime > _GUARD_STALE_S:
+                            path.unlink()
+                            self.swept_leases += 1
+                    elif holder[1] <= now:
+                        path.unlink()
+                        self.swept_leases += 1
+                    elif self.probe(path.name[: -len(".lease")]):
+                        # Live lease on a durably complete key: a driver
+                        # killed between its save and its release leaks
+                        # the lease, and because every scan
+                        # short-circuits at the cached check before the
+                        # lease branch, no survivor ever takes it over
+                        # or releases it — it would linger for its full
+                        # TTL.  The lease protects nothing (a holder
+                        # racing this unlink no-op-releases on the
+                        # missing file), so drop it now.
+                        path.unlink()
+                        self.swept_leases += 1
+                except OSError:
+                    continue  # lost a race with another sweeper
+        drivers = self._drivers_dir()
+        if drivers.is_dir():
+            for path in drivers.glob("*.hb"):
+                try:
+                    data = json.loads(path.read_text())
+                    stamp = float(data["time"])
+                except (OSError, ValueError, KeyError, TypeError):
+                    try:
+                        stamp = path.stat().st_mtime
+                    except OSError:
+                        continue
+                try:
+                    if now - stamp > self.heartbeat_sweep_s:
+                        path.unlink()
+                        self.swept_heartbeats += 1
+                except OSError:
+                    continue
+        runs_dir = self.root / "runs"
+        if runs_dir.is_dir():
+            # Hidden temp dirs are saves that crashed before publishing;
+            # old enough ones cannot be in flight.
+            for path in runs_dir.glob(".*"):
+                try:
+                    if now - path.stat().st_mtime > _GUARD_STALE_S:
+                        shutil.rmtree(path, ignore_errors=True)
+                except OSError:
+                    continue
+
     # ------------------------------------------------------------------
     # engine checkpoint sidecars
 
@@ -636,7 +1230,9 @@ class ResultStore:
 
         Lives under ``checkpoints/``, not ``runs/<key>/``: ``save``
         clears the run dir wholesale, and a checkpoint must survive
-        exactly until its run completes.
+        exactly until its run completes.  Keyed by run key, so a driver
+        that reclaims a dead driver's lease adopts its checkpoint and
+        resumes instead of restarting.
         """
         return self.root / "checkpoints" / f"{key}.ckpt"
 

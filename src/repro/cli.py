@@ -174,7 +174,16 @@ def _load_campaign(args: argparse.Namespace):
 
     spec = CampaignSpec.from_json(args.spec)
     store_dir = args.store or Path("campaigns") / spec.name
-    return spec, ResultStore(store_dir)
+    return spec, ResultStore(store_dir,
+                             shards=getattr(args, "shards", None))
+
+
+def _load_staging(args: argparse.Namespace, store):
+    from repro.campaign import StagingArea, default_stage_dir
+
+    stage_dir = getattr(args, "stage_dir", None)
+    return StagingArea(stage_dir or default_stage_dir(store.root),
+                       owner=store.owner)
 
 
 def _print_campaign_telemetry(store, spec) -> None:
@@ -245,12 +254,14 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
             propagation=args.propagation,
             telemetry=args.telemetry,
             resilience=resilience,
+            stage_dir=args.stage_dir,
         )
     except ConfigurationError as exc:
         print(exc, file=sys.stderr)
         return 2
     run = executor.run_campaign(spec)
-    print(format_status(campaign_status(store, spec)))
+    print(format_status(campaign_status(store, spec,
+                                        staging=executor.staging)))
     _print_campaign_telemetry(store, spec)
     counts = run.counts()
     failed = counts.get("error", 0) + counts.get("quarantined", 0)
@@ -265,8 +276,22 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
     except ConfigurationError as exc:
         print(exc, file=sys.stderr)
         return 2
-    print(format_status(campaign_status(store, spec)))
+    staging = _load_staging(args, store)
+    print(format_status(campaign_status(store, spec, staging=staging)))
     _print_campaign_telemetry(store, spec)
+    return 0
+
+
+def cmd_campaign_drivers(args: argparse.Namespace) -> int:
+    from repro.campaign import fabric_health, format_fabric
+
+    try:
+        _, store = _load_campaign(args)
+    except ConfigurationError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    staging = _load_staging(args, store)
+    print(format_fabric(fabric_health(store, staging=staging)))
     return 0
 
 
@@ -359,6 +384,13 @@ def build_parser() -> argparse.ArgumentParser:
         parser.add_argument("--store", type=Path, default=None,
                             help="result store directory "
                                  "(default: campaigns/<name>)")
+        parser.add_argument("--shards", type=int, default=None,
+                            help="index shard count when creating a new "
+                                 "store (default 16; ignored for existing "
+                                 "stores, whose count is fixed at creation)")
+        parser.add_argument("--stage-dir", type=Path, default=None,
+                            help="local staging directory for degraded-mode "
+                                 "spills (default: <store>.staging)")
 
     campaign_run = campaign_sub.add_parser(
         "run", help="execute pending runs (resumes from the store)"
@@ -423,6 +455,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_campaign_arguments(campaign_status_parser)
     campaign_status_parser.set_defaults(func=cmd_campaign_status)
+
+    campaign_drivers_parser = campaign_sub.add_parser(
+        "drivers",
+        help="show fabric health: live drivers, held leases, shard "
+             "occupancy, staged spills",
+    )
+    _add_campaign_arguments(campaign_drivers_parser)
+    campaign_drivers_parser.set_defaults(func=cmd_campaign_drivers)
 
     campaign_unq_parser = campaign_sub.add_parser(
         "unquarantine",

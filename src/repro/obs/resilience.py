@@ -33,6 +33,10 @@ RESILIENCE_COUNTERS = (
     "campaign.quarantines",
     "campaign.checkpoints",
     "campaign.lease_skips",
+    "campaign.takeovers",
+    "campaign.spills",
+    "campaign.reconciles",
+    "campaign.stale_reads",
 )
 
 
@@ -70,6 +74,22 @@ class ResilienceStats:
         """A run was skipped because another driver holds its lease."""
         self.registry.counter("campaign.lease_skips").inc(n)
 
+    def takeover(self, n: int = 1) -> None:
+        """A dead driver's lease was reclaimed (heartbeat failover)."""
+        self.registry.counter("campaign.takeovers").inc(n)
+
+    def spill(self, n: int = 1) -> None:
+        """A result was staged locally because the store was degraded."""
+        self.registry.counter("campaign.spills").inc(n)
+
+    def reconcile(self, n: int = 1) -> None:
+        """A staged result was folded back into the recovered store."""
+        self.registry.counter("campaign.reconciles").inc(n)
+
+    def stale_read(self, n: int = 1) -> None:
+        """A shard snapshot read behind its journal (replay repaired it)."""
+        self.registry.counter("campaign.stale_reads").inc(n)
+
     def snapshot(self) -> Dict[str, int]:
         """Flat ``{short_name: count}`` view of the resilience counters."""
         counters = self.registry.snapshot()["counters"]
@@ -106,6 +126,18 @@ class _NullResilienceStats:
         pass
 
     def lease_skip(self, n: int = 1) -> None:
+        pass
+
+    def takeover(self, n: int = 1) -> None:
+        pass
+
+    def spill(self, n: int = 1) -> None:
+        pass
+
+    def reconcile(self, n: int = 1) -> None:
+        pass
+
+    def stale_read(self, n: int = 1) -> None:
         pass
 
     def snapshot(self) -> Dict[str, int]:

@@ -152,6 +152,8 @@ class TestResilienceStats:
         assert stats.snapshot() == {
             "retries": 1, "timeouts": 2, "crashes": 0,
             "quarantines": 0, "checkpoints": 0, "lease_skips": 0,
+            "takeovers": 0, "spills": 0, "reconciles": 0,
+            "stale_reads": 0,
         }
 
     def test_null_twin_is_inert(self):
@@ -337,7 +339,9 @@ class TestStoreFaults:
         # journal and flushes a clean snapshot.
         reopened = ResultStore(tmp_path / "store")
         assert reopened.has(key)
-        json.loads((tmp_path / "store" / "index.json").read_text())
+        pp = reopened.shard_of(key)
+        json.loads(
+            (tmp_path / "store" / "index" / f"{pp}.json").read_text())
 
     def test_corrupt_payload_swept_then_healed(
         self, tmp_path, monkeypatch, tiny_result
@@ -524,7 +528,13 @@ class TestChaosCampaign:
 
         tally = ResultStore(tmp_path / "store").resilience_tally()
         assert tally.get("crashes", 0) >= 1
-        assert tally.get("timeouts", 0) >= 1
+        # The hang is absorbed either by the watchdog (a timeout
+        # charge) or by a crash-triggered pool rebuild killing the
+        # hung worker first (the unit requeues uncharged and the
+        # fire-once hang never recurs) — which path wins depends on
+        # how the crash and hang firings interleave across workers.
+        assert (tally.get("timeouts", 0) >= 1
+                or tally.get("crashes", 0) >= 2)
 
         monkeypatch.delenv(faults.ENV_PLAN)
         faults.reset_fault_cache()
